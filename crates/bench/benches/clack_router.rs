@@ -1,0 +1,53 @@
+//! Criterion bench over the Table 1 configurations: wall-clock time to
+//! route a packet batch through each Clack router build. The *simulated*
+//! cycle numbers (the paper's metric) come from `--bin table1`; this bench
+//! tracks the reproduction's own execution speed so regressions in the
+//! machine/compiler stay visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clack::packets::{workload, WorkloadOptions};
+use clack::{build_clack_router, build_hand_router, ip_router, RouterHarness};
+
+fn bench_clack(c: &mut Criterion) {
+    let work = workload(&WorkloadOptions { count: 64, ..Default::default() });
+    let mut group = c.benchmark_group("clack_router");
+    group.sample_size(10);
+
+    for (name, hand, flat) in [
+        ("modular", false, false),
+        ("hand_optimized", true, false),
+        ("modular_flattened", false, true),
+        ("hand_flattened", true, true),
+    ] {
+        let report = if hand {
+            build_hand_router(flat).expect("build")
+        } else {
+            build_clack_router(&ip_router(), flat).expect("build")
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut h = RouterHarness::new(&report).expect("harness");
+                let m = h.measure(black_box(&work)).expect("measure");
+                black_box(m.cycles_per_packet)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_clack_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clack_build");
+    group.sample_size(10);
+    group.bench_function("modular", |b| {
+        b.iter(|| black_box(build_clack_router(&ip_router(), false).expect("build").stats.text_size))
+    });
+    group.bench_function("flattened", |b| {
+        b.iter(|| black_box(build_clack_router(&ip_router(), true).expect("build").stats.text_size))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clack, bench_clack_build);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench over the Table 2 configurations: wall-clock time to
+//! route packets through the Click-style baseline, generic vs optimized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use clack::click::{build_click_router, ClickOpts};
+use clack::packets::{workload, WorkloadOptions};
+use clack::{ip_router, RouterHarness};
+
+fn bench_click(c: &mut Criterion) {
+    let work = workload(&WorkloadOptions { count: 64, ..Default::default() });
+    let mut group = c.benchmark_group("click_router");
+    group.sample_size(10);
+
+    for (name, opts) in [
+        ("generic", None),
+        ("optimized", Some(ClickOpts::all())),
+        ("specializer_only", Some(ClickOpts { fast_classifier: false, specialize: true, xform: false })),
+    ] {
+        let image = build_click_router(&ip_router(), opts).expect("build");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut h =
+                    RouterHarness::from_image(image.clone(), Some("click_init"), "router_step")
+                        .expect("harness");
+                let m = h.measure(black_box(&work)).expect("measure");
+                black_box(m.cycles_per_packet)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_click_codegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("click_codegen");
+    group.sample_size(10);
+    group.bench_function("generate_and_compile_optimized", |b| {
+        b.iter(|| {
+            black_box(build_click_router(&ip_router(), Some(ClickOpts::all())).expect("build"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_click, bench_click_codegen);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench over the Knit build pipeline itself (the §6 build-time
+//! story): full builds of representative kernels, plus the constraint
+//! checker in isolation (the "more than doubles the time taken to run
+//! Knit" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use knit::build;
+
+fn bench_kernel_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knit_build");
+    group.sample_size(10);
+    for kernel in [oskit::KERNEL_HELLO, oskit::KERNEL_FS, oskit::KERNEL_CHAIN_FLAT] {
+        group.bench_function(kernel.to_string(), |b| {
+            b.iter(|| black_box(oskit::build_kernel(kernel).expect("builds").stats.text_size))
+        });
+    }
+    group.finish();
+}
+
+fn bench_constraint_checking(c: &mut Criterion) {
+    let (p, t) = oskit::setup();
+    let mut group = c.benchmark_group("constraints");
+    group.sample_size(10);
+    for check in [false, true] {
+        let name = if check { "with_checking" } else { "without_checking" };
+        group.bench_function(name, |b| {
+            let mut opts = oskit::kernel_options(oskit::KERNEL_IRQ_GOOD);
+            opts.check_constraints = check;
+            b.iter(|| black_box(build(&p, &t, &opts).expect("builds").stats.instances))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cmini(c: &mut Criterion) {
+    let src = oskit::sources();
+    let mut group = c.benchmark_group("cmini");
+    group.sample_size(20);
+    let memfs = src.get("memfs.c").expect("memfs source").to_string();
+    let opts = cmini::CompileOptions::from_flags(&["-Iinclude", "-O2"]).expect("flags");
+    group.bench_function("compile_memfs_o2", |b| {
+        b.iter(|| black_box(cmini::compile("memfs.c", &memfs, &opts, &src).expect("compiles")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_builds, bench_constraint_checking, bench_cmini);
+criterion_main!(benches);

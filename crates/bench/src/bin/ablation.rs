@@ -1,0 +1,118 @@
+//! Ablation studies over the reproduction's own design choices (DESIGN.md
+//! §6): which mechanism buys which part of the flattening win, and how
+//! sensitive the Table 1 shape is to the cost model.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation
+//! ```
+
+use clack::packets::{self, WorkloadOptions};
+use clack::{build_clack_router, build_hand_router, ip_router};
+use cobj::Image;
+use machine::{CostModel, ICacheParams, Machine};
+
+/// Measure cycles/packet on `image` under an explicit cost model.
+fn measure_image(
+    image: Image,
+    init: &str,
+    entry: &str,
+    costs: CostModel,
+    work: &[packets::WorkItem],
+) -> u64 {
+    let mut m = Machine::with_costs(image, costs).expect("machine");
+    m.call(init, &[]).expect("init");
+    let (warm, timed) = work.split_at(work.len() / 4);
+    fn drive(m: &mut Machine, entry: &str, items: &[packets::WorkItem]) -> u64 {
+        let mut n = 0u64;
+        for (dev, p) in items {
+            m.netdevs[*dev].inject(p.clone());
+            loop {
+                let k = m.call(entry, &[]).expect("step");
+                if k == 0 {
+                    break;
+                }
+                n += k as u64;
+            }
+        }
+        n
+    }
+    drive(&mut m, entry, warm);
+    let before = m.counters();
+    let n = drive(&mut m, entry, timed);
+    m.counters().delta_since(&before).cycles / n.max(1)
+}
+
+fn measure_with(costs: CostModel, flatten: bool, hand: bool, work: &[packets::WorkItem]) -> u64 {
+    let report = if hand {
+        build_hand_router(flatten).expect("build")
+    } else {
+        build_clack_router(&ip_router(), flatten).expect("build")
+    };
+    let entry = report
+        .exports
+        .iter()
+        .find(|(k, _)| k.ends_with(".router_step"))
+        .map(|(_, v)| v.clone())
+        .expect("router_step export");
+    measure_image(report.image, "__knit_init", &entry, costs, work)
+}
+
+fn main() {
+    let work = packets::workload(&WorkloadOptions { count: 256, ..Default::default() });
+
+    println!("== ablation 1: I-cache size vs the flattening win ==");
+    println!("(the paper's flattening win is partly an I-cache locality win;");
+    println!(" with an infinite cache only the call-overhead part remains)\n");
+    println!("  icache    modular  flattened   delta");
+    for (name, params) in [
+        ("2 KiB", ICacheParams { size: 2 * 1024, line: 32, miss_stall: 14 }),
+        ("4 KiB*", ICacheParams { size: 4 * 1024, line: 32, miss_stall: 14 }),
+        ("8 KiB", ICacheParams { size: 8 * 1024, line: 32, miss_stall: 14 }),
+        ("infinite", ICacheParams { size: 8 * 1024, line: 32, miss_stall: 0 }),
+    ] {
+        let costs = CostModel { icache: params, ..CostModel::default() };
+        let base = measure_with(costs.clone(), false, false, &work);
+        let flat = measure_with(costs, true, false, &work);
+        println!(
+            "  {name:8}  {base:7}  {flat:9}   {:+.1}%",
+            (flat as f64 - base as f64) / base as f64 * 100.0
+        );
+    }
+
+    println!("\n== ablation 2: call-overhead cost vs the flattening win ==");
+    println!("  call cost  modular  flattened   delta");
+    for (name, call, ret) in [("cheap (2/1)", 2u64, 1u64), ("default (14/6)", 14, 6), ("expensive (30/12)", 30, 12)] {
+        let costs = CostModel { call_overhead: call, ret_overhead: ret, ..CostModel::default() };
+        let base = measure_with(costs.clone(), false, false, &work);
+        let flat = measure_with(costs, true, false, &work);
+        println!(
+            "  {name:16}  {base:7}  {flat:9}   {:+.1}%",
+            (flat as f64 - base as f64) / base as f64 * 100.0
+        );
+    }
+
+    println!("\n== ablation 3: indirect-call penalty vs the Click gap ==");
+    println!("(how much of Table 2's base-Click slowdown is dispatch cost)\n");
+    println!("  penalty | clack modular | click generic |  gap");
+    for penalty in [0u64, 9, 18, 36] {
+        let costs = CostModel { indirect_call_penalty: penalty, ..CostModel::default() };
+        let img = clack::click::build_click_router(&ip_router(), None).expect("click");
+        let click = measure_image(img, "click_init", "router_step", costs.clone(), &work);
+        let clack_base = measure_with(costs, false, false, &work);
+        println!(
+            "    {penalty:3}   |    {clack_base:7}    |    {click:7}    | {:+.1}%",
+            (click as f64 - clack_base as f64) / clack_base as f64 * 100.0
+        );
+    }
+
+    println!("\n== ablation 4: hand-optimization with and without flattening on top ==");
+    let base = measure_with(CostModel::default(), false, false, &work);
+    for (name, hand, flat) in [
+        ("modular", false, false),
+        ("hand", true, false),
+        ("hand+flatten", true, true),
+    ] {
+        let c = measure_with(CostModel::default(), flat, hand, &work);
+        println!("  {name:14} {c:6} cycles/pkt ({:+.1}% vs modular)", (c as f64 - base as f64) / base as f64 * 100.0);
+    }
+}

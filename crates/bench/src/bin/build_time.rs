@@ -1,0 +1,26 @@
+//! Regenerate the §6 build-time observation: "Our prototype implementation
+//! is acceptably fast — more than 95% of build time is spent in the C
+//! compiler and linker."
+//!
+//! ```text
+//! cargo run --release -p bench --bin build_time
+//! ```
+
+fn main() {
+    println!("§6 build-time breakdown (building the modular Clack router)\n");
+    println!("  paper: >95% of build time in the C compiler and linker;");
+    println!("         the rest is Knit itself\n");
+    let phases = bench::build_time_breakdown();
+    println!("  ours:");
+    let mut cc_ld = 0.0;
+    let mut knit = 0.0;
+    for (name, pct) in &phases {
+        println!("    {name:12} {pct:6.2}%");
+        if matches!(name.as_str(), "compile" | "link" | "flatten") {
+            cc_ld += pct;
+        } else {
+            knit += pct;
+        }
+    }
+    println!("\n  C compiler + linker: {cc_ld:.1}%   Knit itself: {knit:.1}%");
+}

@@ -1,0 +1,28 @@
+//! Regenerate the §6 overhead micro-benchmark: "To verify that Knit does
+//! not impose an unacceptable overhead on programs, we timed Knit-based
+//! OSKit programs that were designed to spend most of their time traversing
+//! unit boundaries … Knit was from 2% slower to 3% faster, ±0.25%."
+//!
+//! ```text
+//! cargo run --release -p bench --bin micro_overhead
+//! ```
+
+fn main() {
+    println!("§6 micro-benchmark: Knit build vs traditional (hand-linked) build");
+    println!("of call chains crossing 3-8 unit boundaries per iteration.\n");
+    println!("  paper: Knit was from 2% slower to 3% faster (±0.25%)\n");
+    println!("  critical path | knit cycles | traditional cycles |  diff");
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    for row in bench::micro_overhead() {
+        println!(
+            "       {:2}       |  {:9}  |     {:9}      | {:+.2}%",
+            row.chain_len, row.knit, row.traditional, row.pct
+        );
+        min = min.min(row.pct);
+        max = max.max(row.pct);
+    }
+    println!("\n  ours: Knit was from {:+.1}% to {:+.1}%", max, min);
+    println!("  (both builds produce identical results; differences come from");
+    println!("  code layout, exactly as in the paper)");
+}

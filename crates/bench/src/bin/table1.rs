@@ -1,0 +1,42 @@
+//! Regenerate Table 1 of the paper: Clack router performance under the
+//! hand-optimization and flattening axes.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1
+//! ```
+
+fn main() {
+    println!("Table 1: Clack router performance (cycles from packet entering the");
+    println!("router graph to leaving it; steady state, warm caches)\n");
+    println!("  paper (200 MHz Pentium Pro, gcc 2.95):");
+    println!("    hand  flat |  cycles  i-fetch stalls  text bytes");
+    println!("     -     -   |   2411        781          109464");
+    println!("     x     -   |   1897        637          108246");
+    println!("     -     x   |   1574        455          106065");
+    println!("     x     x   |   1457        361          106305\n");
+
+    println!("  this reproduction (simulated machine, cmini -O2):");
+    println!("    hand  flat |  cycles  i-fetch stalls  text bytes");
+    let rows = bench::table1();
+    let base = rows[0].cycles as f64;
+    for r in &rows {
+        println!(
+            "     {}     {}   |  {:6}       {:5}          {:6}   ({:+.1}% vs base)",
+            if r.hand_optimized { 'x' } else { '-' },
+            if r.flattened { 'x' } else { '-' },
+            r.cycles,
+            r.ifetch_stalls,
+            r.text_size,
+            (r.cycles as f64 - base) / base * 100.0,
+        );
+    }
+    println!();
+    println!("  paper deltas: hand -21%, flatten -35%, both -40%");
+    let pct = |i: usize| (rows[i].cycles as f64 - base) / base * 100.0;
+    println!(
+        "  ours:         hand {:+.0}%, flatten {:+.0}%, both {:+.0}%",
+        pct(1),
+        pct(2),
+        pct(3)
+    );
+}

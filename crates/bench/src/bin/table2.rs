@@ -1,0 +1,28 @@
+//! Regenerate Table 2 of the paper: Click router performance with and
+//! without MIT's three optimizations, measured like Table 1 (the paper ran
+//! Click "in the same OSKit-derived kernel and on the same hardware as the
+//! Clack routers"; we run it on the same simulated machine).
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2
+//! ```
+
+fn main() {
+    println!("Table 2: Click router performance\n");
+    println!("  paper:   unoptimized 2486, optimized 1146 cycles (-54%)");
+    println!("           (base Click approximately 3% slower than base Clack)\n");
+
+    let t = bench::table2();
+    let delta = (t.click_optimized as f64 - t.click_unoptimized as f64)
+        / t.click_unoptimized as f64
+        * 100.0;
+    let vs_clack =
+        (t.click_unoptimized as f64 - t.clack_base as f64) / t.clack_base as f64 * 100.0;
+    println!("  ours:    unoptimized {}, optimized {} cycles ({:+.0}%)", t.click_unoptimized, t.click_optimized, delta);
+    println!("           (base Click {vs_clack:+.0}% vs base Clack {})\n", t.clack_base);
+
+    println!("  ablation over the three optimizations (cycles/packet):");
+    for (name, cycles) in bench::click_ablation() {
+        println!("    {name:32} {cycles}");
+    }
+}

@@ -1,0 +1,24 @@
+/* CheckIPHeader: version/length/checksum validation; bad packets exit the
+ * second output (usually a Discard). */
+#include "clack.h"
+
+int next_push(struct packet *p);
+int bad_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int bad;
+
+int push(struct packet *p) {
+    if (p->len < IP_HLEN) { bad++; return bad_push(p); }
+    int vihl = p->data[0] & 255;
+    if (vihl != 69) { bad++; return bad_push(p); }  /* 0x45 */
+    int totlen = pkt_get16(p->data, 2);
+    if (totlen > p->len) { bad++; return bad_push(p); }
+    if (ip_cksum(p->data, 0, 10) != 0) { bad++; return bad_push(p); }
+    return next_push(p);
+}
+
+int count_value() {
+    return bad;
+}

@@ -1,0 +1,35 @@
+/* Classifier(offset/value, …): generic pattern interpreter, like Click's.
+ * Patterns are cached from the param unit at initialization (Click parses
+ * its configuration strings at init time too); the per-packet table walk
+ * is what Click's "fast classifier" optimization replaces with
+ * straight-line compares. */
+#include "clack.h"
+
+int param_count();
+int param_get(int i);
+int out_match(struct packet *p);
+int out_other(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int npat;
+static int offs[8];
+static int vals[8];
+
+void classifier_init() {
+    npat = param_count() / 2;
+    if (npat > 8) npat = 8;
+    for (int i = 0; i < npat; i++) {
+        offs[i] = param_get(i * 2);
+        vals[i] = param_get(i * 2 + 1);
+    }
+}
+
+int push(struct packet *p) {
+    for (int i = 0; i < npat; i++) {
+        if (p->len >= offs[i] + 2 && pkt_get16(p->data, offs[i]) == vals[i]) {
+            return out_match(p);
+        }
+    }
+    return out_other(p);
+}

@@ -1,0 +1,23 @@
+/* Counter: count packets and bytes, pass through. */
+#include "clack.h"
+
+int next_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int packets;
+static int bytes;
+
+int push(struct packet *p) {
+    packets++;
+    bytes += p->len;
+    return next_push(p);
+}
+
+int count_value() {
+    return packets;
+}
+
+int byte_value() {
+    return bytes;
+}

@@ -1,0 +1,25 @@
+/* DecIPTTL: decrement TTL, incrementally fixing the checksum (RFC 1624);
+ * expired packets exit the second output. */
+#include "clack.h"
+
+int next_push(struct packet *p);
+int expired_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int expired;
+
+int push(struct packet *p) {
+    int ttl = p->data[8] & 255;
+    if (ttl <= 1) { expired++; return expired_push(p); }
+    p->data[8] = ttl - 1;
+    /* incremental checksum update: adding 0x0100 to the sum */
+    int sum = pkt_get16(p->data, 10) + 256;
+    sum = (sum & 65535) + (sum >> 16);
+    pkt_set16(p->data, 10, sum);
+    return next_push(p);
+}
+
+int count_value() {
+    return expired;
+}

@@ -1,0 +1,15 @@
+/* Discard: consume and count. */
+#include "clack.h"
+
+struct packet { char *data; int len; };
+
+static int dropped;
+
+int push(struct packet *p) {
+    dropped++;
+    return 0;
+}
+
+int count_value() {
+    return dropped;
+}

@@ -1,0 +1,23 @@
+/* EtherEncap: restore the Ethernet header space and write fresh MACs and
+ * ethertype for the chosen output link. MACs come from params (12 bytes as
+ * 12 ints), ethertype is IP. */
+#include "clack.h"
+
+int param_get(int i);
+int next_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static char macs[12];
+
+void encap_init() {
+    for (int i = 0; i < 12; i++) macs[i] = param_get(i);
+}
+
+int push(struct packet *p) {
+    p->data = p->data - ETHER_HLEN;
+    p->len = p->len + ETHER_HLEN;
+    for (int i = 0; i < 12; i++) p->data[i] = macs[i];
+    pkt_set16(p->data, 12, ETHERTYPE_IP);
+    return next_push(p);
+}

@@ -1,0 +1,27 @@
+/* FromDevice(dev): poll the NIC, build a packet, push it downstream. */
+#include "clack.h"
+
+int __net_rx(int dev, char *buf, int max);
+int __net_poll(int dev);
+int param_get(int i);
+int push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static char buf[PKT_BUF];
+static struct packet pkt;
+static int dev;
+
+void from_init() {
+    dev = param_get(0);
+}
+
+int step() {
+    if (__net_poll(dev) <= 0) return 0;
+    int n = __net_rx(dev, buf, PKT_BUF);
+    if (n <= 0) return 0;
+    pkt.data = buf;
+    pkt.len = n;
+    push(&pkt);
+    return 1;
+}

@@ -1,0 +1,35 @@
+#ifndef CLACK_H
+#define CLACK_H 1
+#define PKT_BUF 1600
+#define ETHER_HLEN 14
+#define IP_HLEN 20
+#define ETHERTYPE_IP 2048
+#define ETHERTYPE_ARP 2054
+
+/* Header-inline packet helpers, like Click's: every element that includes
+ * this header gets its own (static, inlinable) copy. */
+static int pkt_get16(char *p, int off) {
+    return ((p[off] & 255) << 8) | (p[off + 1] & 255);
+}
+
+static void pkt_set16(char *p, int off, int v) {
+    p[off] = (v >> 8) & 255;
+    p[off + 1] = v & 255;
+}
+
+static int pkt_get32(char *p, int off) {
+    return ((p[off] & 255) << 24) | ((p[off + 1] & 255) << 16)
+         | ((p[off + 2] & 255) << 8) | (p[off + 3] & 255);
+}
+
+static int ip_cksum(char *p, int off, int words) {
+    int sum = 0;
+    for (int i = 0; i < words; i++) {
+        sum += pkt_get16(p, off + i * 2);
+    }
+    while (sum >> 16) {
+        sum = (sum & 65535) + (sum >> 16);
+    }
+    return (~sum) & 65535;
+}
+#endif

@@ -1,0 +1,37 @@
+/* LookupIPRoute: prefix match over a route table cached at init from the
+ * param unit; two output ports, third output when no route matches. */
+#include "clack.h"
+
+int param_count();
+int param_get(int i);
+int out0_push(struct packet *p);
+int out1_push(struct packet *p);
+int nomatch_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int nroutes;
+static int addrs[8];
+static int masks[8];
+static int ports[8];
+
+void route_init() {
+    nroutes = param_count() / 3;
+    if (nroutes > 8) nroutes = 8;
+    for (int i = 0; i < nroutes; i++) {
+        addrs[i] = param_get(i * 3) & param_get(i * 3 + 1);
+        masks[i] = param_get(i * 3 + 1);
+        ports[i] = param_get(i * 3 + 2);
+    }
+}
+
+int push(struct packet *p) {
+    int dst = pkt_get32(p->data, 16);
+    for (int i = 0; i < nroutes; i++) {
+        if ((dst & masks[i]) == addrs[i]) {
+            if (ports[i] == 0) return out0_push(p);
+            return out1_push(p);
+        }
+    }
+    return nomatch_push(p);
+}

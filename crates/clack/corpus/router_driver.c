@@ -1,0 +1,10 @@
+/* Drives the router: one step services both input devices. */
+int step0();
+int step1();
+
+int router_step() {
+    int n = 0;
+    n += step0();
+    n += step1();
+    return n;
+}

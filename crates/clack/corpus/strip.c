@@ -1,0 +1,19 @@
+/* Strip(n): remove n bytes of header. */
+#include "clack.h"
+
+int param_get(int i);
+int next_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int n;
+
+void strip_init() {
+    n = param_get(0);
+}
+
+int push(struct packet *p) {
+    p->data = p->data + n;
+    p->len = p->len - n;
+    return next_push(p);
+}

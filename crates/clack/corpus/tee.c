@@ -1,0 +1,22 @@
+/* Tee: duplicate each packet to two outputs. Like Click's Tee, the copy
+ * sent to output 0 is a clone, so downstream modification on one branch
+ * cannot corrupt the other. */
+#include "clack.h"
+
+int out0_push(struct packet *p);
+int out1_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static char clone[PKT_BUF];
+
+int push(struct packet *p) {
+    int n = p->len;
+    char *src = p->data;
+    for (int i = 0; i < n; i++) clone[i] = src[i];
+    struct packet q;
+    q.data = clone;
+    q.len = n;
+    out0_push(&q);
+    return out1_push(p);
+}

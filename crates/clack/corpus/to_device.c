@@ -1,0 +1,24 @@
+/* ToDevice(dev): transmit and consume. */
+#include "clack.h"
+
+int __net_tx(int dev, char *buf, int len);
+int param_get(int i);
+
+struct packet { char *data; int len; };
+
+static int dev;
+static int sent;
+
+void to_init() {
+    dev = param_get(0);
+}
+
+int push(struct packet *p) {
+    __net_tx(dev, p->data, p->len);
+    sent++;
+    return 1;
+}
+
+int count_value() {
+    return sent;
+}

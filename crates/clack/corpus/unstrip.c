@@ -1,0 +1,19 @@
+/* Unstrip(n): put n bytes of header back. */
+#include "clack.h"
+
+int param_get(int i);
+int next_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int n;
+
+void unstrip_init() {
+    n = param_get(0);
+}
+
+int push(struct packet *p) {
+    p->data = p->data - n;
+    p->len = p->len + n;
+    return next_push(p);
+}

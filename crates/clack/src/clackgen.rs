@@ -1,0 +1,156 @@
+//! Clack realization: a configuration [`Graph`] → Knit units.
+//!
+//! Element code is fixed (the units in `corpus/elements.unit`); per-element
+//! parameters become generated "trivial components that provide
+//! initialization data" (§5.2), and the graph's wiring becomes a generated
+//! compound unit. "The rapid deployment of new configurations" is a
+//! `Graph` → `generate` → `knit::build` round trip.
+
+use knit::SourceTree;
+
+use crate::graph::{ElemType, Graph};
+
+/// What the generator produced: text to append to the Knit program and
+/// files to add to the source tree.
+pub struct Generated {
+    /// `.unit` source declaring the param units and the router compound.
+    pub unit_text: String,
+    /// Generated parameter C sources.
+    pub sources: Vec<(String, String)>,
+    /// The compound unit's name.
+    pub kernel: String,
+}
+
+/// Generate the Knit configuration for `graph` as compound unit `kernel`.
+/// With `flatten`, the whole router becomes one flattening group (§6).
+pub fn generate(graph: &Graph, kernel: &str, flatten: bool) -> Result<Generated, String> {
+    graph.validate()?;
+    let mut unit_text = String::new();
+    let mut sources = Vec::new();
+
+    // --- param units ---
+    for e in &graph.elems {
+        if !e.ty.takes_params() {
+            continue;
+        }
+        let file = format!("p_{}.c", e.name);
+        sources.push((file.clone(), param_source(&e.params)));
+        unit_text.push_str(&format!(
+            "unit P_{name} = {{\n    exports [ params : Params ];\n    files {{ \"{file}\" }} with flags ClackFlags;\n}}\n\n",
+            name = e.name,
+        ));
+    }
+
+    // --- the compound unit ---
+    unit_text.push_str(&format!("unit {kernel} = {{\n    exports [ router : Router ];\n    link {{\n"));
+    for e in &graph.elems {
+        if e.ty.takes_params() {
+            unit_text.push_str(&format!("        p_{0} : P_{0};\n", e.name));
+        }
+    }
+    let mut from_devices = Vec::new();
+    for (i, e) in graph.elems.iter().enumerate() {
+        let mut binds: Vec<String> = Vec::new();
+        for port in 0..e.ty.out_ports() {
+            let to = graph.target(i, port).expect("validated");
+            let binding = e.ty.out_port_binding(port);
+            // Push consumers export their input port as `in`
+            binds.push(format!("{binding} = {}.in", graph.elems[to].name));
+        }
+        if e.ty.takes_params() {
+            binds.push(format!("params = p_{}.params", e.name));
+        }
+        if e.ty == ElemType::FromDevice {
+            from_devices.push(e.name.clone());
+        }
+        if binds.is_empty() {
+            unit_text.push_str(&format!("        {} : {};\n", e.name, e.ty.unit_name()));
+        } else {
+            unit_text.push_str(&format!(
+                "        {} : {} [ {} ];\n",
+                e.name,
+                e.ty.unit_name(),
+                binds.join(", ")
+            ));
+        }
+    }
+    if from_devices.len() != 2 {
+        return Err(format!(
+            "the RouterDriver expects exactly two FromDevice elements, found {}",
+            from_devices.len()
+        ));
+    }
+    unit_text.push_str(&format!(
+        "        drv : RouterDriver [ in0 = {}.src, in1 = {}.src ];\n",
+        from_devices[0], from_devices[1]
+    ));
+    unit_text.push_str("        router = drv.router;\n    };\n");
+    if flatten {
+        unit_text.push_str("    flatten;\n");
+    }
+    unit_text.push_str("}\n");
+
+    Ok(Generated { unit_text, sources, kernel: kernel.to_string() })
+}
+
+/// C source of a parameter unit.
+fn param_source(params: &[i64]) -> String {
+    let n = params.len();
+    if n == 0 {
+        return "int param_count() { return 0; }\nint param_get(int i) { return 0; }\n".to_string();
+    }
+    let vals: Vec<String> = params.iter().map(|v| v.to_string()).collect();
+    format!(
+        "static int vals[{n}] = {{ {} }};\nint param_count() {{ return {n}; }}\nint param_get(int i) {{ return vals[i]; }}\n",
+        vals.join(", ")
+    )
+}
+
+/// Add the generated sources to a tree.
+pub fn install(gen: &Generated, tree: &mut SourceTree) {
+    for (path, text) in &gen.sources {
+        tree.add(path, text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ip_router;
+
+    #[test]
+    fn generates_param_units_and_compound() {
+        let g = ip_router();
+        let gen = generate(&g, "IpRouter", false).unwrap();
+        assert!(gen.unit_text.contains("unit P_from0"));
+        assert!(gen.unit_text.contains("unit IpRouter"));
+        assert!(gen.unit_text.contains("rt : LookupIPRoute [ out0 = enc0.in, out1 = enc1.in, nomatch = d_rt.in, params = p_rt.params ]"));
+        assert!(gen.unit_text.contains("drv : RouterDriver [ in0 = from0.src, in1 = from1.src ]"));
+        assert!(!gen.unit_text.contains("flatten;"));
+        // counters take no params
+        assert!(!gen.unit_text.contains("unit P_cin0"));
+        let flat = generate(&g, "IpRouterFlat", true).unwrap();
+        assert!(flat.unit_text.contains("flatten;"));
+    }
+
+    #[test]
+    fn param_source_shapes() {
+        assert!(param_source(&[]).contains("return 0"));
+        let s = param_source(&[12, 2048]);
+        assert!(s.contains("vals[2] = { 12, 2048 }"));
+    }
+
+    #[test]
+    fn generated_units_parse() {
+        let g = ip_router();
+        let gen = generate(&g, "IpRouter", false).unwrap();
+        // the generated text must parse as Knit (in context of the element
+        // declarations, which define the bundletypes)
+        let combined = format!(
+            "{}\n{}",
+            include_str!("../corpus/elements.unit"),
+            gen.unit_text
+        );
+        knit_lang::parse("generated.unit", &combined).expect("generated unit text parses");
+    }
+}

@@ -1,0 +1,920 @@
+//! The Click-style baseline (Table 2 of the paper).
+//!
+//! Click implements router elements as C++ class instances linked by
+//! passing object references around; every inter-element hop is a virtual
+//! call. This module generates that architecture in mini-C: a generic
+//! `struct element` with a `push` function pointer, one translation unit
+//! per element *type* (separate compilation, like Click's), and a
+//! generated configuration file that wires instances at `click_init` time
+//! — "linking via arbitrary run-time code" in the paper's §2.2 taxonomy.
+//!
+//! It also re-implements MIT's three optimizations ([Kohler et al. 2000],
+//! the paper's Table 2 "optimized" row), which — just like the originals —
+//! work by *generating specialized source code*:
+//!
+//! * **fast classifier**: "generates specialized versions of generic
+//!   components" — the pattern-table interpreter becomes straight-line
+//!   compares;
+//! * **specializer**: "makes indirect function calls direct" — per-instance
+//!   functions calling their successors by name;
+//! * **xform**: "recognizes certain patterns of components and replaces
+//!   them with faster ones" — adjacent Strip→CheckIPHeader pairs fuse into
+//!   one element.
+//!
+//! The optimized output is a single translation unit in callee-first order,
+//! so the ordinary compiler's inliner finishes the job.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use cobj::{link, Image, LinkInput, LinkOptions};
+
+use crate::graph::{ElemType, Graph};
+
+/// Which MIT optimizations to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClickOpts {
+    /// Specialize classifiers to straight-line compares.
+    pub fast_classifier: bool,
+    /// Devirtualize inter-element calls.
+    pub specialize: bool,
+    /// Pattern-replace fusable element pairs.
+    pub xform: bool,
+}
+
+impl ClickOpts {
+    /// No optimizations (Table 2's "unoptimized" row).
+    pub fn none() -> ClickOpts {
+        ClickOpts { fast_classifier: false, specialize: false, xform: false }
+    }
+
+    /// All three optimizations (Table 2's "optimized" row).
+    pub fn all() -> ClickOpts {
+        ClickOpts { fast_classifier: true, specialize: true, xform: true }
+    }
+}
+
+const CLICK_H: &str = r#"
+#ifndef CLICK_H
+#define CLICK_H 1
+struct packet { char *data; int len; };
+struct element {
+    int (*push)(struct element *self, struct packet *p);
+    struct element *next0;
+    struct element *next1;
+    struct element *next2;
+    int s0;
+    int s1;
+    int s2;
+    int nparams;
+    int *params;
+    char *buf;
+};
+/* header-inline helpers, as in real Click */
+static int pk_get16(char *p, int off) {
+    return ((p[off] & 255) << 8) | (p[off + 1] & 255);
+}
+static void pk_set16(char *p, int off, int v) {
+    p[off] = (v >> 8) & 255;
+    p[off + 1] = v & 255;
+}
+static int pk_get32(char *p, int off) {
+    return ((p[off] & 255) << 24) | ((p[off + 1] & 255) << 16)
+         | ((p[off + 2] & 255) << 8) | (p[off + 3] & 255);
+}
+static int pk_cksum(char *p, int off, int words) {
+    int sum = 0;
+    for (int i = 0; i < words; i++) sum += pk_get16(p, off + i * 2);
+    while (sum >> 16) sum = (sum & 65535) + (sum >> 16);
+    return (~sum) & 65535;
+}
+#endif
+"#;
+
+/// Generic per-type push code (one separately-compiled file per type, like
+/// Click element classes).
+fn generic_type_source(ty: ElemType) -> Option<(&'static str, &'static str)> {
+    Some(match ty {
+        ElemType::Counter => (
+            "click_counter.c",
+            r#"
+#include "click.h"
+int counter_push(struct element *self, struct packet *p) {
+    self->s0 = self->s0 + 1;
+    self->s1 = self->s1 + p->len;
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::Classifier => (
+            "click_classifier.c",
+            r#"
+#include "click.h"
+int classifier_push(struct element *self, struct packet *p) {
+    int npat = self->nparams / 2;
+    for (int i = 0; i < npat; i++) {
+        int off = self->params[i * 2];
+        int val = self->params[i * 2 + 1];
+        if (p->len >= off + 2 && pk_get16(p->data, off) == val) {
+            struct element *m = self->next0;
+            return m->push(m, p);
+        }
+    }
+    struct element *o = self->next1;
+    return o->push(o, p);
+}
+"#,
+        ),
+        ElemType::Strip => (
+            "click_strip.c",
+            r#"
+#include "click.h"
+int strip_push(struct element *self, struct packet *p) {
+    p->data = p->data + self->params[0];
+    p->len = p->len - self->params[0];
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::Unstrip => (
+            "click_unstrip.c",
+            r#"
+#include "click.h"
+int unstrip_push(struct element *self, struct packet *p) {
+    p->data = p->data - self->params[0];
+    p->len = p->len + self->params[0];
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::CheckIPHeader => (
+            "click_checkip.c",
+            r#"
+#include "click.h"
+int checkip_push(struct element *self, struct packet *p) {
+    struct element *bad = self->next1;
+    if (p->len < 20) { self->s0++; return bad->push(bad, p); }
+    if ((p->data[0] & 255) != 69) { self->s0++; return bad->push(bad, p); }
+    if (pk_get16(p->data, 2) > p->len) { self->s0++; return bad->push(bad, p); }
+    if (pk_cksum(p->data, 0, 10) != 0) { self->s0++; return bad->push(bad, p); }
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::DecIPTTL => (
+            "click_decttl.c",
+            r#"
+#include "click.h"
+int decttl_push(struct element *self, struct packet *p) {
+    int ttl = p->data[8] & 255;
+    if (ttl <= 1) {
+        self->s0++;
+        struct element *x = self->next1;
+        return x->push(x, p);
+    }
+    p->data[8] = ttl - 1;
+    int sum = pk_get16(p->data, 10) + 256;
+    sum = (sum & 65535) + (sum >> 16);
+    pk_set16(p->data, 10, sum);
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::LookupIPRoute => (
+            "click_lookup.c",
+            r#"
+#include "click.h"
+int lookup_push(struct element *self, struct packet *p) {
+    int dst = pk_get32(p->data, 16);
+    int nroutes = self->nparams / 3;
+    for (int i = 0; i < nroutes; i++) {
+        int addr = self->params[i * 3];
+        int mask = self->params[i * 3 + 1];
+        int port = self->params[i * 3 + 2];
+        if ((dst & mask) == (addr & mask)) {
+            if (port == 0) { struct element *a = self->next0; return a->push(a, p); }
+            struct element *b = self->next1;
+            return b->push(b, p);
+        }
+    }
+    struct element *c = self->next2;
+    return c->push(c, p);
+}
+"#,
+        ),
+        ElemType::EtherEncap => (
+            "click_encap.c",
+            r#"
+#include "click.h"
+int encap_push(struct element *self, struct packet *p) {
+    p->data = p->data - 14;
+    p->len = p->len + 14;
+    for (int i = 0; i < 12; i++) p->data[i] = self->params[i];
+    pk_set16(p->data, 12, 2048);
+    struct element *n = self->next0;
+    return n->push(n, p);
+}
+"#,
+        ),
+        ElemType::Queue => (
+            "click_queue.c",
+            r#"
+#include "click.h"
+int queue_push(struct element *self, struct packet *p) {
+    int slot = self->s0 % 4;
+    self->s0 = self->s0 + 1;
+    char *dst = self->buf + slot * 1600;
+    for (int i = 0; i < p->len; i++) dst[i] = p->data[i];
+    struct packet q;
+    q.data = dst;
+    q.len = p->len;
+    struct element *n = self->next0;
+    return n->push(n, &q);
+}
+"#,
+        ),
+        ElemType::Discard => (
+            "click_discard.c",
+            r#"
+#include "click.h"
+int discard_push(struct element *self, struct packet *p) {
+    self->s0 = self->s0 + 1;
+    return 0;
+}
+"#,
+        ),
+        ElemType::Tee => (
+            "click_tee.c",
+            r#"
+#include "click.h"
+int tee_push(struct element *self, struct packet *p) {
+    char *dst = self->buf;
+    for (int i = 0; i < p->len; i++) dst[i] = p->data[i];
+    struct packet q;
+    q.data = dst;
+    q.len = p->len;
+    struct element *a = self->next0;
+    a->push(a, &q);
+    struct element *b = self->next1;
+    return b->push(b, p);
+}
+"#,
+        ),
+        ElemType::ToDevice => (
+            "click_todevice.c",
+            r#"
+#include "click.h"
+int __net_tx(int dev, char *buf, int len);
+int todevice_push(struct element *self, struct packet *p) {
+    __net_tx(self->s0, p->data, p->len);
+    self->s1 = self->s1 + 1;
+    return 1;
+}
+"#,
+        ),
+        ElemType::FromDevice => return None, // driven by router_step
+    })
+}
+
+fn type_push_fn(ty: ElemType) -> &'static str {
+    match ty {
+        ElemType::Counter => "counter_push",
+        ElemType::Classifier => "classifier_push",
+        ElemType::Strip => "strip_push",
+        ElemType::Unstrip => "unstrip_push",
+        ElemType::CheckIPHeader => "checkip_push",
+        ElemType::DecIPTTL => "decttl_push",
+        ElemType::LookupIPRoute => "lookup_push",
+        ElemType::EtherEncap => "encap_push",
+        ElemType::Queue => "queue_push",
+        ElemType::Discard => "discard_push",
+        ElemType::Tee => "tee_push",
+        ElemType::ToDevice => "todevice_push",
+        ElemType::FromDevice => unreachable!("FromDevice has no push"),
+    }
+}
+
+/// Generate the generic (unoptimized) Click program: per-type sources plus
+/// the configuration file.
+pub fn generate_generic(graph: &Graph) -> Result<Vec<(String, String)>, String> {
+    graph.validate()?;
+    let mut files: Vec<(String, String)> = Vec::new();
+    files.push(("click.h".into(), CLICK_H.to_string()));
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for e in &graph.elems {
+        if let Some((name, src)) = generic_type_source(e.ty) {
+            if seen.insert(name) {
+                files.push((name.to_string(), src.to_string()));
+            }
+        }
+    }
+
+    // configuration file
+    let mut c = String::new();
+    let _ = writeln!(c, "#include \"click.h\"");
+    let _ = writeln!(c, "int __net_poll(int dev);");
+    let _ = writeln!(c, "int __net_rx(int dev, char *buf, int max);");
+    for e in &graph.elems {
+        if e.ty != ElemType::FromDevice {
+            let _ = writeln!(
+                c,
+                "int {}(struct element *self, struct packet *p);",
+                type_push_fn(e.ty)
+            );
+        }
+    }
+    let n = graph.elems.len();
+    let _ = writeln!(c, "struct element elems[{n}];");
+    for (i, e) in graph.elems.iter().enumerate() {
+        if !e.params.is_empty() {
+            let vals: Vec<String> = e.params.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(c, "static int params_{i}[{}] = {{ {} }};", e.params.len(), vals.join(", "));
+        }
+        match e.ty {
+            ElemType::FromDevice => {
+                let _ = writeln!(c, "static char rxbuf_{i}[1600];");
+                let _ = writeln!(c, "static struct packet inpkt_{i};");
+            }
+            ElemType::Queue => {
+                let _ = writeln!(c, "static char qbuf_{i}[6400];");
+            }
+            ElemType::Tee => {
+                let _ = writeln!(c, "static char tbuf_{i}[1600];");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(c, "void click_init() {{");
+    for (i, e) in graph.elems.iter().enumerate() {
+        if e.ty != ElemType::FromDevice {
+            let _ = writeln!(c, "    elems[{i}].push = {};", type_push_fn(e.ty));
+        }
+        for port in 0..e.ty.out_ports() {
+            let to = graph.target(i, port).expect("validated");
+            let _ = writeln!(c, "    elems[{i}].next{port} = &elems[{to}];");
+        }
+        if !e.params.is_empty() {
+            let _ = writeln!(c, "    elems[{i}].nparams = {};", e.params.len());
+            let _ = writeln!(c, "    elems[{i}].params = params_{i};");
+        }
+        match e.ty {
+            ElemType::ToDevice | ElemType::FromDevice => {
+                let _ = writeln!(c, "    elems[{i}].s0 = {};", e.params[0]);
+            }
+            ElemType::Queue => {
+                let _ = writeln!(c, "    elems[{i}].s0 = 0;");
+                let _ = writeln!(c, "    elems[{i}].buf = qbuf_{i};");
+            }
+            ElemType::Tee => {
+                let _ = writeln!(c, "    elems[{i}].buf = tbuf_{i};");
+            }
+            _ => {}
+        }
+    }
+    let _ = writeln!(c, "}}");
+
+    let _ = writeln!(c, "int router_step() {{");
+    let _ = writeln!(c, "    int n = 0;");
+    for (i, e) in graph.elems.iter().enumerate() {
+        if e.ty != ElemType::FromDevice {
+            continue;
+        }
+        let dev = e.params[0];
+        let first = graph.target(i, 0).expect("validated");
+        let _ = writeln!(c, "    if (__net_poll({dev}) > 0) {{");
+        let _ = writeln!(c, "        int len{i} = __net_rx({dev}, rxbuf_{i}, 1600);");
+        let _ = writeln!(c, "        if (len{i} > 0) {{");
+        let _ = writeln!(c, "            inpkt_{i}.data = rxbuf_{i};");
+        let _ = writeln!(c, "            inpkt_{i}.len = len{i};");
+        let _ = writeln!(c, "            struct element *e{i} = &elems[{first}];");
+        let _ = writeln!(c, "            e{i}->push(e{i}, &inpkt_{i});");
+        let _ = writeln!(c, "            n++;");
+        let _ = writeln!(c, "        }}");
+        let _ = writeln!(c, "    }}");
+    }
+    let _ = writeln!(c, "    return n;");
+    let _ = writeln!(c, "}}");
+    let _ = writeln!(c, "int click_stat(int i) {{ return elems[i].s0; }}");
+    files.push(("click_config.c".into(), c));
+    Ok(files)
+}
+
+/// Generate the optimized Click program: one specialized translation unit.
+pub fn generate_optimized(graph: &Graph, opts: &ClickOpts) -> Result<Vec<(String, String)>, String> {
+    graph.validate()?;
+    let n = graph.elems.len();
+
+    // xform: fuse Strip directly into a following CheckIPHeader.
+    let mut fused_into: Vec<Option<usize>> = vec![None; n]; // check idx -> strip idx
+    let mut skip: BTreeSet<usize> = BTreeSet::new();
+    if opts.xform {
+        for (i, e) in graph.elems.iter().enumerate() {
+            if e.ty == ElemType::Strip {
+                if let Some(t) = graph.target(i, 0) {
+                    if graph.elems[t].ty == ElemType::CheckIPHeader {
+                        fused_into[t] = Some(i);
+                        skip.insert(i);
+                    }
+                }
+            }
+        }
+    }
+
+    // emission order: callee-first (reverse topological over edges),
+    // so the definition-before-use inliner can fire.
+    let order = reverse_topo(graph);
+
+    let mut c = String::new();
+    let _ = writeln!(c, "/* generated by the Click optimizer: fast_classifier={} specialize={} xform={} */",
+        opts.fast_classifier, opts.specialize, opts.xform);
+    let _ = writeln!(c, "struct packet {{ char *data; int len; }};");
+    let _ = writeln!(c, "int __net_poll(int dev);");
+    let _ = writeln!(c, "int __net_rx(int dev, char *buf, int max);");
+    let _ = writeln!(c, "int __net_tx(int dev, char *buf, int len);");
+    // helpers (static, inlinable)
+    let _ = writeln!(
+        c,
+        r#"
+static int pk_get16(char *p, int off) {{
+    return ((p[off] & 255) << 8) | (p[off + 1] & 255);
+}}
+static void pk_set16(char *p, int off, int v) {{
+    p[off] = (v >> 8) & 255;
+    p[off + 1] = v & 255;
+}}
+static int pk_get32(char *p, int off) {{
+    return ((p[off] & 255) << 24) | ((p[off + 1] & 255) << 16)
+         | ((p[off + 2] & 255) << 8) | (p[off + 3] & 255);
+}}
+"#
+    );
+    // forward prototypes for every emitted push (cycles are impossible in
+    // our router DAG but prototypes keep generation simple)
+    for &i in &order {
+        if graph.elems[i].ty != ElemType::FromDevice && !skip.contains(&i) {
+            let _ = writeln!(c, "static int push_{}(struct packet *p);", graph.elems[i].name);
+        }
+    }
+    // per-instance state
+    for (i, e) in graph.elems.iter().enumerate() {
+        let nm = &e.name;
+        match e.ty {
+            ElemType::Counter => {
+                let _ = writeln!(c, "static int cnt_{nm}; static int bytes_{nm};");
+            }
+            ElemType::CheckIPHeader | ElemType::DecIPTTL | ElemType::Discard => {
+                let _ = writeln!(c, "static int cnt_{nm};");
+            }
+            ElemType::ToDevice => {
+                let _ = writeln!(c, "static int cnt_{nm};");
+            }
+            ElemType::Queue => {
+                let _ = writeln!(c, "static char qbuf_{nm}[6400]; static int qhead_{nm};");
+            }
+            ElemType::FromDevice => {
+                let _ = writeln!(c, "static char rxbuf_{nm}[1600]; static struct packet inpkt_{nm};");
+            }
+            ElemType::Tee => {
+                let _ = writeln!(c, "static char tbuf_{nm}[1600];");
+            }
+            _ => {}
+        }
+        let _ = i;
+    }
+    // dispatch: direct when specializing, through fn-pointer globals when not
+    if !opts.specialize {
+        for &i in &order {
+            let e = &graph.elems[i];
+            if e.ty == ElemType::FromDevice || skip.contains(&i) {
+                continue;
+            }
+            for port in 0..e.ty.out_ports() {
+                let to = effective_target(graph, i, port, &skip);
+                let _ = writeln!(
+                    c,
+                    "static int (*vt_{}_{port})(struct packet *p) = &push_{};",
+                    e.name, graph.elems[to].name
+                );
+            }
+        }
+    }
+
+    let call_next = |graph: &Graph, i: usize, port: usize, skip: &BTreeSet<usize>| -> String {
+        let to = effective_target(graph, i, port, skip);
+        if opts.specialize {
+            format!("push_{}(p)", graph.elems[to].name)
+        } else {
+            format!("vt_{}_{port}(p)", graph.elems[i].name)
+        }
+    };
+
+    for &i in &order {
+        let e = &graph.elems[i];
+        if e.ty == ElemType::FromDevice || skip.contains(&i) {
+            continue;
+        }
+        let nm = &e.name;
+        let next0 = || call_next(graph, i, 0, &skip);
+        match e.ty {
+            ElemType::Counter => {
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    cnt_{nm}++;\n    bytes_{nm} += p->len;\n    return {};\n}}",
+                    next0()
+                );
+            }
+            ElemType::Classifier => {
+                if opts.fast_classifier {
+                    // straight-line compares generated from the pattern
+                    let mut body = String::new();
+                    for pair in e.params.chunks(2) {
+                        let _ = writeln!(
+                            body,
+                            "    if (p->len >= {o} + 2 && pk_get16(p->data, {o}) == {v}) return {m};",
+                            o = pair[0],
+                            v = pair[1],
+                            m = call_next(graph, i, 0, &skip)
+                        );
+                    }
+                    let _ = writeln!(
+                        c,
+                        "static int push_{nm}(struct packet *p) {{\n{body}    return {};\n}}",
+                        call_next(graph, i, 1, &skip)
+                    );
+                } else {
+                    let np = e.params.len();
+                    let vals: Vec<String> = e.params.iter().map(|v| v.to_string()).collect();
+                    let _ = writeln!(c, "static int pat_{nm}[{np}] = {{ {} }};", vals.join(", "));
+                    let _ = writeln!(
+                        c,
+                        "static int push_{nm}(struct packet *p) {{\n    for (int i = 0; i < {half}; i++) {{\n        int off = pat_{nm}[i * 2];\n        int val = pat_{nm}[i * 2 + 1];\n        if (p->len >= off + 2 && pk_get16(p->data, off) == val) return {m};\n    }}\n    return {o};\n}}",
+                        half = np / 2,
+                        m = call_next(graph, i, 0, &skip),
+                        o = call_next(graph, i, 1, &skip)
+                    );
+                }
+            }
+            ElemType::Strip => {
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    p->data += {v};\n    p->len -= {v};\n    return {};\n}}",
+                    next0(),
+                    v = e.params[0]
+                );
+            }
+            ElemType::Unstrip => {
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    p->data -= {v};\n    p->len += {v};\n    return {};\n}}",
+                    next0(),
+                    v = e.params[0]
+                );
+            }
+            ElemType::CheckIPHeader => {
+                let pre = match fused_into[i] {
+                    Some(s) => format!(
+                        "    /* xform: fused Strip({v}) */\n    p->data += {v};\n    p->len -= {v};\n",
+                        v = graph.elems[s].params[0]
+                    ),
+                    None => String::new(),
+                };
+                let bad = call_next(graph, i, 1, &skip);
+                let _ = writeln!(
+                    c,
+                    r#"static int push_{nm}(struct packet *p) {{
+{pre}    if (p->len < 20) {{ cnt_{nm}++; return {bad}; }}
+    if ((p->data[0] & 255) != 69) {{ cnt_{nm}++; return {bad}; }}
+    if (pk_get16(p->data, 2) > p->len) {{ cnt_{nm}++; return {bad}; }}
+    int sum = 0;
+    for (int i = 0; i < 10; i++) sum += pk_get16(p->data, i * 2);
+    while (sum >> 16) sum = (sum & 65535) + (sum >> 16);
+    if ((~sum & 65535) != 0) {{ cnt_{nm}++; return {bad}; }}
+    return {ok};
+}}"#,
+                    ok = next0()
+                );
+            }
+            ElemType::DecIPTTL => {
+                let _ = writeln!(
+                    c,
+                    r#"static int push_{nm}(struct packet *p) {{
+    int ttl = p->data[8] & 255;
+    if (ttl <= 1) {{ cnt_{nm}++; return {exp}; }}
+    p->data[8] = ttl - 1;
+    int sum = pk_get16(p->data, 10) + 256;
+    sum = (sum & 65535) + (sum >> 16);
+    pk_set16(p->data, 10, sum);
+    return {ok};
+}}"#,
+                    exp = call_next(graph, i, 1, &skip),
+                    ok = next0()
+                );
+            }
+            ElemType::LookupIPRoute => {
+                // specialized: unrolled route compares
+                let mut body = String::new();
+                let _ = writeln!(body, "    int dst = pk_get32(p->data, 16);");
+                for triple in e.params.chunks(3) {
+                    let port = if triple[2] == 0 { 0 } else { 1 };
+                    let _ = writeln!(
+                        body,
+                        "    if ((dst & {mask}) == {net}) return {t};",
+                        mask = triple[1],
+                        net = triple[0] & triple[1],
+                        t = call_next(graph, i, port, &skip)
+                    );
+                }
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n{body}    return {};\n}}",
+                    call_next(graph, i, 2, &skip)
+                );
+            }
+            ElemType::EtherEncap => {
+                let mut writes = String::new();
+                for (j, b) in e.params.iter().enumerate() {
+                    let _ = writeln!(writes, "    p->data[{j}] = {b};");
+                }
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    p->data -= 14;\n    p->len += 14;\n{writes}    pk_set16(p->data, 12, 2048);\n    return {};\n}}",
+                    next0()
+                );
+            }
+            ElemType::Queue => {
+                let _ = writeln!(
+                    c,
+                    r#"static int push_{nm}(struct packet *p) {{
+    int slot = qhead_{nm} % 4;
+    qhead_{nm}++;
+    char *dst = qbuf_{nm} + slot * 1600;
+    for (int i = 0; i < p->len; i++) dst[i] = p->data[i];
+    struct packet q;
+    q.data = dst;
+    q.len = p->len;
+    struct packet *p2 = &q;
+    return {};
+}}"#,
+                    call_next(graph, i, 0, &skip).replace("(p)", "(p2)")
+                );
+            }
+            ElemType::Discard => {
+                let _ = writeln!(c, "static int push_{nm}(struct packet *p) {{\n    cnt_{nm}++;\n    return 0;\n}}");
+            }
+            ElemType::Tee => {
+                let _ = writeln!(
+                    c,
+                    r#"static int push_{nm}(struct packet *p) {{
+    char *dst = tbuf_{nm};
+    for (int i = 0; i < p->len; i++) dst[i] = p->data[i];
+    struct packet q;
+    q.data = dst;
+    q.len = p->len;
+    struct packet *p2 = &q;
+    {clone_call};
+    return {orig_call};
+}}"#,
+                    clone_call = call_next(graph, i, 0, &skip).replace("(p)", "(p2)"),
+                    orig_call = call_next(graph, i, 1, &skip)
+                );
+            }
+            ElemType::ToDevice => {
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    __net_tx({dev}, p->data, p->len);\n    cnt_{nm}++;\n    return 1;\n}}",
+                    dev = e.params[0]
+                );
+            }
+            ElemType::FromDevice => unreachable!(),
+        }
+    }
+
+    // init (nothing to wire when fully specialized; fn-ptr globals already
+    // initialized statically) and driver
+    let _ = writeln!(c, "void click_init() {{ }}");
+    let _ = writeln!(c, "int router_step() {{");
+    let _ = writeln!(c, "    int n = 0;");
+    for (i, e) in graph.elems.iter().enumerate() {
+        if e.ty != ElemType::FromDevice {
+            continue;
+        }
+        let nm = &e.name;
+        let dev = e.params[0];
+        let first = effective_target(graph, i, 0, &skip);
+        let entry = if opts.specialize {
+            format!("push_{}(&inpkt_{nm})", graph.elems[first].name)
+        } else {
+            // even the driver hop is indirect in unspecialized Click
+            format!("vt_from_{nm}(&inpkt_{nm})")
+        };
+        if !opts.specialize {
+            let _ = writeln!(
+                c,
+                "    static int once_{nm};\n    if (!once_{nm}) once_{nm} = 1;"
+            );
+        }
+        let _ = writeln!(c, "    if (__net_poll({dev}) > 0) {{");
+        let _ = writeln!(c, "        int len = __net_rx({dev}, rxbuf_{nm}, 1600);");
+        let _ = writeln!(c, "        if (len > 0) {{");
+        let _ = writeln!(c, "            inpkt_{nm}.data = rxbuf_{nm};");
+        let _ = writeln!(c, "            inpkt_{nm}.len = len;");
+        let _ = writeln!(c, "            {entry};");
+        let _ = writeln!(c, "            n++;");
+        let _ = writeln!(c, "        }}");
+        let _ = writeln!(c, "    }}");
+    }
+    let _ = writeln!(c, "    return n;");
+    let _ = writeln!(c, "}}");
+
+    // fn-ptr entries for the driver when not specializing
+    if !opts.specialize {
+        let mut pre = String::new();
+        for (i, e) in graph.elems.iter().enumerate() {
+            if e.ty == ElemType::FromDevice {
+                let first = effective_target(graph, i, 0, &skip);
+                let _ = writeln!(
+                    pre,
+                    "static int (*vt_from_{})(struct packet *p) = &push_{};",
+                    e.name, graph.elems[first].name
+                );
+            }
+        }
+        // insert before click_init
+        c = c.replace("void click_init() {", &format!("{pre}void click_init() {{"));
+    }
+
+    Ok(vec![("click_opt.c".into(), c)])
+}
+
+/// Follow an edge, skipping xform-fused elements.
+fn effective_target(graph: &Graph, from: usize, port: usize, skip: &BTreeSet<usize>) -> usize {
+    let mut t = graph.target(from, port).expect("validated");
+    while skip.contains(&t) {
+        t = graph.target(t, 0).expect("strip has one output");
+    }
+    t
+}
+
+/// Reverse-topological order of elements (sinks first). The router graph
+/// is a DAG; any back edge would simply fall back to prototype-based calls.
+fn reverse_topo(graph: &Graph) -> Vec<usize> {
+    let n = graph.elems.len();
+    let mut order = Vec::with_capacity(n);
+    let mut emitted = vec![false; n];
+    // Kahn over reversed edges: emit elements whose successors are all out.
+    loop {
+        let mut progressed = false;
+        for i in 0..n {
+            if emitted[i] {
+                continue;
+            }
+            let ready = (0..graph.elems[i].ty.out_ports())
+                .all(|p| graph.target(i, p).map(|t| emitted[t]).unwrap_or(true));
+            if ready {
+                emitted[i] = true;
+                order.push(i);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // cycle: emit the rest in index order
+            for i in 0..n {
+                if !emitted[i] {
+                    emitted[i] = true;
+                    order.push(i);
+                }
+            }
+        }
+        if order.len() == n {
+            break;
+        }
+    }
+    order
+}
+
+/// Compile and link a generated Click program into a runnable image.
+pub fn build_click_image(files: &[(String, String)]) -> Result<Image, String> {
+    let mut tree: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for (name, text) in files {
+        tree.insert(name.clone(), text.clone());
+    }
+    let opts = cmini::CompileOptions::from_flags(&["-O2"]).expect("valid flags");
+    let mut inputs = Vec::new();
+    for (name, text) in files {
+        if !name.ends_with(".c") {
+            continue;
+        }
+        let obj = cmini::compile(name, text, &opts, &tree).map_err(|e| e.to_string())?;
+        inputs.push(LinkInput::Object(obj));
+    }
+    link(
+        &inputs,
+        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .map_err(|e| e.to_string())
+}
+
+/// Build the Click router (generic or optimized) for a graph.
+pub fn build_click_router(graph: &Graph, opts: Option<ClickOpts>) -> Result<Image, String> {
+    let files = match opts {
+        None => generate_generic(graph)?,
+        Some(o) if o == ClickOpts::none() => generate_generic(graph)?,
+        Some(o) => generate_optimized(graph, &o)?,
+    };
+    build_click_image(&files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ip_router;
+    use crate::harness::RouterHarness;
+    use crate::packets::{self, WorkloadOptions};
+
+    fn harness(image: Image) -> RouterHarness {
+        RouterHarness::from_image(image, Some("click_init"), "router_step").unwrap()
+    }
+
+    #[test]
+    fn generic_click_routes_packets() {
+        let img = build_click_router(&ip_router(), None).unwrap();
+        let mut h = harness(img);
+        let pkt = packets::ip_packet(0x0A000301, packets::NET1 | 3, 9, &[5; 16]);
+        h.inject(0, pkt);
+        h.run_until_idle();
+        let out = h.collect(1);
+        assert_eq!(out.len(), 1);
+        assert_eq!(packets::frame_ttl(&out[0]), Some(8));
+        assert!(packets::frame_checksum_ok(&out[0]));
+    }
+
+    #[test]
+    fn optimized_click_matches_generic_output() {
+        let generic = build_click_router(&ip_router(), None).unwrap();
+        let optimized = build_click_router(&ip_router(), Some(ClickOpts::all())).unwrap();
+        let work = packets::workload(&WorkloadOptions {
+            count: 64,
+            pct_non_ip: 10,
+            pct_ttl_expired: 10,
+            pct_no_route: 5,
+            ..Default::default()
+        });
+        let mut hg = harness(generic);
+        let mut ho = harness(optimized);
+        for (dev, p) in &work {
+            hg.inject(*dev, p.clone());
+            ho.inject(*dev, p.clone());
+        }
+        hg.run_until_idle();
+        ho.run_until_idle();
+        assert_eq!(hg.collect(0), ho.collect(0));
+        assert_eq!(hg.collect(1), ho.collect(1));
+    }
+
+    #[test]
+    fn optimized_click_is_much_faster() {
+        let generic = build_click_router(&ip_router(), None).unwrap();
+        let optimized = build_click_router(&ip_router(), Some(ClickOpts::all())).unwrap();
+        let work = packets::workload(&WorkloadOptions { count: 128, ..Default::default() });
+        let mg = harness(generic).measure(&work).unwrap();
+        let mo = harness(optimized).measure(&work).unwrap();
+        assert!(
+            mo.cycles_per_packet * 10 < mg.cycles_per_packet * 9,
+            "optimized {} should be well under generic {}",
+            mo.cycles_per_packet,
+            mg.cycles_per_packet
+        );
+    }
+
+    #[test]
+    fn generic_click_uses_indirect_calls_optimized_does_not() {
+        let work = packets::workload(&WorkloadOptions { count: 16, ..Default::default() });
+        let mut hg = harness(build_click_router(&ip_router(), None).unwrap());
+        hg.measure(&work).unwrap();
+        assert!(hg.machine().counters().indirect_calls > 0);
+
+        let mut ho = harness(build_click_router(&ip_router(), Some(ClickOpts::all())).unwrap());
+        ho.measure(&work).unwrap();
+        assert_eq!(ho.machine().counters().indirect_calls, 0);
+    }
+
+    #[test]
+    fn individual_optimizations_each_help() {
+        let work = packets::workload(&WorkloadOptions { count: 96, ..Default::default() });
+        let cycles = |opts: Option<ClickOpts>| {
+            let img = build_click_router(&ip_router(), opts).unwrap();
+            harness(img).measure(&work).unwrap().cycles_per_packet
+        };
+        let base = cycles(None);
+        let spec_only =
+            cycles(Some(ClickOpts { fast_classifier: false, specialize: true, xform: false }));
+        let all = cycles(Some(ClickOpts::all()));
+        assert!(spec_only < base, "specializer helps: {spec_only} vs {base}");
+        assert!(all <= spec_only, "all opts at least as good: {all} vs {spec_only}");
+    }
+}

@@ -1,0 +1,346 @@
+//! A front end for (a subset of) the Click configuration language (§5.2).
+//!
+//! The paper shows:
+//!
+//! ```text
+//! FromDevice(eth0) -> Counter -> Discard
+//! ```
+//!
+//! This module parses declarations (`name :: Class(args);`) and chains
+//! (`a -> b[1] -> c;`, with inline anonymous elements) into a
+//! [`Graph`], which the Clack generator then turns into Knit units —
+//! "Clack follows the basic architecture of Click, but the details have
+//! been Knit-ified."
+
+use std::collections::BTreeMap;
+
+use crate::graph::{mac_params, ElemType, Graph};
+
+/// Parse a Click-style configuration into a graph.
+pub fn parse(src: &str) -> Result<Graph, String> {
+    let mut g = Graph::default();
+    let mut named: BTreeMap<String, usize> = BTreeMap::new();
+    let mut anon = 0usize;
+
+    for (lineno, raw_stmt) in split_statements(src) {
+        let stmt = raw_stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("line {lineno}: {msg}");
+        if let Some((name, rhs)) = stmt.split_once("::") {
+            // declaration
+            let name = name.trim();
+            if !is_ident(name) {
+                return Err(err(format!("bad element name `{name}`")));
+            }
+            if named.contains_key(name) {
+                return Err(err(format!("duplicate element `{name}`")));
+            }
+            let (ty, params) = parse_class(rhs.trim()).map_err(&err)?;
+            let idx = g.add(name, ty, params);
+            named.insert(name.to_string(), idx);
+        } else {
+            // chain: endpoint -> endpoint -> …
+            let parts: Vec<&str> = stmt.split("->").map(str::trim).collect();
+            if parts.len() < 2 {
+                return Err(err(format!("expected a chain or declaration: `{stmt}`")));
+            }
+            let mut prev: Option<(usize, usize)> = None; // (elem, out port)
+            for part in parts {
+                let (elem, out_port) =
+                    resolve_endpoint(part, &mut g, &mut named, &mut anon).map_err(&err)?;
+                if let Some((from, port)) = prev {
+                    g.connect(from, port, elem);
+                }
+                prev = Some((elem, out_port));
+            }
+        }
+    }
+    g.validate()?;
+    Ok(g)
+}
+
+/// Split on `;`, tracking line numbers and stripping `//` comments.
+fn split_statements(src: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut start_line = 1;
+    let mut line = 1;
+    for c in src.chars() {
+        match c {
+            ';' => {
+                out.push((start_line, cur.clone()));
+                cur.clear();
+                start_line = line;
+            }
+            '\n' => {
+                line += 1;
+                // strip trailing // comment on the line being accumulated
+                if let Some(pos) = cur.rfind("//") {
+                    let after_newline = cur.rfind('\n').map(|p| p + 1).unwrap_or(0);
+                    if pos >= after_newline {
+                        cur.truncate(pos);
+                    }
+                }
+                cur.push(' ');
+                if cur.trim().is_empty() {
+                    start_line = line;
+                }
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push((start_line, cur));
+    }
+    out
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// `Class(args)` → element type + params.
+fn parse_class(s: &str) -> Result<(ElemType, Vec<i64>), String> {
+    let (class, args) = match s.find('(') {
+        Some(i) => {
+            let end = s.rfind(')').ok_or_else(|| format!("missing `)` in `{s}`"))?;
+            (&s[..i], Some(&s[i + 1..end]))
+        }
+        None => (s, None),
+    };
+    let class = class.trim();
+    let ty = ElemType::from_click_name(class)
+        .ok_or_else(|| format!("unknown element class `{class}`"))?;
+    let args: Vec<&str> = match args {
+        Some(a) if !a.trim().is_empty() => a.split(',').map(str::trim).collect(),
+        _ => Vec::new(),
+    };
+    let params = parse_params(ty, &args)?;
+    Ok((ty, params))
+}
+
+fn parse_params(ty: ElemType, args: &[&str]) -> Result<Vec<i64>, String> {
+    match ty {
+        ElemType::FromDevice | ElemType::ToDevice | ElemType::Strip | ElemType::Unstrip
+        | ElemType::Queue => {
+            if args.len() != 1 {
+                return Err(format!("{ty:?} takes exactly one integer argument"));
+            }
+            Ok(vec![parse_int(args[0])?])
+        }
+        ElemType::EtherEncap => {
+            if args.len() != 1 {
+                return Err("EtherEncap takes the output port number".to_string());
+            }
+            Ok(mac_params(parse_int(args[0])?))
+        }
+        ElemType::Classifier => {
+            // patterns like `12/0800`; a trailing `-` names the fall-through
+            let mut params = Vec::new();
+            for a in args {
+                if *a == "-" {
+                    continue;
+                }
+                let (off, val) = a
+                    .split_once('/')
+                    .ok_or_else(|| format!("classifier pattern `{a}` is not offset/value"))?;
+                params.push(parse_int(off)?);
+                params.push(
+                    i64::from_str_radix(val.trim(), 16)
+                        .map_err(|_| format!("bad hex value `{val}`"))?,
+                );
+            }
+            Ok(params)
+        }
+        ElemType::LookupIPRoute => {
+            // entries like `10.0.1.0/24 0`
+            let mut params = Vec::new();
+            for a in args {
+                let mut it = a.split_whitespace();
+                let cidr = it.next().ok_or_else(|| format!("empty route in `{a}`"))?;
+                let port = it.next().ok_or_else(|| format!("route `{a}` missing port"))?;
+                let (addr, len) = cidr
+                    .split_once('/')
+                    .ok_or_else(|| format!("route `{cidr}` is not addr/len"))?;
+                let ip = parse_ipv4(addr)?;
+                let len: u32 =
+                    len.parse().map_err(|_| format!("bad prefix length `{len}`"))?;
+                if len > 32 {
+                    return Err(format!("prefix length {len} out of range"));
+                }
+                let mask: u32 =
+                    if len == 0 { 0 } else { u32::MAX << (32 - len) };
+                params.push(ip as i64);
+                params.push(mask as i64);
+                params.push(parse_int(port)?);
+            }
+            Ok(params)
+        }
+        _ => {
+            if !args.is_empty() {
+                return Err(format!("{ty:?} takes no arguments"));
+            }
+            Ok(Vec::new())
+        }
+    }
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        return i64::from_str_radix(hex, 16).map_err(|_| format!("bad integer `{s}`"));
+    }
+    s.parse().map_err(|_| format!("bad integer `{s}`"))
+}
+
+fn parse_ipv4(s: &str) -> Result<u32, String> {
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() != 4 {
+        return Err(format!("bad IPv4 address `{s}`"));
+    }
+    let mut v: u32 = 0;
+    for p in parts {
+        let b: u32 = p.parse().map_err(|_| format!("bad IPv4 octet `{p}`"))?;
+        if b > 255 {
+            return Err(format!("IPv4 octet {b} out of range"));
+        }
+        v = (v << 8) | b;
+    }
+    Ok(v)
+}
+
+/// Resolve one chain endpoint: a declared name (optionally with `[port]`)
+/// or an inline anonymous `Class(args)`.
+fn resolve_endpoint(
+    part: &str,
+    g: &mut Graph,
+    named: &mut BTreeMap<String, usize>,
+    anon: &mut usize,
+) -> Result<(usize, usize), String> {
+    // trailing output-port selector `name[2]`
+    let (core, port) = match part.find('[') {
+        Some(i) if part.ends_with(']') => {
+            let p: usize = part[i + 1..part.len() - 1]
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad port selector in `{part}`"))?;
+            (part[..i].trim(), p)
+        }
+        _ => (part, 0),
+    };
+    if let Some(&idx) = named.get(core) {
+        return Ok((idx, port));
+    }
+    if is_ident(core) && ElemType::from_click_name(core).is_none() {
+        return Err(format!("unknown element `{core}`"));
+    }
+    // inline anonymous element
+    let (ty, params) = parse_class(core)?;
+    let name = format!("anon{}", *anon);
+    *anon += 1;
+    let idx = g.add(&name, ty, params);
+    Ok((idx, port))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        // "FromDevice(eth0) -> Counter -> Discard" (we use device numbers)
+        let g = parse("FromDevice(0) -> Counter -> Discard;").unwrap();
+        assert_eq!(g.elems.len(), 3);
+        assert_eq!(g.elems[0].ty, ElemType::FromDevice);
+        assert_eq!(g.elems[1].ty, ElemType::Counter);
+        assert_eq!(g.edges.len(), 2);
+    }
+
+    #[test]
+    fn parses_declarations_and_ports() {
+        let src = r#"
+            src :: FromDevice(0);
+            cls :: Classifier(12/0800, -);
+            ok :: Counter;
+            src -> cls;
+            cls[0] -> ok -> Discard;
+            cls[1] -> Discard;
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.elems.len(), 5);
+        let cls = g.find("cls").unwrap();
+        assert_eq!(g.elems[cls].params, vec![12, 0x0800]);
+        let ok = g.find("ok").unwrap();
+        assert_eq!(g.target(cls, 0), Some(ok));
+    }
+
+    #[test]
+    fn parses_routes_and_cidrs() {
+        let src = r#"
+            rt :: LookupIPRoute(10.0.1.0/24 0, 10.0.2.0/24 1);
+            rt[0] -> Discard;
+            rt[1] -> Discard;
+            rt[2] -> Discard;
+        "#;
+        let g = parse(src).unwrap();
+        let rt = g.find("rt").unwrap();
+        assert_eq!(
+            g.elems[rt].params,
+            vec![0x0A000100, 0xFFFFFF00u32 as i64, 0, 0x0A000200, 0xFFFFFF00u32 as i64, 1]
+        );
+    }
+
+    #[test]
+    fn full_ip_router_config_round_trips() {
+        let src = r#"
+            // two-interface IP router
+            from0 :: FromDevice(0);
+            from1 :: FromDevice(1);
+            cls0 :: Classifier(12/0800, -);
+            cls1 :: Classifier(12/0800, -);
+            ttl :: DecIPTTL;
+            rt :: LookupIPRoute(10.0.1.0/24 0, 10.0.2.0/24 1);
+            chk0 :: CheckIPHeader;
+            chk1 :: CheckIPHeader;
+            dbad :: Discard;
+            dcls :: Discard;
+            dttl :: Discard;
+            drt :: Discard;
+
+            from0 -> Counter -> cls0;
+            from1 -> Counter -> cls1;
+            cls0[0] -> Strip(14) -> chk0;
+            cls1[0] -> Strip(14) -> chk1;
+            cls0[1] -> dcls;
+            cls1[1] -> dcls;
+            chk0[0] -> ttl;
+            chk1[0] -> ttl;
+            chk0[1] -> dbad;
+            chk1[1] -> dbad;
+            ttl[0] -> rt;
+            ttl[1] -> dttl;
+            rt[0] -> EtherEncap(0) -> Queue(4) -> Counter -> ToDevice(0);
+            rt[1] -> EtherEncap(1) -> Queue(4) -> Counter -> ToDevice(1);
+            rt[2] -> drt;
+        "#;
+        let g = parse(src).unwrap();
+        assert_eq!(g.elems.len(), 24);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("x -> y;").is_err(), "unknown names");
+        assert!(parse("a :: Nope;").is_err(), "unknown class");
+        assert!(parse("a :: Counter; a :: Counter;").is_err(), "duplicate");
+        assert!(parse("a :: Strip;").is_err(), "missing arg");
+        assert!(parse("rt :: LookupIPRoute(10.0.1.0/40 0);").is_err(), "bad prefix");
+        assert!(parse("c :: Classifier(nonsense);").is_err(), "bad pattern");
+        // validation: unwired port
+        assert!(parse("a :: Counter;").is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! The router configuration graph: element instances and their
+//! connections, independent of whether the configuration is realized as
+//! Knit units (Clack) or as C++-style objects (the Click baseline).
+
+use crate::packets::{MASK24, NET0, NET1};
+
+/// Element kinds mirroring Click's standard IP-router elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemType {
+    /// Poll a NIC, push received frames. Param: device index.
+    FromDevice,
+    /// Transmit and consume. Param: device index.
+    ToDevice,
+    /// Count packets and bytes, pass through.
+    Counter,
+    /// Match (offset, value) 16-bit patterns; output 0 on match, 1
+    /// otherwise. Params: offset/value pairs.
+    Classifier,
+    /// Remove N header bytes. Param: N.
+    Strip,
+    /// Restore N header bytes. Param: N.
+    Unstrip,
+    /// Validate the IPv4 header; output 0 good, 1 bad.
+    CheckIPHeader,
+    /// Decrement TTL (fix checksum); output 0 alive, 1 expired.
+    DecIPTTL,
+    /// Route on destination; params are (addr, mask, port) triples; output
+    /// 0/1 by table, output 2 when no route matches.
+    LookupIPRoute,
+    /// Prepend a fresh Ethernet header. Params: 12 MAC bytes.
+    EtherEncap,
+    /// Store-and-forward ring. Param: capacity.
+    Queue,
+    /// Consume and count.
+    Discard,
+    /// Duplicate each packet to two outputs (output 0 gets a clone).
+    Tee,
+}
+
+impl ElemType {
+    /// Knit unit name realizing this element in the Clack kit.
+    pub fn unit_name(self) -> &'static str {
+        match self {
+            ElemType::FromDevice => "FromDevice",
+            ElemType::ToDevice => "ToDevice",
+            ElemType::Counter => "Counter",
+            ElemType::Classifier => "Classifier",
+            ElemType::Strip => "Strip",
+            ElemType::Unstrip => "Unstrip",
+            ElemType::CheckIPHeader => "CheckIPHeader",
+            ElemType::DecIPTTL => "DecIPTTL",
+            ElemType::LookupIPRoute => "LookupIPRoute",
+            ElemType::EtherEncap => "EtherEncap",
+            ElemType::Queue => "Queue",
+            ElemType::Discard => "Discard",
+            ElemType::Tee => "Tee",
+        }
+    }
+
+    /// Parse a Click-config element class name.
+    pub fn from_click_name(s: &str) -> Option<ElemType> {
+        Some(match s {
+            "FromDevice" => ElemType::FromDevice,
+            "ToDevice" => ElemType::ToDevice,
+            "Counter" => ElemType::Counter,
+            "Classifier" => ElemType::Classifier,
+            "Strip" => ElemType::Strip,
+            "Unstrip" => ElemType::Unstrip,
+            "CheckIPHeader" => ElemType::CheckIPHeader,
+            "DecIPTTL" => ElemType::DecIPTTL,
+            "LookupIPRoute" => ElemType::LookupIPRoute,
+            "EtherEncap" => ElemType::EtherEncap,
+            "Queue" => ElemType::Queue,
+            "Discard" => ElemType::Discard,
+            "Tee" => ElemType::Tee,
+            _ => return None,
+        })
+    }
+
+    /// Number of output ports.
+    pub fn out_ports(self) -> usize {
+        match self {
+            ElemType::ToDevice | ElemType::Discard => 0,
+            ElemType::Classifier | ElemType::CheckIPHeader | ElemType::DecIPTTL | ElemType::Tee => 2,
+            ElemType::LookupIPRoute => 3,
+            _ => 1,
+        }
+    }
+
+    /// Whether the element takes parameters (and so needs a Params unit).
+    pub fn takes_params(self) -> bool {
+        !matches!(
+            self,
+            ElemType::Counter
+                | ElemType::CheckIPHeader
+                | ElemType::DecIPTTL
+                | ElemType::Discard
+                | ElemType::Tee
+        )
+    }
+
+    /// Knit import-port name for output port `p` of this element.
+    pub fn out_port_binding(self, p: usize) -> &'static str {
+        match (self, p) {
+            (ElemType::Classifier, 0) => "out0",
+            (ElemType::Classifier, 1) => "out1",
+            (ElemType::CheckIPHeader, 0) => "out",
+            (ElemType::CheckIPHeader, 1) => "bad",
+            (ElemType::DecIPTTL, 0) => "out",
+            (ElemType::DecIPTTL, 1) => "expired",
+            (ElemType::LookupIPRoute, 0) => "out0",
+            (ElemType::LookupIPRoute, 1) => "out1",
+            (ElemType::LookupIPRoute, 2) => "nomatch",
+            (ElemType::Tee, 0) => "out0",
+            (ElemType::Tee, 1) => "out1",
+            (_, 0) => "out",
+            _ => unreachable!("port {p} out of range for {self:?}"),
+        }
+    }
+}
+
+/// One element instance.
+#[derive(Debug, Clone)]
+pub struct Elem {
+    /// Instance name (valid identifier).
+    pub name: String,
+    /// Element kind.
+    pub ty: ElemType,
+    /// Integer parameters (see [`ElemType`] docs).
+    pub params: Vec<i64>,
+}
+
+/// A directed connection `from[from_port] -> to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source element index.
+    pub from: usize,
+    /// Source output port.
+    pub from_port: usize,
+    /// Destination element index.
+    pub to: usize,
+}
+
+/// A router configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Elements, in declaration order.
+    pub elems: Vec<Elem>,
+    /// Connections.
+    pub edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Add an element, returning its index.
+    pub fn add(&mut self, name: &str, ty: ElemType, params: Vec<i64>) -> usize {
+        self.elems.push(Elem { name: name.to_string(), ty, params });
+        self.elems.len() - 1
+    }
+
+    /// Connect `from[port] -> to`.
+    pub fn connect(&mut self, from: usize, port: usize, to: usize) {
+        self.edges.push(Edge { from, from_port: port, to });
+    }
+
+    /// The element index an output port is wired to, if any.
+    pub fn target(&self, from: usize, port: usize) -> Option<usize> {
+        self.edges.iter().find(|e| e.from == from && e.from_port == port).map(|e| e.to)
+    }
+
+    /// Find an element by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.elems.iter().position(|e| e.name == name)
+    }
+
+    /// Validate: every output port wired exactly once, edges in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for e in &self.edges {
+            if e.from >= self.elems.len() || e.to >= self.elems.len() {
+                return Err(format!("edge {e:?} out of range"));
+            }
+            if e.from_port >= self.elems[e.from].ty.out_ports() {
+                return Err(format!(
+                    "element `{}` has no output port {}",
+                    self.elems[e.from].name, e.from_port
+                ));
+            }
+        }
+        for (i, el) in self.elems.iter().enumerate() {
+            for p in 0..el.ty.out_ports() {
+                let n = self.edges.iter().filter(|e| e.from == i && e.from_port == p).count();
+                if n != 1 {
+                    return Err(format!(
+                        "element `{}` output {} wired {} times (must be exactly once)",
+                        el.name, p, n
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The canonical two-interface IP router of the paper's Table 1: exactly
+/// 24 element instances.
+///
+/// Per-interface input path (FromDevice → Counter → Classifier → Strip),
+/// converging on a shared CheckIPHeader → DecIPTTL → LookupIPRoute core,
+/// then per-interface output (EtherEncap → Queue → Counter → ToDevice),
+/// with four Discard sinks (non-IP, bad header, expired TTL, no route).
+pub fn ip_router() -> Graph {
+    let mut g = Graph::default();
+    let from0 = g.add("from0", ElemType::FromDevice, vec![0]);
+    let from1 = g.add("from1", ElemType::FromDevice, vec![1]);
+    let cin0 = g.add("cin0", ElemType::Counter, vec![]);
+    let cin1 = g.add("cin1", ElemType::Counter, vec![]);
+    let cls0 = g.add("cls0", ElemType::Classifier, vec![12, 0x0800]);
+    let cls1 = g.add("cls1", ElemType::Classifier, vec![12, 0x0800]);
+    let strip0 = g.add("strip0", ElemType::Strip, vec![14]);
+    let strip1 = g.add("strip1", ElemType::Strip, vec![14]);
+    let chk0 = g.add("chk0", ElemType::CheckIPHeader, vec![]);
+    let chk1 = g.add("chk1", ElemType::CheckIPHeader, vec![]);
+    let ttl = g.add("ttl", ElemType::DecIPTTL, vec![]);
+    let rt = g.add(
+        "rt",
+        ElemType::LookupIPRoute,
+        vec![NET0 as i64, MASK24 as i64, 0, NET1 as i64, MASK24 as i64, 1],
+    );
+    let enc0 = g.add("enc0", ElemType::EtherEncap, mac_params(0));
+    let enc1 = g.add("enc1", ElemType::EtherEncap, mac_params(1));
+    let q0 = g.add("q0", ElemType::Queue, vec![4]);
+    let q1 = g.add("q1", ElemType::Queue, vec![4]);
+    let cout0 = g.add("cout0", ElemType::Counter, vec![]);
+    let cout1 = g.add("cout1", ElemType::Counter, vec![]);
+    let to0 = g.add("to0", ElemType::ToDevice, vec![0]);
+    let to1 = g.add("to1", ElemType::ToDevice, vec![1]);
+    let d_cls = g.add("d_cls", ElemType::Discard, vec![]);
+    let d_bad = g.add("d_bad", ElemType::Discard, vec![]);
+    let d_ttl = g.add("d_ttl", ElemType::Discard, vec![]);
+    let d_rt = g.add("d_rt", ElemType::Discard, vec![]);
+
+    g.connect(from0, 0, cin0);
+    g.connect(from1, 0, cin1);
+    g.connect(cin0, 0, cls0);
+    g.connect(cin1, 0, cls1);
+    g.connect(cls0, 0, strip0);
+    g.connect(cls0, 1, d_cls);
+    g.connect(cls1, 0, strip1);
+    g.connect(cls1, 1, d_cls);
+    g.connect(strip0, 0, chk0);
+    g.connect(strip1, 0, chk1);
+    g.connect(chk0, 0, ttl);
+    g.connect(chk0, 1, d_bad);
+    g.connect(chk1, 0, ttl);
+    g.connect(chk1, 1, d_bad);
+    g.connect(ttl, 0, rt);
+    g.connect(ttl, 1, d_ttl);
+    g.connect(rt, 0, enc0);
+    g.connect(rt, 1, enc1);
+    g.connect(rt, 2, d_rt);
+    g.connect(enc0, 0, q0);
+    g.connect(enc1, 0, q1);
+    g.connect(q0, 0, cout0);
+    g.connect(q1, 0, cout1);
+    g.connect(cout0, 0, to0);
+    g.connect(cout1, 0, to1);
+
+    debug_assert_eq!(g.elems.len(), 24);
+    g
+}
+
+/// Deterministic per-port MAC parameters for EtherEncap (12 bytes).
+pub fn mac_params(port: i64) -> Vec<i64> {
+    let mut v = Vec::with_capacity(12);
+    for _ in 0..6 {
+        v.push(16 + port);
+    }
+    for _ in 0..6 {
+        v.push(32 + port);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_router_is_24_elements_and_valid() {
+        let g = ip_router();
+        assert_eq!(g.elems.len(), 24);
+        g.validate().expect("router graph wires every port once");
+    }
+
+    #[test]
+    fn validate_catches_unwired_port() {
+        let mut g = Graph::default();
+        let a = g.add("a", ElemType::Counter, vec![]);
+        let _ = a;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_double_wiring() {
+        let mut g = Graph::default();
+        let a = g.add("a", ElemType::Counter, vec![]);
+        let d1 = g.add("d1", ElemType::Discard, vec![]);
+        let d2 = g.add("d2", ElemType::Discard, vec![]);
+        g.connect(a, 0, d1);
+        g.connect(a, 0, d2);
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn target_lookup() {
+        let g = ip_router();
+        let rt = g.find("rt").unwrap();
+        let enc0 = g.find("enc0").unwrap();
+        assert_eq!(g.target(rt, 0), Some(enc0));
+        assert_eq!(g.target(rt, 5), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! The measurement harness: stands in for the paper's two edge machines
+//! blasting packets at the router in the middle.
+//!
+//! Table 1 measures "number of cycles from the moment a packet enters the
+//! router graph to the moment it leaves". [`RouterHarness::measure`]
+//! reproduces the methodology: warm the caches with a few packets, then
+//! time a batch and report per-packet cycles, instruction-fetch stall
+//! cycles, and the image's text size.
+
+use cobj::Image;
+use knit::BuildReport;
+use machine::{Fault, Machine, PerfCounters};
+
+use crate::packets::WorkItem;
+
+/// Per-packet measurement results (one Table 1 row).
+#[derive(Debug, Clone, Copy)]
+pub struct RouterMeasurement {
+    /// Cycles per packet, steady-state.
+    pub cycles_per_packet: u64,
+    /// Instruction-fetch stall cycles per packet.
+    pub ifetch_stalls_per_packet: u64,
+    /// Text size of the router image in bytes.
+    pub text_size: u64,
+    /// Packets measured.
+    pub packets: u64,
+    /// Raw counter deltas over the measured batch.
+    pub raw: PerfCounters,
+}
+
+/// Drives a built router image.
+pub struct RouterHarness {
+    machine: Machine,
+    entry: String,
+}
+
+impl RouterHarness {
+    /// Build a harness from a Knit build report (expects a root export
+    /// providing `router_step`).
+    pub fn new(report: &BuildReport) -> Result<RouterHarness, Fault> {
+        let entry = report
+            .exports
+            .iter()
+            .find(|(k, _)| k.ends_with(".router_step"))
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| Fault::NoSuchFunction("router_step".into()))?;
+        let mut machine = Machine::new(report.image.clone())?;
+        machine.call("__knit_init", &[])?;
+        Ok(RouterHarness { machine, entry })
+    }
+
+    /// Build a harness from a raw image whose `router_step` and optional
+    /// `click_init` are link-level symbols (the Click baseline path).
+    pub fn from_image(image: Image, init: Option<&str>, entry: &str) -> Result<RouterHarness, Fault> {
+        let mut machine = Machine::new(image)?;
+        if let Some(f) = init {
+            machine.call(f, &[])?;
+        }
+        Ok(RouterHarness { machine, entry: entry.to_string() })
+    }
+
+    /// Queue a frame on input device `dev`.
+    pub fn inject(&mut self, dev: usize, frame: Vec<u8>) {
+        self.machine.netdevs[dev].inject(frame);
+    }
+
+    /// One router step (services each input device once). Returns the
+    /// number of packets processed.
+    pub fn step(&mut self) -> Result<i64, Fault> {
+        let entry = self.entry.clone();
+        self.machine.call(&entry, &[])
+    }
+
+    /// Step until no input remains.
+    pub fn run_until_idle(&mut self) {
+        loop {
+            match self.step() {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("router fault: {e}"),
+            }
+        }
+    }
+
+    /// Drain transmitted frames from output device `dev`.
+    pub fn collect(&mut self, dev: usize) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(f) = self.machine.netdevs[dev].collect() {
+            out.push(f);
+        }
+        out
+    }
+
+    /// Direct access to the underlying machine (for counters, consoles).
+    pub fn machine(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Measure steady-state per-packet cost over `work`: the first quarter
+    /// (at least 8 packets) warms the I-cache, the rest is timed.
+    pub fn measure(&mut self, work: &[WorkItem]) -> Result<RouterMeasurement, Fault> {
+        let warmup = (work.len() / 4).clamp(1, 64).min(work.len().saturating_sub(1)).max(1);
+        let (warm, timed) = work.split_at(warmup.min(work.len()));
+        for (dev, pkt) in warm {
+            self.inject(*dev, pkt.clone());
+            while self.step()? > 0 {}
+        }
+        let before = self.machine.counters();
+        let mut processed = 0u64;
+        for (dev, pkt) in timed {
+            self.inject(*dev, pkt.clone());
+            loop {
+                let n = self.step()?;
+                if n == 0 {
+                    break;
+                }
+                processed += n as u64;
+            }
+        }
+        let delta = self.machine.counters().delta_since(&before);
+        let packets = processed.max(1);
+        Ok(RouterMeasurement {
+            cycles_per_packet: delta.cycles / packets,
+            ifetch_stalls_per_packet: delta.ifetch_stall_cycles / packets,
+            text_size: self.machine.image().text_size,
+            packets,
+            raw: delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packets::{self, WorkloadOptions};
+
+    #[test]
+    fn measure_reports_sane_numbers() {
+        let report = crate::build_hand_router(false).unwrap();
+        let mut h = RouterHarness::new(&report).unwrap();
+        let work = packets::workload(&WorkloadOptions { count: 64, ..Default::default() });
+        let m = h.measure(&work).unwrap();
+        assert!(m.cycles_per_packet > 100, "routers do real work: {}", m.cycles_per_packet);
+        assert!(m.packets >= 32);
+        assert!(m.text_size > 0);
+        assert!(m.raw.cycles > 0);
+    }
+
+    #[test]
+    fn warm_measurement_is_stable() {
+        let report = crate::build_hand_router(false).unwrap();
+        let work = packets::workload(&WorkloadOptions { count: 200, ..Default::default() });
+        let mut h = RouterHarness::new(&report).unwrap();
+        let a = h.measure(&work).unwrap();
+        let mut h2 = RouterHarness::new(&report).unwrap();
+        let b = h2.measure(&work).unwrap();
+        assert_eq!(a.cycles_per_packet, b.cycles_per_packet, "deterministic machine");
+    }
+}

@@ -1,0 +1,202 @@
+//! Packet construction and the benchmark workload generator.
+//!
+//! The paper's testbed pushed real Ethernet/IP traffic through the router;
+//! here the harness builds simulated Ethernet+IPv4 frames, injects them
+//! into the machine's net devices, and inspects what comes out.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ethernet header length.
+pub const ETHER_HLEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IP_HLEN: usize = 20;
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IP: u16 = 0x0800;
+/// Ethertype for ARP.
+pub const ETHERTYPE_ARP: u16 = 0x0806;
+
+/// Network 10.0.1.0/24 — routed to port 0.
+pub const NET0: u32 = 0x0A00_0100;
+/// Network 10.0.2.0/24 — routed to port 1.
+pub const NET1: u32 = 0x0A00_0200;
+/// The /24 netmask.
+pub const MASK24: u32 = 0xFFFF_FF00;
+
+/// Compute the IPv4 header checksum over `IP_HLEN` bytes at `off`.
+pub fn ip_checksum(buf: &[u8], off: usize) -> u16 {
+    let mut sum: u32 = 0;
+    for i in 0..IP_HLEN / 2 {
+        sum += u32::from(u16::from_be_bytes([buf[off + 2 * i], buf[off + 2 * i + 1]]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Build an Ethernet+IPv4 frame.
+pub fn ip_packet(src: u32, dst: u32, ttl: u8, payload: &[u8]) -> Vec<u8> {
+    let total = IP_HLEN + payload.len();
+    let mut b = vec![0u8; ETHER_HLEN + total];
+    // ethernet
+    b[..6].copy_from_slice(&[2, 0, 0, 0, 0, 1]);
+    b[6..12].copy_from_slice(&[2, 0, 0, 0, 0, 2]);
+    b[12..14].copy_from_slice(&ETHERTYPE_IP.to_be_bytes());
+    // ip
+    let ip = ETHER_HLEN;
+    b[ip] = 0x45;
+    b[ip + 1] = 0;
+    b[ip + 2..ip + 4].copy_from_slice(&(total as u16).to_be_bytes());
+    b[ip + 8] = ttl;
+    b[ip + 9] = 17; // udp-ish
+    b[ip + 12..ip + 16].copy_from_slice(&src.to_be_bytes());
+    b[ip + 16..ip + 20].copy_from_slice(&dst.to_be_bytes());
+    let ck = ip_checksum(&b, ip);
+    b[ip + 10..ip + 12].copy_from_slice(&ck.to_be_bytes());
+    b[ip + IP_HLEN..].copy_from_slice(payload);
+    b
+}
+
+/// Build a non-IP (ARP) frame, which the router's classifier discards.
+pub fn arp_packet() -> Vec<u8> {
+    let mut b = vec![0u8; ETHER_HLEN + 28];
+    b[12..14].copy_from_slice(&ETHERTYPE_ARP.to_be_bytes());
+    b
+}
+
+/// Read a frame's IPv4 TTL.
+pub fn frame_ttl(frame: &[u8]) -> Option<u8> {
+    frame.get(ETHER_HLEN + 8).copied()
+}
+
+/// Read a frame's IPv4 destination address.
+pub fn frame_dst(frame: &[u8]) -> Option<u32> {
+    let b = frame.get(ETHER_HLEN + 16..ETHER_HLEN + 20)?;
+    Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Verify a frame's IPv4 header checksum.
+pub fn frame_checksum_ok(frame: &[u8]) -> bool {
+    frame.len() >= ETHER_HLEN + IP_HLEN && ip_checksum(frame, ETHER_HLEN) == 0
+}
+
+/// One workload item: (input device, frame bytes).
+pub type WorkItem = (usize, Vec<u8>);
+
+/// Options for the workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadOptions {
+    /// Number of frames.
+    pub count: usize,
+    /// RNG seed (workloads are reproducible).
+    pub seed: u64,
+    /// Fraction (0..=100) of non-IP frames the classifier must discard.
+    pub pct_non_ip: u32,
+    /// Fraction (0..=100) of frames with TTL 1 (expired at the router).
+    pub pct_ttl_expired: u32,
+    /// Fraction (0..=100) of frames to unrouted destinations.
+    pub pct_no_route: u32,
+    /// Payload size in bytes.
+    pub payload: usize,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        WorkloadOptions {
+            count: 256,
+            seed: 0x6b6e6974, // "knit"
+            pct_non_ip: 0,
+            pct_ttl_expired: 0,
+            pct_no_route: 0,
+            payload: 40,
+        }
+    }
+}
+
+/// Generate a reproducible routing workload: frames alternate between the
+/// two input devices with destinations spread across the two routed
+/// networks (and optional anomalies).
+pub fn workload(opts: &WorkloadOptions) -> Vec<WorkItem> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut out = Vec::with_capacity(opts.count);
+    let payload: Vec<u8> = (0..opts.payload).map(|i| i as u8).collect();
+    for i in 0..opts.count {
+        let dev = i % 2;
+        let roll: u32 = rng.random_range(0..100);
+        if roll < opts.pct_non_ip {
+            out.push((dev, arp_packet()));
+            continue;
+        }
+        let ttl = if roll < opts.pct_non_ip + opts.pct_ttl_expired {
+            1
+        } else {
+            16 + rng.random_range(0..32) as u8
+        };
+        let dst = if roll < opts.pct_non_ip + opts.pct_ttl_expired + opts.pct_no_route {
+            0xC0A8_0101 // 192.168.1.1 — not in the table
+        } else if rng.random_bool(0.5) {
+            NET0 | rng.random_range(1..255)
+        } else {
+            NET1 | rng.random_range(1..255)
+        };
+        let src = 0x0A00_0300 | rng.random_range(1..255);
+        out.push((dev, ip_packet(src, dst, ttl, &payload)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_round_trip() {
+        let p = ip_packet(0x0A000301, NET0 | 7, 64, &[1, 2, 3, 4]);
+        assert!(frame_checksum_ok(&p));
+        assert_eq!(frame_ttl(&p), Some(64));
+        assert_eq!(frame_dst(&p), Some(NET0 | 7));
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut p = ip_packet(1, NET1 | 9, 8, &[0; 8]);
+        p[ETHER_HLEN + 10] ^= 0xff;
+        assert!(!frame_checksum_ok(&p));
+    }
+
+    #[test]
+    fn workload_is_reproducible_and_split() {
+        let opts = WorkloadOptions { count: 100, ..Default::default() };
+        let a = workload(&opts);
+        let b = workload(&opts);
+        assert_eq!(a, b);
+        let dev0 = a.iter().filter(|(d, _)| *d == 0).count();
+        assert_eq!(dev0, 50);
+        // destinations split between both networks
+        let to0 = a
+            .iter()
+            .filter(|(_, f)| frame_dst(f).map(|d| d & MASK24 == NET0).unwrap_or(false))
+            .count();
+        assert!(to0 > 10 && to0 < 90, "to0 = {to0}");
+    }
+
+    #[test]
+    fn anomalies_present_when_requested() {
+        let opts = WorkloadOptions {
+            count: 200,
+            pct_non_ip: 20,
+            pct_ttl_expired: 20,
+            pct_no_route: 10,
+            ..Default::default()
+        };
+        let w = workload(&opts);
+        let arps = w
+            .iter()
+            .filter(|(_, f)| f[12..14] == ETHERTYPE_ARP.to_be_bytes())
+            .count();
+        let expired = w.iter().filter(|(_, f)| frame_ttl(f) == Some(1)).count();
+        assert!(arps > 10, "arps = {arps}");
+        assert!(expired > 10, "expired = {expired}");
+    }
+}

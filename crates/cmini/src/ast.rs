@@ -1,0 +1,313 @@
+//! Abstract syntax for mini-C.
+//!
+//! The subset is chosen to be exactly what systems components need (it is
+//! the language the `oskit` and `clack` crates are written in): `int`
+//! (64-bit), `char` (8-bit, unsigned), `void`, pointers, fixed arrays,
+//! structs, function pointers, varargs, `static`/`extern` storage, and the
+//! usual statements and operators. No typedefs, unions, floats, or bitfields.
+
+use crate::token::Span;
+
+/// A mini-C type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 8-bit unsigned character.
+    Char,
+    /// No value.
+    Void,
+    /// Pointer to a type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, u64),
+    /// Struct by name (layout resolved against the translation unit's
+    /// struct definitions).
+    Struct(String),
+    /// Function type; only meaningful behind a pointer.
+    Func(Box<FuncType>),
+}
+
+/// Signature part of a function type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncType {
+    /// Return type.
+    pub ret: Type,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Whether the signature ends with `...`.
+    pub varargs: bool,
+}
+
+impl Type {
+    /// Pointer to `self`.
+    pub fn ptr(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether values of this type fit in one machine register.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Int | Type::Char | Type::Ptr(_))
+    }
+
+    /// The pointee, if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators at the AST level. `LogAnd`/`LogOr` short-circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `~e`
+    BitNot,
+}
+
+/// An expression with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Expr {
+    /// The expression shape.
+    pub kind: ExprKind,
+    /// Source position (for diagnostics).
+    pub span: Span,
+}
+
+impl Expr {
+    /// Construct an expression at a span.
+    pub fn new(kind: ExprKind, span: Span) -> Expr {
+        Expr { kind, span }
+    }
+
+    /// An integer literal with a default span (used by optimizers).
+    pub fn int(v: i64, span: Span) -> Expr {
+        Expr::new(ExprKind::IntLit(v), span)
+    }
+
+    /// Is this a compile-time integer literal?
+    pub fn as_int(&self) -> Option<i64> {
+        match self.kind {
+            ExprKind::IntLit(v) => Some(v),
+            ExprKind::CharLit(c) => Some(c as i64),
+            _ => None,
+        }
+    }
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Character literal.
+    CharLit(u8),
+    /// String literal (NUL terminator added by codegen).
+    StrLit(Vec<u8>),
+    /// Variable or function reference.
+    Ident(String),
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Unary operation.
+    Un { op: UnOp, expr: Box<Expr> },
+    /// Assignment; `op` is `Some` for compound assignments like `+=`.
+    Assign { op: Option<BinOp>, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Ternary conditional.
+    Cond { cond: Box<Expr>, then_e: Box<Expr>, else_e: Box<Expr> },
+    /// Function call; callee may be a name or a function-pointer expression.
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// Array indexing.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Member access `base.field` or `base->field`.
+    Member { base: Box<Expr>, field: String, arrow: bool },
+    /// Pointer dereference `*e`.
+    Deref(Box<Expr>),
+    /// Address-of `&e`.
+    AddrOf(Box<Expr>),
+    /// Cast `(type)e`.
+    Cast { ty: Type, expr: Box<Expr> },
+    /// `sizeof(type)`.
+    SizeofType(Type),
+    /// `sizeof expr`.
+    SizeofExpr(Box<Expr>),
+    /// Pre/post increment/decrement.
+    IncDec { pre: bool, inc: bool, expr: Box<Expr> },
+    /// The `__vararg(i)` builtin: i-th argument past the named parameters.
+    VarArg(Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local variable declaration.
+    Decl { name: String, ty: Type, init: Option<Expr>, span: Span },
+    /// `if`, with optional `else`.
+    If { cond: Expr, then_s: Box<Stmt>, else_s: Option<Box<Stmt>> },
+    /// `while` loop.
+    While { cond: Expr, body: Box<Stmt> },
+    /// `do … while` loop.
+    DoWhile { body: Box<Stmt>, cond: Expr },
+    /// `for` loop. The init clause may be a declaration or expression.
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    /// `return`, with optional value.
+    Return(Option<Expr>, Span),
+    /// `break`.
+    Break(Span),
+    /// `continue`.
+    Continue(Span),
+    /// Braced block.
+    Block(Vec<Stmt>),
+    /// Empty statement (`;`).
+    Empty,
+}
+
+/// Storage class of a top-level definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Link-visible definition (the default).
+    Public,
+    /// File-local (`static`).
+    Static,
+    /// Declaration of an external definition (`extern`, or a function
+    /// prototype).
+    Extern,
+}
+
+/// A global initializer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Init {
+    /// A (constant) expression: literal, string, or `&name`.
+    Expr(Expr),
+    /// Brace list for arrays and structs.
+    List(Vec<Init>),
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<(String, Type)>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A global variable definition or declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDef {
+    /// Variable name.
+    pub name: String,
+    /// Its type.
+    pub ty: Type,
+    /// Optional initializer (definitions only).
+    pub init: Option<Init>,
+    /// Storage class.
+    pub storage: Storage,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Named parameters.
+    pub params: Vec<(String, Type)>,
+    /// Whether the signature ends with `...`.
+    pub varargs: bool,
+    /// Body statements; `None` for a prototype.
+    pub body: Option<Vec<Stmt>>,
+    /// Storage class (`Static` for file-local functions).
+    pub storage: Storage,
+    /// Source position.
+    pub span: Span,
+}
+
+impl FuncDef {
+    /// The function's type (as used behind function pointers).
+    pub fn func_type(&self) -> FuncType {
+        FuncType {
+            ret: self.ret.clone(),
+            params: self.params.iter().map(|(_, t)| t.clone()).collect(),
+            varargs: self.varargs,
+        }
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// Struct definition.
+    Struct(StructDef),
+    /// Global variable.
+    Global(GlobalDef),
+    /// Function definition or prototype.
+    Func(FuncDef),
+}
+
+/// A parsed translation unit (one `.c` file after preprocessing).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TranslationUnit {
+    /// File name for diagnostics.
+    pub file: String,
+    /// Items in source order (order matters for the inliner, mirroring
+    /// gcc's definition-before-use inlining that flattening exploits).
+    pub items: Vec<Item>,
+}
+
+impl TranslationUnit {
+    /// Find a function definition (with body) by name.
+    pub fn find_func(&self, name: &str) -> Option<&FuncDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Func(f) if f.name == name && f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Iterate over all function definitions with bodies.
+    pub fn funcs(&self) -> impl Iterator<Item = &FuncDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Func(f) if f.body.is_some() => Some(f),
+            _ => None,
+        })
+    }
+}

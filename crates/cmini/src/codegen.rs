@@ -1,0 +1,1432 @@
+//! Code generation: typed AST → `cobj` object files.
+//!
+//! Type checking happens here, during generation (the classic one-pass
+//! small-C structure): every expression is generated with its type, and
+//! mismatches are reported as [`CError::Type`] with the source span.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cobj::ir::{BinOp as IrBin, Instr, SymId, UnOp as IrUn};
+use cobj::object::{DataDef, DataReloc, FuncDef as ObjFunc, ObjectFile, Symbol};
+
+use crate::ast::*;
+use crate::error::CError;
+use crate::token::Span;
+use crate::types::{round_up, TypeTable};
+
+/// Compile a translation unit into an object file named after the unit.
+pub fn compile_tu(tu: &TranslationUnit) -> Result<ObjectFile, CError> {
+    let types = TypeTable::build(tu)?;
+    let mut cg = Cg {
+        tu,
+        types,
+        obj: ObjectFile::new(format!("{}.o", tu.file.trim_end_matches(".c"))),
+        syms: BTreeMap::new(),
+        funcs: BTreeMap::new(),
+        globals: BTreeMap::new(),
+        str_count: 0,
+    };
+    cg.collect_decls()?;
+    cg.emit_globals()?;
+    cg.emit_funcs()?;
+    cg.obj.validate().map_err(|e| CError::Type {
+        file: tu.file.clone(),
+        span: Span::default(),
+        msg: format!("internal: generated object failed validation: {e}"),
+    })?;
+    Ok(cg.obj)
+}
+
+#[derive(Clone)]
+struct FuncSig {
+    ty: FuncType,
+    defined: bool,
+    is_static: bool,
+    /// Unknown signature (implicitly declared in call position).
+    implicit: bool,
+}
+
+#[derive(Clone)]
+struct GlobalSig {
+    ty: Type,
+    defined: bool,
+    is_static: bool,
+}
+
+struct Cg<'a> {
+    tu: &'a TranslationUnit,
+    types: TypeTable,
+    obj: ObjectFile,
+    syms: BTreeMap<String, SymId>,
+    funcs: BTreeMap<String, FuncSig>,
+    globals: BTreeMap<String, GlobalSig>,
+    str_count: u32,
+}
+
+impl<'a> Cg<'a> {
+    fn terr<T>(&self, span: Span, msg: impl Into<String>) -> Result<T, CError> {
+        Err(CError::Type { file: self.tu.file.clone(), span, msg: msg.into() })
+    }
+
+    fn collect_decls(&mut self) -> Result<(), CError> {
+        for item in &self.tu.items {
+            match item {
+                Item::Struct(_) => {}
+                Item::Func(f) => {
+                    let defined = f.body.is_some();
+                    if let Some(prev) = self.funcs.get(&f.name) {
+                        if prev.defined && defined {
+                            return self.terr(f.span, format!("duplicate definition of `{}`", f.name));
+                        }
+                    }
+                    let entry = FuncSig {
+                        ty: f.func_type(),
+                        defined: defined || self.funcs.get(&f.name).is_some_and(|p| p.defined),
+                        is_static: f.storage == Storage::Static,
+                        implicit: false,
+                    };
+                    self.funcs.insert(f.name.clone(), entry);
+                }
+                Item::Global(g) => {
+                    let defined = g.storage != Storage::Extern;
+                    if let Some(prev) = self.globals.get(&g.name) {
+                        if prev.defined && defined {
+                            return self.terr(g.span, format!("duplicate definition of `{}`", g.name));
+                        }
+                    }
+                    if self.funcs.contains_key(&g.name) {
+                        return self.terr(g.span, format!("`{}` is both function and variable", g.name));
+                    }
+                    let entry = GlobalSig {
+                        ty: g.ty.clone(),
+                        defined: defined || self.globals.get(&g.name).is_some_and(|p| p.defined),
+                        is_static: g.storage == Storage::Static,
+                    };
+                    self.globals.insert(g.name.clone(), entry);
+                }
+            }
+        }
+        // Create symbols for everything defined here.
+        for (name, f) in &self.funcs {
+            if f.defined {
+                let sym = if f.is_static { Symbol::local_func(name) } else { Symbol::func(name) };
+                let id = self.obj.add_symbol(sym);
+                self.syms.insert(name.clone(), id);
+            }
+        }
+        for (name, g) in &self.globals {
+            if g.defined {
+                let sym = if g.is_static { Symbol::local_data(name) } else { Symbol::data(name) };
+                let id = self.obj.add_symbol(sym);
+                self.syms.insert(name.clone(), id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Get (or create an undefined entry for) the symbol of `name`.
+    fn sym_for(&mut self, name: &str) -> SymId {
+        if let Some(id) = self.syms.get(name) {
+            return *id;
+        }
+        let id = self.obj.add_symbol(Symbol::undef(name));
+        self.syms.insert(name.to_string(), id);
+        id
+    }
+
+    /// Create an anonymous local data symbol for a string literal.
+    fn string_sym(&mut self, bytes: &[u8]) -> SymId {
+        let name = format!(".str{}", self.str_count);
+        self.str_count += 1;
+        let id = self.obj.add_symbol(Symbol::local_data(&name));
+        let mut init = bytes.to_vec();
+        init.push(0);
+        self.obj.data.push(DataDef { sym: id, init, zeroed: 0, relocs: vec![], align: 1 });
+        id
+    }
+
+    // ----- globals -----------------------------------------------------
+
+    fn emit_globals(&mut self) -> Result<(), CError> {
+        // Deduplicate: emit one DataDef per defined global (the first
+        // defining item wins; duplicates were rejected above).
+        let mut emitted: BTreeSet<String> = BTreeSet::new();
+        let items: Vec<&GlobalDef> = self
+            .tu
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Global(g) if g.storage != Storage::Extern => Some(g),
+                _ => None,
+            })
+            .collect();
+        for g in items {
+            if !emitted.insert(g.name.clone()) {
+                continue;
+            }
+            let layout = self.types.layout_at(&g.ty, g.span)?;
+            let sym = self.sym_for(&g.name);
+            let def = match &g.init {
+                None => DataDef { sym, init: vec![], zeroed: layout.size, relocs: vec![], align: layout.align },
+                Some(init) => {
+                    let mut buf = vec![0u8; layout.size as usize];
+                    let mut relocs = Vec::new();
+                    let ty = g.ty.clone();
+                    self.write_init(&mut buf, &mut relocs, 0, &ty, init, g.span)?;
+                    DataDef { sym, init: buf, zeroed: 0, relocs, align: layout.align }
+                }
+            };
+            self.obj.data.push(def);
+        }
+        Ok(())
+    }
+
+    fn write_init(
+        &mut self,
+        buf: &mut Vec<u8>,
+        relocs: &mut Vec<DataReloc>,
+        at: u64,
+        ty: &Type,
+        init: &Init,
+        span: Span,
+    ) -> Result<(), CError> {
+        match (ty, init) {
+            (Type::Int | Type::Char | Type::Ptr(_), Init::Expr(e)) => {
+                self.write_scalar_init(buf, relocs, at, ty, e, span)
+            }
+            (Type::Array(elem, n), Init::Expr(e)) => {
+                // char s[] = "…"
+                if let (Type::Char, ExprKind::StrLit(s)) = (elem.as_ref(), &e.kind) {
+                    if s.len() as u64 + 1 > *n {
+                        return self.terr(span, "string initializer longer than array");
+                    }
+                    let a = at as usize;
+                    buf[a..a + s.len()].copy_from_slice(s);
+                    Ok(())
+                } else {
+                    self.terr(span, "array initializer must be a brace list or string")
+                }
+            }
+            (Type::Array(elem, n), Init::List(items)) => {
+                if items.len() as u64 > *n {
+                    return self.terr(span, "too many initializers for array");
+                }
+                let esize = self.types.layout_at(elem, span)?.size;
+                for (i, item) in items.iter().enumerate() {
+                    self.write_init(buf, relocs, at + i as u64 * esize, elem, item, span)?;
+                }
+                Ok(())
+            }
+            (Type::Struct(name), Init::List(items)) => {
+                let info = match self.types.struct_info(name) {
+                    Some(i) => i.clone(),
+                    None => return self.terr(span, format!("struct `{name}` has no definition here")),
+                };
+                if items.len() > info.fields.len() {
+                    return self.terr(span, "too many initializers for struct");
+                }
+                for (item, (_, fty, off)) in items.iter().zip(info.fields.iter()) {
+                    self.write_init(buf, relocs, at + off, fty, item, span)?;
+                }
+                Ok(())
+            }
+            (_, Init::List(_)) => self.terr(span, "brace initializer on scalar"),
+            (t, _) => self.terr(span, format!("cannot initialize value of type {t:?}")),
+        }
+    }
+
+    fn write_scalar_init(
+        &mut self,
+        buf: &mut Vec<u8>,
+        relocs: &mut Vec<DataReloc>,
+        at: u64,
+        ty: &Type,
+        e: &Expr,
+        span: Span,
+    ) -> Result<(), CError> {
+        // peel casts
+        let mut e = e;
+        while let ExprKind::Cast { expr, .. } = &e.kind {
+            e = expr;
+        }
+        if let Some(v) = self.const_eval(e) {
+            let a = at as usize;
+            match ty {
+                Type::Char => buf[a] = v as u8,
+                _ => buf[a..a + 8].copy_from_slice(&v.to_le_bytes()),
+            }
+            return Ok(());
+        }
+        // address-valued initializers
+        let sym = match &e.kind {
+            ExprKind::StrLit(s) => Some(self.string_sym(s)),
+            ExprKind::Ident(name) => {
+                if self.funcs.contains_key(name) || self.globals.contains_key(name) {
+                    Some(self.sym_for(name))
+                } else {
+                    None
+                }
+            }
+            ExprKind::AddrOf(inner) => match &inner.kind {
+                ExprKind::Ident(name) => Some(self.sym_for(name)),
+                _ => None,
+            },
+            _ => None,
+        };
+        match sym {
+            Some(sym) => {
+                relocs.push(DataReloc { offset: at, sym, addend: 0 });
+                Ok(())
+            }
+            None => self.terr(span, "global initializer is not a constant"),
+        }
+    }
+
+    /// Best-effort constant evaluation for initializers and `sizeof`.
+    fn const_eval(&self, e: &Expr) -> Option<i64> {
+        match &e.kind {
+            ExprKind::IntLit(v) => Some(*v),
+            ExprKind::CharLit(c) => Some(*c as i64),
+            ExprKind::Un { op, expr } => {
+                let v = self.const_eval(expr)?;
+                Some(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::BitNot => !v,
+                })
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                match op {
+                    BinOp::LogAnd => Some(((a != 0) && (b != 0)) as i64),
+                    BinOp::LogOr => Some(((a != 0) || (b != 0)) as i64),
+                    other => ast_to_ir_bin(*other).and_then(|ir| ir.eval(a, b)),
+                }
+            }
+            ExprKind::Cond { cond, then_e, else_e } => {
+                let c = self.const_eval(cond)?;
+                if c != 0 {
+                    self.const_eval(then_e)
+                } else {
+                    self.const_eval(else_e)
+                }
+            }
+            ExprKind::Cast { expr, ty } => {
+                let v = self.const_eval(expr)?;
+                Some(if matches!(ty, Type::Char) { v & 0xff } else { v })
+            }
+            ExprKind::SizeofType(t) => {
+                self.types.layout_at(t, e.span).ok().map(|l| l.size as i64)
+            }
+            _ => None,
+        }
+    }
+
+    // ----- functions ----------------------------------------------------
+
+    fn emit_funcs(&mut self) -> Result<(), CError> {
+        let items: Vec<&FuncDef> = self
+            .tu
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Func(f) if f.body.is_some() => Some(f),
+                _ => None,
+            })
+            .collect();
+        for f in items {
+            let body = f.body.as_ref().expect("definition");
+            let mut fg = FnCg::new(self, f);
+            fg.prologue()?;
+            for s in body {
+                fg.stmt(s)?;
+            }
+            // implicit return
+            fg.emit(Instr::Ret { value: None });
+            let (instrs, nregs, frame_size) = fg.finish()?;
+            let sym = self.sym_for(&f.name);
+            self.obj.funcs.push(ObjFunc {
+                sym,
+                params: f.params.len() as u32,
+                nregs,
+                frame_size,
+                body: instrs,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn ast_to_ir_bin(op: BinOp) -> Option<IrBin> {
+    Some(match op {
+        BinOp::Add => IrBin::Add,
+        BinOp::Sub => IrBin::Sub,
+        BinOp::Mul => IrBin::Mul,
+        BinOp::Div => IrBin::Div,
+        BinOp::Rem => IrBin::Rem,
+        BinOp::And => IrBin::And,
+        BinOp::Or => IrBin::Or,
+        BinOp::Xor => IrBin::Xor,
+        BinOp::Shl => IrBin::Shl,
+        BinOp::Shr => IrBin::Shr,
+        BinOp::Eq => IrBin::Eq,
+        BinOp::Ne => IrBin::Ne,
+        BinOp::Lt => IrBin::Lt,
+        BinOp::Le => IrBin::Le,
+        BinOp::Gt => IrBin::Gt,
+        BinOp::Ge => IrBin::Ge,
+        BinOp::LogAnd | BinOp::LogOr => return None,
+    })
+}
+
+/// Where a local variable lives.
+#[derive(Clone, Debug)]
+enum Local {
+    /// In a virtual register (scalars whose address is never taken).
+    Reg(u32, Type),
+    /// In the stack frame at the given offset.
+    Slot { offset: i64, ty: Type },
+}
+
+/// A generated lvalue.
+enum Lv {
+    /// A register (scalar local).
+    Reg(u32),
+    /// Memory at `addr_reg + offset`.
+    Mem { addr: u32, offset: i64 },
+}
+
+struct LabelId(usize);
+
+enum Fixup {
+    Jump { at: usize, label: usize },
+    BranchThen { at: usize, label: usize },
+    BranchElse { at: usize, label: usize },
+}
+
+struct FnCg<'a, 'b> {
+    cg: &'b mut Cg<'a>,
+    f: &'a FuncDef,
+    body: Vec<Instr>,
+    next_reg: u32,
+    frame_size: u64,
+    scopes: Vec<BTreeMap<String, Local>>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+    break_labels: Vec<usize>,
+    cont_labels: Vec<usize>,
+    addr_taken: BTreeSet<String>,
+}
+
+impl<'a, 'b> FnCg<'a, 'b> {
+    fn new(cg: &'b mut Cg<'a>, f: &'a FuncDef) -> Self {
+        let mut addr_taken = BTreeSet::new();
+        if let Some(body) = &f.body {
+            for s in body {
+                collect_addr_taken_stmt(s, &mut addr_taken);
+            }
+        }
+        FnCg {
+            cg,
+            f,
+            body: Vec::new(),
+            next_reg: f.params.len().max(1) as u32,
+            frame_size: 0,
+            scopes: vec![BTreeMap::new()],
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            break_labels: Vec::new(),
+            cont_labels: Vec::new(),
+            addr_taken,
+        }
+    }
+
+    fn terr<T>(&self, span: Span, msg: impl Into<String>) -> Result<T, CError> {
+        Err(CError::Type { file: self.cg.tu.file.clone(), span, msg: msg.into() })
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.body.push(i);
+    }
+
+    fn reg(&mut self) -> u32 {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    fn new_label(&mut self) -> LabelId {
+        self.labels.push(None);
+        LabelId(self.labels.len() - 1)
+    }
+
+    fn bind(&mut self, l: &LabelId) {
+        self.labels[l.0] = Some(self.body.len());
+    }
+
+    fn emit_jump(&mut self, l: &LabelId) {
+        self.fixups.push(Fixup::Jump { at: self.body.len(), label: l.0 });
+        self.emit(Instr::Jump { target: 0 });
+    }
+
+    fn emit_branch(&mut self, cond: u32, then_l: &LabelId, else_l: &LabelId) {
+        self.fixups.push(Fixup::BranchThen { at: self.body.len(), label: then_l.0 });
+        self.fixups.push(Fixup::BranchElse { at: self.body.len(), label: else_l.0 });
+        self.emit(Instr::Branch { cond, then_to: 0, else_to: 0 });
+    }
+
+    fn finish(mut self) -> Result<(Vec<Instr>, u32, u32), CError> {
+        // Resolve labels (an unbound label is an internal error).
+        let resolve = |labels: &Vec<Option<usize>>, l: usize| -> usize {
+            labels[l].expect("internal: unbound label")
+        };
+        for fix in &self.fixups {
+            match fix {
+                Fixup::Jump { at, label } => {
+                    if let Instr::Jump { target } = &mut self.body[*at] {
+                        *target = resolve(&self.labels, *label);
+                    }
+                }
+                Fixup::BranchThen { at, label } => {
+                    if let Instr::Branch { then_to, .. } = &mut self.body[*at] {
+                        *then_to = resolve(&self.labels, *label);
+                    }
+                }
+                Fixup::BranchElse { at, label } => {
+                    if let Instr::Branch { else_to, .. } = &mut self.body[*at] {
+                        *else_to = resolve(&self.labels, *label);
+                    }
+                }
+            }
+        }
+        // Jump targets may point one past the end (loops ending at function
+        // end); append a Ret to make them valid.
+        let n = self.body.len();
+        let has_end_target = self.body.iter().any(|i| match i {
+            Instr::Jump { target } => *target >= n,
+            Instr::Branch { then_to, else_to, .. } => *then_to >= n || *else_to >= n,
+            _ => false,
+        });
+        if has_end_target {
+            self.body.push(Instr::Ret { value: None });
+        }
+        let frame = round_up(self.frame_size, 16) as u32;
+        Ok((self.body, self.next_reg, frame))
+    }
+
+    fn prologue(&mut self) -> Result<(), CError> {
+        for (i, (name, ty)) in self.f.params.iter().enumerate() {
+            if !ty.is_scalar() {
+                return self.terr(self.f.span, format!("parameter `{name}` must be scalar (pass aggregates by pointer)"));
+            }
+            if self.addr_taken.contains(name) {
+                let offset = self.alloc_slot(ty, self.f.span)?;
+                let addr = self.reg();
+                self.emit(Instr::FrameAddr { dst: addr, offset });
+                self.emit(Instr::Store {
+                    addr,
+                    offset: 0,
+                    src: i as u32,
+                    width: TypeTable::width_of(ty),
+                });
+                self.insert_local(name, Local::Slot { offset, ty: ty.clone() });
+            } else {
+                self.insert_local(name, Local::Reg(i as u32, ty.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_slot(&mut self, ty: &Type, span: Span) -> Result<i64, CError> {
+        let l = self.cg.types.layout_at(ty, span)?;
+        self.frame_size = round_up(self.frame_size, l.align);
+        let off = self.frame_size as i64;
+        self.frame_size += l.size;
+        Ok(off)
+    }
+
+    fn insert_local(&mut self, name: &str, l: Local) {
+        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_string(), l);
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<&Local> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    // ----- statements ---------------------------------------------------
+
+    fn stmt(&mut self, s: &'a Stmt) -> Result<(), CError> {
+        match s {
+            Stmt::Empty => Ok(()),
+            Stmt::Expr(e) => {
+                self.rvalue(e)?;
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                self.scopes.push(BTreeMap::new());
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Decl { name, ty, init, span } => {
+                if matches!(ty, Type::Void) {
+                    return self.terr(*span, format!("variable `{name}` has type void"));
+                }
+                let needs_slot = !ty.is_scalar() || self.addr_taken.contains(name);
+                if needs_slot {
+                    let offset = self.alloc_slot(ty, *span)?;
+                    self.insert_local(name, Local::Slot { offset, ty: ty.clone() });
+                    if let Some(e) = init {
+                        // char buf[] = "…" local initialization
+                        if let (Type::Array(elem, _), ExprKind::StrLit(s)) = (ty, &e.kind) {
+                            if matches!(elem.as_ref(), Type::Char) {
+                                let sym = self.cg.string_sym(s);
+                                self.copy_bytes_from_sym(offset, sym, s.len() as u64 + 1);
+                                return Ok(());
+                            }
+                        }
+                        if !ty.is_scalar() {
+                            return self.terr(*span, "aggregate locals cannot have expression initializers");
+                        }
+                        let (v, _) = self.rvalue(e)?;
+                        let addr = self.reg();
+                        self.emit(Instr::FrameAddr { dst: addr, offset });
+                        self.emit(Instr::Store { addr, offset: 0, src: v, width: TypeTable::width_of(ty) });
+                    }
+                } else {
+                    let r = self.reg();
+                    self.insert_local(name, Local::Reg(r, ty.clone()));
+                    if let Some(e) = init {
+                        let (v, _) = self.rvalue(e)?;
+                        self.store_lv(&Lv::Reg(r), v, ty, *span)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If { cond, then_s, else_s } => {
+                let then_l = self.new_label();
+                let else_l = self.new_label();
+                let end_l = self.new_label();
+                let (c, _) = self.rvalue(cond)?;
+                self.emit_branch(c, &then_l, &else_l);
+                self.bind(&then_l);
+                self.stmt(then_s)?;
+                self.emit_jump(&end_l);
+                self.bind(&else_l);
+                if let Some(e) = else_s {
+                    self.stmt(e)?;
+                }
+                self.bind(&end_l);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.new_label();
+                let body_l = self.new_label();
+                let end = self.new_label();
+                self.bind(&head);
+                let (c, _) = self.rvalue(cond)?;
+                self.emit_branch(c, &body_l, &end);
+                self.bind(&body_l);
+                self.break_labels.push(end.0);
+                self.cont_labels.push(head.0);
+                self.stmt(body)?;
+                self.break_labels.pop();
+                self.cont_labels.pop();
+                self.emit_jump(&head);
+                self.bind(&end);
+                Ok(())
+            }
+            Stmt::DoWhile { body, cond } => {
+                let head = self.new_label();
+                let check = self.new_label();
+                let end = self.new_label();
+                self.bind(&head);
+                self.break_labels.push(end.0);
+                self.cont_labels.push(check.0);
+                self.stmt(body)?;
+                self.break_labels.pop();
+                self.cont_labels.pop();
+                self.bind(&check);
+                let (c, _) = self.rvalue(cond)?;
+                self.emit_branch(c, &head, &end);
+                self.bind(&end);
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.scopes.push(BTreeMap::new());
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let head = self.new_label();
+                let body_l = self.new_label();
+                let step_l = self.new_label();
+                let end = self.new_label();
+                self.bind(&head);
+                match cond {
+                    Some(c) => {
+                        let (r, _) = self.rvalue(c)?;
+                        self.emit_branch(r, &body_l, &end);
+                    }
+                    None => self.emit_jump(&body_l),
+                }
+                self.bind(&body_l);
+                self.break_labels.push(end.0);
+                self.cont_labels.push(step_l.0);
+                self.stmt(body)?;
+                self.break_labels.pop();
+                self.cont_labels.pop();
+                self.bind(&step_l);
+                if let Some(s) = step {
+                    self.rvalue(s)?;
+                }
+                self.emit_jump(&head);
+                self.bind(&end);
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v, _span) => {
+                match v {
+                    Some(e) => {
+                        let (r, _) = self.rvalue(e)?;
+                        self.emit(Instr::Ret { value: Some(r) });
+                    }
+                    None => self.emit(Instr::Ret { value: None }),
+                }
+                Ok(())
+            }
+            Stmt::Break(span) => match self.break_labels.last() {
+                Some(l) => {
+                    let l = LabelId(*l);
+                    self.emit_jump(&l);
+                    Ok(())
+                }
+                None => self.terr(*span, "break outside loop"),
+            },
+            Stmt::Continue(span) => match self.cont_labels.last() {
+                Some(l) => {
+                    let l = LabelId(*l);
+                    self.emit_jump(&l);
+                    Ok(())
+                }
+                None => self.terr(*span, "continue outside loop"),
+            },
+        }
+    }
+
+    fn copy_bytes_from_sym(&mut self, frame_offset: i64, sym: SymId, len: u64) {
+        // inline byte-copy loop unrolled (strings are short)
+        let src = self.reg();
+        let dst = self.reg();
+        let tmp = self.reg();
+        self.emit(Instr::Addr { dst: src, sym, offset: 0 });
+        self.emit(Instr::FrameAddr { dst, offset: frame_offset });
+        for i in 0..len as i64 {
+            self.emit(Instr::Load { dst: tmp, addr: src, offset: i, width: cobj::Width::W1 });
+            self.emit(Instr::Store { addr: dst, offset: i, src: tmp, width: cobj::Width::W1 });
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    /// Generate an rvalue: (register holding the value, its type).
+    /// Arrays decay to element pointers; struct-typed results are addresses.
+    fn rvalue(&mut self, e: &Expr) -> Result<(u32, Type), CError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => {
+                let r = self.reg();
+                self.emit(Instr::Const { dst: r, value: *v });
+                Ok((r, Type::Int))
+            }
+            ExprKind::CharLit(c) => {
+                let r = self.reg();
+                self.emit(Instr::Const { dst: r, value: *c as i64 });
+                Ok((r, Type::Int))
+            }
+            ExprKind::StrLit(s) => {
+                let sym = self.cg.string_sym(s);
+                let r = self.reg();
+                self.emit(Instr::Addr { dst: r, sym, offset: 0 });
+                Ok((r, Type::Char.ptr()))
+            }
+            ExprKind::SizeofType(t) => {
+                let l = self.cg.types.layout_at(t, e.span)?;
+                let r = self.reg();
+                self.emit(Instr::Const { dst: r, value: l.size as i64 });
+                Ok((r, Type::Int))
+            }
+            ExprKind::SizeofExpr(inner) => {
+                let t = self.type_of(inner)?;
+                let l = self.cg.types.layout_at(&t, e.span)?;
+                let r = self.reg();
+                self.emit(Instr::Const { dst: r, value: l.size as i64 });
+                Ok((r, Type::Int))
+            }
+            ExprKind::Ident(name) => self.rvalue_ident(name, e.span),
+            ExprKind::VarArg(idx) => {
+                let (i, _) = self.rvalue(idx)?;
+                let r = self.reg();
+                self.emit(Instr::VarArg { dst: r, idx: i });
+                Ok((r, Type::Int))
+            }
+            ExprKind::Cast { ty, expr } => {
+                let (r, _) = self.rvalue(expr)?;
+                if matches!(ty, Type::Char) {
+                    let mask = self.reg();
+                    let out = self.reg();
+                    self.emit(Instr::Const { dst: mask, value: 0xff });
+                    self.emit(Instr::Bin { op: IrBin::And, dst: out, a: r, b: mask });
+                    Ok((out, ty.clone()))
+                } else {
+                    Ok((r, ty.clone()))
+                }
+            }
+            ExprKind::Un { op, expr } => {
+                let (r, _) = self.rvalue(expr)?;
+                let out = self.reg();
+                let ir = match op {
+                    UnOp::Neg => IrUn::Neg,
+                    UnOp::Not => IrUn::Not,
+                    UnOp::BitNot => IrUn::BitNot,
+                };
+                self.emit(Instr::Un { op: ir, dst: out, a: r });
+                Ok((out, Type::Int))
+            }
+            ExprKind::Bin { op: BinOp::LogAnd, lhs, rhs } => self.short_circuit(lhs, rhs, true),
+            ExprKind::Bin { op: BinOp::LogOr, lhs, rhs } => self.short_circuit(lhs, rhs, false),
+            ExprKind::Bin { op, lhs, rhs } => self.binop(*op, lhs, rhs, e.span),
+            ExprKind::Assign { op, lhs, rhs } => self.assign(*op, lhs, rhs, e.span),
+            ExprKind::Cond { cond, then_e, else_e } => {
+                let (c, _) = self.rvalue(cond)?;
+                let then_l = self.new_label();
+                let else_l = self.new_label();
+                let end = self.new_label();
+                let out = self.reg();
+                self.emit_branch(c, &then_l, &else_l);
+                self.bind(&then_l);
+                let (tv, tt) = self.rvalue(then_e)?;
+                self.emit(Instr::Mov { dst: out, src: tv });
+                self.emit_jump(&end);
+                self.bind(&else_l);
+                let (ev, _) = self.rvalue(else_e)?;
+                self.emit(Instr::Mov { dst: out, src: ev });
+                self.bind(&end);
+                Ok((out, tt))
+            }
+            ExprKind::Call { callee, args } => self.call(callee, args, e.span),
+            ExprKind::Deref(inner) => {
+                let (p, pt) = self.rvalue(inner)?;
+                let pointee = match pt.pointee() {
+                    Some(t) => t.clone(),
+                    None => return self.terr(e.span, "dereference of non-pointer"),
+                };
+                self.load_from_addr(p, 0, pointee)
+            }
+            ExprKind::Index { base, index } => {
+                let (addr, elem) = self.index_addr(base, index, e.span)?;
+                self.load_from_addr(addr, 0, elem)
+            }
+            ExprKind::Member { .. } => {
+                let (lv, ty) = self.lvalue(e)?;
+                self.load_lv(lv, ty, e.span)
+            }
+            ExprKind::AddrOf(inner) => {
+                // &func is just the function's address
+                if let ExprKind::Ident(name) = &inner.kind {
+                    if self.lookup_local(name).is_none() && self.cg.funcs.contains_key(name) {
+                        let ft = self.cg.funcs[name].ty.clone();
+                        let sym = self.cg.sym_for(name);
+                        let r = self.reg();
+                        self.emit(Instr::Addr { dst: r, sym, offset: 0 });
+                        return Ok((r, Type::Func(Box::new(ft)).ptr()));
+                    }
+                }
+                let (lv, ty) = self.lvalue(inner)?;
+                match lv {
+                    Lv::Reg(_) => self.terr(e.span, "cannot take the address of this value"),
+                    Lv::Mem { addr, offset } => {
+                        if offset == 0 {
+                            Ok((addr, ty.ptr()))
+                        } else {
+                            let off = self.reg();
+                            let out = self.reg();
+                            self.emit(Instr::Const { dst: off, value: offset });
+                            self.emit(Instr::Bin { op: IrBin::Add, dst: out, a: addr, b: off });
+                            Ok((out, ty.ptr()))
+                        }
+                    }
+                }
+            }
+            ExprKind::IncDec { pre, inc, expr } => {
+                let (lv, ty) = self.lvalue(expr)?;
+                let (cur, _) = self.load_lv(self.clone_lv(&lv), ty.clone(), e.span)?;
+                // Copy out of the variable's own register: storing the new
+                // value must not change what the old value reads as.
+                let old = self.reg();
+                self.emit(Instr::Mov { dst: old, src: cur });
+                let step = match &ty {
+                    Type::Ptr(p) => self.cg.types.layout_at(p, e.span)?.size as i64,
+                    _ => 1,
+                };
+                let one = self.reg();
+                let newv = self.reg();
+                self.emit(Instr::Const { dst: one, value: step });
+                let op = if *inc { IrBin::Add } else { IrBin::Sub };
+                self.emit(Instr::Bin { op, dst: newv, a: old, b: one });
+                self.store_lv(&lv, newv, &ty, e.span)?;
+                Ok((if *pre { newv } else { old }, ty))
+            }
+        }
+    }
+
+    fn clone_lv(&self, lv: &Lv) -> Lv {
+        match lv {
+            Lv::Reg(r) => Lv::Reg(*r),
+            Lv::Mem { addr, offset } => Lv::Mem { addr: *addr, offset: *offset },
+        }
+    }
+
+    fn rvalue_ident(&mut self, name: &str, span: Span) -> Result<(u32, Type), CError> {
+        if let Some(local) = self.lookup_local(name).cloned() {
+            return match local {
+                Local::Reg(r, ty) => Ok((r, ty)),
+                Local::Slot { offset, ty } => match &ty {
+                    Type::Array(elem, _) => {
+                        let r = self.reg();
+                        self.emit(Instr::FrameAddr { dst: r, offset });
+                        Ok((r, elem.as_ref().clone().ptr()))
+                    }
+                    Type::Struct(_) => {
+                        let r = self.reg();
+                        self.emit(Instr::FrameAddr { dst: r, offset });
+                        Ok((r, ty))
+                    }
+                    _ => {
+                        let a = self.reg();
+                        let r = self.reg();
+                        self.emit(Instr::FrameAddr { dst: a, offset });
+                        self.emit(Instr::Load { dst: r, addr: a, offset: 0, width: TypeTable::width_of(&ty) });
+                        Ok((r, ty))
+                    }
+                },
+            };
+        }
+        if let Some(sig) = self.cg.funcs.get(name).cloned() {
+            let sym = self.cg.sym_for(name);
+            let r = self.reg();
+            self.emit(Instr::Addr { dst: r, sym, offset: 0 });
+            return Ok((r, Type::Func(Box::new(sig.ty)).ptr()));
+        }
+        if let Some(g) = self.cg.globals.get(name).cloned() {
+            let sym = self.cg.sym_for(name);
+            let a = self.reg();
+            self.emit(Instr::Addr { dst: a, sym, offset: 0 });
+            return match &g.ty {
+                Type::Array(elem, _) => Ok((a, elem.as_ref().clone().ptr())),
+                Type::Struct(_) => Ok((a, g.ty.clone())),
+                _ => {
+                    let r = self.reg();
+                    self.emit(Instr::Load { dst: r, addr: a, offset: 0, width: TypeTable::width_of(&g.ty) });
+                    Ok((r, g.ty.clone()))
+                }
+            };
+        }
+        self.terr(span, format!("unknown identifier `{name}`"))
+    }
+
+    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Result<(u32, Type), CError> {
+        let out = self.reg();
+        let rhs_l = self.new_label();
+        let short_l = self.new_label();
+        let end = self.new_label();
+        let (a, _) = self.rvalue(lhs)?;
+        if is_and {
+            self.emit_branch(a, &rhs_l, &short_l);
+        } else {
+            self.emit_branch(a, &short_l, &rhs_l);
+        }
+        self.bind(&rhs_l);
+        let (b, _) = self.rvalue(rhs)?;
+        // normalize to 0/1
+        let zero = self.reg();
+        self.emit(Instr::Const { dst: zero, value: 0 });
+        self.emit(Instr::Bin { op: IrBin::Ne, dst: out, a: b, b: zero });
+        self.emit_jump(&end);
+        self.bind(&short_l);
+        self.emit(Instr::Const { dst: out, value: if is_and { 0 } else { 1 } });
+        self.bind(&end);
+        Ok((out, Type::Int))
+    }
+
+    fn binop(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Result<(u32, Type), CError> {
+        let (a, at) = self.rvalue(lhs)?;
+        let (b, bt) = self.rvalue(rhs)?;
+        let ir = ast_to_ir_bin(op).expect("short-circuit handled elsewhere");
+        // pointer arithmetic
+        match (op, &at, &bt) {
+            (BinOp::Add | BinOp::Sub, Type::Ptr(p), Type::Int | Type::Char) => {
+                let size = self.cg.types.layout_at(p, span)?.size;
+                let scaled = self.scale(b, size);
+                let out = self.reg();
+                self.emit(Instr::Bin { op: ir, dst: out, a, b: scaled });
+                return Ok((out, at.clone()));
+            }
+            (BinOp::Add, Type::Int | Type::Char, Type::Ptr(p)) => {
+                let size = self.cg.types.layout_at(p, span)?.size;
+                let scaled = self.scale(a, size);
+                let out = self.reg();
+                self.emit(Instr::Bin { op: ir, dst: out, a: scaled, b });
+                return Ok((out, bt.clone()));
+            }
+            (BinOp::Sub, Type::Ptr(p), Type::Ptr(_)) => {
+                let size = self.cg.types.layout_at(p, span)?.size;
+                let diff = self.reg();
+                self.emit(Instr::Bin { op: IrBin::Sub, dst: diff, a, b });
+                if size > 1 {
+                    let s = self.reg();
+                    let out = self.reg();
+                    self.emit(Instr::Const { dst: s, value: size as i64 });
+                    self.emit(Instr::Bin { op: IrBin::Div, dst: out, a: diff, b: s });
+                    return Ok((out, Type::Int));
+                }
+                return Ok((diff, Type::Int));
+            }
+            _ => {}
+        }
+        let out = self.reg();
+        self.emit(Instr::Bin { op: ir, dst: out, a, b });
+        let ty = match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => Type::Int,
+            _ => {
+                if matches!(at, Type::Ptr(_)) {
+                    at
+                } else {
+                    Type::Int
+                }
+            }
+        };
+        Ok((out, ty))
+    }
+
+    fn scale(&mut self, r: u32, size: u64) -> u32 {
+        if size == 1 {
+            return r;
+        }
+        let s = self.reg();
+        let out = self.reg();
+        self.emit(Instr::Const { dst: s, value: size as i64 });
+        self.emit(Instr::Bin { op: IrBin::Mul, dst: out, a: r, b: s });
+        out
+    }
+
+    fn assign(
+        &mut self,
+        op: Option<BinOp>,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(u32, Type), CError> {
+        let (lv, ty) = self.lvalue(lhs)?;
+        if !ty.is_scalar() {
+            return self.terr(span, "aggregate assignment is not supported (copy members)");
+        }
+        let value = match op {
+            None => {
+                let (r, _) = self.rvalue(rhs)?;
+                r
+            }
+            Some(op) => {
+                let (old, _) = self.load_lv(self.clone_lv(&lv), ty.clone(), span)?;
+                let (r, rt) = self.rvalue(rhs)?;
+                let ir = ast_to_ir_bin(op)
+                    .ok_or_else(|| CError::Type {
+                        file: self.cg.tu.file.clone(),
+                        span,
+                        msg: "&&= / ||= are not valid".into(),
+                    })?;
+                // pointer += int scaling
+                let r = match (&ty, &rt) {
+                    (Type::Ptr(p), _) if matches!(op, BinOp::Add | BinOp::Sub) => {
+                        let size = self.cg.types.layout_at(p, span)?.size;
+                        self.scale(r, size)
+                    }
+                    _ => r,
+                };
+                let out = self.reg();
+                self.emit(Instr::Bin { op: ir, dst: out, a: old, b: r });
+                out
+            }
+        };
+        self.store_lv(&lv, value, &ty, span)?;
+        Ok((value, ty))
+    }
+
+    fn call(&mut self, callee: &Expr, args: &[Expr], span: Span) -> Result<(u32, Type), CError> {
+        // Evaluate args first.
+        let mut argv = Vec::with_capacity(args.len());
+        for a in args {
+            let (r, t) = self.rvalue(a)?;
+            if matches!(t, Type::Struct(_)) {
+                return self.terr(a.span, "cannot pass a struct by value (pass a pointer)");
+            }
+            argv.push(r);
+        }
+        // Direct call to a named function (not shadowed by a local).
+        if let ExprKind::Ident(name) = &callee.kind {
+            if self.lookup_local(name).is_none() && !self.cg.globals.contains_key(name) {
+                let sig = match self.cg.funcs.get(name) {
+                    Some(s) => s.clone(),
+                    None => {
+                        // implicit declaration (C89 style): int name(...)
+                        let sig = FuncSig {
+                            ty: FuncType { ret: Type::Int, params: vec![], varargs: true },
+                            defined: false,
+                            is_static: false,
+                            implicit: true,
+                        };
+                        self.cg.funcs.insert(name.clone(), sig.clone());
+                        sig
+                    }
+                };
+                if !sig.implicit {
+                    let want = sig.ty.params.len();
+                    if args.len() < want || (!sig.ty.varargs && args.len() > want) {
+                        return self.terr(
+                            span,
+                            format!("`{name}` expects {want} argument(s), got {}", args.len()),
+                        );
+                    }
+                }
+                let sym = self.cg.sym_for(name);
+                let out = self.reg();
+                self.emit(Instr::Call { dst: Some(out), target: sym, args: argv });
+                let ret = if matches!(sig.ty.ret, Type::Void) { Type::Int } else { sig.ty.ret.clone() };
+                return Ok((out, ret));
+            }
+        }
+        // Indirect call through a function-pointer value.
+        let (f, ft) = self.rvalue(callee)?;
+        let ret = match &ft {
+            Type::Ptr(inner) => match inner.as_ref() {
+                Type::Func(sig) => {
+                    let want = sig.params.len();
+                    if args.len() < want || (!sig.varargs && args.len() > want) {
+                        return self.terr(
+                            span,
+                            format!("function pointer expects {want} argument(s), got {}", args.len()),
+                        );
+                    }
+                    sig.ret.clone()
+                }
+                _ => return self.terr(span, "call of non-function pointer"),
+            },
+            _ => return self.terr(span, "call of non-function value"),
+        };
+        let out = self.reg();
+        self.emit(Instr::CallInd { dst: Some(out), target: f, args: argv });
+        let ret = if matches!(ret, Type::Void) { Type::Int } else { ret };
+        Ok((out, ret))
+    }
+
+    fn index_addr(&mut self, base: &Expr, index: &Expr, span: Span) -> Result<(u32, Type), CError> {
+        let (b, bt) = self.rvalue(base)?;
+        let elem = match bt.pointee() {
+            Some(t) => t.clone(),
+            None => return self.terr(span, "indexing a non-pointer"),
+        };
+        let (i, _) = self.rvalue(index)?;
+        let size = self.cg.types.layout_at(&elem, span)?.size;
+        let scaled = self.scale(i, size);
+        let out = self.reg();
+        self.emit(Instr::Bin { op: IrBin::Add, dst: out, a: b, b: scaled });
+        Ok((out, elem))
+    }
+
+    /// Load a value of type `ty` from `[addr + offset]`, decaying arrays and
+    /// structs to addresses.
+    fn load_from_addr(&mut self, addr: u32, offset: i64, ty: Type) -> Result<(u32, Type), CError> {
+        match &ty {
+            Type::Array(elem, _) => {
+                let out = self.offset_reg(addr, offset);
+                Ok((out, elem.as_ref().clone().ptr()))
+            }
+            Type::Struct(_) => {
+                let out = self.offset_reg(addr, offset);
+                Ok((out, ty))
+            }
+            _ => {
+                let out = self.reg();
+                self.emit(Instr::Load { dst: out, addr, offset, width: TypeTable::width_of(&ty) });
+                Ok((out, ty))
+            }
+        }
+    }
+
+    fn offset_reg(&mut self, addr: u32, offset: i64) -> u32 {
+        if offset == 0 {
+            return addr;
+        }
+        let o = self.reg();
+        let out = self.reg();
+        self.emit(Instr::Const { dst: o, value: offset });
+        self.emit(Instr::Bin { op: IrBin::Add, dst: out, a: addr, b: o });
+        out
+    }
+
+    fn load_lv(&mut self, lv: Lv, ty: Type, span: Span) -> Result<(u32, Type), CError> {
+        match lv {
+            Lv::Reg(r) => Ok((r, ty)),
+            Lv::Mem { addr, offset } => {
+                if !ty.is_scalar() {
+                    return self.load_from_addr(addr, offset, ty);
+                }
+                let _ = span;
+                let out = self.reg();
+                self.emit(Instr::Load { dst: out, addr, offset, width: TypeTable::width_of(&ty) });
+                Ok((out, ty))
+            }
+        }
+    }
+
+    fn store_lv(&mut self, lv: &Lv, value: u32, ty: &Type, span: Span) -> Result<(), CError> {
+        match lv {
+            Lv::Reg(r) => {
+                // `char` variables truncate on store, matching the W1 store
+                // that a memory-resident char would get.
+                if matches!(ty, Type::Char) {
+                    let mask = self.reg();
+                    self.emit(Instr::Const { dst: mask, value: 0xff });
+                    self.emit(Instr::Bin { op: IrBin::And, dst: *r, a: value, b: mask });
+                } else {
+                    self.emit(Instr::Mov { dst: *r, src: value });
+                }
+                Ok(())
+            }
+            Lv::Mem { addr, offset } => {
+                if !ty.is_scalar() {
+                    return self.terr(span, "cannot store an aggregate");
+                }
+                self.emit(Instr::Store {
+                    addr: *addr,
+                    offset: *offset,
+                    src: value,
+                    width: TypeTable::width_of(ty),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn lvalue(&mut self, e: &Expr) -> Result<(Lv, Type), CError> {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                if let Some(local) = self.lookup_local(name).cloned() {
+                    return match local {
+                        Local::Reg(r, ty) => Ok((Lv::Reg(r), ty)),
+                        Local::Slot { offset, ty } => {
+                            let a = self.reg();
+                            self.emit(Instr::FrameAddr { dst: a, offset });
+                            Ok((Lv::Mem { addr: a, offset: 0 }, ty))
+                        }
+                    };
+                }
+                if let Some(g) = self.cg.globals.get(name).cloned() {
+                    let sym = self.cg.sym_for(name);
+                    let a = self.reg();
+                    self.emit(Instr::Addr { dst: a, sym, offset: 0 });
+                    return Ok((Lv::Mem { addr: a, offset: 0 }, g.ty));
+                }
+                self.terr(e.span, format!("`{name}` is not an assignable variable"))
+            }
+            ExprKind::Deref(p) => {
+                let (r, pt) = self.rvalue(p)?;
+                match pt.pointee() {
+                    Some(t) => Ok((Lv::Mem { addr: r, offset: 0 }, t.clone())),
+                    None => self.terr(e.span, "dereference of non-pointer"),
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let (addr, elem) = self.index_addr(base, index, e.span)?;
+                Ok((Lv::Mem { addr, offset: 0 }, elem))
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let (addr, offset, sname) = if *arrow {
+                    let (p, pt) = self.rvalue(base)?;
+                    match pt.pointee() {
+                        Some(Type::Struct(s)) => (p, 0i64, s.clone()),
+                        _ => return self.terr(e.span, "`->` on non-struct-pointer"),
+                    }
+                } else {
+                    let (lv, ty) = self.lvalue(base)?;
+                    match (lv, ty) {
+                        (Lv::Mem { addr, offset }, Type::Struct(s)) => (addr, offset, s),
+                        _ => return self.terr(e.span, "`.` on non-struct value"),
+                    }
+                };
+                let (fty, foff) = match self.cg.types.field(&sname, field) {
+                    Some((t, o)) => (t.clone(), o),
+                    None => {
+                        return self.terr(e.span, format!("struct `{sname}` has no field `{field}`"))
+                    }
+                };
+                Ok((Lv::Mem { addr, offset: offset + foff as i64 }, fty))
+            }
+            ExprKind::Cast { expr, .. } => self.lvalue(expr),
+            _ => self.terr(e.span, "expression is not an lvalue"),
+        }
+    }
+
+    /// Best-effort static type of an expression (for `sizeof expr`).
+    fn type_of(&mut self, e: &Expr) -> Result<Type, CError> {
+        Ok(match &e.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::SizeofExpr(_) | ExprKind::SizeofType(_) => Type::Int,
+            ExprKind::StrLit(s) => Type::Array(Box::new(Type::Char), s.len() as u64 + 1),
+            ExprKind::Ident(name) => {
+                if let Some(l) = self.lookup_local(name) {
+                    match l {
+                        Local::Reg(_, t) => t.clone(),
+                        Local::Slot { ty, .. } => ty.clone(),
+                    }
+                } else if let Some(g) = self.cg.globals.get(name) {
+                    g.ty.clone()
+                } else if let Some(f) = self.cg.funcs.get(name) {
+                    Type::Func(Box::new(f.ty.clone())).ptr()
+                } else {
+                    return self.terr(e.span, format!("unknown identifier `{name}`"));
+                }
+            }
+            ExprKind::Deref(p) => {
+                let t = self.type_of(p)?;
+                match t.pointee() {
+                    Some(t) => t.clone(),
+                    None => return self.terr(e.span, "dereference of non-pointer"),
+                }
+            }
+            ExprKind::AddrOf(inner) => self.type_of(inner)?.ptr(),
+            ExprKind::Index { base, .. } => {
+                let t = self.type_of(base)?;
+                match t {
+                    Type::Ptr(p) => *p,
+                    Type::Array(elem, _) => *elem,
+                    _ => return self.terr(e.span, "indexing a non-pointer"),
+                }
+            }
+            ExprKind::Member { base, field, arrow } => {
+                let bt = self.type_of(base)?;
+                let sname = match (&bt, arrow) {
+                    (Type::Ptr(inner), true) => match inner.as_ref() {
+                        Type::Struct(s) => s.clone(),
+                        _ => return self.terr(e.span, "`->` on non-struct-pointer"),
+                    },
+                    (Type::Struct(s), false) => s.clone(),
+                    _ => return self.terr(e.span, "member access on non-struct"),
+                };
+                match self.cg.types.field(&sname, field) {
+                    Some((t, _)) => t.clone(),
+                    None => return self.terr(e.span, format!("no field `{field}`")),
+                }
+            }
+            ExprKind::Cast { ty, .. } => ty.clone(),
+            ExprKind::Call { callee, .. } => {
+                let t = self.type_of(callee)?;
+                match t {
+                    Type::Ptr(inner) => match *inner {
+                        Type::Func(f) => f.ret,
+                        _ => Type::Int,
+                    },
+                    _ => Type::Int,
+                }
+            }
+            ExprKind::Assign { lhs, .. } => self.type_of(lhs)?,
+            ExprKind::Cond { then_e, .. } => self.type_of(then_e)?,
+            ExprKind::Bin { lhs, .. } => self.type_of(lhs)?,
+            _ => Type::Int,
+        })
+    }
+}
+
+fn collect_addr_taken_stmt(s: &Stmt, out: &mut BTreeSet<String>) {
+    match s {
+        Stmt::Expr(e) => collect_addr_taken_expr(e, out),
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                collect_addr_taken_expr(e, out);
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            collect_addr_taken_expr(cond, out);
+            collect_addr_taken_stmt(then_s, out);
+            if let Some(e) = else_s {
+                collect_addr_taken_stmt(e, out);
+            }
+        }
+        Stmt::While { cond, body } => {
+            collect_addr_taken_expr(cond, out);
+            collect_addr_taken_stmt(body, out);
+        }
+        Stmt::DoWhile { body, cond } => {
+            collect_addr_taken_stmt(body, out);
+            collect_addr_taken_expr(cond, out);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                collect_addr_taken_stmt(i, out);
+            }
+            if let Some(c) = cond {
+                collect_addr_taken_expr(c, out);
+            }
+            if let Some(s2) = step {
+                collect_addr_taken_expr(s2, out);
+            }
+            collect_addr_taken_stmt(body, out);
+        }
+        Stmt::Return(Some(e), _) => collect_addr_taken_expr(e, out),
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_addr_taken_stmt(s, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_addr_taken_expr(e: &Expr, out: &mut BTreeSet<String>) {
+    if let ExprKind::AddrOf(inner) = &e.kind {
+        if let ExprKind::Ident(name) = &inner.kind {
+            out.insert(name.clone());
+        }
+    }
+    // recurse
+    match &e.kind {
+        ExprKind::Bin { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            collect_addr_taken_expr(lhs, out);
+            collect_addr_taken_expr(rhs, out);
+        }
+        ExprKind::Un { expr, .. }
+        | ExprKind::Deref(expr)
+        | ExprKind::AddrOf(expr)
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::SizeofExpr(expr)
+        | ExprKind::IncDec { expr, .. }
+        | ExprKind::VarArg(expr) => collect_addr_taken_expr(expr, out),
+        ExprKind::Cond { cond, then_e, else_e } => {
+            collect_addr_taken_expr(cond, out);
+            collect_addr_taken_expr(then_e, out);
+            collect_addr_taken_expr(else_e, out);
+        }
+        ExprKind::Call { callee, args } => {
+            collect_addr_taken_expr(callee, out);
+            for a in args {
+                collect_addr_taken_expr(a, out);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            collect_addr_taken_expr(base, out);
+            collect_addr_taken_expr(index, out);
+        }
+        ExprKind::Member { base, .. } => collect_addr_taken_expr(base, out),
+        _ => {}
+    }
+}

@@ -1,0 +1,43 @@
+//! Diagnostics for the mini-C compiler.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A compile error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CError {
+    /// Preprocessor error.
+    Pp { file: String, line: u32, msg: String },
+    /// Lexical error.
+    Lex { file: String, span: Span, msg: String },
+    /// Syntax error.
+    Parse { file: String, span: Span, msg: String },
+    /// Type or name-resolution error.
+    Type { file: String, span: Span, msg: String },
+}
+
+impl CError {
+    /// The human-readable message part.
+    pub fn message(&self) -> &str {
+        match self {
+            CError::Pp { msg, .. }
+            | CError::Lex { msg, .. }
+            | CError::Parse { msg, .. }
+            | CError::Type { msg, .. } => msg,
+        }
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CError::Pp { file, line, msg } => write!(f, "{file}:{line}: preprocessor: {msg}"),
+            CError::Lex { file, span, msg } => write!(f, "{file}:{span}: lex: {msg}"),
+            CError::Parse { file, span, msg } => write!(f, "{file}:{span}: parse: {msg}"),
+            CError::Type { file, span, msg } => write!(f, "{file}:{span}: type: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CError {}

@@ -1,0 +1,248 @@
+//! # cmini — a compiler for mini-C
+//!
+//! This crate is the stand-in for gcc 2.95 in the Knit reproduction (see
+//! DESIGN.md). It compiles a C subset — `int`/`char`/`void`, pointers,
+//! arrays, structs, function pointers, varargs, `static`/`extern` — to
+//! [`cobj`] object files, via:
+//!
+//! 1. a line-based preprocessor ([`pp`]): `#include "…"`, object-like
+//!    `#define`, `#ifdef` conditionals;
+//! 2. a lexer ([`token`]) and recursive-descent parser ([`parser`]);
+//! 3. AST optimization passes ([`passes`]): constant folding, and —
+//!    crucially for the paper's flattening experiment — an inliner that
+//!    only fires when the callee's definition precedes the call in the
+//!    same translation unit, mimicking gcc's behaviour that Knit's
+//!    source-merging exploits;
+//! 4. one-pass typed code generation ([`codegen`]);
+//! 5. IR-level local value numbering and dead-code elimination
+//!    ([`passes::vn`]).
+//!
+//! The entry point is [`compile`]:
+//!
+//! ```
+//! use cmini::{compile, CompileOptions, pp::NoFiles};
+//!
+//! let obj = compile(
+//!     "answer.c",
+//!     "int answer() { return 6 * 7; }",
+//!     &CompileOptions::default(),
+//!     &NoFiles,
+//! ).unwrap();
+//! assert!(obj.exported_names().contains("answer"));
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod error;
+pub mod parser;
+pub mod passes;
+pub mod pp;
+pub mod printer;
+pub mod token;
+pub mod types;
+
+pub use error::CError;
+pub use pp::{FileProvider, NoFiles, PpOptions};
+
+use cobj::object::ObjectFile;
+
+/// Optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No optimization: straight translation.
+    O0,
+    /// Fold, inline (definition-before-use), DCE, then IR value numbering.
+    #[default]
+    O2,
+}
+
+/// Compiler configuration.
+#[derive(Default)]
+pub struct CompileOptions {
+    /// Preprocessor configuration (`-I`, `-D`).
+    pub pp: PpOptions,
+    /// Optimization level (`-O0` / `-O2`). Defaults to `O2`.
+    pub opt: OptLevel,
+    /// Inliner body-size budget in statements (0 = default of 24).
+    pub inline_budget: usize,
+}
+
+impl CompileOptions {
+    /// Parse gcc-style flags: `-Idir`, `-DNAME[=value]`, `-O0`, `-O2`.
+    /// Unknown flags are an error (Knit unit files should not carry silent
+    /// typos).
+    pub fn from_flags<S: AsRef<str>>(flags: &[S]) -> Result<CompileOptions, String> {
+        let mut opts = CompileOptions { inline_budget: 24, ..Default::default() };
+        for f in flags {
+            let f = f.as_ref();
+            if let Some(dir) = f.strip_prefix("-I") {
+                opts.pp.include_dirs.push(dir.to_string());
+            } else if let Some(def) = f.strip_prefix("-D") {
+                match def.split_once('=') {
+                    Some((n, v)) => opts.pp.defines.push((n.to_string(), v.to_string())),
+                    None => opts.pp.defines.push((def.to_string(), "1".to_string())),
+                }
+            } else if f == "-O0" {
+                opts.opt = OptLevel::O0;
+            } else if f == "-O2" || f == "-O1" || f == "-O3" {
+                opts.opt = OptLevel::O2;
+            } else {
+                return Err(format!("unknown compiler flag `{f}`"));
+            }
+        }
+        Ok(opts)
+    }
+
+    fn budget(&self) -> usize {
+        if self.inline_budget == 0 {
+            24
+        } else {
+            self.inline_budget
+        }
+    }
+}
+
+/// Preprocess and parse `src` into an AST (used directly by the `flatten`
+/// crate, which merges ASTs before compilation).
+pub fn frontend(
+    file: &str,
+    src: &str,
+    opts: &CompileOptions,
+    provider: &dyn FileProvider,
+) -> Result<ast::TranslationUnit, CError> {
+    let expanded = pp::preprocess(file, src, &opts.pp, provider)?;
+    parser::parse(file, &expanded)
+}
+
+/// Optimize (per `opts.opt`) and generate code for an already-parsed
+/// translation unit.
+pub fn backend(mut tu: ast::TranslationUnit, opts: &CompileOptions) -> Result<ObjectFile, CError> {
+    if opts.opt == OptLevel::O2 {
+        passes::fold::fold_tu(&mut tu);
+        passes::hoist::hoist_tu(&mut tu);
+        passes::inline::inline_tu(&mut tu, opts.budget());
+        passes::fold::fold_tu(&mut tu);
+        passes::dce::dce_tu(&mut tu);
+    }
+    let mut obj = codegen::compile_tu(&tu)?;
+    if opts.opt == OptLevel::O2 {
+        passes::vn::optimize_obj(&mut obj);
+    }
+    Ok(obj)
+}
+
+/// Compile one mini-C source file to an object file.
+pub fn compile(
+    file: &str,
+    src: &str,
+    opts: &CompileOptions,
+    provider: &dyn FileProvider,
+) -> Result<ObjectFile, CError> {
+    let tu = frontend(file, src, opts, provider)?;
+    backend(tu, opts)
+}
+
+/// Compile with default options and no include files (tests, examples).
+pub fn compile_simple(file: &str, src: &str) -> Result<ObjectFile, CError> {
+    compile(file, src, &CompileOptions::default(), &NoFiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_exports_and_imports() {
+        let obj = compile_simple(
+            "web.c",
+            r#"
+            int serve_file(int s, char *p);
+            int serve_cgi(int s, char *p);
+            int serve_web(int s, char *path) {
+                if (path[0] == 'c') return serve_cgi(s, path);
+                return serve_file(s, path);
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(obj.exported_names().contains("serve_web"));
+        assert!(obj.undefined_names().contains("serve_file"));
+        assert!(obj.undefined_names().contains("serve_cgi"));
+    }
+
+    #[test]
+    fn statics_are_local() {
+        let obj = compile_simple(
+            "t.c",
+            "static int hidden = 3;\nstatic int helper() { return hidden; }\nint public_fn() { return helper(); }",
+        )
+        .unwrap();
+        assert!(obj.exported_names().contains("public_fn"));
+        assert!(!obj.exported_names().contains("helper"));
+        assert!(!obj.exported_names().contains("hidden"));
+    }
+
+    #[test]
+    fn o2_inlines_definition_before_use() {
+        let src = r#"
+            int add(int a, int b) { return a + b; }
+            int quad(int x) { int s = add(x, x); int t = add(s, s); return t; }
+        "#;
+        let o0 = compile(
+            "t.c",
+            src,
+            &CompileOptions { opt: OptLevel::O0, ..Default::default() },
+            &NoFiles,
+        )
+        .unwrap();
+        let o2 = compile_simple("t.c", src).unwrap();
+        let quad = o2.funcs.iter().find(|f| o2.symbol(f.sym).name == "quad").unwrap();
+        assert!(!quad.body.iter().any(|i| matches!(i, cobj::Instr::Call { .. })));
+        let quad0 = o0.funcs.iter().find(|f| o0.symbol(f.sym).name == "quad").unwrap();
+        assert!(quad0.body.iter().any(|i| matches!(i, cobj::Instr::Call { .. })));
+    }
+
+    #[test]
+    fn flags_parse() {
+        let o = CompileOptions::from_flags(&["-Iinc", "-DDEBUG", "-DN=4", "-O0"]).unwrap();
+        assert_eq!(o.pp.include_dirs, vec!["inc"]);
+        assert_eq!(o.pp.defines.len(), 2);
+        assert_eq!(o.opt, OptLevel::O0);
+        assert!(CompileOptions::from_flags(&["-funknown"]).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        assert!(compile_simple("t.c", "int f() { return undefined_var; }").is_err());
+        assert!(compile_simple("t.c", "int f(int x) { return *x; }").is_err());
+        assert!(compile_simple(
+            "t.c",
+            "struct s { int a; }; int f(struct s *p) { return p->nope; }"
+        )
+        .is_err());
+        assert!(compile_simple("t.c", "int f() { return 1; } int f() { return 2; }").is_err());
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let obj = compile_simple(
+            "t.c",
+            r#"
+            int counter = 42;
+            char banner[] = "knit";
+            int table[3] = { 1, 2, 3 };
+            struct pair { int a; int b; };
+            struct pair origin = { 10, 20 };
+            int f();
+            int (*handler)() = &f;
+            "#,
+        )
+        .unwrap();
+        let find = |n: &str| obj.data.iter().find(|d| obj.symbol(d.sym).name == n).unwrap();
+        assert_eq!(&find("counter").init[..8], &42i64.to_le_bytes());
+        assert_eq!(&find("banner").init[..5], b"knit\0");
+        assert_eq!(find("table").init.len(), 24);
+        assert_eq!(&find("origin").init[8..16], &20i64.to_le_bytes());
+        assert_eq!(find("handler").relocs.len(), 1);
+    }
+}

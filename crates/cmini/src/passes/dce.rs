@@ -1,0 +1,108 @@
+//! Statement-level dead-code elimination on the AST.
+//!
+//! Removes statements that follow a `return`/`break`/`continue` in the same
+//! block, and empty statements. (Register-level dead-code elimination
+//! happens later, in [`crate::passes::vn`].)
+
+use crate::ast::*;
+
+/// Clean up a translation unit in place.
+pub fn dce_tu(tu: &mut TranslationUnit) {
+    for item in &mut tu.items {
+        if let Item::Func(f) = item {
+            if let Some(body) = &mut f.body {
+                dce_block(body);
+            }
+        }
+    }
+}
+
+fn terminates(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return(..) | Stmt::Break(_) | Stmt::Continue(_) => true,
+        Stmt::Block(ss) => ss.last().map(terminates).unwrap_or(false),
+        Stmt::If { then_s, else_s: Some(e), .. } => terminates(then_s) && terminates(e),
+        _ => false,
+    }
+}
+
+fn dce_block(ss: &mut Vec<Stmt>) {
+    for s in ss.iter_mut() {
+        dce_stmt(s);
+    }
+    // truncate after the first terminating statement
+    if let Some(pos) = ss.iter().position(terminates) {
+        ss.truncate(pos + 1);
+    }
+    ss.retain(|s| !matches!(s, Stmt::Empty));
+}
+
+fn dce_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Block(ss) => dce_block(ss),
+        Stmt::If { then_s, else_s, .. } => {
+            dce_stmt(then_s);
+            if let Some(e) = else_s {
+                dce_stmt(e);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::DoWhile { body, .. } | Stmt::For { body, .. } => {
+            dce_stmt(body)
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn removes_code_after_return() {
+        let mut tu = parse("t.c", "int f() { return 1; return 2; return 3; }").unwrap();
+        dce_tu(&mut tu);
+        assert_eq!(tu.find_func("f").unwrap().body.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn removes_empty_statements() {
+        let mut tu = parse("t.c", "int f() { ;; return 1; }").unwrap();
+        dce_tu(&mut tu);
+        assert_eq!(tu.find_func("f").unwrap().body.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn keeps_code_after_conditional_return() {
+        let mut tu = parse("t.c", "int f(int x) { if (x) return 1; return 2; }").unwrap();
+        dce_tu(&mut tu);
+        assert_eq!(tu.find_func("f").unwrap().body.as_ref().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncates_after_exhaustive_if() {
+        let mut tu =
+            parse("t.c", "int f(int x) { if (x) { return 1; } else { return 2; } return 3; }")
+                .unwrap();
+        dce_tu(&mut tu);
+        assert_eq!(tu.find_func("f").unwrap().body.as_ref().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cleans_nested_blocks() {
+        let mut tu = parse(
+            "t.c",
+            "int f(int x) { while (x) { break; x = x - 1; } return x; }",
+        )
+        .unwrap();
+        dce_tu(&mut tu);
+        let f = tu.find_func("f").unwrap();
+        match &f.body.as_ref().unwrap()[0] {
+            Stmt::While { body, .. } => match body.as_ref() {
+                Stmt::Block(ss) => assert_eq!(ss.len(), 1),
+                other => panic!("expected block, got {other:?}"),
+            },
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Constant folding and branch pruning on the AST.
+
+use crate::ast::*;
+
+/// Fold constants throughout a translation unit.
+pub fn fold_tu(tu: &mut TranslationUnit) {
+    for item in &mut tu.items {
+        if let Item::Func(f) = item {
+            if let Some(body) = &mut f.body {
+                for s in body.iter_mut() {
+                    fold_stmt(s);
+                }
+            }
+        }
+    }
+}
+
+fn fold_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Expr(e) => fold_expr(e),
+        Stmt::Decl { init, .. } => {
+            if let Some(e) = init {
+                fold_expr(e);
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            fold_expr(cond);
+            fold_stmt(then_s);
+            if let Some(e) = else_s {
+                fold_stmt(e);
+            }
+            if let Some(v) = cond.as_int() {
+                // prune the dead arm
+                let replacement = if v != 0 {
+                    std::mem::replace(then_s.as_mut(), Stmt::Empty)
+                } else {
+                    match else_s {
+                        Some(e) => std::mem::replace(e.as_mut(), Stmt::Empty),
+                        None => Stmt::Empty,
+                    }
+                };
+                *s = replacement;
+            }
+        }
+        Stmt::While { cond, body } => {
+            fold_expr(cond);
+            fold_stmt(body);
+            if cond.as_int() == Some(0) {
+                *s = Stmt::Empty;
+            }
+        }
+        Stmt::DoWhile { body, cond } => {
+            fold_stmt(body);
+            fold_expr(cond);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                fold_stmt(i);
+            }
+            if let Some(c) = cond {
+                fold_expr(c);
+            }
+            if let Some(st) = step {
+                fold_expr(st);
+            }
+            fold_stmt(body);
+        }
+        Stmt::Return(Some(e), _) => fold_expr(e),
+        Stmt::Block(ss) => {
+            for s in ss {
+                fold_stmt(s);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Fold one expression in place.
+pub fn fold_expr(e: &mut Expr) {
+    // fold children first
+    match &mut e.kind {
+        ExprKind::Bin { lhs, rhs, .. } => {
+            fold_expr(lhs);
+            fold_expr(rhs);
+        }
+        ExprKind::Un { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::Deref(expr)
+        | ExprKind::AddrOf(expr)
+        | ExprKind::SizeofExpr(expr)
+        | ExprKind::IncDec { expr, .. }
+        | ExprKind::VarArg(expr) => fold_expr(expr),
+        ExprKind::Assign { lhs, rhs, .. } => {
+            fold_expr(lhs);
+            fold_expr(rhs);
+        }
+        ExprKind::Cond { cond, then_e, else_e } => {
+            fold_expr(cond);
+            fold_expr(then_e);
+            fold_expr(else_e);
+        }
+        ExprKind::Call { callee, args } => {
+            fold_expr(callee);
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            fold_expr(base);
+            fold_expr(index);
+        }
+        ExprKind::Member { base, .. } => fold_expr(base),
+        _ => {}
+    }
+    // then fold this node
+    let folded: Option<i64> = match &e.kind {
+        ExprKind::Un { op, expr } => expr.as_int().map(|v| match op {
+            UnOp::Neg => v.wrapping_neg(),
+            UnOp::Not => (v == 0) as i64,
+            UnOp::BitNot => !v,
+        }),
+        ExprKind::Bin { op, lhs, rhs } => match (lhs.as_int(), rhs.as_int()) {
+            (Some(a), Some(b)) => eval_bin(*op, a, b),
+            // algebraic identities: x+0, x*1, x*0 (rhs only; lhs may have
+            // side effects worth keeping even though pure here — we only
+            // simplify when the *other* side is untouched)
+            (None, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr) => {
+                let kept = lhs.as_ref().clone();
+                e.kind = kept.kind;
+                return;
+            }
+            (None, Some(1)) if matches!(op, BinOp::Mul | BinOp::Div) => {
+                let kept = lhs.as_ref().clone();
+                e.kind = kept.kind;
+                return;
+            }
+            _ => None,
+        },
+        ExprKind::Cond { cond, then_e, else_e } => {
+            if let Some(c) = cond.as_int() {
+                let take = if c != 0 { then_e } else { else_e };
+                let inner = take.as_ref().clone();
+                e.kind = inner.kind;
+                return;
+            }
+            None
+        }
+        ExprKind::Cast { ty: Type::Char, expr } => expr.as_int().map(|v| v & 0xff),
+        ExprKind::Cast { ty: Type::Int, expr } => expr.as_int(),
+        _ => None,
+    };
+    if let Some(v) = folded {
+        e.kind = ExprKind::IntLit(v);
+    }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::LogAnd => ((a != 0) && (b != 0)) as i64,
+        BinOp::LogOr => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn folded(src: &str) -> TranslationUnit {
+        let mut tu = parse("t.c", src).unwrap();
+        fold_tu(&mut tu);
+        tu
+    }
+
+    fn ret_of(tu: &TranslationUnit, name: &str) -> Expr {
+        let f = tu.find_func(name).unwrap();
+        match &f.body.as_ref().unwrap()[0] {
+            Stmt::Return(Some(e), _) => e.clone(),
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let tu = folded("int f() { return 2 * 3 + 4; }");
+        assert_eq!(ret_of(&tu, "f").as_int(), Some(10));
+    }
+
+    #[test]
+    fn folds_nested_and_logical() {
+        let tu = folded("int f() { return (1 && 2) + (0 || 0) + (5 > 3); }");
+        assert_eq!(ret_of(&tu, "f").as_int(), Some(2));
+    }
+
+    #[test]
+    fn keeps_div_by_zero_for_runtime() {
+        let tu = folded("int f() { return 1 / 0; }");
+        assert_eq!(ret_of(&tu, "f").as_int(), None);
+    }
+
+    #[test]
+    fn prunes_constant_if() {
+        let tu = folded("int f(int x) { if (0) { return 1; } else { return x; } }");
+        let f = tu.find_func("f").unwrap();
+        // the if was replaced by its else arm
+        assert!(matches!(&f.body.as_ref().unwrap()[0], Stmt::Block(b) if b.len() == 1));
+    }
+
+    #[test]
+    fn removes_while_zero() {
+        let tu = folded("int f() { while (0) { } return 1; }");
+        let f = tu.find_func("f").unwrap();
+        assert!(matches!(&f.body.as_ref().unwrap()[0], Stmt::Empty));
+    }
+
+    #[test]
+    fn identity_simplifications() {
+        let tu = folded("int f(int x) { return x + 0; }");
+        assert!(matches!(ret_of(&tu, "f").kind, ExprKind::Ident(_)));
+        let tu = folded("int g(int x) { return x * 1; }");
+        assert!(matches!(ret_of(&tu, "g").kind, ExprKind::Ident(_)));
+    }
+
+    #[test]
+    fn folds_ternary() {
+        let tu = folded("int f(int a, int b) { return 1 ? a : b; }");
+        assert!(matches!(ret_of(&tu, "f").kind, ExprKind::Ident(ref n) if n == "a"));
+    }
+
+    #[test]
+    fn char_cast_masks() {
+        let tu = folded("int f() { return (char)300; }");
+        assert_eq!(ret_of(&tu, "f").as_int(), Some(44));
+    }
+}

@@ -1,0 +1,306 @@
+//! Call hoisting: normalize direct calls out of expression positions into
+//! their own temporaries, so the statement-level inliner can see them.
+//!
+//! `if (ip_cksum(p, 0, 10) != 0) …` becomes
+//! `int __h0 = ip_cksum(p, 0, 10); if (__h0 != 0) …` — after which the
+//! inliner can splice `ip_cksum`'s body. Only *unconditionally evaluated*
+//! positions are hoisted: calls behind `&&`/`||` right operands or `?:`
+//! branches stay put (hoisting them would change evaluation), and loop
+//! conditions/steps are left alone (they run once per iteration).
+//!
+//! Only calls to functions *defined in this translation unit* are hoisted
+//! (the callee's declared return type gives the temporary its type; extern
+//! calls gain nothing from hoisting).
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::token::Span;
+
+/// Hoist calls throughout a translation unit. Returns the number of calls
+/// hoisted.
+pub fn hoist_tu(tu: &mut TranslationUnit) -> usize {
+    // return types of locally-defined functions
+    let mut ret_types: BTreeMap<String, Type> = BTreeMap::new();
+    for item in &tu.items {
+        if let Item::Func(f) = item {
+            if f.body.is_some() && !f.varargs {
+                ret_types.insert(f.name.clone(), f.ret.clone());
+            }
+        }
+    }
+    let mut counter = 0usize;
+    let mut hoisted = 0usize;
+    for item in &mut tu.items {
+        if let Item::Func(f) = item {
+            if let Some(body) = &mut f.body {
+                let mut h = Hoister { ret_types: &ret_types, counter: &mut counter, hoisted: 0 };
+                h.block(body);
+                hoisted += h.hoisted;
+            }
+        }
+    }
+    hoisted
+}
+
+struct Hoister<'a> {
+    ret_types: &'a BTreeMap<String, Type>,
+    counter: &'a mut usize,
+    hoisted: usize,
+}
+
+impl<'a> Hoister<'a> {
+    fn block(&mut self, ss: &mut Vec<Stmt>) {
+        let old = std::mem::take(ss);
+        for mut s in old {
+            let mut temps: Vec<Stmt> = Vec::new();
+            self.stmt(&mut s, &mut temps);
+            ss.append(&mut temps);
+            ss.push(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &mut Stmt, temps: &mut Vec<Stmt>) {
+        match s {
+            Stmt::Expr(e) => {
+                // keep a whole-statement call for the inliner; hoist inner
+                // positions only
+                self.expr_children_only(e, temps);
+            }
+            Stmt::Decl { init: Some(e), .. } => self.expr_children_only(e, temps),
+            Stmt::Return(Some(e), _) => self.expr_children_only(e, temps),
+            Stmt::If { cond, then_s, else_s } => {
+                self.expr(cond, temps);
+                self.boxed(then_s);
+                if let Some(e) = else_s {
+                    self.boxed(e);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::DoWhile { body, .. } => self.boxed(body),
+            Stmt::For { init, body, .. } => {
+                if let Some(i) = init {
+                    // the init clause runs once: hoists surface before the loop
+                    self.stmt(i, temps);
+                }
+                self.boxed(body);
+            }
+            Stmt::Block(ss) => self.block(ss),
+            _ => {}
+        }
+    }
+
+    fn boxed(&mut self, b: &mut Box<Stmt>) {
+        // a non-block child needs its own block to hold hoisted temps
+        let mut temps: Vec<Stmt> = Vec::new();
+        self.stmt(b, &mut temps);
+        if !temps.is_empty() {
+            let inner = std::mem::replace(b.as_mut(), Stmt::Empty);
+            temps.push(inner);
+            **b = Stmt::Block(temps);
+        }
+    }
+
+    /// Hoist inside `e`'s children, but never replace `e` itself (so
+    /// statement-position calls stay put for the inliner).
+    fn expr_children_only(&mut self, e: &mut Expr, temps: &mut Vec<Stmt>) {
+        match &mut e.kind {
+            ExprKind::Call { callee, args } => {
+                self.expr(callee, temps);
+                for a in args {
+                    self.expr(a, temps);
+                }
+            }
+            ExprKind::Assign { op: None, lhs, rhs } => {
+                self.expr(lhs, temps);
+                // `x = f(…)` whole-call RHS stays for the inliner
+                if let ExprKind::Ident(_) = lhs.kind {
+                    self.expr_children_only(rhs, temps);
+                } else {
+                    self.expr(rhs, temps);
+                }
+            }
+            _ => self.expr(e, temps),
+        }
+    }
+
+    /// Hoist every hoistable call in `e`, replacing each with a temp read.
+    fn expr(&mut self, e: &mut Expr, temps: &mut Vec<Stmt>) {
+        match &mut e.kind {
+            ExprKind::Call { callee, args } => {
+                self.expr(callee, temps);
+                for a in args.iter_mut() {
+                    self.expr(a, temps);
+                }
+                if let ExprKind::Ident(name) = &callee.kind {
+                    if let Some(ret) = self.ret_types.get(name) {
+                        if ret.is_scalar() {
+                            let tmp = format!("__h{}", *self.counter);
+                            *self.counter += 1;
+                            self.hoisted += 1;
+                            let call = std::mem::replace(
+                                e,
+                                Expr::new(ExprKind::Ident(tmp.clone()), e.span),
+                            );
+                            temps.push(Stmt::Decl {
+                                name: tmp,
+                                ty: ret.clone(),
+                                init: Some(call),
+                                span: Span::default(),
+                            });
+                        }
+                    }
+                }
+            }
+            ExprKind::Bin { op: BinOp::LogAnd | BinOp::LogOr, lhs, rhs } => {
+                self.expr(lhs, temps);
+                let _ = rhs; // conditionally evaluated: leave untouched
+            }
+            ExprKind::Bin { lhs, rhs, .. } => {
+                self.expr(lhs, temps);
+                self.expr(rhs, temps);
+            }
+            ExprKind::Assign { lhs, rhs, .. } => {
+                self.expr(lhs, temps);
+                self.expr(rhs, temps);
+            }
+            ExprKind::Cond { cond, .. } => {
+                self.expr(cond, temps);
+                // branches are conditionally evaluated: leave untouched
+            }
+            ExprKind::Un { expr, .. }
+            | ExprKind::Cast { expr, .. }
+            | ExprKind::Deref(expr)
+            | ExprKind::SizeofExpr(expr)
+            | ExprKind::IncDec { expr, .. }
+            | ExprKind::VarArg(expr) => self.expr(expr, temps),
+            ExprKind::AddrOf(expr) => self.expr(expr, temps),
+            ExprKind::Index { base, index } => {
+                self.expr(base, temps);
+                self.expr(index, temps);
+            }
+            ExprKind::Member { base, .. } => self.expr(base, temps),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn hoisted(src: &str) -> (TranslationUnit, usize) {
+        let mut tu = parse("t.c", src).unwrap();
+        let n = hoist_tu(&mut tu);
+        (tu, n)
+    }
+
+    fn body_of<'t>(tu: &'t TranslationUnit, name: &str) -> &'t Vec<Stmt> {
+        tu.find_func(name).unwrap().body.as_ref().unwrap()
+    }
+
+    #[test]
+    fn hoists_call_from_if_condition() {
+        let (tu, n) = hoisted(
+            "int check(int x) { return x > 0; }\n\
+             int f(int y) { if (check(y) != 0) return 1; return 2; }",
+        );
+        assert_eq!(n, 1);
+        let body = body_of(&tu, "f");
+        assert!(matches!(&body[0], Stmt::Decl { name, .. } if name.starts_with("__h")));
+    }
+
+    #[test]
+    fn hoists_from_compound_assignment() {
+        let (tu, n) = hoisted(
+            "int get(int i) { return i * 2; }\n\
+             int f() { int sum = 0; sum += get(3); return sum; }",
+        );
+        assert_eq!(n, 1);
+        let _ = tu;
+    }
+
+    #[test]
+    fn leaves_short_circuit_rhs_alone() {
+        let (_, n) = hoisted(
+            "int g(int x) { return x; }\n\
+             int f(int a) { if (a && g(a)) return 1; return 0; }",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn leaves_ternary_branches_alone() {
+        let (_, n) = hoisted(
+            "int g(int x) { return x; }\n\
+             int f(int a) { return a ? g(1) : g(2); }",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn leaves_statement_calls_for_the_inliner() {
+        let (tu, n) = hoisted(
+            "int g(int x) { return x; }\n\
+             void f() { g(1); int a = g(2); a = g(3); }",
+        );
+        // whole-statement call positions are the inliner's job
+        assert_eq!(n, 0);
+        let _ = tu;
+    }
+
+    #[test]
+    fn hoists_nested_call_arguments() {
+        let (tu, n) = hoisted(
+            "int g(int x) { return x; }\n\
+             int f(int y) { return g(g(y) + 1); }",
+        );
+        // inner g(y) hoisted; outer g(…) is the return's whole call,
+        // left in place
+        assert_eq!(n, 1);
+        let _ = tu;
+    }
+
+    #[test]
+    fn does_not_hoist_loop_conditions() {
+        let (_, n) = hoisted(
+            "int more(int i) { return i < 3; }\n\
+             int f() { int i = 0; while (more(i)) i++; return i; }",
+        );
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn extern_calls_not_hoisted() {
+        let (_, n) = hoisted("int ext(int x);\nint f(int y) { if (ext(y)) return 1; return 0; }");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn semantics_preserved_under_hoisting() {
+        // evaluation order: g then h (left to right)
+        let (tu, n) = hoisted(
+            "int trace;\n\
+             int g() { trace = trace * 10 + 1; return 1; }\n\
+             int h() { trace = trace * 10 + 2; return 2; }\n\
+             int f() { return g() + h() * 10; }",
+        );
+        assert_eq!(n, 2);
+        let body = body_of(&tu, "f");
+        // two temps in order, then the return
+        match (&body[0], &body[1]) {
+            (Stmt::Decl { init: Some(a), .. }, Stmt::Decl { init: Some(b), .. }) => {
+                let name_of = |e: &Expr| match &e.kind {
+                    ExprKind::Call { callee, .. } => match &callee.kind {
+                        ExprKind::Ident(n) => n.clone(),
+                        _ => panic!(),
+                    },
+                    _ => panic!("expected call init"),
+                };
+                assert_eq!(name_of(a), "g");
+                assert_eq!(name_of(b), "h");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

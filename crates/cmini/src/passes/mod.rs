@@ -1,0 +1,20 @@
+//! Optimization passes.
+//!
+//! AST-level passes run before code generation:
+//! * [`fold`] — constant folding and branch pruning;
+//! * [`inline`] — definition-before-use inlining (the gcc-like behaviour
+//!   that makes Knit's flattening pay off, §6 of the paper);
+//! * [`dce`] — statement-level dead-code elimination.
+//!
+//! IR-level passes run per generated function:
+//! * [`vn`] — local value numbering (CSE + redundant-load elimination) and
+//!   dead-instruction removal, the "conventional optimizing compiler" part
+//!   of the paper's claim that "we can eliminate most of the cost of
+//!   componentization by blindly merging code, enabling conventional
+//!   optimizing compilers to do the rest".
+
+pub mod dce;
+pub mod hoist;
+pub mod fold;
+pub mod inline;
+pub mod vn;

@@ -1,0 +1,364 @@
+//! Pretty-printer for mini-C.
+//!
+//! Emits compilable source from an AST; `parse(print(ast))` reaches a
+//! fixed point (checked against the whole component corpus in
+//! `tests/printer_roundtrip.rs`). Used for debugging flattened merges and
+//! as a stress test of parser/AST agreement. Expressions are printed fully
+//! parenthesized, so no precedence decisions can go wrong.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a translation unit as mini-C source.
+pub fn print_tu(tu: &TranslationUnit) -> String {
+    let mut out = String::new();
+    for item in &tu.items {
+        match item {
+            Item::Struct(s) => {
+                if s.fields.is_empty() {
+                    let _ = writeln!(out, "struct {};", s.name);
+                } else {
+                    let _ = writeln!(out, "struct {} {{", s.name);
+                    for (name, ty) in &s.fields {
+                        let _ = writeln!(out, "    {};", decl(ty, name));
+                    }
+                    let _ = writeln!(out, "}};");
+                }
+            }
+            Item::Global(g) => {
+                let storage = storage_prefix(g.storage);
+                match &g.init {
+                    Some(init) => {
+                        let _ = writeln!(out, "{storage}{} = {};", decl(&g.ty, &g.name), init_str(init));
+                    }
+                    None => {
+                        let _ = writeln!(out, "{storage}{};", decl(&g.ty, &g.name));
+                    }
+                }
+            }
+            Item::Func(f) => {
+                let storage = storage_prefix(if f.body.is_some() { f.storage } else { Storage::Public });
+                let params = if f.params.is_empty() && !f.varargs {
+                    String::new()
+                } else {
+                    let mut ps: Vec<String> =
+                        f.params.iter().map(|(n, t)| decl(t, n)).collect();
+                    if f.varargs {
+                        ps.push("...".to_string());
+                    }
+                    ps.join(", ")
+                };
+                let head = format!("{storage}{} {}({params})", ret_str(&f.ret), f.name);
+                match &f.body {
+                    None => {
+                        let _ = writeln!(out, "{head};");
+                    }
+                    Some(body) => {
+                        let _ = writeln!(out, "{head} {{");
+                        for s in body {
+                            stmt(&mut out, s, 1);
+                        }
+                        let _ = writeln!(out, "}}");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn storage_prefix(s: Storage) -> &'static str {
+    match s {
+        Storage::Public => "",
+        Storage::Static => "static ",
+        Storage::Extern => "extern ",
+    }
+}
+
+fn ret_str(t: &Type) -> String {
+    match t {
+        Type::Int => "int".into(),
+        Type::Char => "char".into(),
+        Type::Void => "void".into(),
+        Type::Ptr(inner) => format!("{}*", ret_str(inner)),
+        Type::Struct(n) => format!("struct {n}"),
+        other => format!("/*?*/ {other:?}"),
+    }
+}
+
+/// Render a C declarator for `ty` with the given name.
+fn decl(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Int => format!("int {name}"),
+        Type::Char => format!("char {name}"),
+        Type::Void => format!("void {name}"),
+        Type::Struct(s) => format!("struct {s} {name}"),
+        Type::Array(elem, n) => {
+            // arrays of function pointers need the (*name[n])(…) shape
+            if let Type::Ptr(inner) = elem.as_ref() {
+                if let Type::Func(ft) = inner.as_ref() {
+                    return fnptr(ft, &format!("{name}[{n}]"));
+                }
+            }
+            decl(elem, &format!("{name}[{n}]"))
+        }
+        Type::Ptr(inner) => match inner.as_ref() {
+            Type::Func(ft) => fnptr(ft, name),
+            _ => decl(inner, &format!("*{name}")),
+        },
+        Type::Func(ft) => fnptr(ft, name), // bare function types print as pointers
+    }
+}
+
+fn fnptr(ft: &FuncType, name: &str) -> String {
+    let mut params: Vec<String> = ft.params.iter().map(|t| decl(t, "")).collect();
+    if ft.varargs {
+        params.push("...".into());
+    }
+    let params: Vec<String> = params.iter().map(|p| p.trim_end().to_string()).collect();
+    format!("{} (*{name})({})", ret_str(&ft.ret), params.join(", "))
+}
+
+fn init_str(i: &Init) -> String {
+    match i {
+        Init::Expr(e) => expr(e),
+        Init::List(items) => {
+            let parts: Vec<String> = items.iter().map(init_str).collect();
+            format!("{{ {} }}", parts.join(", "))
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Empty => {
+            indent(out, level);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            indent(out, level);
+            let _ = writeln!(out, "{};", expr(e));
+        }
+        Stmt::Decl { name, ty, init, .. } => {
+            indent(out, level);
+            match init {
+                Some(e) => {
+                    let _ = writeln!(out, "{} = {};", decl(ty, name), expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "{};", decl(ty, name));
+                }
+            }
+        }
+        Stmt::If { cond, then_s, else_s } => {
+            indent(out, level);
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            stmt_body(out, then_s, level + 1);
+            indent(out, level);
+            match else_s {
+                Some(e) => {
+                    let _ = writeln!(out, "}} else {{");
+                    stmt_body(out, e, level + 1);
+                    indent(out, level);
+                    let _ = writeln!(out, "}}");
+                }
+                None => {
+                    let _ = writeln!(out, "}}");
+                }
+            }
+        }
+        Stmt::While { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            stmt_body(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::DoWhile { body, cond } => {
+            indent(out, level);
+            let _ = writeln!(out, "do {{");
+            stmt_body(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}} while ({});", expr(cond));
+        }
+        Stmt::For { init, cond, step, body } => {
+            indent(out, level);
+            let init_s = match init {
+                Some(i) => {
+                    // render the init statement inline, without its `;\n`
+                    let mut tmp = String::new();
+                    stmt(&mut tmp, i, 0);
+                    tmp.trim_end().trim_end_matches(';').to_string()
+                }
+                None => String::new(),
+            };
+            let cond_s = cond.as_ref().map(expr).unwrap_or_default();
+            let step_s = step.as_ref().map(expr).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_s}; {cond_s}; {step_s}) {{");
+            stmt_body(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Return(v, _) => {
+            indent(out, level);
+            match v {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "return;");
+                }
+            }
+        }
+        Stmt::Break(_) => {
+            indent(out, level);
+            out.push_str("break;\n");
+        }
+        Stmt::Continue(_) => {
+            indent(out, level);
+            out.push_str("continue;\n");
+        }
+        Stmt::Block(ss) => {
+            indent(out, level);
+            out.push_str("{\n");
+            for s in ss {
+                stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Print a statement that is the body of a control structure: blocks are
+/// spliced (their braces come from the parent), others print normally.
+fn stmt_body(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(ss) => {
+            for s in ss {
+                stmt(out, s, level);
+            }
+        }
+        other => stmt(out, other, level),
+    }
+}
+
+fn bin_op(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::LogAnd => "&&",
+        BinOp::LogOr => "||",
+    }
+}
+
+fn escape(bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for &b in bytes {
+        match b {
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            b'\r' => s.push_str("\\r"),
+            0 => s.push_str("\\0"),
+            b'\\' => s.push_str("\\\\"),
+            b'"' => s.push_str("\\\""),
+            other => s.push(other as char),
+        }
+    }
+    s
+}
+
+/// Fully parenthesized expression rendering.
+pub fn expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::CharLit(c) => match *c {
+            b'\n' => "'\\n'".into(),
+            b'\t' => "'\\t'".into(),
+            b'\'' => "'\\''".into(),
+            b'\\' => "'\\\\'".into(),
+            0 => "'\\0'".into(),
+            c if c.is_ascii_graphic() || c == b' ' => format!("'{}'", c as char),
+            c => (c as i64).to_string(),
+        },
+        ExprKind::StrLit(s) => format!("\"{}\"", escape(s)),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Bin { op, lhs, rhs } => {
+            format!("({} {} {})", expr(lhs), bin_op(*op), expr(rhs))
+        }
+        ExprKind::Un { op, expr: inner } => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+                UnOp::BitNot => "~",
+            };
+            format!("({o}{})", expr(inner))
+        }
+        ExprKind::Assign { op, lhs, rhs } => {
+            let o = match op {
+                None => "=".to_string(),
+                Some(b) => format!("{}=", bin_op(*b)),
+            };
+            format!("({} {o} {})", expr(lhs), expr(rhs))
+        }
+        ExprKind::Cond { cond, then_e, else_e } => {
+            format!("({} ? {} : {})", expr(cond), expr(then_e), expr(else_e))
+        }
+        ExprKind::Call { callee, args } => {
+            let a: Vec<String> = args.iter().map(expr).collect();
+            format!("{}({})", expr(callee), a.join(", "))
+        }
+        ExprKind::Index { base, index } => format!("{}[{}]", expr(base), expr(index)),
+        ExprKind::Member { base, field, arrow } => {
+            format!("{}{}{}", expr(base), if *arrow { "->" } else { "." }, field)
+        }
+        ExprKind::Deref(inner) => format!("(*{})", expr(inner)),
+        ExprKind::AddrOf(inner) => format!("(&{})", expr(inner)),
+        ExprKind::Cast { ty, expr: inner } => {
+            format!("(({}){})", cast_ty(ty), expr(inner))
+        }
+        ExprKind::SizeofType(t) => format!("sizeof({})", cast_ty(t)),
+        ExprKind::SizeofExpr(inner) => format!("sizeof {}", expr(inner)),
+        ExprKind::IncDec { pre, inc, expr: inner } => {
+            let op = if *inc { "++" } else { "--" };
+            if *pre {
+                format!("({op}{})", expr(inner))
+            } else {
+                format!("({}{op})", expr(inner))
+            }
+        }
+        ExprKind::VarArg(inner) => format!("__vararg({})", expr(inner)),
+    }
+}
+
+fn cast_ty(t: &Type) -> String {
+    match t {
+        Type::Int => "int".into(),
+        Type::Char => "char".into(),
+        Type::Void => "void".into(),
+        Type::Ptr(inner) => format!("{}*", cast_ty(inner)),
+        Type::Struct(n) => format!("struct {n}"),
+        other => format!("{other:?}"),
+    }
+}

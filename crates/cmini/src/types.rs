@@ -1,0 +1,194 @@
+//! Type layout for mini-C.
+//!
+//! `int` and pointers are 8 bytes, `char` is 1; structs use natural
+//! alignment with padding, like a 64-bit C ABI.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Item, TranslationUnit, Type};
+use crate::error::CError;
+use crate::token::Span;
+
+/// Size and alignment of a type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Size in bytes.
+    pub size: u64,
+    /// Alignment in bytes.
+    pub align: u64,
+}
+
+/// A laid-out struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructInfo {
+    /// Fields with their types and byte offsets.
+    pub fields: Vec<(String, Type, u64)>,
+    /// Overall layout.
+    pub layout: Layout,
+}
+
+/// Struct layouts for one translation unit.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    structs: BTreeMap<String, StructInfo>,
+    file: String,
+}
+
+impl TypeTable {
+    /// Build the table from a translation unit's struct definitions,
+    /// resolving in source order (so structs may reference earlier structs
+    /// by value and any struct by pointer).
+    pub fn build(tu: &TranslationUnit) -> Result<TypeTable, CError> {
+        let mut table = TypeTable { structs: BTreeMap::new(), file: tu.file.clone() };
+        for item in &tu.items {
+            if let Item::Struct(s) = item {
+                if s.fields.is_empty() {
+                    // forward declaration; ignore (pointers don't need it)
+                    continue;
+                }
+                if table.structs.contains_key(&s.name) {
+                    return Err(CError::Type {
+                        file: tu.file.clone(),
+                        span: s.span,
+                        msg: format!("duplicate definition of struct `{}`", s.name),
+                    });
+                }
+                let mut fields = Vec::new();
+                let mut offset = 0u64;
+                let mut align = 1u64;
+                for (fname, fty) in &s.fields {
+                    let l = table.layout_at(fty, s.span)?;
+                    offset = round_up(offset, l.align);
+                    fields.push((fname.clone(), fty.clone(), offset));
+                    offset += l.size;
+                    align = align.max(l.align);
+                }
+                let size = round_up(offset.max(1), align);
+                table
+                    .structs
+                    .insert(s.name.clone(), StructInfo { fields, layout: Layout { size, align } });
+            }
+        }
+        Ok(table)
+    }
+
+    /// Layout of `ty`, or a type error at `span` for incomplete types.
+    pub fn layout_at(&self, ty: &Type, span: Span) -> Result<Layout, CError> {
+        let err = |msg: String| CError::Type { file: self.file.clone(), span, msg };
+        Ok(match ty {
+            Type::Int => Layout { size: 8, align: 8 },
+            Type::Char => Layout { size: 1, align: 1 },
+            Type::Ptr(_) => Layout { size: 8, align: 8 },
+            Type::Void => return Err(err("cannot take the size of void".into())),
+            Type::Func(_) => return Err(err("cannot take the size of a function".into())),
+            Type::Array(elem, n) => {
+                let l = self.layout_at(elem, span)?;
+                Layout { size: l.size * n, align: l.align }
+            }
+            Type::Struct(name) => {
+                self.structs
+                    .get(name)
+                    .ok_or_else(|| err(format!("struct `{name}` has no definition here")))?
+                    .layout
+            }
+        })
+    }
+
+    /// Look up a struct's info.
+    pub fn struct_info(&self, name: &str) -> Option<&StructInfo> {
+        self.structs.get(name)
+    }
+
+    /// Field type and offset within a struct.
+    pub fn field(&self, sname: &str, fname: &str) -> Option<(&Type, u64)> {
+        self.structs
+            .get(sname)?
+            .fields
+            .iter()
+            .find(|(n, _, _)| n == fname)
+            .map(|(_, t, o)| (t, *o))
+    }
+
+    /// The memory access width for loads/stores of a scalar type.
+    pub fn width_of(ty: &Type) -> cobj::Width {
+        match ty {
+            Type::Char => cobj::Width::W1,
+            _ => cobj::Width::W8,
+        }
+    }
+}
+
+/// Round `v` up to a multiple of `align`.
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn table(src: &str) -> TypeTable {
+        TypeTable::build(&parse("t.c", src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalar_layouts() {
+        let t = TypeTable::default();
+        let s = Span::default();
+        assert_eq!(t.layout_at(&Type::Int, s).unwrap(), Layout { size: 8, align: 8 });
+        assert_eq!(t.layout_at(&Type::Char, s).unwrap(), Layout { size: 1, align: 1 });
+        assert_eq!(t.layout_at(&Type::Int.ptr(), s).unwrap(), Layout { size: 8, align: 8 });
+        assert!(t.layout_at(&Type::Void, s).is_err());
+    }
+
+    #[test]
+    fn struct_padding_and_offsets() {
+        let t = table("struct s { char c; int x; char d; };");
+        let info = t.struct_info("s").unwrap();
+        assert_eq!(info.fields[0].2, 0);
+        assert_eq!(info.fields[1].2, 8); // padded
+        assert_eq!(info.fields[2].2, 16);
+        assert_eq!(info.layout, Layout { size: 24, align: 8 });
+    }
+
+    #[test]
+    fn packed_chars() {
+        let t = table("struct b { char a; char b; char c; };");
+        assert_eq!(t.struct_info("b").unwrap().layout, Layout { size: 3, align: 1 });
+    }
+
+    #[test]
+    fn nested_structs_by_value() {
+        let t = table("struct in { int x; }; struct out { char c; struct in i; };");
+        let (_, off) = t.field("out", "i").unwrap();
+        assert_eq!(off, 8);
+        assert_eq!(t.struct_info("out").unwrap().layout.size, 16);
+    }
+
+    #[test]
+    fn arrays_in_structs() {
+        let t = table("struct p { char data[6]; int len; };");
+        assert_eq!(t.field("p", "len").unwrap().1, 8);
+        assert_eq!(t.struct_info("p").unwrap().layout.size, 16);
+    }
+
+    #[test]
+    fn self_reference_by_pointer_ok() {
+        let t = table("struct node { int v; struct node *next; };");
+        assert_eq!(t.struct_info("node").unwrap().layout.size, 16);
+    }
+
+    #[test]
+    fn undefined_struct_by_value_is_error() {
+        let tu = parse("t.c", "struct a { struct missing m; };").unwrap();
+        assert!(TypeTable::build(&tu).is_err());
+    }
+
+    #[test]
+    fn duplicate_struct_is_error() {
+        let tu = parse("t.c", "struct a { int x; }; struct a { int y; };").unwrap();
+        assert!(TypeTable::build(&tu).is_err());
+    }
+}

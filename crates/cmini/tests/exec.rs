@@ -1,0 +1,362 @@
+//! End-to-end execution tests: compile mini-C, link, run on the machine,
+//! and check observable results. These are the deepest correctness tests of
+//! the compiler — every language feature is exercised through real
+//! execution at both -O0 and -O2, and the two must agree (optimization
+//! soundness).
+
+use cmini::{compile, CompileOptions, NoFiles, OptLevel};
+use cobj::{link, LinkInput, LinkOptions};
+use machine::Machine;
+
+/// Compile, link against the runtime, and build a machine.
+fn boot(src: &str, opt: OptLevel) -> Machine {
+    let opts = CompileOptions { opt, ..Default::default() };
+    let obj = compile("test.c", src, &opts, &NoFiles).unwrap_or_else(|e| panic!("compile: {e}"));
+    let img = link(
+        &[LinkInput::Object(obj)],
+        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .unwrap_or_else(|e| panic!("link: {e}"));
+    Machine::new(img).unwrap()
+}
+
+/// Run `name(args)` at both optimization levels; results must agree.
+fn run(src: &str, name: &str, args: &[i64]) -> i64 {
+    let mut m0 = boot(src, OptLevel::O0);
+    let r0 = m0.call(name, args).unwrap_or_else(|e| panic!("O0 fault: {e}"));
+    let mut m2 = boot(src, OptLevel::O2);
+    let r2 = m2.call(name, args).unwrap_or_else(|e| panic!("O2 fault: {e}"));
+    assert_eq!(r0, r2, "O0 and O2 disagree for `{name}`");
+    r0
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(run("int f() { return 2 + 3 * 4 - 10 / 2; }", "f", &[]), 9);
+    assert_eq!(run("int f(int x) { return -x + ~x + !x; }", "f", &[5]), -11);
+    // C precedence: ^ binds tighter than |, so (7&3) | ((1<<4)^2) = 3|18.
+    assert_eq!(run("int f() { return (7 & 3) | (1 << 4) ^ 2; }", "f", &[]), 19);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let src = "int f(int a, int b) { return (a < b) + 10 * (a == b) + 100 * (a && b) + 1000 * (a || b); }";
+    assert_eq!(run(src, "f", &[1, 2]), 1 + 100 + 1000);
+    assert_eq!(run(src, "f", &[3, 3]), 10 + 100 + 1000);
+    assert_eq!(run(src, "f", &[0, 0]), 10); // 0 == 0 is true
+}
+
+#[test]
+fn short_circuit_skips_side_effects() {
+    let src = r#"
+        int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int f() { int a = 0 && bump(); int b = 1 || bump(); return hits * 10 + a + b; }
+    "#;
+    assert_eq!(run(src, "f", &[]), 1);
+}
+
+#[test]
+fn loops() {
+    assert_eq!(
+        run("int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }", "f", &[100]),
+        5050
+    );
+    assert_eq!(
+        run("int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }", "f", &[10]),
+        55
+    );
+    assert_eq!(
+        run("int f() { int i = 0; do { i++; } while (i < 5); return i; }", "f", &[]),
+        5
+    );
+    assert_eq!(
+        run(
+            "int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i == 3) continue; if (i == 7) break; s += i; } return s; }",
+            "f",
+            &[]
+        ),
+        0 + 1 + 2 + 4 + 5 + 6
+    );
+}
+
+#[test]
+fn recursion() {
+    assert_eq!(
+        run("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }", "fib", &[15]),
+        610
+    );
+    assert_eq!(
+        run("int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }", "fact", &[10]),
+        3628800
+    );
+}
+
+#[test]
+fn pointers_and_arrays() {
+    let src = r#"
+        int sum(int *a, int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += a[i];
+            return s;
+        }
+        int f() {
+            int buf[5];
+            for (int i = 0; i < 5; i++) buf[i] = i * i;
+            return sum(buf, 5);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 0 + 1 + 4 + 9 + 16);
+}
+
+#[test]
+fn pointer_arithmetic_scales() {
+    let src = r#"
+        int f() {
+            int buf[4];
+            int *p = buf;
+            *p = 10; *(p + 1) = 20; p += 2; *p = 30; p++; *p = 40;
+            return buf[0] + buf[1] + buf[2] + buf[3];
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 100);
+}
+
+#[test]
+fn pointer_difference() {
+    let src = "int f() { int a[10]; int *p = a + 7; int *q = a + 2; return p - q; }";
+    assert_eq!(run(src, "f", &[]), 5);
+}
+
+#[test]
+fn address_of_locals() {
+    let src = r#"
+        void set(int *p, int v) { *p = v; }
+        int f() { int x = 1; set(&x, 42); return x; }
+    "#;
+    assert_eq!(run(src, "f", &[]), 42);
+}
+
+#[test]
+fn structs_members_and_pointers() {
+    let src = r#"
+        struct point { int x; int y; };
+        struct rect { struct point a; struct point b; };
+        int area(struct rect *r) {
+            return (r->b.x - r->a.x) * (r->b.y - r->a.y);
+        }
+        int f() {
+            struct rect r;
+            r.a.x = 1; r.a.y = 2; r.b.x = 5; r.b.y = 10;
+            return area(&r);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 32);
+}
+
+#[test]
+fn char_width_and_strings() {
+    let src = r#"
+        int strlen_(char *s) { int n = 0; while (s[n]) n++; return n; }
+        int f() {
+            char buf[8];
+            buf[0] = 'h'; buf[1] = 'i'; buf[2] = 0;
+            return strlen_(buf) + strlen_("knit!");
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 7);
+}
+
+#[test]
+fn char_truncation() {
+    let src = "int f() { char c = 300; return c; }";
+    assert_eq!(run(src, "f", &[]), 44);
+}
+
+#[test]
+fn global_state() {
+    let src = r#"
+        int counter = 100;
+        static int secret = 7;
+        int bump(int d) { counter += d; return counter; }
+        int f() { bump(1); bump(2); return counter + secret; }
+    "#;
+    assert_eq!(run(src, "f", &[]), 110);
+}
+
+#[test]
+fn global_arrays_and_structs() {
+    let src = r#"
+        int squares[4] = { 0, 1, 4, 9 };
+        struct cfg { int a; int b; };
+        struct cfg conf = { 11, 22 };
+        char tag[] = "ab";
+        int f() { return squares[3] + conf.b + tag[1]; }
+    "#;
+    assert_eq!(run(src, "f", &[]), 9 + 22 + 'b' as i64);
+}
+
+#[test]
+fn function_pointers_and_vtables() {
+    let src = r#"
+        int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        struct ops { int (*fn)(int, int); int bias; };
+        struct ops table[2] = { { add, 1 }, { mul, 2 } };
+        int apply(int which, int a, int b) {
+            struct ops *o = &table[which];
+            return o->fn(a, b) + o->bias;
+        }
+        int f() { return apply(0, 3, 4) * 100 + apply(1, 3, 4); }
+    "#;
+    assert_eq!(run(src, "f", &[]), 800 + 14);
+}
+
+#[test]
+fn function_pointer_parameters() {
+    let src = r#"
+        int twice(int x) { return 2 * x; }
+        int apply(int (*g)(int), int x) { return g(g(x)); }
+        int f(int x) { return apply(twice, x); }
+    "#;
+    assert_eq!(run(src, "f", &[5]), 20);
+}
+
+#[test]
+fn varargs_sum() {
+    let src = r#"
+        int sumn(int n, ...) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s += __vararg(i);
+            return s;
+        }
+        int f() { return sumn(4, 10, 20, 30, 40); }
+    "#;
+    assert_eq!(run(src, "f", &[]), 100);
+}
+
+#[test]
+fn ternary_and_incdec() {
+    let src = r#"
+        int f(int x) {
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            int d = --x;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+    "#;
+    // x=5: a=5 (x=6), b=7 (x=7), c=7 (x=6), d=5 (x=5)
+    assert_eq!(run(src, "f", &[5]), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+#[test]
+fn compound_assignment() {
+    let src = "int f(int x) { x += 3; x *= 2; x -= 1; x /= 3; x %= 4; x <<= 2; x >>= 1; x |= 8; x &= 12; x ^= 5; return x; }";
+    let mut v: i64 = 9;
+    v += 3;
+    v *= 2;
+    v -= 1;
+    v /= 3;
+    v %= 4;
+    v <<= 2;
+    v >>= 1;
+    v |= 8;
+    v &= 12;
+    v ^= 5;
+    assert_eq!(run(src, "f", &[9]), v);
+}
+
+#[test]
+fn sizeof_values() {
+    let src = r#"
+        struct s { char c; int x; };
+        int f() { return sizeof(int) + sizeof(char) * 10 + sizeof(struct s) * 100 + sizeof(int*) * 1000; }
+    "#;
+    assert_eq!(run(src, "f", &[]), 8 + 10 + 1600 + 8000);
+}
+
+#[test]
+fn console_output_via_intrinsic() {
+    let src = r#"
+        int __con_putc(int c);
+        void puts_(char *s) { while (*s) { __con_putc(*s); s++; } }
+        int f() { puts_("hello"); return 0; }
+    "#;
+    let mut m = boot(src, OptLevel::O2);
+    m.call("f", &[]).unwrap();
+    assert_eq!(m.console.output, "hello");
+}
+
+#[test]
+fn heap_via_brk() {
+    let src = r#"
+        int __brk(int n);
+        int f() {
+            int *p = (int*)__brk(8 * 10);
+            for (int i = 0; i < 10; i++) p[i] = i;
+            int s = 0;
+            for (int i = 0; i < 10; i++) s += p[i];
+            return s;
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 45);
+}
+
+#[test]
+fn shadowing_in_nested_scopes() {
+    let src = r#"
+        int f(int x) {
+            int y = 1;
+            { int y = 2; x += y; }
+            { int y = 3; x += y; }
+            return x + y;
+        }
+    "#;
+    assert_eq!(run(src, "f", &[0]), 6);
+}
+
+#[test]
+fn preprocessor_macros_work_end_to_end() {
+    let src = "#define SCALE 7\n#define BASE 100\nint f(int x) { return BASE + SCALE * x; }\n";
+    assert_eq!(run(src, "f", &[3]), 121);
+}
+
+#[test]
+fn division_semantics() {
+    assert_eq!(run("int f(int a, int b) { return a / b; }", "f", &[-7, 2]), -3);
+    assert_eq!(run("int f(int a, int b) { return a % b; }", "f", &[-7, 2]), -1);
+}
+
+#[test]
+fn o2_output_matches_o0_on_inlined_chain() {
+    // The exact chain shape the Clack router uses: each stage defined
+    // before its caller, so O2 inlines everything.
+    let src = r#"
+        int stage3(int x) { return x + 3; }
+        int stage2(int x) { int r = stage3(x * 2); return r; }
+        int stage1(int x) { return stage2(x + 1); }
+        int f(int x) { return stage1(x); }
+    "#;
+    assert_eq!(run(src, "f", &[10]), (10 + 1) * 2 + 3);
+}
+
+#[test]
+fn o2_executes_fewer_cycles_on_call_heavy_code() {
+    let src = r#"
+        int one(int x) { return x + 1; }
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) s = one(s);
+            return s;
+        }
+    "#;
+    let cycles = |opt| {
+        let mut m = boot(src, opt);
+        m.call("f", &[1000]).unwrap();
+        m.counters().cycles
+    };
+    let c0 = cycles(OptLevel::O0);
+    let c2 = cycles(OptLevel::O2);
+    assert!(c2 < c0, "O2 ({c2}) should beat O0 ({c0})");
+}

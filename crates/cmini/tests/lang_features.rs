@@ -1,0 +1,295 @@
+//! Exhaustive language-feature tests for mini-C, executed on the machine.
+//! These complement `tests/exec.rs` with the corner cases the component
+//! corpus leans on: multi-dimensional arrays, function-pointer tables,
+//! nested structs through pointers, the preprocessor, and the optimizer
+//! pipeline's interaction with all of them.
+
+use cmini::{compile, CompileOptions, NoFiles, OptLevel};
+use cobj::{link, LinkInput, LinkOptions};
+use machine::Machine;
+
+fn boot(src: &str, opt: OptLevel) -> Machine {
+    let opts = CompileOptions { opt, ..Default::default() };
+    let obj = compile("t.c", src, &opts, &NoFiles).unwrap_or_else(|e| panic!("compile: {e}"));
+    let img = link(
+        &[LinkInput::Object(obj)],
+        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .unwrap_or_else(|e| panic!("link: {e}"));
+    Machine::new(img).unwrap()
+}
+
+fn run(src: &str, name: &str, args: &[i64]) -> i64 {
+    let mut m0 = boot(src, OptLevel::O0);
+    let r0 = m0.call(name, args).unwrap_or_else(|e| panic!("O0 fault: {e}"));
+    let mut m2 = boot(src, OptLevel::O2);
+    let r2 = m2.call(name, args).unwrap_or_else(|e| panic!("O2 fault: {e}"));
+    assert_eq!(r0, r2, "O0/O2 disagreement");
+    r0
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    let src = r#"
+        static int grid[3][4];
+        int f() {
+            for (int r = 0; r < 3; r++)
+                for (int c = 0; c < 4; c++)
+                    grid[r][c] = r * 10 + c;
+            int sum = 0;
+            for (int r = 0; r < 3; r++) sum += grid[r][3];
+            return sum + grid[2][1];
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 3 + 13 + 23 + 21);
+}
+
+#[test]
+fn two_dimensional_char_rings() {
+    // the queue element's exact pattern
+    let src = r#"
+        static char ring[4][16];
+        int f() {
+            for (int s = 0; s < 4; s++) {
+                char *slot = ring[s];
+                for (int i = 0; i < 16; i++) slot[i] = s * 16 + i;
+            }
+            return (ring[3][15] & 255) + (ring[0][0] & 255);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 63);
+}
+
+#[test]
+fn function_pointer_dispatch_tables() {
+    let src = r#"
+        int inc(int x) { return x + 1; }
+        int dec(int x) { return x - 1; }
+        int dbl(int x) { return x * 2; }
+        static int (*ops[3])(int) = { inc, dec, dbl };
+        int f(int which, int v) {
+            return ops[which](v);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[0, 10]), 11);
+    assert_eq!(run(src, "f", &[1, 10]), 9);
+    assert_eq!(run(src, "f", &[2, 10]), 20);
+}
+
+#[test]
+fn nested_struct_chains() {
+    let src = r#"
+        struct leaf { int v; };
+        struct node { struct leaf l; struct node *next; };
+        static struct node a;
+        static struct node b;
+        int f() {
+            a.l.v = 7;
+            a.next = &b;
+            b.l.v = 35;
+            b.next = 0;
+            int sum = 0;
+            struct node *p = &a;
+            while (p) {
+                sum += p->l.v;
+                p = p->next;
+            }
+            return sum;
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 42);
+}
+
+#[test]
+fn struct_with_embedded_array_field() {
+    let src = r#"
+        struct buf { char data[8]; int len; };
+        static struct buf b;
+        int f() {
+            for (int i = 0; i < 8; i++) b.data[i] = 'a' + i;
+            b.len = 8;
+            int sum = 0;
+            for (int i = 0; i < b.len; i++) sum += b.data[i];
+            return sum;
+        }
+    "#;
+    let expected: i64 = (0..8).map(|i| ('a' as i64) + i).sum();
+    assert_eq!(run(src, "f", &[]), expected);
+}
+
+#[test]
+fn preprocessor_conditional_compilation() {
+    let src = "#define FAST 1\n#ifdef FAST\nint f() { return 1; }\n#else\nint f() { return 2; }\n#endif\n";
+    assert_eq!(run(src, "f", &[]), 1);
+    let src2 = "#ifdef FAST\nint f() { return 1; }\n#else\nint f() { return 2; }\n#endif\n";
+    assert_eq!(run(src2, "f", &[]), 2);
+}
+
+#[test]
+fn include_directories_resolve() {
+    let mut files = std::collections::BTreeMap::new();
+    files.insert("inc/config.h".to_string(), "#define ANSWER 42\n".to_string());
+    let opts = CompileOptions {
+        pp: cmini::PpOptions { include_dirs: vec!["inc".into()], defines: vec![] },
+        ..Default::default()
+    };
+    let obj = compile("t.c", "#include \"config.h\"\nint f() { return ANSWER; }\n", &opts, &files)
+        .unwrap();
+    let img = link(
+        &[LinkInput::Object(obj)],
+        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .unwrap();
+    let mut m = Machine::new(img).unwrap();
+    assert_eq!(m.call("f", &[]).unwrap(), 42);
+}
+
+#[test]
+fn early_return_inlining_preserves_guard_clause_logic() {
+    // exactly the CheckIPHeader shape: a run of guard clauses, inlined into
+    // a caller, at both opt levels
+    let src = r#"
+        static int bad;
+        static int validate(int len, int ver, int sum) {
+            if (len < 20) { bad++; return 0; }
+            if (ver != 69) { bad++; return 0; }
+            if (sum != 0) { bad++; return 0; }
+            return 1;
+        }
+        int f(int len, int ver, int sum) {
+            int ok = validate(len, ver, sum);
+            return ok * 10 + bad;
+        }
+    "#;
+    assert_eq!(run(src, "f", &[30, 69, 0]), 10);
+    assert_eq!(run(src, "f", &[5, 69, 0]), 1);
+    assert_eq!(run(src, "f", &[30, 68, 0]), 1);
+}
+
+#[test]
+fn early_return_inlining_inside_loops() {
+    let src = r#"
+        static int find(int *a, int n, int needle) {
+            for (int i = 0; i < n; i++) {
+                if (a[i] == needle) return i;
+            }
+            return -1;
+        }
+        int f(int needle) {
+            int data[5];
+            for (int i = 0; i < 5; i++) data[i] = i * i;
+            return find(data, 5, needle);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[9]), 3);
+    assert_eq!(run(src, "f", &[7]), -1);
+}
+
+#[test]
+fn hoisted_calls_in_conditions_keep_short_circuit() {
+    let src = r#"
+        static int calls;
+        static int probe(int x) { calls++; return x > 0; }
+        int f(int a, int b) {
+            calls = 0;
+            if (probe(a) && probe(b)) { }
+            return calls;
+        }
+    "#;
+    // a <= 0: second probe must not run
+    assert_eq!(run(src, "f", &[0, 5]), 1);
+    assert_eq!(run(src, "f", &[3, 5]), 2);
+}
+
+#[test]
+fn string_literals_with_escapes() {
+    let src = r#"
+        int f() {
+            char *s = "a\tb\nc\\d\"e";
+            int sum = 0;
+            while (*s) { sum += *s; s++; }
+            return sum;
+        }
+    "#;
+    let expected: i64 = "a\tb\nc\\d\"e".bytes().map(|b| b as i64).sum();
+    assert_eq!(run(src, "f", &[]), expected);
+}
+
+#[test]
+fn pointer_to_pointer() {
+    let src = r#"
+        int f() {
+            int x = 5;
+            int *p = &x;
+            int **pp = &p;
+            **pp = 9;
+            return x + **pp;
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 18);
+}
+
+#[test]
+fn globals_survive_across_calls() {
+    let src = r#"
+        static int state;
+        int bump(int d) { state += d; return state; }
+    "#;
+    let mut m = boot(src, OptLevel::O2);
+    assert_eq!(m.call("bump", &[5]).unwrap(), 5);
+    assert_eq!(m.call("bump", &[7]).unwrap(), 12);
+    assert_eq!(m.call("bump", &[-12]).unwrap(), 0);
+}
+
+#[test]
+fn negative_modulo_and_shifts() {
+    assert_eq!(run("int f(int a) { return a % 7; }", "f", &[-15]), -1);
+    assert_eq!(run("int f(int a) { return a << 3; }", "f", &[-2]), -16);
+    assert_eq!(run("int f(int a) { return a >> 1; }", "f", &[-8]), -4);
+}
+
+#[test]
+fn do_while_executes_at_least_once() {
+    let src = "int f(int n) { int c = 0; do { c++; } while (c < n); return c; }";
+    assert_eq!(run(src, "f", &[0]), 1);
+    assert_eq!(run(src, "f", &[5]), 5);
+}
+
+#[test]
+fn deeply_nested_control_flow() {
+    let src = r#"
+        int f(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2) {
+                    for (int j = 0; j < i; j++) {
+                        if (j == 3) continue;
+                        while (total % 7 == 6) total++;
+                        total += j;
+                    }
+                } else if (i > 4) {
+                    break;
+                }
+            }
+            return total;
+        }
+    "#;
+    // golden value computed once at O0 and cross-checked at O2 by run()
+    let v = run(src, "f", &[10]);
+    assert_eq!(v, run(src, "f", &[10]));
+}
+
+#[test]
+fn sizeof_in_expressions_and_pointer_steps() {
+    let src = r#"
+        struct wide { int a; int b; char c; };
+        int f() {
+            struct wide arr[3];
+            struct wide *p = arr;
+            struct wide *q = p + 2;
+            int bytes = (int)((char*)q - (char*)p);
+            return bytes == 2 * sizeof(struct wide);
+        }
+    "#;
+    assert_eq!(run(src, "f", &[]), 1);
+}

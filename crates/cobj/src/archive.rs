@@ -1,0 +1,71 @@
+//! Archives (`.a` libraries): ordered bags of object files.
+//!
+//! The paper (Section 5.1) describes how the pre-Knit OSKit relied on `ld`
+//! archive semantics for component override: "since ld inspects its
+//! arguments in order, and since it ignores archive members that do not
+//! contribute new symbols, a careful ordering of ld's arguments would allow
+//! a programmer to override an existing component". The [`crate::ld`] module
+//! implements exactly that member-selection rule over this type.
+
+use crate::object::ObjectFile;
+
+/// An ordered collection of object files with library semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    /// Archive name for diagnostics (e.g. `"liboskit_memfs.a"`).
+    pub name: String,
+    /// Members, in insertion order (the order `ld` scans them).
+    pub members: Vec<ObjectFile>,
+}
+
+impl Archive {
+    /// Create an empty archive.
+    pub fn new(name: impl Into<String>) -> Self {
+        Archive { name: name.into(), members: Vec::new() }
+    }
+
+    /// Append a member (like `ar r`).
+    pub fn add(&mut self, obj: ObjectFile) -> &mut Self {
+        self.members.push(obj);
+        self
+    }
+
+    /// Build an archive from members.
+    pub fn from_members(name: impl Into<String>, members: Vec<ObjectFile>) -> Self {
+        Archive { name: name.into(), members }
+    }
+
+    /// Names of all global definitions across members (the archive index,
+    /// like `ranlib` would produce).
+    pub fn index(&self) -> Vec<(&str, usize)> {
+        let mut out = Vec::new();
+        for (i, m) in self.members.iter().enumerate() {
+            for name in m.exported_names() {
+                out.push((name, i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{FuncDef, Symbol};
+    use crate::ir::Instr;
+
+    fn tiny(name: &str, sym: &str) -> ObjectFile {
+        let mut o = ObjectFile::new(name);
+        let s = o.add_symbol(Symbol::func(sym));
+        o.funcs.push(FuncDef { sym: s, params: 0, nregs: 0, frame_size: 0, body: vec![Instr::Ret { value: None }] });
+        o
+    }
+
+    #[test]
+    fn index_lists_member_exports_in_order() {
+        let mut a = Archive::new("libx.a");
+        a.add(tiny("a.o", "alpha")).add(tiny("b.o", "beta"));
+        let idx = a.index();
+        assert_eq!(idx, vec![("alpha", 0), ("beta", 1)]);
+    }
+}

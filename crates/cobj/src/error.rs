@@ -1,0 +1,131 @@
+//! Error types for object construction and linking.
+
+use std::fmt;
+
+/// Structural errors in a single object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectError {
+    /// A symbol index was out of range for the object's symbol table.
+    BadSymbolIndex { object: String, index: u32, context: String },
+    /// Two definitions of the same name inside one object.
+    DuplicateSymbol { object: String, name: String },
+    /// A function/data definition pointed at a symbol of the wrong kind.
+    SymbolKindMismatch { object: String, name: String, expected: String },
+    /// A jump or branch target was outside the function body.
+    BadJumpTarget { object: String, func: String, at: usize },
+    /// A defined symbol had no function or data body.
+    MissingBody { object: String, name: String },
+    /// Alignment was not a power of two.
+    BadAlignment { object: String, name: String, align: u64 },
+    /// A data relocation did not fit inside the initialized bytes.
+    RelocOutOfRange { object: String, name: String, offset: u64 },
+    /// `objcopy` was asked to rename a symbol that does not exist.
+    NoSuchSymbol { object: String, name: String },
+    /// `objcopy` rename would collide two distinct symbols.
+    RenameCollision { object: String, name: String },
+}
+
+impl fmt::Display for ObjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectError::BadSymbolIndex { object, index, context } => {
+                write!(f, "{object}: symbol index {index} out of range ({context})")
+            }
+            ObjectError::DuplicateSymbol { object, name } => {
+                write!(f, "{object}: duplicate definition of `{name}`")
+            }
+            ObjectError::SymbolKindMismatch { object, name, expected } => {
+                write!(f, "{object}: `{name}` is not a {expected}")
+            }
+            ObjectError::BadJumpTarget { object, func, at } => {
+                write!(f, "{object}: jump target out of range in `{func}` at instruction {at}")
+            }
+            ObjectError::MissingBody { object, name } => {
+                write!(f, "{object}: symbol `{name}` is defined but has no body")
+            }
+            ObjectError::BadAlignment { object, name, align } => {
+                write!(f, "{object}: `{name}` alignment {align} is not a power of two")
+            }
+            ObjectError::RelocOutOfRange { object, name, offset } => {
+                write!(f, "{object}: relocation at offset {offset} outside `{name}`")
+            }
+            ObjectError::NoSuchSymbol { object, name } => {
+                write!(f, "objcopy: {object}: no symbol named `{name}`")
+            }
+            ObjectError::RenameCollision { object, name } => {
+                write!(f, "objcopy: {object}: rename collides on `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObjectError {}
+
+/// Errors raised by the linker.
+///
+/// These mirror the classic `ld` failure modes the paper discusses: multiple
+/// definitions in the global namespace, and undefined references left after
+/// all inputs are processed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// The same global name was defined by two included objects — the
+    /// paper's "clash in the global namespace used for linking by ld".
+    MultipleDefinition { name: String, first: String, second: String },
+    /// An undefined reference survived all inputs.
+    UndefinedReference { name: String, referenced_from: Vec<String> },
+    /// The requested entry symbol was not defined.
+    NoEntry { name: String },
+    /// A direct call or function-pointer relocation resolved to a data
+    /// symbol (or vice versa).
+    KindMismatch { name: String, from: String },
+    /// An input object failed validation.
+    BadObject(ObjectError),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::MultipleDefinition { name, first, second } => {
+                write!(f, "ld: multiple definition of `{name}`: first defined in {first}, also in {second}")
+            }
+            LinkError::UndefinedReference { name, referenced_from } => {
+                write!(f, "ld: undefined reference to `{name}` (from {})", referenced_from.join(", "))
+            }
+            LinkError::NoEntry { name } => write!(f, "ld: entry symbol `{name}` not defined"),
+            LinkError::KindMismatch { name, from } => {
+                write!(f, "ld: `{name}` referenced as the wrong kind of symbol from {from}")
+            }
+            LinkError::BadObject(e) => write!(f, "ld: bad input object: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<ObjectError> for LinkError {
+    fn from(e: ObjectError) -> Self {
+        LinkError::BadObject(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_symbol() {
+        let e = LinkError::MultipleDefinition {
+            name: "printf".into(),
+            first: "a.o".into(),
+            second: "b.o".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("printf") && s.contains("a.o") && s.contains("b.o"));
+
+        let e = LinkError::UndefinedReference {
+            name: "serve_web".into(),
+            referenced_from: vec!["log.o".into()],
+        };
+        assert!(e.to_string().contains("serve_web"));
+    }
+}

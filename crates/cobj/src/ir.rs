@@ -1,0 +1,286 @@
+//! The simulated instruction set.
+//!
+//! Compiled code in this reproduction is a simple register-machine bytecode.
+//! Every instruction has a deterministic *encoded size in bytes*, loosely
+//! modeled on a 32-bit x86 encoding; the sum of instruction sizes is the
+//! program's text size, which is one of the three columns the paper reports
+//! in Table 1 and also drives the I-cache simulation in the `machine` crate.
+//!
+//! Symbolic operands ([`SymId`]) index the owning object file's symbol
+//! table; they are resolved to absolute addresses or function indices when
+//! the object is linked into an [`crate::image::Image`].
+
+/// A virtual register within a function frame.
+///
+/// Registers are function-local and unlimited in number; the cost model
+/// charges for instructions, not register pressure (mirroring the paper's
+/// reliance on gcc for low-level codegen quality).
+pub type Reg = u32;
+
+/// Index into an [`crate::object::ObjectFile`]'s symbol table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+/// Memory access width in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte (`char`).
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes (`int`, pointers).
+    W8,
+}
+
+impl Width {
+    /// Number of bytes this width covers.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+/// Binary operators. Comparison operators produce 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Evaluate the operator on two signed 64-bit values.
+    ///
+    /// Division and remainder by zero are reported as `None` so the machine
+    /// can raise a fault rather than panicking.
+    pub fn eval(self, a: i64, b: i64) -> Option<i64> {
+        Some(match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_div(b)
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    return None;
+                }
+                a.wrapping_rem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+        })
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): 1 if operand is 0, else 0.
+    Not,
+    /// Bitwise complement (`~`).
+    BitNot,
+}
+
+impl UnOp {
+    /// Evaluate the operator.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => a.wrapping_neg(),
+            UnOp::Not => (a == 0) as i64,
+            UnOp::BitNot => !a,
+        }
+    }
+}
+
+/// A relocatable instruction as found in object files.
+///
+/// Jump targets are indices into the owning function's instruction vector;
+/// they never cross function boundaries, so linking does not need to rewrite
+/// them (only symbolic operands are relocated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = value`.
+    Const { dst: Reg, value: i64 },
+    /// `dst = src`.
+    Mov { dst: Reg, src: Reg },
+    /// `dst = a <op> b`.
+    Bin { op: BinOp, dst: Reg, a: Reg, b: Reg },
+    /// `dst = <op> a`.
+    Un { op: UnOp, dst: Reg, a: Reg },
+    /// `dst = mem[addr + offset]` (sign-extended to 64 bits).
+    Load { dst: Reg, addr: Reg, offset: i64, width: Width },
+    /// `mem[addr + offset] = src` (truncated to width).
+    Store { addr: Reg, offset: i64, src: Reg, width: Width },
+    /// `dst = &sym + offset` — address of a global or function (relocated).
+    Addr { dst: Reg, sym: SymId, offset: i64 },
+    /// `dst = frame_pointer + offset` — address of a stack slot.
+    FrameAddr { dst: Reg, offset: i64 },
+    /// `dst = varargs[idx]` where `idx` (a register) counts arguments past
+    /// the named parameters. Supports mini-C's variadic functions.
+    VarArg { dst: Reg, idx: Reg },
+    /// Direct call through a symbol (relocated at link time).
+    Call { dst: Option<Reg>, target: SymId, args: Vec<Reg> },
+    /// Indirect call through a function pointer value.
+    CallInd { dst: Option<Reg>, target: Reg, args: Vec<Reg> },
+    /// Unconditional jump to an instruction index in this function.
+    Jump { target: usize },
+    /// Conditional branch: if `cond != 0` go to `then_to` else `else_to`.
+    Branch { cond: Reg, then_to: usize, else_to: usize },
+    /// Return, optionally with a value.
+    Ret { value: Option<Reg> },
+    /// No operation (used as a relaxation placeholder by optimizers).
+    Nop,
+}
+
+impl Instr {
+    /// Encoded size in bytes, the unit of the text-size metric.
+    ///
+    /// The encoding is loosely x86-flavoured: immediates widen the
+    /// instruction, each call argument costs a 2-byte push, and indirect
+    /// calls are shorter than direct ones (no 4-byte displacement) — which
+    /// is why object-style systems like Click have *smaller* text but pay
+    /// more cycles per call.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Instr::Const { value, .. } => {
+                if i32::try_from(*value).is_ok() {
+                    5
+                } else {
+                    10
+                }
+            }
+            Instr::Mov { .. } => 2,
+            Instr::Bin { .. } => 3,
+            Instr::Un { .. } => 3,
+            Instr::Load { .. } => 4,
+            Instr::Store { .. } => 4,
+            Instr::Addr { .. } => 7,
+            Instr::FrameAddr { .. } => 4,
+            Instr::VarArg { .. } => 4,
+            Instr::Call { args, .. } => 5 + 2 * args.len() as u64,
+            Instr::CallInd { args, .. } => 3 + 2 * args.len() as u64,
+            Instr::Jump { .. } => 2,
+            Instr::Branch { .. } => 4,
+            Instr::Ret { .. } => 1,
+            Instr::Nop => 1,
+        }
+    }
+
+    /// The symbol this instruction references, if any.
+    pub fn sym_ref(&self) -> Option<SymId> {
+        match self {
+            Instr::Addr { sym, .. } => Some(*sym),
+            Instr::Call { target, .. } => Some(*target),
+            _ => None,
+        }
+    }
+
+    /// Rewrite the symbol reference (used by `objcopy` when re-indexing
+    /// symbol tables).
+    pub fn map_sym(&mut self, f: impl Fn(SymId) -> SymId) {
+        match self {
+            Instr::Addr { sym, .. } => *sym = f(*sym),
+            Instr::Call { target, .. } => *target = f(*target),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basic() {
+        assert_eq!(BinOp::Add.eval(2, 3), Some(5));
+        assert_eq!(BinOp::Sub.eval(2, 3), Some(-1));
+        assert_eq!(BinOp::Mul.eval(-4, 3), Some(-12));
+        assert_eq!(BinOp::Div.eval(7, 2), Some(3));
+        assert_eq!(BinOp::Rem.eval(7, 2), Some(1));
+        assert_eq!(BinOp::Lt.eval(1, 2), Some(1));
+        assert_eq!(BinOp::Ge.eval(1, 2), Some(0));
+    }
+
+    #[test]
+    fn binop_div_by_zero_is_none() {
+        assert_eq!(BinOp::Div.eval(1, 0), None);
+        assert_eq!(BinOp::Rem.eval(1, 0), None);
+    }
+
+    #[test]
+    fn binop_wrapping() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), Some(i64::MIN));
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), Some(i64::MIN));
+    }
+
+    #[test]
+    fn unop_eval() {
+        assert_eq!(UnOp::Neg.eval(5), -5);
+        assert_eq!(UnOp::Not.eval(0), 1);
+        assert_eq!(UnOp::Not.eval(7), 0);
+        assert_eq!(UnOp::BitNot.eval(0), -1);
+    }
+
+    #[test]
+    fn sizes_reflect_immediates_and_args() {
+        assert_eq!(Instr::Const { dst: 0, value: 1 }.size_bytes(), 5);
+        assert_eq!(
+            Instr::Const { dst: 0, value: i64::MAX }.size_bytes(),
+            10
+        );
+        let call = Instr::Call { dst: None, target: SymId(0), args: vec![1, 2, 3] };
+        assert_eq!(call.size_bytes(), 11);
+        let ind = Instr::CallInd { dst: None, target: 0, args: vec![1, 2, 3] };
+        assert!(ind.size_bytes() < call.size_bytes());
+    }
+
+    #[test]
+    fn map_sym_rewrites_refs() {
+        let mut i = Instr::Call { dst: None, target: SymId(3), args: vec![] };
+        i.map_sym(|SymId(n)| SymId(n + 10));
+        assert_eq!(i.sym_ref(), Some(SymId(13)));
+        let mut j = Instr::Mov { dst: 0, src: 1 };
+        j.map_sym(|_| SymId(99));
+        assert_eq!(j.sym_ref(), None);
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+}

@@ -1,0 +1,648 @@
+//! The bag-of-objects linker.
+//!
+//! This is a faithful model of classic Unix `ld` semantics as the paper
+//! describes them (Section 2.1 and 5.1):
+//!
+//! * Inputs are processed **in order**; explicit objects are always
+//!   included.
+//! * An archive member is included only if it defines a symbol that is
+//!   currently undefined; an archive is re-scanned until no more members
+//!   are pulled in. This is what made "override by careful ordering of
+//!   ld's arguments" work in the pre-Knit OSKit.
+//! * All resolution happens in a single global namespace: two included
+//!   definitions of one name are a hard error, and there is no way to link
+//!   the same undefined name to two different providers — which is exactly
+//!   why `ld` cannot express the interposition of Figure 1(c). (The Knit
+//!   pipeline avoids the limitation by `objcopy`-renaming symbols *before*
+//!   calling this same linker.)
+//!
+//! Undefined names listed in [`LinkOptions::runtime_symbols`] are satisfied
+//! by the runtime (the `machine` crate's intrinsics) rather than by objects.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::archive::Archive;
+use crate::error::LinkError;
+use crate::image::{
+    align_up, CallTarget, Image, ImageFunc, RInstr, SymbolLoc, FUNC_ALIGN, TEXT_BASE,
+};
+use crate::ir::{Instr, SymId};
+use crate::object::{FuncDef, ObjectFile, SymDef};
+
+/// One linker command-line argument.
+#[derive(Debug, Clone)]
+pub enum LinkInput {
+    /// An explicit object file — always included.
+    Object(ObjectFile),
+    /// An archive — members included on demand.
+    Archive(Archive),
+}
+
+/// Linker configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LinkOptions {
+    /// Entry symbol to record in the image (must be a defined function if
+    /// given).
+    pub entry: Option<String>,
+    /// Names provided by the runtime; undefined references to these resolve
+    /// to intrinsics instead of failing.
+    pub runtime_symbols: BTreeSet<String>,
+}
+
+impl LinkOptions {
+    /// Options with an entry point and a set of runtime symbols.
+    pub fn new(entry: impl Into<String>, runtime: impl IntoIterator<Item = String>) -> Self {
+        LinkOptions { entry: Some(entry.into()), runtime_symbols: runtime.into_iter().collect() }
+    }
+}
+
+/// Link `inputs` into an executable [`Image`].
+pub fn link(inputs: &[LinkInput], opts: &LinkOptions) -> Result<Image, LinkError> {
+    let included = select_objects(inputs, opts)?;
+    layout(&included, opts)
+}
+
+/// Phase 1: decide which objects participate, applying archive semantics.
+fn select_objects(inputs: &[LinkInput], opts: &LinkOptions) -> Result<Vec<ObjectFile>, LinkError> {
+    let mut included: Vec<ObjectFile> = Vec::new();
+    // name -> index of including object in `included`
+    let mut defined: BTreeMap<String, usize> = BTreeMap::new();
+    // names referenced but not yet defined (runtime-satisfied names never
+    // enter this set, so they do not pull archive members)
+    let mut undefined: BTreeSet<String> = BTreeSet::new();
+
+    let include =
+        |obj: &ObjectFile,
+         included: &mut Vec<ObjectFile>,
+         defined: &mut BTreeMap<String, usize>,
+         undefined: &mut BTreeSet<String>|
+         -> Result<(), LinkError> {
+            obj.validate()?;
+            let idx = included.len();
+            for s in &obj.symbols {
+                if s.is_global_def() {
+                    if let Some(&first) = defined.get(&s.name) {
+                        return Err(LinkError::MultipleDefinition {
+                            name: s.name.clone(),
+                            first: included[first].name.clone(),
+                            second: obj.name.clone(),
+                        });
+                    }
+                    defined.insert(s.name.clone(), idx);
+                    undefined.remove(&s.name);
+                }
+            }
+            for s in &obj.symbols {
+                if s.def == SymDef::Undefined
+                    && !defined.contains_key(&s.name)
+                    && !opts.runtime_symbols.contains(&s.name)
+                {
+                    undefined.insert(s.name.clone());
+                }
+            }
+            included.push(obj.clone());
+            Ok(())
+        };
+
+    for input in inputs {
+        match input {
+            LinkInput::Object(o) => include(o, &mut included, &mut defined, &mut undefined)?,
+            LinkInput::Archive(a) => {
+                let mut pulled_members: BTreeSet<usize> = BTreeSet::new();
+                loop {
+                    let mut pulled = false;
+                    for (mi, m) in a.members.iter().enumerate() {
+                        if pulled_members.contains(&mi) {
+                            continue;
+                        }
+                        let satisfies =
+                            m.exported_names().iter().any(|n| undefined.contains(*n));
+                        if satisfies {
+                            include(m, &mut included, &mut defined, &mut undefined)?;
+                            pulled_members.insert(mi);
+                            pulled = true;
+                        }
+                    }
+                    if !pulled {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(name) = undefined.iter().next() {
+        // Gather every object that references the first missing name, for a
+        // useful diagnostic.
+        let refs: Vec<String> = included
+            .iter()
+            .filter(|o| o.undefined_names().contains(name.as_str()))
+            .map(|o| o.name.clone())
+            .collect();
+        return Err(LinkError::UndefinedReference { name: name.clone(), referenced_from: refs });
+    }
+    Ok(included)
+}
+
+/// Resolution of one symbol-table entry of one included object.
+#[derive(Debug, Clone, Copy)]
+enum Resolved {
+    Func(u32),
+    Data(u64),
+    Intrinsic(u32),
+}
+
+/// Phase 2: lay out text and data, apply relocations, resolve operands.
+fn layout(included: &[ObjectFile], opts: &LinkOptions) -> Result<Image, LinkError> {
+    // --- assign text addresses ---
+    struct FuncSlot<'a> {
+        obj: usize,
+        def: &'a FuncDef,
+        addr: u64,
+    }
+    let mut slots: Vec<FuncSlot<'_>> = Vec::new();
+    let mut cursor = TEXT_BASE;
+    for (oi, obj) in included.iter().enumerate() {
+        for f in &obj.funcs {
+            cursor = align_up(cursor, FUNC_ALIGN);
+            slots.push(FuncSlot { obj: oi, def: f, addr: cursor });
+            cursor += f.size_bytes();
+        }
+    }
+    let text_end = cursor;
+    let text_size: u64 = included.iter().map(|o| o.text_size()).sum();
+
+    // --- assign data addresses ---
+    let data_base = align_up(text_end, 0x1000);
+    let mut data_cursor = data_base;
+    // (object idx, data idx) -> address
+    let mut data_addrs: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+    for (oi, obj) in included.iter().enumerate() {
+        for (di, d) in obj.data.iter().enumerate() {
+            data_cursor = align_up(data_cursor, d.align.max(1));
+            data_addrs.insert((oi, di), data_cursor);
+            data_cursor += d.size_bytes();
+        }
+    }
+    let heap_base = align_up(data_cursor.max(data_base + 1), 0x1000);
+
+    // --- intrinsic table ---
+    let intrinsics: Vec<String> = opts.runtime_symbols.iter().cloned().collect();
+    let intrinsic_ids: BTreeMap<&str, u32> =
+        intrinsics.iter().enumerate().map(|(i, n)| (n.as_str(), i as u32)).collect();
+
+    // --- global resolution tables ---
+    // func symbol name -> image func index; data name -> address
+    let mut global: BTreeMap<&str, Resolved> = BTreeMap::new();
+    // per-object: SymId -> Resolved (includes locals)
+    let mut per_obj: Vec<BTreeMap<u32, Resolved>> = vec![BTreeMap::new(); included.len()];
+
+    for (fi, slot) in slots.iter().enumerate() {
+        let obj = &included[slot.obj];
+        let sym = obj.symbol(slot.def.sym);
+        per_obj[slot.obj].insert(slot.def.sym.0, Resolved::Func(fi as u32));
+        if sym.is_global_def() {
+            global.insert(sym.name.as_str(), Resolved::Func(fi as u32));
+        }
+    }
+    for (oi, obj) in included.iter().enumerate() {
+        for (di, d) in obj.data.iter().enumerate() {
+            let addr = data_addrs[&(oi, di)];
+            let sym = obj.symbol(d.sym);
+            per_obj[oi].insert(d.sym.0, Resolved::Data(addr));
+            if sym.is_global_def() {
+                global.insert(sym.name.as_str(), Resolved::Data(addr));
+            }
+        }
+    }
+    // undefined entries: resolve via global table or intrinsics
+    for (oi, obj) in included.iter().enumerate() {
+        for (si, s) in obj.symbols.iter().enumerate() {
+            if s.def == SymDef::Undefined {
+                let r = match global.get(s.name.as_str()) {
+                    Some(r) => *r,
+                    None => match intrinsic_ids.get(s.name.as_str()) {
+                        Some(id) => Resolved::Intrinsic(*id),
+                        // select_objects guarantees this cannot happen
+                        None => {
+                            return Err(LinkError::UndefinedReference {
+                                name: s.name.clone(),
+                                referenced_from: vec![obj.name.clone()],
+                            })
+                        }
+                    },
+                };
+                per_obj[oi].insert(si as u32, r);
+            }
+        }
+    }
+
+    // --- build image functions with resolved bodies ---
+    let resolve_addr_value = |r: Resolved, slots: &[FuncSlot<'_>]| -> u64 {
+        match r {
+            Resolved::Func(fi) => slots[fi as usize].addr,
+            Resolved::Data(a) => a,
+            Resolved::Intrinsic(id) => Image::intrinsic_addr(id),
+        }
+    };
+
+    let mut funcs: Vec<ImageFunc> = Vec::with_capacity(slots.len());
+    for slot in &slots {
+        let obj = &included[slot.obj];
+        let name = obj.symbol(slot.def.sym).name.clone();
+        let mut body = Vec::with_capacity(slot.def.body.len());
+        let mut instr_addrs = Vec::with_capacity(slot.def.body.len());
+        let mut instr_sizes = Vec::with_capacity(slot.def.body.len());
+        let mut pc = slot.addr;
+        for instr in &slot.def.body {
+            let size = instr.size_bytes();
+            instr_addrs.push(pc);
+            instr_sizes.push(size as u16);
+            pc += size;
+            let resolve = |sym: SymId| per_obj[slot.obj][&sym.0];
+            let r = match instr {
+                Instr::Const { dst, value } => RInstr::Const { dst: *dst, value: *value },
+                Instr::Mov { dst, src } => RInstr::Mov { dst: *dst, src: *src },
+                Instr::Bin { op, dst, a, b } => RInstr::Bin { op: *op, dst: *dst, a: *a, b: *b },
+                Instr::Un { op, dst, a } => RInstr::Un { op: *op, dst: *dst, a: *a },
+                Instr::Load { dst, addr, offset, width } => {
+                    RInstr::Load { dst: *dst, addr: *addr, offset: *offset, width: *width }
+                }
+                Instr::Store { addr, offset, src, width } => {
+                    RInstr::Store { addr: *addr, offset: *offset, src: *src, width: *width }
+                }
+                Instr::Addr { dst, sym, offset } => {
+                    let base = resolve_addr_value(resolve(*sym), &slots);
+                    RInstr::Const { dst: *dst, value: base.wrapping_add_signed(*offset) as i64 }
+                }
+                Instr::FrameAddr { dst, offset } => RInstr::FrameAddr { dst: *dst, offset: *offset },
+                Instr::VarArg { dst, idx } => RInstr::VarArg { dst: *dst, idx: *idx },
+                Instr::Call { dst, target, args } => {
+                    let tgt = match resolve(*target) {
+                        Resolved::Func(fi) => CallTarget::Func(fi),
+                        Resolved::Intrinsic(id) => CallTarget::Intrinsic(id),
+                        Resolved::Data(_) => {
+                            return Err(LinkError::KindMismatch {
+                                name: obj.symbol(*target).name.clone(),
+                                from: obj.name.clone(),
+                            })
+                        }
+                    };
+                    RInstr::Call { dst: *dst, target: tgt, args: args.clone() }
+                }
+                Instr::CallInd { dst, target, args } => {
+                    RInstr::CallInd { dst: *dst, target: *target, args: args.clone() }
+                }
+                Instr::Jump { target } => RInstr::Jump { target: *target },
+                Instr::Branch { cond, then_to, else_to } => {
+                    RInstr::Branch { cond: *cond, then_to: *then_to, else_to: *else_to }
+                }
+                Instr::Ret { value } => RInstr::Ret { value: *value },
+                Instr::Nop => RInstr::Nop,
+            };
+            body.push(r);
+        }
+        funcs.push(ImageFunc {
+            name,
+            addr: slot.addr,
+            size: slot.def.size_bytes(),
+            params: slot.def.params,
+            nregs: slot.def.nregs,
+            frame_size: slot.def.frame_size,
+            body,
+            instr_addrs,
+            instr_sizes,
+        });
+    }
+
+    // --- build and relocate the data segment ---
+    let mut data = vec![0u8; (data_cursor - data_base) as usize];
+    for (oi, obj) in included.iter().enumerate() {
+        for (di, d) in obj.data.iter().enumerate() {
+            let addr = data_addrs[&(oi, di)];
+            let off = (addr - data_base) as usize;
+            data[off..off + d.init.len()].copy_from_slice(&d.init);
+            for reloc in &d.relocs {
+                let target = per_obj[oi][&reloc.sym.0];
+                let value = resolve_addr_value(target, &slots).wrapping_add_signed(reloc.addend);
+                let at = off + reloc.offset as usize;
+                data[at..at + 8].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+
+    // --- symbol map and entry ---
+    let mut symbols: BTreeMap<String, SymbolLoc> = BTreeMap::new();
+    for (name, r) in &global {
+        let loc = match r {
+            Resolved::Func(fi) => SymbolLoc::Func(*fi),
+            Resolved::Data(a) => SymbolLoc::Data(*a),
+            Resolved::Intrinsic(_) => continue,
+        };
+        symbols.insert((*name).to_string(), loc);
+    }
+    let entry = match &opts.entry {
+        Some(name) => match symbols.get(name) {
+            Some(SymbolLoc::Func(fi)) => Some(*fi),
+            _ => return Err(LinkError::NoEntry { name: name.clone() }),
+        },
+        None => None,
+    };
+
+    let addr_to_func =
+        funcs.iter().enumerate().map(|(i, f)| (f.addr, i as u32)).collect::<BTreeMap<_, _>>();
+
+    Ok(Image {
+        funcs,
+        addr_to_func,
+        data,
+        data_base,
+        heap_base,
+        symbols,
+        intrinsics,
+        text_size,
+        entry,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Instr;
+    use crate::object::{DataDef, DataReloc, Symbol};
+
+    /// Object defining `name` as a function that returns `ret`, optionally
+    /// calling `calls` first.
+    fn func_obj(objname: &str, name: &str, ret: i64, calls: &[&str]) -> ObjectFile {
+        let mut o = ObjectFile::new(objname);
+        let f = o.add_symbol(Symbol::func(name));
+        let mut body = Vec::new();
+        for c in calls {
+            let cs = o.find_symbol(c).unwrap_or_else(|| o.add_symbol(Symbol::undef(*c)));
+            body.push(Instr::Call { dst: None, target: cs, args: vec![] });
+        }
+        body.push(Instr::Const { dst: 0, value: ret });
+        body.push(Instr::Ret { value: Some(0) });
+        o.funcs.push(FuncDef { sym: f, params: 0, nregs: 1, frame_size: 0, body });
+        o
+    }
+
+    #[test]
+    fn simple_link_resolves_calls() {
+        let a = func_obj("main.o", "main", 1, &["helper"]);
+        let b = func_obj("help.o", "helper", 2, &[]);
+        let img = link(
+            &[LinkInput::Object(a), LinkInput::Object(b)],
+            &LinkOptions::new("main", []),
+        )
+        .unwrap();
+        assert_eq!(img.funcs.len(), 2);
+        let main = &img.funcs[img.entry.unwrap() as usize];
+        assert!(matches!(
+            main.body[0],
+            RInstr::Call { target: CallTarget::Func(fi), .. } if img.funcs[fi as usize].name == "helper"
+        ));
+    }
+
+    #[test]
+    fn undefined_reference_is_an_error() {
+        let a = func_obj("main.o", "main", 1, &["missing"]);
+        let err = link(&[LinkInput::Object(a)], &LinkOptions::new("main", [])).unwrap_err();
+        match err {
+            LinkError::UndefinedReference { name, referenced_from } => {
+                assert_eq!(name, "missing");
+                assert_eq!(referenced_from, vec!["main.o".to_string()]);
+            }
+            other => panic!("expected undefined reference, got {other}"),
+        }
+    }
+
+    #[test]
+    fn multiple_definition_is_an_error() {
+        let a = func_obj("a.o", "f", 1, &[]);
+        let b = func_obj("b.o", "f", 2, &[]);
+        let err = link(
+            &[LinkInput::Object(a), LinkInput::Object(b)],
+            &LinkOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinkError::MultipleDefinition { .. }));
+    }
+
+    #[test]
+    fn archive_member_pulled_only_on_demand() {
+        let main = func_obj("main.o", "main", 1, &["used"]);
+        let lib = Archive::from_members(
+            "lib.a",
+            vec![func_obj("used.o", "used", 2, &[]), func_obj("unused.o", "unused", 3, &[])],
+        );
+        let img = link(
+            &[LinkInput::Object(main), LinkInput::Archive(lib)],
+            &LinkOptions::new("main", []),
+        )
+        .unwrap();
+        // `unused.o` must not be included.
+        assert_eq!(img.funcs.len(), 2);
+        assert!(img.func_by_name("unused").is_none());
+    }
+
+    #[test]
+    fn archive_pull_reaches_fixpoint() {
+        // main -> a, a -> b, both in the same archive, b appearing first:
+        // requires the re-scan loop.
+        let main = func_obj("main.o", "main", 1, &["a"]);
+        let lib = Archive::from_members(
+            "lib.a",
+            vec![func_obj("b.o", "b", 2, &[]), func_obj("a.o", "a", 3, &["b"])],
+        );
+        let img = link(
+            &[LinkInput::Object(main), LinkInput::Archive(lib)],
+            &LinkOptions::new("main", []),
+        )
+        .unwrap();
+        assert_eq!(img.funcs.len(), 3);
+    }
+
+    #[test]
+    fn override_by_ordering_works_like_the_oskit_used_it() {
+        // Paper §5.1: placing a replacement object before the original
+        // library overrides the component.
+        let main = func_obj("main.o", "main", 1, &["console_putc"]);
+        let replacement = func_obj("serial.o", "console_putc", 42, &[]);
+        let lib = Archive::from_members("libc.a", vec![func_obj("vga.o", "console_putc", 7, &[])]);
+        let img = link(
+            &[
+                LinkInput::Object(main),
+                LinkInput::Object(replacement),
+                LinkInput::Archive(lib),
+            ],
+            &LinkOptions::new("main", []),
+        )
+        .unwrap();
+        // The archive member is skipped because the symbol is already
+        // defined; the replacement wins.
+        assert_eq!(img.funcs.len(), 2);
+        let f = img.func_by_name("console_putc").unwrap();
+        assert!(matches!(img.funcs[f as usize].body[0], RInstr::Const { value: 42, .. }));
+    }
+
+    #[test]
+    fn interposition_is_impossible_with_ld() {
+        // Figure 1(c): we want logger between main and serve, but all three
+        // pieces speak the same symbol `serve`. Including both providers of
+        // `serve` is a multiple-definition error — ld cannot build the
+        // three-piece puzzle.
+        let main = func_obj("main.o", "main", 1, &["serve"]);
+        let real = func_obj("serve.o", "serve", 2, &[]);
+        // logger exports `serve` and imports `serve` (impossible to express
+        // in one object without renaming — we must split the name, which is
+        // precisely the problem).
+        let logger = func_obj("log.o", "serve", 3, &[]);
+        let err = link(
+            &[
+                LinkInput::Object(main),
+                LinkInput::Object(logger),
+                LinkInput::Object(real),
+            ],
+            &LinkOptions::new("main", []),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LinkError::MultipleDefinition { .. }));
+    }
+
+    #[test]
+    fn runtime_symbols_become_intrinsics() {
+        let main = func_obj("main.o", "main", 1, &["__halt"]);
+        let img = link(
+            &[LinkInput::Object(main)],
+            &LinkOptions::new("main", ["__halt".to_string()]),
+        )
+        .unwrap();
+        assert_eq!(img.intrinsics, vec!["__halt".to_string()]);
+        assert!(matches!(
+            img.funcs[0].body[0],
+            RInstr::Call { target: CallTarget::Intrinsic(0), .. }
+        ));
+    }
+
+    #[test]
+    fn object_definition_overrides_runtime_symbol() {
+        let main = func_obj("main.o", "main", 1, &["__halt"]);
+        let own = func_obj("halt.o", "__halt", 9, &[]);
+        let img = link(
+            &[LinkInput::Object(main), LinkInput::Object(own)],
+            &LinkOptions::new("main", ["__halt".to_string()]),
+        )
+        .unwrap();
+        assert!(matches!(
+            img.funcs[0].body[0],
+            RInstr::Call { target: CallTarget::Func(_), .. }
+        ));
+    }
+
+    #[test]
+    fn data_relocation_patches_function_address() {
+        // A vtable-like data object holding a function pointer.
+        let mut o = ObjectFile::new("vt.o");
+        let f = o.add_symbol(Symbol::func("handler"));
+        let v = o.add_symbol(Symbol::data("vtable"));
+        o.funcs.push(FuncDef {
+            sym: f,
+            params: 0,
+            nregs: 1,
+            frame_size: 0,
+            body: vec![Instr::Const { dst: 0, value: 5 }, Instr::Ret { value: Some(0) }],
+        });
+        o.data.push(DataDef {
+            sym: v,
+            init: vec![0; 8],
+            zeroed: 0,
+            relocs: vec![DataReloc { offset: 0, sym: f, addend: 0 }],
+            align: 8,
+        });
+        let img = link(&[LinkInput::Object(o)], &LinkOptions::default()).unwrap();
+        let vaddr = img.data_by_name("vtable").unwrap();
+        let off = (vaddr - img.data_base) as usize;
+        let ptr = u64::from_le_bytes(img.data[off..off + 8].try_into().unwrap());
+        assert_eq!(img.func_at_addr(ptr), Some(0));
+    }
+
+    #[test]
+    fn text_layout_is_aligned_and_sized() {
+        let a = func_obj("a.o", "f", 1, &[]);
+        let b = func_obj("b.o", "g", 2, &[]);
+        let img = link(
+            &[LinkInput::Object(a), LinkInput::Object(b)],
+            &LinkOptions::default(),
+        )
+        .unwrap();
+        for f in &img.funcs {
+            assert_eq!(f.addr % FUNC_ALIGN, 0);
+            assert_eq!(f.size, f.instr_sizes.iter().map(|&s| s as u64).sum::<u64>());
+            // instruction addresses are contiguous
+            for i in 1..f.body.len() {
+                assert_eq!(f.instr_addrs[i], f.instr_addrs[i - 1] + f.instr_sizes[i - 1] as u64);
+            }
+        }
+        assert_eq!(img.text_size, 6 + 6);
+        assert!(img.data_base >= TEXT_BASE);
+        assert!(img.heap_base >= img.data_base);
+    }
+
+    #[test]
+    fn entry_must_be_defined_function() {
+        let a = func_obj("a.o", "f", 1, &[]);
+        let err = link(&[LinkInput::Object(a)], &LinkOptions::new("main", [])).unwrap_err();
+        assert!(matches!(err, LinkError::NoEntry { .. }));
+    }
+
+    #[test]
+    fn local_symbols_do_not_clash_across_objects() {
+        // Two objects both defining a local (static) `helper` and a global
+        // calling it: legal under ld, each resolves to its own copy.
+        fn with_static(objname: &str, global: &str, ret: i64) -> ObjectFile {
+            let mut o = ObjectFile::new(objname);
+            let h = o.add_symbol(Symbol::local_func("helper"));
+            let g = o.add_symbol(Symbol::func(global));
+            o.funcs.push(FuncDef {
+                sym: h,
+                params: 0,
+                nregs: 1,
+                frame_size: 0,
+                body: vec![Instr::Const { dst: 0, value: ret }, Instr::Ret { value: Some(0) }],
+            });
+            o.funcs.push(FuncDef {
+                sym: g,
+                params: 0,
+                nregs: 1,
+                frame_size: 0,
+                body: vec![
+                    Instr::Call { dst: Some(0), target: h, args: vec![] },
+                    Instr::Ret { value: Some(0) },
+                ],
+            });
+            o
+        }
+        let img = link(
+            &[
+                LinkInput::Object(with_static("a.o", "fa", 10)),
+                LinkInput::Object(with_static("b.o", "fb", 20)),
+            ],
+            &LinkOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(img.funcs.len(), 4);
+        // fa's call goes to a.o's helper, fb's to b.o's.
+        let fa = img.func_by_name("fa").unwrap() as usize;
+        let fb = img.func_by_name("fb").unwrap() as usize;
+        let target_of = |fi: usize| match img.funcs[fi].body[0] {
+            RInstr::Call { target: CallTarget::Func(t), .. } => t as usize,
+            _ => panic!("expected call"),
+        };
+        let ha = target_of(fa);
+        let hb = target_of(fb);
+        assert_ne!(ha, hb);
+        assert!(matches!(img.funcs[ha].body[0], RInstr::Const { value: 10, .. }));
+        assert!(matches!(img.funcs[hb].body[0], RInstr::Const { value: 20, .. }));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests over the object-file layer.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use cobj::ir::Instr;
+use cobj::object::{FuncDef, ObjectFile, Symbol};
+use cobj::{link, objcopy, Archive, LinkInput, LinkOptions};
+
+/// A generated object: `nfuncs` functions named f0..fn, a call chain
+/// between consecutive ones, and one undefined external per object.
+fn gen_object(tag: usize, nfuncs: usize) -> ObjectFile {
+    let mut o = ObjectFile::new(format!("gen{tag}.o"));
+    let ext = o.add_symbol(Symbol::undef(format!("ext{tag}")));
+    let mut syms = Vec::new();
+    for i in 0..nfuncs {
+        syms.push(o.add_symbol(Symbol::func(format!("g{tag}_f{i}"))));
+    }
+    for i in 0..nfuncs {
+        let mut body = Vec::new();
+        if i + 1 < nfuncs {
+            body.push(Instr::Call { dst: Some(0), target: syms[i + 1], args: vec![] });
+        } else {
+            body.push(Instr::Call { dst: Some(0), target: ext, args: vec![] });
+        }
+        body.push(Instr::Ret { value: Some(0) });
+        o.funcs.push(FuncDef { sym: syms[i], params: 0, nregs: 1, frame_size: 0, body });
+    }
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_objects_validate_and_link(nobjs in 1usize..5, nfuncs in 1usize..6) {
+        let mut inputs = Vec::new();
+        for t in 0..nobjs {
+            let o = gen_object(t, nfuncs);
+            prop_assert!(o.validate().is_ok());
+            inputs.push(LinkInput::Object(o));
+        }
+        // provide the externals
+        let mut provider = ObjectFile::new("ext.o");
+        let mut bodies = Vec::new();
+        for t in 0..nobjs {
+            let s = provider.add_symbol(Symbol::func(format!("ext{t}")));
+            bodies.push(s);
+        }
+        for s in bodies {
+            provider.funcs.push(FuncDef {
+                sym: s,
+                params: 0,
+                nregs: 1,
+                frame_size: 0,
+                body: vec![Instr::Const { dst: 0, value: 1 }, Instr::Ret { value: Some(0) }],
+            });
+        }
+        inputs.push(LinkInput::Object(provider));
+        let img = link(&inputs, &LinkOptions::default()).expect("links");
+        prop_assert_eq!(img.funcs.len(), nobjs * nfuncs + nobjs);
+        // layout invariants: addresses strictly increase and never overlap
+        for w in img.funcs.windows(2) {
+            prop_assert!(w[0].addr + w[0].size <= w[1].addr);
+        }
+        prop_assert!(img.data_base >= img.funcs.last().map(|f| f.addr + f.size).unwrap_or(0));
+    }
+
+    #[test]
+    fn rename_then_inverse_is_identity(nfuncs in 1usize..6) {
+        let o = gen_object(0, nfuncs);
+        let mut fwd = BTreeMap::new();
+        let mut back = BTreeMap::new();
+        for i in 0..nfuncs {
+            fwd.insert(format!("g0_f{i}"), format!("renamed_{i}"));
+            back.insert(format!("renamed_{i}"), format!("g0_f{i}"));
+        }
+        let renamed = objcopy::rename_symbols(&o, &fwd).expect("rename ok");
+        prop_assert!(renamed.validate().is_ok());
+        let restored = objcopy::rename_symbols(&renamed, &back).expect("inverse ok");
+        prop_assert_eq!(restored.symbols, o.symbols);
+        prop_assert_eq!(restored.funcs, o.funcs);
+    }
+
+    #[test]
+    fn gc_is_idempotent_and_sound(nfuncs in 2usize..7) {
+        let mut o = gen_object(0, nfuncs);
+        // localize everything but the entry; the chain keeps all reachable
+        let mut keep = std::collections::BTreeSet::new();
+        keep.insert("g0_f0".to_string());
+        objcopy::localize_except(&mut o, &keep);
+        let g1 = objcopy::gc(&o);
+        let g2 = objcopy::gc(&g1);
+        prop_assert!(g1.validate().is_ok());
+        prop_assert_eq!(g1.funcs.len(), g2.funcs.len());
+        prop_assert_eq!(g1.symbols.len(), g2.symbols.len());
+        // the chain is fully reachable from f0
+        prop_assert_eq!(g1.funcs.len(), nfuncs);
+    }
+
+    #[test]
+    fn archive_pull_set_is_minimal(extra in 1usize..5) {
+        // main needs exactly one member; `extra` others must stay out
+        let mut main = ObjectFile::new("main.o");
+        let need = main.add_symbol(Symbol::undef("needed"));
+        let m = main.add_symbol(Symbol::func("main"));
+        main.funcs.push(FuncDef {
+            sym: m,
+            params: 0,
+            nregs: 1,
+            frame_size: 0,
+            body: vec![Instr::Call { dst: Some(0), target: need, args: vec![] }, Instr::Ret { value: Some(0) }],
+        });
+        let mut members = Vec::new();
+        for i in 0..extra {
+            let mut o = ObjectFile::new(format!("x{i}.o"));
+            let s = o.add_symbol(Symbol::func(format!("unneeded{i}")));
+            o.funcs.push(FuncDef { sym: s, params: 0, nregs: 0, frame_size: 0, body: vec![Instr::Ret { value: None }] });
+            members.push(o);
+        }
+        let mut o = ObjectFile::new("needed.o");
+        let s = o.add_symbol(Symbol::func("needed"));
+        o.funcs.push(FuncDef { sym: s, params: 0, nregs: 0, frame_size: 0, body: vec![Instr::Ret { value: None }] });
+        members.push(o);
+        let img = link(
+            &[LinkInput::Object(main), LinkInput::Archive(Archive::from_members("lib.a", members))],
+            &LinkOptions::new("main", []),
+        ).expect("links");
+        prop_assert_eq!(img.funcs.len(), 2, "exactly main + needed");
+    }
+}

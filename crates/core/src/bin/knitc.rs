@@ -1,0 +1,194 @@
+//! `knitc` — the Knit compiler as a command-line tool.
+//!
+//! Mirrors the prototype the paper released ("Source and documentation for
+//! our Knit prototype is available…"): point it at `.unit` files and a
+//! source directory, name a root unit, and it builds the configuration and
+//! (optionally) runs it on the simulated machine.
+//!
+//! ```text
+//! knitc --root WebServer --src ./demo demo/webserver.unit
+//! knitc --root WebServer --src ./demo --run demo/webserver.unit
+//! knitc --root WebServer --src ./demo --no-flatten --no-check ...
+//! ```
+//!
+//! Every `.c`/`.h` file under `--src` (recursively) becomes available to
+//! `files { … }` clauses under its path relative to the source directory.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use knit::{build, BuildOptions, Program, SourceTree};
+
+struct Args {
+    root: Option<String>,
+    src_dirs: Vec<PathBuf>,
+    unit_files: Vec<PathBuf>,
+    run: bool,
+    entry: Option<String>,
+    flatten: bool,
+    check: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: knitc --root <Unit> [--src <dir>]... [--run] [--entry <member>]\n\
+         \x20             [--no-flatten] [--no-check] [-v] <file.unit>...\n\
+         \n\
+         builds the root unit from the given .unit files, with C sources\n\
+         resolved from the --src directories; --run executes the image on\n\
+         the simulated machine and prints its console output"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        root: None,
+        src_dirs: Vec::new(),
+        unit_files: Vec::new(),
+        run: false,
+        entry: None,
+        flatten: true,
+        check: true,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = Some(it.next().unwrap_or_else(|| usage())),
+            "--src" => args.src_dirs.push(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--entry" => args.entry = Some(it.next().unwrap_or_else(|| usage())),
+            "--run" => args.run = true,
+            "--no-flatten" => args.flatten = false,
+            "--no-check" => args.check = false,
+            "-v" | "--verbose" => args.verbose = true,
+            "-h" | "--help" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("knitc: unknown flag `{other}`");
+                usage();
+            }
+            other => args.unit_files.push(PathBuf::from(other)),
+        }
+    }
+    if args.root.is_none() || args.unit_files.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_sources(tree: &mut SourceTree, base: &Path, dir: &Path) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            load_sources(tree, base, &path)?;
+        } else if matches!(path.extension().and_then(|e| e.to_str()), Some("c" | "h")) {
+            let rel = path.strip_prefix(base).unwrap_or(&path);
+            let text = std::fs::read_to_string(&path)?;
+            tree.add(rel.to_string_lossy().replace('\\', "/"), text);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let mut program = Program::new();
+    for f in &args.unit_files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("knitc: cannot read {}: {e}", f.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = program.load_str(&f.to_string_lossy(), &text) {
+            eprintln!("knitc: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut tree = SourceTree::new();
+    for dir in &args.src_dirs {
+        if let Err(e) = load_sources(&mut tree, dir, dir) {
+            eprintln!("knitc: reading sources under {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut opts = BuildOptions::new(
+        args.root.clone().expect("validated"),
+        machine::runtime_symbols(),
+    );
+    opts.entry = args.entry.clone();
+    opts.flatten = args.flatten;
+    opts.check_constraints = args.check;
+
+    let report = match build(&program, &tree, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("knitc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text",
+        opts.root,
+        report.stats.instances,
+        report.stats.units_compiled,
+        report.stats.objects,
+        report.stats.text_size
+    );
+    if args.verbose {
+        println!("initializer schedule:");
+        for s in &report.schedule {
+            println!("  {s}");
+        }
+        if let Some(c) = &report.constraints {
+            println!(
+                "constraints: {} checked over {} variables ({} annotated units)",
+                c.constraints, c.vars, c.annotated_units
+            );
+        }
+        println!("exports:");
+        for (port, sym) in &report.exports {
+            println!("  {port} -> {sym}");
+        }
+        println!("phases:");
+        for (name, d) in &report.phases {
+            println!("  {name:12} {:>9.3} ms", d.as_secs_f64() * 1e3);
+        }
+    }
+
+    if args.run {
+        let mut m = match machine::Machine::new(report.image) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("knitc: machine: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match m.run_entry() {
+            Ok(code) => {
+                if !m.console.output.is_empty() {
+                    print!("{}", m.console.output);
+                }
+                if !m.serial.output.is_empty() {
+                    eprint!("{}", m.serial.output);
+                }
+                println!("knitc: program exited with code {code}");
+                if code != 0 {
+                    return ExitCode::from((code & 0xff) as u8);
+                }
+            }
+            Err(e) => {
+                eprintln!("knitc: runtime fault: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

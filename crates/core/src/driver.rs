@@ -1,0 +1,586 @@
+//! The Knit compiler pipeline.
+//!
+//! Mirrors §6 of the paper: *"In a typical use, the Knit compiler reads the
+//! linking specification and unit files, generates initialization and
+//! finalization code, runs the C compiler or assembler when necessary, and
+//! ultimately produces object files. The object files are then processed by
+//! a slightly modified version of GNU's objcopy, which handles renaming
+//! symbols and duplicating object code for multiply-instantiated units.
+//! Finally, these object files are linked together using ld to produce the
+//! program."*
+//!
+//! Phases (each timed in [`BuildReport::phases`], reproducing the paper's
+//! ">95% of build time is spent in the C compiler and linker" claim):
+//!
+//! 1. elaborate — compound units dissolve into an instance graph;
+//! 2. constraints — architectural checks (§4), optional;
+//! 3. schedule — initializer/finalizer order (§3.2);
+//! 4. compile — each unit's C files through `cmini` (cached per unit:
+//!    multiple instances share one compile);
+//! 5. objcopy — per-instance symbol renaming and duplication;
+//! 6. flatten — groups marked `flatten` are source-merged and recompiled
+//!    (§6), replacing their per-instance objects;
+//! 7. generate — the `__knit_boot` object with `__knit_init`,
+//!    `__knit_fini`, and `__start`;
+//! 8. link — everything through the same bag-of-objects `ld` as the
+//!    baseline, now collision-free by construction.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use cmini::CompileOptions;
+use cobj::ir::Instr;
+use cobj::object::{FuncDef, ObjectFile, Symbol};
+use cobj::{Image, LinkInput, LinkOptions};
+use knit_lang::ast::{AtomicBody, UnitBody, UnitDecl};
+
+use crate::constraints::{self, ConstraintReport};
+use crate::elaborate::{elaborate, Elaboration, Wire};
+use crate::error::KnitError;
+use crate::model::Program;
+use crate::sched::{self, Schedule};
+use crate::vfs::SourceTree;
+
+/// Options for one build.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Name of the root unit.
+    pub root: String,
+    /// Bundle member of a root export to call from `__start` (after
+    /// `__knit_init`, before `__knit_fini`). Defaults to `main`, silently
+    /// skipped when absent; a member named here explicitly must exist.
+    pub entry: Option<String>,
+    /// Run the constraint checker (§4). Default true.
+    pub check_constraints: bool,
+    /// Honor `flatten` markers (§6). Default true.
+    pub flatten: bool,
+    /// Compiler flags for units that name no `flags` declaration.
+    pub default_flags: Vec<String>,
+    /// Names the runtime provides (undefined references to these become
+    /// intrinsics; see `machine::runtime_symbols`).
+    pub runtime_symbols: BTreeSet<String>,
+}
+
+impl BuildOptions {
+    /// Options for building `root` with the given runtime symbols.
+    pub fn new(root: impl Into<String>, runtime: impl IntoIterator<Item = String>) -> Self {
+        BuildOptions {
+            root: root.into(),
+            entry: None,
+            check_constraints: true,
+            flatten: true,
+            default_flags: vec!["-O2".to_string()],
+            runtime_symbols: runtime.into_iter().collect(),
+        }
+    }
+}
+
+/// Aggregate statistics about a build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Atomic unit instances linked.
+    pub instances: usize,
+    /// Distinct units compiled.
+    pub units_compiled: usize,
+    /// Objects handed to the final link.
+    pub objects: usize,
+    /// Flatten groups merged.
+    pub flatten_groups: usize,
+    /// Total text bytes of the image.
+    pub text_size: u64,
+}
+
+/// The result of a successful build.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The linked, runnable image (entry = `__start`).
+    pub image: Image,
+    /// Per-phase wall-clock times, in pipeline order.
+    pub phases: Vec<(&'static str, Duration)>,
+    /// The initializer schedule, as `path.func` strings.
+    pub schedule: Vec<String>,
+    /// Constraint report, when checking ran.
+    pub constraints: Option<ConstraintReport>,
+    /// Mangled link-level name of each root export member
+    /// (`"port.member"` → symbol), for harnesses that call into the image.
+    pub exports: BTreeMap<String, String>,
+    /// Build statistics.
+    pub stats: BuildStats,
+    /// The elaboration (instance graph), for tools and tests.
+    pub elaboration: Elaboration,
+}
+
+/// Mangled link-level name for an instance's export member.
+pub fn mangle_export(inst: usize, port: &str, member: &str) -> String {
+    format!("{member}_{port}_i{inst}")
+}
+
+/// Mangled link-level name for an instance-private global.
+pub fn mangle_private(inst: usize, name: &str) -> String {
+    format!("{name}_p{inst}")
+}
+
+/// Build `opts.root` from `program` and `tree` into a runnable image.
+pub fn build(
+    program: &Program,
+    tree: &SourceTree,
+    opts: &BuildOptions,
+) -> Result<BuildReport, KnitError> {
+    let mut phases: Vec<(&'static str, Duration)> = Vec::new();
+    let mut timer = Instant::now();
+    macro_rules! phase {
+        ($name:literal) => {{
+            phases.push(($name, timer.elapsed()));
+            timer = Instant::now();
+        }};
+    }
+
+    if !program.units.contains_key(&opts.root) {
+        return Err(KnitError::Unknown {
+            kind: "unit",
+            name: opts.root.clone(),
+            context: "build root".to_string(),
+        });
+    }
+    let el = elaborate(program, &opts.root)?;
+    phase!("elaborate");
+
+    let constraints = if opts.check_constraints {
+        Some(constraints::check(program, &el)?)
+    } else {
+        None
+    };
+    phase!("constraints");
+
+    let schedule = sched::schedule(program, &el)?;
+    phase!("schedule");
+
+    // --- compile each distinct unit once (instances share the result) ---
+    let mut compiled: BTreeMap<String, CompiledUnit> = BTreeMap::new();
+    for inst in &el.instances {
+        if !compiled.contains_key(&inst.unit) {
+            let cu = compile_unit(program, tree, &inst.unit, opts)?;
+            compiled.insert(inst.unit.clone(), cu);
+        }
+    }
+    phase!("compile");
+
+    // --- per-instance symbol maps + objcopy rename/duplicate ---
+    let mut maps: Vec<BTreeMap<String, String>> = Vec::with_capacity(el.instances.len());
+    for inst in &el.instances {
+        maps.push(instance_symbol_map(program, &el, inst.id, &compiled[&inst.unit])?);
+    }
+    // Only instances with source translation units can be merged; units
+    // built from pre-compiled objects stay on the objcopy path even when
+    // inside a flatten group.
+    let flattened: BTreeSet<usize> = if opts.flatten {
+        el.flatten_groups
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&id| !compiled[&el.instances[id].unit].tus.is_empty())
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+    let mut linked_objects: Vec<ObjectFile> = Vec::new();
+    for inst in &el.instances {
+        if flattened.contains(&inst.id) {
+            continue;
+        }
+        let cu = &compiled[&inst.unit];
+        for obj in &cu.objects {
+            let present: BTreeMap<String, String> = maps[inst.id]
+                .iter()
+                .filter(|(k, _)| {
+                    obj.symbols.iter().any(|s| {
+                        s.name == **k
+                            && !matches!(
+                                s.def,
+                                cobj::object::SymDef::Defined { local: true, .. }
+                            )
+                    })
+                })
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let mut renamed = cobj::objcopy::rename_symbols(obj, &present).map_err(|e| {
+                KnitError::BadDeclaration {
+                    unit: inst.unit.clone(),
+                    what: format!("objcopy: {e}"),
+                }
+            })?;
+            renamed.name = format!("{}:{}", inst.path, obj.name);
+            linked_objects.push(renamed);
+        }
+    }
+    phase!("objcopy");
+
+    // --- flatten groups (§6) ---
+    let mut n_groups = 0usize;
+    if opts.flatten {
+        for (gi, group) in el.flatten_groups.iter().enumerate() {
+            let group_set: BTreeSet<usize> =
+                group.iter().copied().filter(|id| flattened.contains(id)).collect();
+            if group_set.is_empty() {
+                continue;
+            }
+            let mut inputs = Vec::new();
+            for &id in &group_set {
+                let inst = &el.instances[id];
+                let cu = &compiled[&inst.unit];
+                inputs.push(flatten::FlattenInput {
+                    tag: format!("k{id}"),
+                    tus: cu.tus.clone(),
+                    symbol_map: maps[id].clone(),
+                });
+            }
+            let external = group_externals(program, &el, &group_set, &schedule, &maps);
+            let mut obj = flatten::flatten_group(
+                &format!("flat{gi}"),
+                &inputs,
+                &flatten_opts(opts),
+                &external,
+            )
+            .map_err(KnitError::Compile)?;
+            obj.name = format!("flatten-group-{gi}.o");
+            linked_objects.push(obj);
+            n_groups += 1;
+        }
+    }
+    phase!("flatten");
+
+    // --- boot object ---
+    let (boot, exports) = boot_object(program, &el, &schedule, &maps, opts)?;
+    phase!("generate");
+
+    // --- final link ---
+    let mut inputs: Vec<LinkInput> = Vec::with_capacity(linked_objects.len() + 1);
+    inputs.push(LinkInput::Object(boot));
+    let n_objects = linked_objects.len() + 1;
+    for o in linked_objects {
+        inputs.push(LinkInput::Object(o));
+    }
+    let image = cobj::link(
+        &inputs,
+        &LinkOptions {
+            entry: Some("__start".to_string()),
+            runtime_symbols: opts.runtime_symbols.clone(),
+        },
+    )?;
+    phase!("link");
+    let _ = timer;
+
+    let stats = BuildStats {
+        instances: el.instances.len(),
+        units_compiled: compiled.len(),
+        objects: n_objects,
+        flatten_groups: n_groups,
+        text_size: image.text_size,
+    };
+    Ok(BuildReport {
+        image,
+        phases,
+        schedule: schedule.describe(&el),
+        constraints,
+        exports,
+        stats,
+        elaboration: el,
+    })
+}
+
+/// Compile options for flattened groups: always optimize (that is the
+/// point), with a generous inline budget.
+fn flatten_opts(opts: &BuildOptions) -> CompileOptions {
+    let mut c = CompileOptions::from_flags(&opts.default_flags).unwrap_or_default();
+    c.opt = cmini::OptLevel::O2;
+    c.inline_budget = 48;
+    c
+}
+
+/// A unit compiled once, shared by all its instances.
+struct CompiledUnit {
+    /// Parsed translation units (for flattening).
+    tus: Vec<cmini::ast::TranslationUnit>,
+    /// Compiled objects, one per source file.
+    objects: Vec<ObjectFile>,
+    /// All link-visible names defined across the objects.
+    defined: BTreeSet<String>,
+    /// All undefined references across the objects.
+    undefined: BTreeSet<String>,
+}
+
+fn compile_unit(
+    program: &Program,
+    tree: &SourceTree,
+    unit_name: &str,
+    opts: &BuildOptions,
+) -> Result<CompiledUnit, KnitError> {
+    let unit = &program.units[unit_name];
+    let body = atomic_body(unit);
+    let flags: Vec<String> = match &body.flags {
+        Some(name) => program.flags[name].clone(),
+        None => opts.default_flags.clone(),
+    };
+    let copts = CompileOptions::from_flags(&flags)
+        .map_err(|e| KnitError::BadDeclaration { unit: unit_name.to_string(), what: e })?;
+
+    let mut tus = Vec::new();
+    let mut objects = Vec::new();
+    let mut defined = BTreeSet::new();
+    let mut undefined = BTreeSet::new();
+    for file in &body.files {
+        // pre-compiled objects: "Knit can actually work with C, assembly,
+        // and object code" (§3.2); registered objects are used as-is
+        if let Some(obj) = tree.get_object(file) {
+            let obj = obj.clone();
+            obj.validate().map_err(|e| KnitError::BadDeclaration {
+                unit: unit_name.to_string(),
+                what: format!("pre-compiled object `{file}` is invalid: {e}"),
+            })?;
+            defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
+            undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
+            objects.push(obj);
+            continue;
+        }
+        let src = tree.get(file).ok_or_else(|| KnitError::MissingSource {
+            unit: unit_name.to_string(),
+            path: file.clone(),
+        })?;
+        let tu = cmini::frontend(file, src, &copts, tree)?;
+        let obj = cmini::backend(tu.clone(), &copts)?;
+        defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
+        undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
+        tus.push(tu);
+        objects.push(obj);
+    }
+    // cross-file references inside the unit are not "undefined"
+    undefined.retain(|n| !defined.contains(n));
+    Ok(CompiledUnit { tus, objects, defined, undefined })
+}
+
+fn atomic_body(unit: &UnitDecl) -> &AtomicBody {
+    match &unit.body {
+        UnitBody::Atomic(a) => a,
+        UnitBody::Compound(_) => unreachable!("instances are atomic by construction"),
+    }
+}
+
+/// The C identifier of a port member, after the unit's `rename` clauses.
+fn c_id(body: &AtomicBody, port: &str, member: &str) -> String {
+    body.renames
+        .iter()
+        .find(|r| r.port == port && r.member == member)
+        .map(|r| r.to.clone())
+        .unwrap_or_else(|| member.to_string())
+}
+
+/// Build the link-level symbol map for one instance: exports to their
+/// mangles, imports to their providers' mangles (or raw member names when
+/// wired to the external world), everything else defined by the unit to a
+/// private per-instance mangle. Errors reproduce Knit's checks: missing
+/// export definitions, import/export C-identifier conflicts (→ rename),
+/// and references to symbols that are neither imported nor defined.
+fn instance_symbol_map(
+    program: &Program,
+    el: &Elaboration,
+    inst_id: usize,
+    cu: &CompiledUnit,
+) -> Result<BTreeMap<String, String>, KnitError> {
+    let inst = &el.instances[inst_id];
+    let unit = &program.units[&inst.unit];
+    let body = atomic_body(unit);
+    let mut map: BTreeMap<String, String> = BTreeMap::new();
+
+    // exports
+    let mut export_cids: BTreeMap<String, (String, String)> = BTreeMap::new();
+    for p in &unit.exports {
+        for member in program.members_of(&p.bundle_type).expect("validated") {
+            let cid = c_id(body, &p.name, member);
+            if export_cids.insert(cid.clone(), (p.name.clone(), member.clone())).is_some() {
+                return Err(KnitError::NeedsRename { unit: unit.name.clone(), c_name: cid });
+            }
+            if !cu.defined.contains(&cid) {
+                return Err(KnitError::BadDeclaration {
+                    unit: unit.name.clone(),
+                    what: format!(
+                        "export `{}.{member}` should be defined as C symbol `{cid}`, but no file defines it",
+                        p.name
+                    ),
+                });
+            }
+            map.insert(cid, mangle_export(inst_id, &p.name, member));
+        }
+    }
+    // imports
+    for p in &unit.imports {
+        let wire = inst.imports.get(&p.name).expect("elaboration wired every import");
+        for member in program.members_of(&p.bundle_type).expect("validated") {
+            let cid = c_id(body, &p.name, member);
+            if export_cids.contains_key(&cid) || map.contains_key(&cid) {
+                return Err(KnitError::NeedsRename { unit: unit.name.clone(), c_name: cid });
+            }
+            let target = match wire {
+                Wire::Export { instance, port } => mangle_export(*instance, port, member),
+                Wire::External { .. } => member.clone(),
+            };
+            map.insert(cid, target);
+        }
+    }
+    // initializers/finalizers must be defined
+    for d in body.initializers.iter().chain(body.finalizers.iter()) {
+        if !cu.defined.contains(&d.func) && !map.contains_key(&d.func) {
+            return Err(KnitError::BadDeclaration {
+                unit: unit.name.clone(),
+                what: format!("initializer/finalizer `{}` is not defined by the unit", d.func),
+            });
+        }
+    }
+    // remaining defined globals become instance-private
+    for name in &cu.defined {
+        if !map.contains_key(name) && !name.starts_with("__") {
+            map.insert(name.clone(), mangle_private(inst_id, name));
+        }
+    }
+    // remaining undefined references must be runtime symbols
+    for name in &cu.undefined {
+        if !map.contains_key(name) && !name.starts_with("__") {
+            return Err(KnitError::UnboundSymbol {
+                instance: inst.path.clone(),
+                symbol: name.clone(),
+            });
+        }
+    }
+    Ok(map)
+}
+
+/// Link-visible names a flatten group must keep: exports wired to
+/// instances outside the group, root exports provided by the group, and
+/// the group's initializers/finalizers (called by the boot object).
+fn group_externals(
+    program: &Program,
+    el: &Elaboration,
+    group: &BTreeSet<usize>,
+    schedule: &Schedule,
+    maps: &[BTreeMap<String, String>],
+) -> BTreeSet<String> {
+    let mut ext: BTreeSet<String> = BTreeSet::new();
+    fn add_port(
+        ext: &mut BTreeSet<String>,
+        program: &Program,
+        el: &Elaboration,
+        inst: usize,
+        port: &str,
+    ) {
+        let unit = &program.units[&el.instances[inst].unit];
+        if let Some(p) = unit.exports.iter().find(|p| p.name == port) {
+            for member in program.members_of(&p.bundle_type).expect("validated") {
+                ext.insert(mangle_export(inst, port, member));
+            }
+        }
+    }
+    // imports of outside instances wired into the group
+    for inst in &el.instances {
+        if group.contains(&inst.id) {
+            continue;
+        }
+        for wire in inst.imports.values() {
+            if let Wire::Export { instance, port } = wire {
+                if group.contains(instance) {
+                    add_port(&mut ext, program, el, *instance, port);
+                }
+            }
+        }
+    }
+    // root exports provided by the group
+    for (inst, port) in el.root_exports.values() {
+        if group.contains(inst) {
+            add_port(&mut ext, program, el, *inst, port);
+        }
+    }
+    // initializers/finalizers of group members
+    for (inst, func) in schedule.inits.iter().chain(schedule.finis.iter()) {
+        if group.contains(inst) {
+            if let Some(m) = maps[*inst].get(func) {
+                ext.insert(m.clone());
+            }
+        }
+    }
+    ext
+}
+
+/// Generate the `__knit_boot` object: `__knit_init`, `__knit_fini`, and
+/// `__start` (init → optional entry call → fini → return).
+fn boot_object(
+    program: &Program,
+    el: &Elaboration,
+    schedule: &Schedule,
+    maps: &[BTreeMap<String, String>],
+    opts: &BuildOptions,
+) -> Result<(ObjectFile, BTreeMap<String, String>), KnitError> {
+    let mut obj = ObjectFile::new("__knit_boot.o");
+    let init_sym = obj.add_symbol(Symbol::func("__knit_init"));
+    let fini_sym = obj.add_symbol(Symbol::func("__knit_fini"));
+    let start_sym = obj.add_symbol(Symbol::func("__start"));
+
+    let resolve = |inst: usize, func: &str| -> String {
+        maps[inst].get(func).cloned().unwrap_or_else(|| func.to_string())
+    };
+
+    // __knit_init
+    let mut body = Vec::new();
+    for (inst, func) in &schedule.inits {
+        let target = obj.add_symbol(Symbol::undef(resolve(*inst, func)));
+        body.push(Instr::Call { dst: None, target, args: vec![] });
+    }
+    body.push(Instr::Ret { value: None });
+    obj.funcs.push(FuncDef { sym: init_sym, params: 0, nregs: 0, frame_size: 0, body });
+
+    // __knit_fini
+    let mut body = Vec::new();
+    for (inst, func) in &schedule.finis {
+        let target = obj.add_symbol(Symbol::undef(resolve(*inst, func)));
+        body.push(Instr::Call { dst: None, target, args: vec![] });
+    }
+    body.push(Instr::Ret { value: None });
+    obj.funcs.push(FuncDef { sym: fini_sym, params: 0, nregs: 0, frame_size: 0, body });
+
+    // exports table: every root export member's mangled name
+    let mut exports = BTreeMap::new();
+    let root_unit = &program.units[&el.root];
+    for p in &root_unit.exports {
+        let (inst, eport) = &el.root_exports[&p.name];
+        for member in program.members_of(&p.bundle_type).expect("validated") {
+            exports
+                .insert(format!("{}.{member}", p.name), mangle_export(*inst, eport, member));
+        }
+    }
+
+    // __start
+    let entry_member = opts.entry.clone().unwrap_or_else(|| "main".to_string());
+    let entry_symbol = exports
+        .iter()
+        .find(|(k, _)| k.ends_with(&format!(".{entry_member}")))
+        .map(|(_, v)| v.clone());
+    if opts.entry.is_some() && entry_symbol.is_none() {
+        return Err(KnitError::Unknown {
+            kind: "entry member",
+            name: entry_member,
+            context: "root unit exports".to_string(),
+        });
+    }
+    let mut body = Vec::new();
+    body.push(Instr::Call { dst: None, target: init_sym, args: vec![] });
+    let ret_reg = match entry_symbol {
+        Some(sym) => {
+            let target = obj.add_symbol(Symbol::undef(sym));
+            body.push(Instr::Call { dst: Some(0), target, args: vec![] });
+            Some(0)
+        }
+        None => None,
+    };
+    body.push(Instr::Call { dst: None, target: fini_sym, args: vec![] });
+    body.push(Instr::Ret { value: ret_reg });
+    obj.funcs.push(FuncDef { sym: start_sym, params: 0, nregs: 1, frame_size: 0, body });
+
+    Ok((obj, exports))
+}

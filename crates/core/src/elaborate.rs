@@ -1,0 +1,649 @@
+//! Elaboration: from a hierarchy of compound units to a flat graph of
+//! atomic unit instances.
+//!
+//! Compound units are pure wiring — during elaboration they dissolve,
+//! leaving atomic instances whose import ports are wired either to another
+//! instance's export port or to the outside world (an import of the root
+//! unit, satisfied by the runtime). Because our link blocks name every
+//! instance, the same unit can be instantiated any number of times; each
+//! instantiation becomes its own [`ElabInstance`] and, later in the
+//! pipeline, its own `objcopy`-duplicated object code — the paper's
+//! mechanism for, e.g., two independent `printf`s.
+//!
+//! Cyclic imports between sibling instances are fully supported (§3.2:
+//! "cyclic imports are common"): resolution of an import chases *bindings*
+//! (up through parents) and *export aliases* (down through children), never
+//! through another import, so it always terminates.
+
+use std::collections::BTreeMap;
+
+use knit_lang::ast::{PathRef, UnitBody, UnitDecl};
+
+use crate::error::KnitError;
+use crate::model::Program;
+
+/// Where an import port gets its implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wire {
+    /// Wired to `instances[instance]`'s export port `port`.
+    Export { instance: usize, port: String },
+    /// Left open at the root: satisfied by the runtime (external world).
+    External { port: String },
+}
+
+/// One atomic unit instance in the elaborated graph.
+#[derive(Debug, Clone)]
+pub struct ElabInstance {
+    /// Dense id; index into [`Elaboration::instances`].
+    pub id: usize,
+    /// Hierarchical path, e.g. `"logserve/log"`.
+    pub path: String,
+    /// Name of the atomic unit this instantiates.
+    pub unit: String,
+    /// Wiring for each import port.
+    pub imports: BTreeMap<String, Wire>,
+}
+
+/// A node of the instantiation tree (kept for constraint checking, which
+/// must resolve compound-level annotations too).
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    /// Unit name.
+    pub unit: String,
+    /// Hierarchical path.
+    pub path: String,
+    /// Resolution of each import port.
+    pub imports: BTreeMap<String, Wire>,
+    /// Resolution of each export port to an atomic (instance, port).
+    pub exports: BTreeMap<String, (usize, String)>,
+}
+
+/// The result of elaboration.
+#[derive(Debug, Clone)]
+pub struct Elaboration {
+    /// All atomic instances, densely numbered.
+    pub instances: Vec<ElabInstance>,
+    /// The root unit's exports, resolved to atomic instances.
+    pub root_exports: BTreeMap<String, (usize, String)>,
+    /// The root unit's import ports (these are the build's externals).
+    pub root_imports: Vec<String>,
+    /// Sets of instance ids under each outermost `flatten`-marked compound.
+    pub flatten_groups: Vec<Vec<usize>>,
+    /// Every node of the instantiation tree (atomic and compound).
+    pub nodes: Vec<NodeInfo>,
+    /// Name of the root unit.
+    pub root: String,
+}
+
+impl Elaboration {
+    /// The unit declaration of an instance.
+    pub fn unit_of<'p>(&self, program: &'p Program, id: usize) -> &'p UnitDecl {
+        &program.units[&self.instances[id].unit]
+    }
+}
+
+/// Elaborate `root` against the program.
+pub fn elaborate(program: &Program, root: &str) -> Result<Elaboration, KnitError> {
+    let mut el = Elaborator {
+        program,
+        nodes: Vec::new(),
+        instances: Vec::new(),
+        stack: Vec::new(),
+        flatten_roots: Vec::new(),
+    };
+    let root_id = el.build(root, root.to_string(), None, BTreeMap::new())?;
+    // Resolve every atomic instance's imports.
+    for node_id in 0..el.nodes.len() {
+        if let NodeKind::Atomic { inst } = el.nodes[node_id].kind {
+            let unit = &el.program.units[&el.nodes[node_id].unit_name];
+            let ports: Vec<(String, String)> = unit
+                .imports
+                .iter()
+                .map(|p| (p.name.clone(), p.bundle_type.clone()))
+                .collect();
+            for (port, ty) in ports {
+                let wire = el.resolve_import(node_id, &port)?;
+                el.check_wire_type(&wire, &ty, &el.nodes[node_id].path.clone(), &port)?;
+                el.instances[inst].imports.insert(port, wire);
+            }
+        }
+    }
+    // Root exports.
+    let root_unit = &program.units[root];
+    let mut root_exports = BTreeMap::new();
+    for p in &root_unit.exports {
+        let (inst, port) = el.resolve_export(root_id, &p.name)?;
+        root_exports.insert(p.name.clone(), (inst, port));
+    }
+    let root_imports = root_unit.imports.iter().map(|p| p.name.clone()).collect();
+
+    // Flatten groups: outermost flatten-marked compounds.
+    let mut flatten_groups = Vec::new();
+    for &fr in &el.flatten_roots {
+        if !el.has_flatten_ancestor(fr) {
+            let mut group = Vec::new();
+            el.collect_atomics(fr, &mut group);
+            if !group.is_empty() {
+                flatten_groups.push(group);
+            }
+        }
+    }
+
+    // Public node info.
+    let mut nodes = Vec::new();
+    for id in 0..el.nodes.len() {
+        let unit = el.program.units[&el.nodes[id].unit_name].clone();
+        let mut imports = BTreeMap::new();
+        for p in &unit.imports {
+            imports.insert(p.name.clone(), el.resolve_import(id, &p.name)?);
+        }
+        let mut exports = BTreeMap::new();
+        for p in &unit.exports {
+            exports.insert(p.name.clone(), el.resolve_export(id, &p.name)?);
+        }
+        nodes.push(NodeInfo {
+            unit: el.nodes[id].unit_name.clone(),
+            path: el.nodes[id].path.clone(),
+            imports,
+            exports,
+        });
+    }
+
+    Ok(Elaboration {
+        instances: el.instances,
+        root_exports,
+        root_imports,
+        flatten_groups,
+        nodes,
+        root: root.to_string(),
+    })
+}
+
+enum NodeKind {
+    Atomic { inst: usize },
+    Compound { children: BTreeMap<String, usize>, exports: BTreeMap<String, (String, String)> },
+}
+
+struct Node {
+    unit_name: String,
+    path: String,
+    parent: Option<usize>,
+    bindings: BTreeMap<String, PathRef>,
+    kind: NodeKind,
+    flatten: bool,
+}
+
+struct Elaborator<'p> {
+    program: &'p Program,
+    nodes: Vec<Node>,
+    instances: Vec<ElabInstance>,
+    stack: Vec<String>,
+    flatten_roots: Vec<usize>,
+}
+
+impl<'p> Elaborator<'p> {
+    fn build(
+        &mut self,
+        unit_name: &str,
+        path: String,
+        parent: Option<usize>,
+        bindings: BTreeMap<String, PathRef>,
+    ) -> Result<usize, KnitError> {
+        let unit = self.program.units.get(unit_name).ok_or_else(|| KnitError::Unknown {
+            kind: "unit",
+            name: unit_name.to_string(),
+            context: format!("instantiating `{path}`"),
+        })?;
+        if self.stack.iter().any(|u| u == unit_name) {
+            return Err(KnitError::BadDeclaration {
+                unit: unit_name.to_string(),
+                what: format!(
+                    "recursive instantiation: {} -> {unit_name}",
+                    self.stack.join(" -> ")
+                ),
+            });
+        }
+        // every import of a non-root instantiation must be bound
+        if parent.is_some() {
+            for p in &unit.imports {
+                if !bindings.contains_key(&p.name) {
+                    return Err(KnitError::UnboundImport {
+                        instance: path.clone(),
+                        port: p.name.clone(),
+                    });
+                }
+            }
+            for bound in bindings.keys() {
+                if !unit.imports.iter().any(|p| &p.name == bound) {
+                    return Err(KnitError::Unknown {
+                        kind: "import port",
+                        name: bound.clone(),
+                        context: format!("binding for `{path}`"),
+                    });
+                }
+            }
+        }
+
+        let node_id = self.nodes.len();
+        match &unit.body {
+            UnitBody::Atomic(_) => {
+                let inst_id = self.instances.len();
+                self.instances.push(ElabInstance {
+                    id: inst_id,
+                    path: path.clone(),
+                    unit: unit_name.to_string(),
+                    imports: BTreeMap::new(),
+                });
+                self.nodes.push(Node {
+                    unit_name: unit_name.to_string(),
+                    path,
+                    parent,
+                    bindings,
+                    kind: NodeKind::Atomic { inst: inst_id },
+                    flatten: unit.flatten,
+                });
+                Ok(node_id)
+            }
+            UnitBody::Compound(c) => {
+                let c = c.clone();
+                self.nodes.push(Node {
+                    unit_name: unit_name.to_string(),
+                    path: path.clone(),
+                    parent,
+                    bindings,
+                    kind: NodeKind::Compound { children: BTreeMap::new(), exports: BTreeMap::new() },
+                    flatten: unit.flatten,
+                });
+                if unit.flatten {
+                    self.flatten_roots.push(node_id);
+                }
+                self.stack.push(unit_name.to_string());
+                let mut children = BTreeMap::new();
+                for inst in &c.instances {
+                    let child_bindings: BTreeMap<String, PathRef> =
+                        inst.bindings.iter().cloned().collect();
+                    let child = self.build(
+                        &inst.unit,
+                        format!("{path}/{}", inst.name),
+                        Some(node_id),
+                        child_bindings,
+                    )?;
+                    children.insert(inst.name.clone(), child);
+                }
+                self.stack.pop();
+                let mut exports = BTreeMap::new();
+                for e in &c.export_bindings {
+                    if !children.contains_key(&e.instance) {
+                        return Err(KnitError::Unknown {
+                            kind: "instance",
+                            name: e.instance.clone(),
+                            context: format!("export binding in `{unit_name}`"),
+                        });
+                    }
+                    exports.insert(e.export.clone(), (e.instance.clone(), e.port.clone()));
+                }
+                if let NodeKind::Compound { children: ch, exports: ex } =
+                    &mut self.nodes[node_id].kind
+                {
+                    *ch = children;
+                    *ex = exports;
+                }
+                Ok(node_id)
+            }
+        }
+    }
+
+    /// Resolve one of `node`'s own import ports to a wire.
+    fn resolve_import(&self, node: usize, port: &str) -> Result<Wire, KnitError> {
+        let n = &self.nodes[node];
+        match n.parent {
+            None => Ok(Wire::External { port: port.to_string() }),
+            Some(parent) => {
+                let binding = n.bindings.get(port).ok_or_else(|| KnitError::UnboundImport {
+                    instance: n.path.clone(),
+                    port: port.to_string(),
+                })?;
+                match binding {
+                    PathRef::Name(x) => {
+                        // parent's own import
+                        let parent_unit = &self.program.units[&self.nodes[parent].unit_name];
+                        if !parent_unit.imports.iter().any(|p| &p.name == x) {
+                            return Err(KnitError::Unknown {
+                                kind: "import port",
+                                name: x.clone(),
+                                context: format!(
+                                    "binding `{port}` of `{}` in `{}`",
+                                    n.path, self.nodes[parent].path
+                                ),
+                            });
+                        }
+                        self.resolve_import(parent, x)
+                    }
+                    PathRef::Dotted(inst, p) => {
+                        let siblings = match &self.nodes[parent].kind {
+                            NodeKind::Compound { children, .. } => children,
+                            NodeKind::Atomic { .. } => unreachable!("parent is a link block"),
+                        };
+                        let sib = siblings.get(inst).ok_or_else(|| KnitError::Unknown {
+                            kind: "instance",
+                            name: inst.clone(),
+                            context: format!("binding `{port}` of `{}`", n.path),
+                        })?;
+                        let (i, p2) = self.resolve_export(*sib, p)?;
+                        Ok(Wire::Export { instance: i, port: p2 })
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolve one of `node`'s export ports to an atomic (instance, port).
+    fn resolve_export(&self, node: usize, port: &str) -> Result<(usize, String), KnitError> {
+        let n = &self.nodes[node];
+        let unit = &self.program.units[&n.unit_name];
+        if !unit.exports.iter().any(|p| p.name == port) {
+            return Err(KnitError::Unknown {
+                kind: "export port",
+                name: port.to_string(),
+                context: format!("unit `{}` (at `{}`)", n.unit_name, n.path),
+            });
+        }
+        match &n.kind {
+            NodeKind::Atomic { inst } => Ok((*inst, port.to_string())),
+            NodeKind::Compound { children, exports } => {
+                let (child_name, child_port) =
+                    exports.get(port).expect("validated at registration");
+                let child = children[child_name];
+                self.resolve_export(child, child_port)
+            }
+        }
+    }
+
+    /// Bundle-type check for a resolved wire against the importing port.
+    fn check_wire_type(
+        &self,
+        wire: &Wire,
+        expected: &str,
+        inst_path: &str,
+        port: &str,
+    ) -> Result<(), KnitError> {
+        let found = match wire {
+            Wire::External { port: root_port } => {
+                let root_unit = &self.program.units[&self.nodes[0].unit_name];
+                root_unit
+                    .imports
+                    .iter()
+                    .find(|p| &p.name == root_port)
+                    .map(|p| p.bundle_type.clone())
+                    .unwrap_or_else(|| expected.to_string())
+            }
+            Wire::Export { instance, port: export_port } => {
+                let provider = &self.program.units[&self.instances[*instance].unit];
+                provider
+                    .exports
+                    .iter()
+                    .find(|p| &p.name == export_port)
+                    .map(|p| p.bundle_type.clone())
+                    .expect("resolved export exists")
+            }
+        };
+        if found != expected {
+            return Err(KnitError::BundleTypeMismatch {
+                instance: inst_path.to_string(),
+                port: port.to_string(),
+                expected: expected.to_string(),
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    fn has_flatten_ancestor(&self, node: usize) -> bool {
+        let mut cur = self.nodes[node].parent;
+        while let Some(p) = cur {
+            if self.nodes[p].flatten {
+                return true;
+            }
+            cur = self.nodes[p].parent;
+        }
+        false
+    }
+
+    fn collect_atomics(&self, node: usize, out: &mut Vec<usize>) {
+        match &self.nodes[node].kind {
+            NodeKind::Atomic { inst } => out.push(*inst),
+            NodeKind::Compound { children, .. } => {
+                for &c in children.values() {
+                    self.collect_atomics(c, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(src: &str) -> Program {
+        let mut p = Program::new();
+        p.load_str("t.unit", src).unwrap();
+        p
+    }
+
+    const FIG5: &str = r#"
+        bundletype Serve = { serve_web }
+        bundletype Stdio = { fopen, fprintf }
+        unit Web = {
+            imports [ serveFile : Serve, serveCGI : Serve ];
+            exports [ serveWeb : Serve ];
+            files { "web.c" };
+        }
+        unit Log = {
+            imports [ serveWeb : Serve, stdio : Stdio ];
+            exports [ serveLog : Serve ];
+            files { "log.c" };
+        }
+        unit LogServe = {
+            imports [ serveFile : Serve, serveCGI : Serve, stdio : Stdio ];
+            exports [ serveLog : Serve ];
+            link {
+                web : Web [ serveFile = serveFile, serveCGI = serveCGI ];
+                log : Log [ serveWeb = web.serveWeb, stdio = stdio ];
+                serveLog = log.serveLog;
+            };
+        }
+    "#;
+
+    #[test]
+    fn elaborates_figure5() {
+        let p = program(FIG5);
+        let el = elaborate(&p, "LogServe").unwrap();
+        assert_eq!(el.instances.len(), 2);
+        let web = el.instances.iter().find(|i| i.unit == "Web").unwrap();
+        let log = el.instances.iter().find(|i| i.unit == "Log").unwrap();
+        // web's imports are external (root imports)
+        assert_eq!(web.imports["serveFile"], Wire::External { port: "serveFile".into() });
+        // log's serveWeb is wired to web's export
+        assert_eq!(
+            log.imports["serveWeb"],
+            Wire::Export { instance: web.id, port: "serveWeb".into() }
+        );
+        // root export resolves through the compound to log
+        assert_eq!(el.root_exports["serveLog"], (log.id, "serveLog".to_string()));
+        assert_eq!(el.root_imports.len(), 3);
+    }
+
+    #[test]
+    fn multiple_instantiation_gets_distinct_instances() {
+        let src = r#"
+            bundletype T = { f }
+            unit Leaf = { exports [ out : T ]; files { "leaf.c" }; }
+            unit Two = {
+                exports [ a : T, b : T ];
+                link {
+                    one : Leaf;
+                    two : Leaf;
+                    a = one.out;
+                    b = two.out;
+                };
+            }
+        "#;
+        let el = elaborate(&program(src), "Two").unwrap();
+        assert_eq!(el.instances.len(), 2);
+        assert_ne!(el.root_exports["a"], el.root_exports["b"]);
+    }
+
+    #[test]
+    fn cyclic_sibling_imports_are_fine() {
+        // a imports from b and b imports from a — §3.2 says cycles are
+        // common and must work.
+        let src = r#"
+            bundletype T = { f }
+            unit A = { imports [ x : T ]; exports [ y : T ]; files { "a.c" }; }
+            unit B = { imports [ x : T ]; exports [ y : T ]; files { "b.c" }; }
+            unit Cycle = {
+                exports [ out : T ];
+                link {
+                    a : A [ x = b.y ];
+                    b : B [ x = a.y ];
+                    out = a.y;
+                };
+            }
+        "#;
+        let el = elaborate(&program(src), "Cycle").unwrap();
+        assert_eq!(el.instances.len(), 2);
+        let a = el.instances.iter().find(|i| i.unit == "A").unwrap();
+        let b = el.instances.iter().find(|i| i.unit == "B").unwrap();
+        assert_eq!(a.imports["x"], Wire::Export { instance: b.id, port: "y".into() });
+        assert_eq!(b.imports["x"], Wire::Export { instance: a.id, port: "y".into() });
+    }
+
+    #[test]
+    fn nested_compounds_resolve_through_aliases() {
+        let src = r#"
+            bundletype T = { f }
+            unit Leaf = { exports [ out : T ]; files { "leaf.c" }; }
+            unit Mid = {
+                exports [ mout : T ];
+                link { l : Leaf; mout = l.out; };
+            }
+            unit Top = {
+                exports [ tout : T ];
+                link { m : Mid; tout = m.mout; };
+            }
+        "#;
+        let el = elaborate(&program(src), "Top").unwrap();
+        assert_eq!(el.instances.len(), 1);
+        assert_eq!(el.root_exports["tout"], (0, "out".to_string()));
+        assert_eq!(el.instances[0].path, "Top/m/l");
+    }
+
+    #[test]
+    fn interposition_figure_1c() {
+        // The logger wraps the worker: same bundle type on both sides —
+        // impossible with ld, trivial with units.
+        let src = r#"
+            bundletype T = { f }
+            unit Worker = { exports [ out : T ]; files { "w.c" }; }
+            unit Wrap = { imports [ inner : T ]; exports [ out : T ]; files { "wrap.c" }; }
+            unit Sys = {
+                exports [ svc : T ];
+                link {
+                    w : Worker;
+                    i : Wrap [ inner = w.out ];
+                    svc = i.out;
+                };
+            }
+        "#;
+        let el = elaborate(&program(src), "Sys").unwrap();
+        let wrap = el.instances.iter().find(|i| i.unit == "Wrap").unwrap();
+        let worker = el.instances.iter().find(|i| i.unit == "Worker").unwrap();
+        assert_eq!(wrap.imports["inner"], Wire::Export { instance: worker.id, port: "out".into() });
+        assert_eq!(el.root_exports["svc"], (wrap.id, "out".to_string()));
+    }
+
+    #[test]
+    fn errors_unbound_import() {
+        let src = r#"
+            bundletype T = { f }
+            unit N = { imports [ x : T ]; exports [ y : T ]; files { "n.c" }; }
+            unit Bad = { exports [ out : T ]; link { n : N; out = n.y; }; }
+        "#;
+        assert!(matches!(
+            elaborate(&program(src), "Bad"),
+            Err(KnitError::UnboundImport { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_bundle_type_mismatch() {
+        let src = r#"
+            bundletype T = { f }
+            bundletype U = { g }
+            unit P = { exports [ y : U ]; files { "p.c" }; }
+            unit N = { imports [ x : T ]; exports [ y : T ]; files { "n.c" }; }
+            unit Bad = {
+                exports [ out : T ];
+                link { p : P; n : N [ x = p.y ]; out = n.y; };
+            }
+        "#;
+        assert!(matches!(
+            elaborate(&program(src), "Bad"),
+            Err(KnitError::BundleTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_recursive_instantiation() {
+        let src = r#"
+            bundletype T = { f }
+            unit Selfish = {
+                exports [ out : T ];
+                link { s : Selfish; out = s.out; };
+            }
+        "#;
+        assert!(elaborate(&program(src), "Selfish").is_err());
+    }
+
+    #[test]
+    fn errors_unknown_unit_and_instance() {
+        let src = r#"
+            bundletype T = { f }
+            unit Bad = { exports [ out : T ]; link { n : Nope; out = n.y; }; }
+        "#;
+        assert!(matches!(elaborate(&program(src), "Bad"), Err(KnitError::Unknown { .. })));
+        let src2 = r#"
+            bundletype T = { f }
+            unit Leaf = { exports [ out : T ]; files { "l.c" }; }
+            unit Bad2 = { exports [ o : T ]; link { l : Leaf; o = ghost.out; }; }
+        "#;
+        assert!(matches!(elaborate(&program(src2), "Bad2"), Err(KnitError::Unknown { .. })));
+    }
+
+    #[test]
+    fn flatten_groups_collect_outermost() {
+        let src = r#"
+            bundletype T = { f }
+            unit Leaf = { exports [ out : T ]; files { "l.c" }; }
+            unit Inner = {
+                exports [ o : T ];
+                link { l : Leaf; o = l.out; };
+                flatten;
+            }
+            unit Outer = {
+                exports [ o : T ];
+                link { i : Inner; l2 : Leaf; o = i.o; };
+                flatten;
+            }
+            unit Top = {
+                exports [ o : T ];
+                link { x : Outer; o = x.o; };
+            }
+        "#;
+        let el = elaborate(&program(src), "Top").unwrap();
+        // only the outermost group (Outer) is kept, containing both leaves
+        assert_eq!(el.flatten_groups.len(), 1);
+        assert_eq!(el.flatten_groups[0].len(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! Errors for the Knit build pipeline.
+
+use std::fmt;
+
+/// Any error the Knit compiler can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KnitError {
+    /// Front-end error in a `.unit` file.
+    Lang(knit_lang::KError),
+    /// Duplicate top-level declaration.
+    Duplicate { kind: &'static str, name: String },
+    /// Reference to an undeclared name (unit, bundletype, flags, property…).
+    Unknown { kind: &'static str, name: String, context: String },
+    /// An instantiated unit's import was left unbound.
+    UnboundImport { instance: String, port: String },
+    /// A wiring connected ports of different bundle types.
+    BundleTypeMismatch {
+        instance: String,
+        port: String,
+        expected: String,
+        found: String,
+    },
+    /// Unit code references a symbol that is neither an import, a
+    /// definition of the unit, nor a runtime (`__`-prefixed) symbol.
+    UnboundSymbol { instance: String, symbol: String },
+    /// A unit both imports and exports the same C identifier without
+    /// renaming one of them (§3.2: renaming resolves the conflict).
+    NeedsRename { unit: String, c_name: String },
+    /// A rename clause referenced an unknown port or member.
+    BadRename { unit: String, port: String, member: String },
+    /// An initializer/finalizer's `for` bundle is not an export port, or a
+    /// depends clause referenced an unknown name.
+    BadDeclaration { unit: String, what: String },
+    /// Initialization order has an unbreakable cycle (§3.2: fine-grained
+    /// dependencies are the tool for breaking them).
+    InitCycle { cycle: Vec<String> },
+    /// A constraint was violated; the message carries the blame chain.
+    ConstraintViolation { property: String, explanation: String },
+    /// Two constraints force incomparable property values.
+    NoMeet { property: String, a: String, b: String, context: String },
+    /// mini-C compilation failed.
+    Compile(cmini::CError),
+    /// Final link failed (should not happen for a validated configuration —
+    /// indicates a bug or a hand-built object set).
+    Link(cobj::LinkError),
+    /// A `files` entry was missing from the source tree.
+    MissingSource { unit: String, path: String },
+}
+
+impl fmt::Display for KnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnitError::Lang(e) => write!(f, "{e}"),
+            KnitError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            KnitError::Unknown { kind, name, context } => {
+                write!(f, "unknown {kind} `{name}` (in {context})")
+            }
+            KnitError::UnboundImport { instance, port } => {
+                write!(f, "instance `{instance}`: import `{port}` is not wired to anything")
+            }
+            KnitError::BundleTypeMismatch { instance, port, expected, found } => write!(
+                f,
+                "instance `{instance}`: import `{port}` has bundle type {expected} but was wired to an export of type {found}"
+            ),
+            KnitError::UnboundSymbol { instance, symbol } => write!(
+                f,
+                "instance `{instance}`: code references `{symbol}`, which is neither defined, imported, nor a runtime symbol"
+            ),
+            KnitError::NeedsRename { unit, c_name } => write!(
+                f,
+                "unit `{unit}`: C identifier `{c_name}` is both imported and exported — rename one side (§3.2)"
+            ),
+            KnitError::BadRename { unit, port, member } => {
+                write!(f, "unit `{unit}`: rename of `{port}.{member}` matches no port member")
+            }
+            KnitError::BadDeclaration { unit, what } => write!(f, "unit `{unit}`: {what}"),
+            KnitError::InitCycle { cycle } => {
+                write!(f, "initialization cycle: {}", cycle.join(" -> "))
+            }
+            KnitError::ConstraintViolation { property, explanation } => {
+                write!(f, "constraint violation on property `{property}`: {explanation}")
+            }
+            KnitError::NoMeet { property, a, b, context } => write!(
+                f,
+                "property `{property}`: values `{a}` and `{b}` are incomparable ({context})"
+            ),
+            KnitError::Compile(e) => write!(f, "compile: {e}"),
+            KnitError::Link(e) => write!(f, "link: {e}"),
+            KnitError::MissingSource { unit, path } => {
+                write!(f, "unit `{unit}`: source file `{path}` not found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KnitError {}
+
+impl From<knit_lang::KError> for KnitError {
+    fn from(e: knit_lang::KError) -> Self {
+        KnitError::Lang(e)
+    }
+}
+
+impl From<cmini::CError> for KnitError {
+    fn from(e: cmini::CError) -> Self {
+        KnitError::Compile(e)
+    }
+}
+
+impl From<cobj::LinkError> for KnitError {
+    fn from(e: cobj::LinkError) -> Self {
+        KnitError::Link(e)
+    }
+}

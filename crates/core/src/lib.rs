@@ -1,0 +1,51 @@
+//! # knit — component composition for systems software
+//!
+//! A from-scratch reproduction of the system described in *Knit: Component
+//! Composition for Systems Software* (Reid, Flatt, Stoller, Lepreau, Eide —
+//! OSDI 2000). Knit is a component definition and linking language for C
+//! code: *atomic units* wrap C files behind explicit import/export bundles,
+//! *compound units* wire units together (hierarchically, with renaming and
+//! multiple instantiation), and the Knit compiler turns a configuration
+//! into a linked program. On top of the linking model the system provides:
+//!
+//! * **automatic scheduling of initializers and finalizers** ([`sched`]),
+//!   driven by per-export and per-initializer dependency declarations,
+//!   correct even when the import graph is cyclic;
+//! * **architectural constraint checking** ([`constraints`]): user-defined
+//!   properties with partially-ordered values, propagated across the
+//!   linking graph, catching errors like process-context code called from
+//!   interrupt context;
+//! * **flattening** (the `flatten` crate): merging the C sources of a
+//!   subtree of units into one translation unit so an ordinary C compiler
+//!   inlines across component boundaries (§6 of the paper).
+//!
+//! The pipeline mirrors the paper's implementation — "the Knit compiler
+//! reads the linking specification and unit files, generates initialization
+//! and finalization code, runs the C compiler … the object files are then
+//! processed by a slightly modified version of GNU's objcopy, which handles
+//! renaming symbols and duplicating object code for multiply-instantiated
+//! units. Finally, these object files are linked together using ld":
+//!
+//! ```text
+//! .unit files ──parse──▶ Program ──elaborate──▶ instance graph
+//!     ──check──▶ constraints ✓   ──schedule──▶ init/fini order
+//!     ──cmini──▶ .o per unit  ──objcopy──▶ renamed per instance
+//!     ──ld──▶ executable Image (run it on the `machine` crate)
+//! ```
+//!
+//! Entry points: [`Program`] to register `.unit` sources, [`SourceTree`]
+//! for the C sources, and [`driver::build`] to produce a runnable image.
+
+pub mod constraints;
+pub mod driver;
+pub mod elaborate;
+pub mod error;
+pub mod model;
+pub mod sched;
+pub mod vfs;
+
+pub use driver::{build, BuildOptions, BuildReport};
+pub use elaborate::{Elaboration, Wire};
+pub use error::KnitError;
+pub use model::Program;
+pub use vfs::SourceTree;

@@ -1,0 +1,596 @@
+//! Automatic scheduling of initializers and finalizers (§3.2).
+//!
+//! Each atomic unit declares `initializer f for bundle;` plus fine-grained
+//! dependencies:
+//!
+//! * `serveLog needs stdio` — *export-level*: stdio must be initialized
+//!   before any function of the `serveLog` bundle is **called** (but this
+//!   alone does not order the two components' initializers);
+//! * `open_log needs stdio` — *initializer-level*: stdio must be
+//!   initialized before `open_log` itself **runs**.
+//!
+//! The paper calls this distinction "crucial to avoid over-constraining the
+//! initialization order". We reproduce it exactly: for every instance
+//! export port we compute the set of initializers that must complete before
+//! the port is usable (a fixpoint, since import graphs may be cyclic), and
+//! only *initializer-level* dependencies induce ordering edges between
+//! initializers. A cycle among initializers is a configuration error,
+//! reported with the cycle path — the fix, per the paper, is finer-grained
+//! dependency declarations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use knit_lang::ast::{DepAtom, DepSide, UnitBody, UnitDecl};
+
+use crate::elaborate::{Elaboration, Wire};
+use crate::error::KnitError;
+use crate::model::Program;
+
+/// One scheduled call: (instance id, C function name).
+pub type InitKey = (usize, String);
+
+/// The computed schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Initializers, in call order.
+    pub inits: Vec<InitKey>,
+    /// Finalizers, in call order (consumers before providers).
+    pub finis: Vec<InitKey>,
+}
+
+impl Schedule {
+    /// Human-readable rendering (`path.func`), for logs and tests.
+    pub fn describe(&self, el: &Elaboration) -> Vec<String> {
+        self.inits
+            .iter()
+            .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
+            .collect()
+    }
+}
+
+/// Per-instance dependency info extracted from the unit declaration.
+struct InstDeps {
+    /// export port -> declared import-port deps
+    port_deps: BTreeMap<String, BTreeSet<String>>,
+    /// init/fini function name -> declared import-port deps
+    func_deps: BTreeMap<String, BTreeSet<String>>,
+    /// export port -> initializers registered `for` it (declaration order)
+    inits_for: BTreeMap<String, Vec<String>>,
+    /// all initializers (declaration order)
+    inits: Vec<String>,
+    /// all finalizers (declaration order)
+    finis: Vec<String>,
+    /// fini function -> its port
+    fini_port: BTreeMap<String, String>,
+}
+
+fn extract(unit: &UnitDecl) -> InstDeps {
+    let mut d = InstDeps {
+        port_deps: BTreeMap::new(),
+        func_deps: BTreeMap::new(),
+        inits_for: BTreeMap::new(),
+        inits: Vec::new(),
+        finis: Vec::new(),
+        fini_port: BTreeMap::new(),
+    };
+    let a = match &unit.body {
+        UnitBody::Atomic(a) => a,
+        UnitBody::Compound(_) => return d,
+    };
+    let import_ports: Vec<String> = unit.imports.iter().map(|p| p.name.clone()).collect();
+    let export_ports: Vec<String> = unit.exports.iter().map(|p| p.name.clone()).collect();
+    let init_names: BTreeSet<&str> =
+        a.initializers.iter().chain(a.finalizers.iter()).map(|i| i.func.as_str()).collect();
+
+    for dep in &a.depends {
+        let rhs: BTreeSet<String> = dep
+            .rhs
+            .iter()
+            .flat_map(|atom| match atom {
+                DepAtom::Imports => import_ports.clone(),
+                DepAtom::Name(n) => vec![n.clone()],
+            })
+            .collect();
+        match &dep.lhs {
+            DepSide::Exports => {
+                for p in &export_ports {
+                    d.port_deps.entry(p.clone()).or_default().extend(rhs.iter().cloned());
+                }
+            }
+            DepSide::Name(n) => {
+                if init_names.contains(n.as_str()) {
+                    d.func_deps.entry(n.clone()).or_default().extend(rhs.iter().cloned());
+                } else {
+                    d.port_deps.entry(n.clone()).or_default().extend(rhs.iter().cloned());
+                }
+            }
+        }
+    }
+    for i in &a.initializers {
+        d.inits_for.entry(i.bundle.clone()).or_default().push(i.func.clone());
+        d.inits.push(i.func.clone());
+    }
+    for f in &a.finalizers {
+        d.finis.push(f.func.clone());
+        d.fini_port.insert(f.func.clone(), f.bundle.clone());
+    }
+    d
+}
+
+/// Compute the initialization and finalization schedule.
+pub fn schedule(program: &Program, el: &Elaboration) -> Result<Schedule, KnitError> {
+    let deps: Vec<InstDeps> =
+        el.instances.iter().map(|i| extract(&program.units[&i.unit])).collect();
+
+    // --- fixpoint: usable(inst, port) = initializers needed before the
+    // functions of that export port may be called ---
+    let mut usable: BTreeMap<(usize, String), BTreeSet<InitKey>> = BTreeMap::new();
+    for inst in &el.instances {
+        let unit = &program.units[&inst.unit];
+        for p in &unit.exports {
+            let mut base: BTreeSet<InitKey> = BTreeSet::new();
+            if let Some(fs) = deps[inst.id].inits_for.get(&p.name) {
+                base.extend(fs.iter().map(|f| (inst.id, f.clone())));
+            }
+            usable.insert((inst.id, p.name.clone()), base);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for inst in &el.instances {
+            let unit = &program.units[&inst.unit];
+            for p in &unit.exports {
+                let mut add: BTreeSet<InitKey> = BTreeSet::new();
+                if let Some(ports) = deps[inst.id].port_deps.get(&p.name) {
+                    for dport in ports {
+                        if let Some(Wire::Export { instance, port }) = inst.imports.get(dport) {
+                            if let Some(s) = usable.get(&(*instance, port.clone())) {
+                                add.extend(s.iter().cloned());
+                            }
+                        }
+                    }
+                }
+                let entry = usable.get_mut(&(inst.id, p.name.clone())).expect("seeded");
+                let before = entry.len();
+                entry.extend(add);
+                if entry.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- ordering edges between initializers: g must run before f ---
+    let mut all_inits: Vec<InitKey> = Vec::new();
+    for inst in &el.instances {
+        for f in &deps[inst.id].inits {
+            all_inits.push((inst.id, f.clone()));
+        }
+    }
+    let required_before = |inst: usize, func: &str| -> BTreeSet<InitKey> {
+        let mut out = BTreeSet::new();
+        if let Some(ports) = deps[inst].func_deps.get(func) {
+            for dport in ports {
+                if let Some(Wire::Export { instance, port }) =
+                    el.instances[inst].imports.get(dport)
+                {
+                    if let Some(s) = usable.get(&(*instance, port.clone())) {
+                        out.extend(s.iter().cloned());
+                    }
+                }
+            }
+        }
+        out.remove(&(inst, func.to_string()));
+        out
+    };
+
+    let mut preds: BTreeMap<InitKey, BTreeSet<InitKey>> = BTreeMap::new();
+    for key in &all_inits {
+        let mut before = required_before(key.0, &key.1);
+        // self-dependency through a chain is a cycle
+        if before.contains(key) {
+            before.remove(key);
+        }
+        // keep only real initializers (usable may reference keys of
+        // instances without matching init declarations — cannot happen by
+        // construction, but stay defensive)
+        before.retain(|k| all_inits.contains(k));
+        preds.insert(key.clone(), before);
+    }
+    // detect chains where f transitively requires itself
+    check_cycles(&preds, el)?;
+
+    // --- deterministic Kahn topological sort ---
+    // stable order: by (instance path, declaration position)
+    let pos: BTreeMap<&InitKey, usize> = all_inits.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let mut order: Vec<InitKey> = Vec::with_capacity(all_inits.len());
+    let mut remaining: BTreeSet<&InitKey> = all_inits.iter().collect();
+    while !remaining.is_empty() {
+        let mut ready: Vec<&InitKey> = remaining
+            .iter()
+            .filter(|k| preds[**k].iter().all(|p| !remaining.contains(p)))
+            .cloned()
+            .collect();
+        if ready.is_empty() {
+            // cycle — should have been caught above
+            let cycle: Vec<String> = remaining
+                .iter()
+                .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
+                .collect();
+            return Err(KnitError::InitCycle { cycle });
+        }
+        ready.sort_by_key(|k| pos[*k]);
+        for k in ready {
+            order.push(k.clone());
+            remaining.remove(k);
+        }
+    }
+
+    // --- finalizers: consumers before providers ---
+    // A finalizer f (for port P, with deps D) must run BEFORE the
+    // finalizers of the providers it depends on (they stay alive until f is
+    // done). We order by the reverse of the provider relation; where no
+    // relation exists, reverse of init order of the owning instances keeps
+    // intuitive symmetry.
+    let mut all_finis: Vec<InitKey> = Vec::new();
+    for inst in &el.instances {
+        for f in &deps[inst.id].finis {
+            all_finis.push((inst.id, f.clone()));
+        }
+    }
+    // instance -> earliest init position (for the symmetry heuristic)
+    let init_pos: BTreeMap<usize, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(p, (i, _))| (*i, p))
+        .rev() // first occurrence wins after collect
+        .collect();
+    let mut finis = all_finis.clone();
+    finis.sort_by_key(|(i, _)| std::cmp::Reverse(init_pos.get(i).copied().unwrap_or(usize::MAX)));
+    // refine with explicit fini deps: f before providers' finis
+    let fini_set: BTreeSet<InitKey> = finis.iter().cloned().collect();
+    let mut fini_preds: BTreeMap<InitKey, BTreeSet<InitKey>> = BTreeMap::new();
+    for key in &all_finis {
+        fini_preds.entry(key.clone()).or_default();
+    }
+    for key in &all_finis {
+        // providers this fini depends on: their finis must come AFTER key,
+        // i.e. key is a predecessor of those finis.
+        if let Some(ports) = deps[key.0].func_deps.get(&key.1) {
+            for dport in ports {
+                if let Some(Wire::Export { instance, port: _ }) =
+                    el.instances[key.0].imports.get(dport)
+                {
+                    for pf in &deps[*instance].finis {
+                        let provider_key = (*instance, pf.clone());
+                        if provider_key != *key && fini_set.contains(&provider_key) {
+                            fini_preds.get_mut(&provider_key).expect("seeded").insert(key.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // topo-sort finis with the heuristic order as tiebreak
+    let fpos: BTreeMap<&InitKey, usize> = finis.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let mut forder: Vec<InitKey> = Vec::with_capacity(all_finis.len());
+    let mut fremaining: BTreeSet<&InitKey> = all_finis.iter().collect();
+    while !fremaining.is_empty() {
+        let mut ready: Vec<&InitKey> = fremaining
+            .iter()
+            .filter(|k| fini_preds[**k].iter().all(|p| !fremaining.contains(p)))
+            .cloned()
+            .collect();
+        if ready.is_empty() {
+            let cycle: Vec<String> = fremaining
+                .iter()
+                .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
+                .collect();
+            return Err(KnitError::InitCycle { cycle });
+        }
+        ready.sort_by_key(|k| fpos[*k]);
+        for k in ready {
+            forder.push(k.clone());
+            fremaining.remove(k);
+        }
+    }
+
+    Ok(Schedule { inits: order, finis: forder })
+}
+
+/// DFS cycle check over initializer predecessor edges, with path reporting.
+fn check_cycles(
+    preds: &BTreeMap<InitKey, BTreeSet<InitKey>>,
+    el: &Elaboration,
+) -> Result<(), KnitError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let keys: Vec<&InitKey> = preds.keys().collect();
+    let idx: BTreeMap<&InitKey, usize> = keys.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+    let mut marks = vec![Mark::White; keys.len()];
+    let mut stack: Vec<usize> = Vec::new();
+
+    fn dfs(
+        u: usize,
+        keys: &[&InitKey],
+        idx: &BTreeMap<&InitKey, usize>,
+        preds: &BTreeMap<InitKey, BTreeSet<InitKey>>,
+        marks: &mut [Mark],
+        stack: &mut Vec<usize>,
+        el: &Elaboration,
+    ) -> Result<(), KnitError> {
+        marks[u] = Mark::Grey;
+        stack.push(u);
+        for p in &preds[keys[u]] {
+            if let Some(&v) = idx.get(p) {
+                match marks[v] {
+                    Mark::Grey => {
+                        let start = stack.iter().position(|&s| s == v).unwrap_or(0);
+                        let mut cycle: Vec<String> = stack[start..]
+                            .iter()
+                            .map(|&s| {
+                                let (i, f) = keys[s];
+                                format!("{}.{}", el.instances[*i].path, f)
+                            })
+                            .collect();
+                        let (i, f) = keys[v];
+                        cycle.push(format!("{}.{}", el.instances[*i].path, f));
+                        return Err(KnitError::InitCycle { cycle });
+                    }
+                    Mark::White => dfs(v, keys, idx, preds, marks, stack, el)?,
+                    Mark::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        marks[u] = Mark::Black;
+        Ok(())
+    }
+
+    for u in 0..keys.len() {
+        if marks[u] == Mark::White {
+            dfs(u, &keys, &idx, preds, &mut marks, &mut stack, el)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::elaborate;
+
+    fn build(src: &str, root: &str) -> (Program, Elaboration) {
+        let mut p = Program::new();
+        p.load_str("t.unit", src).unwrap();
+        let el = elaborate(&p, root).unwrap();
+        (p, el)
+    }
+
+    /// The paper's exact scenario: open_log needs stdio orders the two
+    /// components; serveLog needs stdio alone would not.
+    #[test]
+    fn initializer_level_dep_orders_components() {
+        let src = r#"
+            bundletype Serve = { serve_web }
+            bundletype Stdio = { fopen }
+            unit StdioU = {
+                exports [ stdio : Stdio ];
+                initializer stdio_init for stdio;
+                files { "s.c" };
+            }
+            unit Log = {
+                imports [ stdio : Stdio ];
+                exports [ serveLog : Serve ];
+                initializer open_log for serveLog;
+                depends { open_log needs stdio; serveLog needs stdio; };
+                files { "l.c" };
+            }
+            unit Sys = {
+                exports [ out : Serve ];
+                link {
+                    s : StdioU;
+                    l : Log [ stdio = s.stdio ];
+                    out = l.serveLog;
+                };
+            }
+        "#;
+        let (p, el) = build(src, "Sys");
+        let sched = schedule(&p, &el).unwrap();
+        let names = sched.describe(&el);
+        let pos = |n: &str| names.iter().position(|x| x.ends_with(n)).unwrap();
+        assert!(pos("stdio_init") < pos("open_log"), "{names:?}");
+    }
+
+    /// Export-level deps alone must NOT order the initializers (§3.2:
+    /// "this declaration alone does not constrain the order").
+    #[test]
+    fn export_level_dep_does_not_overconstrain() {
+        let src = r#"
+            bundletype A = { fa }
+            bundletype B = { fb }
+            unit UA = {
+                imports [ b : B ];
+                exports [ a : A ];
+                initializer ia for a;
+                depends { a needs b; };
+                files { "a.c" };
+            }
+            unit UB = {
+                imports [ a : A ];
+                exports [ b : B ];
+                initializer ib for b;
+                depends { b needs a; };
+                files { "b.c" };
+            }
+            unit Sys = {
+                exports [ out : A ];
+                link {
+                    ua : UA [ b = ub.b ];
+                    ub : UB [ a = ua.a ];
+                    out = ua.a;
+                };
+            }
+        "#;
+        // mutual *export-level* deps form no initializer cycle
+        let (p, el) = build(src, "Sys");
+        let sched = schedule(&p, &el).unwrap();
+        assert_eq!(sched.inits.len(), 2);
+    }
+
+    /// Initializer-level mutual deps DO form a cycle and must be reported.
+    #[test]
+    fn init_cycle_detected_with_path() {
+        let src = r#"
+            bundletype A = { fa }
+            bundletype B = { fb }
+            unit UA = {
+                imports [ b : B ];
+                exports [ a : A ];
+                initializer ia for a;
+                depends { ia needs b; };
+                files { "a.c" };
+            }
+            unit UB = {
+                imports [ a : A ];
+                exports [ b : B ];
+                initializer ib for b;
+                depends { ib needs a; };
+                files { "b.c" };
+            }
+            unit Sys = {
+                exports [ out : A ];
+                link {
+                    ua : UA [ b = ub.b ];
+                    ub : UB [ a = ua.a ];
+                    out = ua.a;
+                };
+            }
+        "#;
+        let (p, el) = build(src, "Sys");
+        match schedule(&p, &el) {
+            Err(KnitError::InitCycle { cycle }) => {
+                assert!(cycle.len() >= 2, "{cycle:?}");
+            }
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    /// Transitive ordering through a middle unit with no initializer.
+    #[test]
+    fn transitive_ordering_through_uninitialized_unit() {
+        let src = r#"
+            bundletype A = { fa }
+            bundletype B = { fb }
+            bundletype C = { fc }
+            unit Base = {
+                exports [ c : C ];
+                initializer ic for c;
+                files { "c.c" };
+            }
+            unit Middle = {
+                imports [ c : C ];
+                exports [ b : B ];
+                depends { b needs c; };
+                files { "m.c" };
+            }
+            unit Top = {
+                imports [ b : B ];
+                exports [ a : A ];
+                initializer ia for a;
+                depends { ia needs b; };
+                files { "t.c" };
+            }
+            unit Sys = {
+                exports [ out : A ];
+                link {
+                    base : Base;
+                    mid : Middle [ c = base.c ];
+                    top : Top [ b = mid.b ];
+                    out = top.a;
+                };
+            }
+        "#;
+        let (p, el) = build(src, "Sys");
+        let sched = schedule(&p, &el).unwrap();
+        let names = sched.describe(&el);
+        let pos = |n: &str| names.iter().position(|x| x.ends_with(n)).unwrap();
+        // ia needs b; b (middle) needs c; so ic must run before ia even
+        // though the middle unit has no initializer of its own.
+        assert!(pos("ic") < pos("ia"), "{names:?}");
+    }
+
+    #[test]
+    fn finalizers_run_in_reverse_dependency_order() {
+        let src = r#"
+            bundletype S = { fs }
+            bundletype L = { fl }
+            unit StdioU = {
+                exports [ s : S ];
+                initializer is for s;
+                finalizer fs_close for s;
+                files { "s.c" };
+            }
+            unit Log = {
+                imports [ s : S ];
+                exports [ l : L ];
+                initializer il for l;
+                finalizer fl_close for l;
+                depends { il needs s; fl_close needs s; };
+                files { "l.c" };
+            }
+            unit Sys = {
+                exports [ out : L ];
+                link {
+                    s : StdioU;
+                    l : Log [ s = s.s ];
+                    out = l.l;
+                };
+            }
+        "#;
+        let (p, el) = build(src, "Sys");
+        let sched = schedule(&p, &el).unwrap();
+        let inits = sched.describe(&el);
+        let finis: Vec<String> = sched
+            .finis
+            .iter()
+            .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
+            .collect();
+        let ipos = |n: &str| inits.iter().position(|x| x.ends_with(n)).unwrap();
+        let fpos = |n: &str| finis.iter().position(|x| x.ends_with(n)).unwrap();
+        assert!(ipos("is") < ipos("il"));
+        // log's finalizer uses stdio, so it must run BEFORE stdio's.
+        assert!(fpos("fl_close") < fpos("fs_close"), "{finis:?}");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let src = r#"
+            bundletype T = { f }
+            unit Leaf = {
+                exports [ o : T ];
+                initializer boot for o;
+                files { "l.c" };
+            }
+            unit Sys = {
+                exports [ a : T, b : T, c : T ];
+                link {
+                    x : Leaf; y : Leaf; z : Leaf;
+                    a = x.o; b = y.o; c = z.o;
+                };
+            }
+        "#;
+        let (p, el) = build(src, "Sys");
+        let s1 = schedule(&p, &el).unwrap();
+        let s2 = schedule(&p, &el).unwrap();
+        assert_eq!(s1.inits, s2.inits);
+        assert_eq!(s1.inits.len(), 3);
+    }
+}

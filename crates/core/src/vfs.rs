@@ -1,0 +1,122 @@
+//! The build's virtual source tree.
+//!
+//! Knit unit files name C sources by path (`files { "web.c" }`) and flags
+//! name include directories (`-Ioskit/include`). Component kits in this
+//! reproduction (the `oskit` and `clack` crates) ship their sources as
+//! embedded strings, so the build works from an in-memory tree rather than
+//! the real filesystem.
+
+use std::collections::BTreeMap;
+
+use cmini::FileProvider;
+use cobj::object::ObjectFile;
+
+/// An in-memory tree of source files (paths use `/` separators), plus
+/// pre-compiled object files — the paper notes "Knit can actually work
+/// with C, assembly, and object code", and a unit's `files` clause may
+/// name a registered `.o` directly.
+#[derive(Debug, Clone, Default)]
+pub struct SourceTree {
+    files: BTreeMap<String, String>,
+    objects: BTreeMap<String, ObjectFile>,
+}
+
+impl SourceTree {
+    /// An empty tree.
+    pub fn new() -> SourceTree {
+        SourceTree::default()
+    }
+
+    /// Add (or replace) a file.
+    pub fn add(&mut self, path: impl Into<String>, contents: impl Into<String>) -> &mut Self {
+        self.files.insert(path.into(), contents.into());
+        self
+    }
+
+    /// Fetch a file's contents.
+    pub fn get(&self, path: &str) -> Option<&str> {
+        self.files.get(path).map(|s| s.as_str())
+    }
+
+    /// Whether the file exists.
+    pub fn contains(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Iterate over (path, contents).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Register a pre-compiled object under a path (referenced from unit
+    /// files as `files { "name.o" }`).
+    pub fn add_object(&mut self, path: impl Into<String>, obj: ObjectFile) -> &mut Self {
+        self.objects.insert(path.into(), obj);
+        self
+    }
+
+    /// Fetch a registered object.
+    pub fn get_object(&self, path: &str) -> Option<&ObjectFile> {
+        self.objects.get(path)
+    }
+
+    /// Merge another tree into this one (later wins).
+    pub fn extend_from(&mut self, other: &SourceTree) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+        for (k, v) in &other.objects {
+            self.objects.insert(k.clone(), v.clone());
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl FileProvider for SourceTree {
+    fn read_file(&self, path: &str) -> Option<String> {
+        self.files.get(path).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = SourceTree::new();
+        a.add("x.c", "int a;").add("h/defs.h", "#define N 1");
+        assert_eq!(a.get("x.c"), Some("int a;"));
+        assert!(a.contains("h/defs.h"));
+        assert!(!a.contains("nope.c"));
+
+        let mut b = SourceTree::new();
+        b.add("x.c", "int b;");
+        a.extend_from(&b);
+        assert_eq!(a.get("x.c"), Some("int b;"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn acts_as_file_provider() {
+        let mut t = SourceTree::new();
+        t.add("inc/a.h", "#define A 7");
+        let out = cmini::pp::preprocess(
+            "m.c",
+            "#include \"a.h\"\nint x = A;\n",
+            &cmini::PpOptions { include_dirs: vec!["inc".into()], defines: vec![] },
+            &t,
+        )
+        .unwrap();
+        assert_eq!(out, "int x = 7;\n");
+    }
+}

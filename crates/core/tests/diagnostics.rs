@@ -1,0 +1,160 @@
+//! Diagnostic-quality tests: Knit's value over raw `ld` is largely in its
+//! error messages — every rejection must name the unit, the port, or the
+//! conflicting annotations involved.
+
+use knit::{build, BuildOptions, KnitError, Program, SourceTree};
+
+fn runtime() -> impl Iterator<Item = String> {
+    machine::runtime_symbols()
+}
+
+fn try_build(units: &str, files: &[(&str, &str)], root: &str) -> Result<(), String> {
+    let mut p = Program::new();
+    p.load_str("t.unit", units).map_err(|e| e.to_string())?;
+    let mut t = SourceTree::new();
+    for (path, src) in files {
+        t.add(*path, *src);
+    }
+    build(&p, &t, &BuildOptions::new(root, runtime())).map(|_| ()).map_err(|e| e.to_string())
+}
+
+#[test]
+fn unbound_import_names_instance_and_port() {
+    let err = try_build(
+        r#"
+        bundletype T = { f }
+        unit Needy = { imports [ fuel : T ]; exports [ out : T ]; files { "n.c" }; }
+        unit Sys = { exports [ o : T ]; link { n : Needy; o = n.out; }; }
+        "#,
+        &[("n.c", "int f() { return 1; }")],
+        "Sys",
+    )
+    .unwrap_err();
+    assert!(err.contains("fuel"), "{err}");
+    assert!(err.contains("Sys/n"), "{err}");
+}
+
+#[test]
+fn bundle_mismatch_names_both_types() {
+    let err = try_build(
+        r#"
+        bundletype T = { f }
+        bundletype U = { g }
+        unit P = { exports [ y : U ]; files { "p.c" }; }
+        unit C = { imports [ x : T ]; exports [ o : T ]; files { "c.c" }; }
+        unit Sys = { exports [ o : T ]; link { p : P; c : C [ x = p.y ]; o = c.o; }; }
+        "#,
+        &[("p.c", "int g() { return 1; }"), ("c.c", "int f() { return 2; }")],
+        "Sys",
+    )
+    .unwrap_err();
+    assert!(err.contains('T') && err.contains('U'), "{err}");
+}
+
+#[test]
+fn missing_source_names_unit_and_path() {
+    let err = try_build(
+        r#"
+        bundletype T = { f }
+        unit Ghost = { exports [ o : T ]; files { "missing.c" }; }
+        unit Sys = { exports [ o : T ]; link { g : Ghost; o = g.o; }; }
+        "#,
+        &[],
+        "Sys",
+    )
+    .unwrap_err();
+    assert!(err.contains("Ghost") && err.contains("missing.c"), "{err}");
+}
+
+#[test]
+fn compile_errors_carry_file_and_line() {
+    let err = try_build(
+        r#"
+        bundletype T = { f }
+        unit Broken = { exports [ o : T ]; files { "b.c" }; }
+        unit Sys = { exports [ o : T ]; link { b : Broken; o = b.o; }; }
+        "#,
+        &[("b.c", "int f() {\n    return oops;\n}")],
+        "Sys",
+    )
+    .unwrap_err();
+    assert!(err.contains("b.c:2"), "position missing: {err}");
+    assert!(err.contains("oops"), "{err}");
+}
+
+#[test]
+fn unknown_root_is_reported() {
+    let err = try_build("bundletype T = { f }", &[], "Nowhere").unwrap_err();
+    assert!(err.contains("Nowhere"), "{err}");
+}
+
+#[test]
+fn constraint_violation_names_both_annotations() {
+    let err = try_build(
+        r#"
+        property ctx
+        type Any
+        type Proc < Any
+        bundletype T = { f }
+        unit Strict = {
+            exports [ o : T ];
+            files { "s.c" };
+            constraints { ctx(o) = Proc; };
+        }
+        unit Demands = {
+            imports [ i : T ];
+            exports [ o : T ];
+            files { "d.c" };
+            rename { i.f to inner_f; };
+            constraints { ctx(o) = Any; ctx(o) <= ctx(i); };
+        }
+        unit Sys = { exports [ o : T ]; link { s : Strict; d : Demands [ i = s.o ]; o = d.o; }; }
+        "#,
+        &[("s.c", "int f() { return 1; }"), ("d.c", "int inner_f();\nint f() { return inner_f(); }")],
+        "Sys",
+    )
+    .unwrap_err();
+    // the blame chain names both conflicting units and values
+    assert!(err.contains("Strict") && err.contains("Demands"), "{err}");
+    assert!(err.contains("Proc") && err.contains("Any"), "{err}");
+}
+
+#[test]
+fn needs_rename_explains_the_conflict() {
+    let mut p = Program::new();
+    p.load_str(
+        "t.unit",
+        r#"
+        bundletype T = { f }
+        unit Wrap = { imports [ i : T ]; exports [ o : T ]; files { "w.c" }; }
+        unit Base = { exports [ o : T ]; files { "b.c" }; }
+        unit Sys = { exports [ o : T ]; link { b : Base; w : Wrap [ i = b.o ]; o = w.o; }; }
+        "#,
+    )
+    .unwrap();
+    let mut t = SourceTree::new();
+    t.add("w.c", "int f() { return 1; }");
+    t.add("b.c", "int f() { return 2; }");
+    let err = build(&p, &t, &BuildOptions::new("Sys", runtime())).unwrap_err();
+    match err {
+        KnitError::NeedsRename { unit, c_name } => {
+            assert_eq!(unit, "Wrap");
+            assert_eq!(c_name, "f");
+        }
+        other => panic!("expected NeedsRename, got {other}"),
+    }
+    // and the Display output cites §3.2's remedy
+    let msg = KnitError::NeedsRename { unit: "Wrap".into(), c_name: "f".into() }.to_string();
+    assert!(msg.contains("rename"), "{msg}");
+}
+
+#[test]
+fn duplicate_unit_rejected_at_load() {
+    let mut p = Program::new();
+    p.load_str("a.unit", "bundletype T = { f }\nunit U = { exports [ o : T ]; files { \"u.c\" }; }")
+        .unwrap();
+    let err = p
+        .load_str("b.unit", "unit U = { exports [ o : T ]; files { \"u2.c\" }; }")
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate unit `U`"), "{err}");
+}

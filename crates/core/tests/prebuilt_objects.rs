@@ -1,0 +1,163 @@
+//! Units built from pre-compiled object code (§3.2: "Knit can actually
+//! work with C, assembly, and object code").
+
+use cobj::ir::{BinOp, Instr};
+use cobj::object::{FuncDef, ObjectFile, Symbol};
+use knit::{build, BuildOptions, Program, SourceTree};
+use machine::Machine;
+
+/// A hand-assembled object exporting `scramble(x) = x * 3 + 1` and calling
+/// an imported `tweak`.
+fn scramble_object() -> ObjectFile {
+    let mut o = ObjectFile::new("scramble.o");
+    let tweak = o.add_symbol(Symbol::undef("tweak"));
+    let f = o.add_symbol(Symbol::func("scramble"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 1,
+        nregs: 3,
+        frame_size: 0,
+        body: vec![
+            Instr::Const { dst: 1, value: 3 },
+            Instr::Bin { op: BinOp::Mul, dst: 2, a: 0, b: 1 },
+            Instr::Const { dst: 1, value: 1 },
+            Instr::Bin { op: BinOp::Add, dst: 2, a: 2, b: 1 },
+            Instr::Call { dst: Some(2), target: tweak, args: vec![2] },
+            Instr::Ret { value: Some(2) },
+        ],
+    });
+    o
+}
+
+fn setup(flatten: bool) -> (Program, SourceTree) {
+    let mut p = Program::new();
+    p.load_str(
+        "t.unit",
+        &format!(
+            r#"
+        bundletype Scramble = {{ scramble }}
+        bundletype Tweak = {{ tweak }}
+        bundletype Main = {{ main }}
+
+        // this unit's implementation is OBJECT CODE, not source
+        unit ScrambleBlob = {{
+            imports [ t : Tweak ];
+            exports [ s : Scramble ];
+            depends {{ exports needs imports; }};
+            files {{ "scramble.o" }};
+        }}
+
+        unit Tweaker = {{
+            exports [ t : Tweak ];
+            files {{ "tweak.c" }};
+        }}
+
+        unit App = {{
+            imports [ s : Scramble ];
+            exports [ main : Main ];
+            depends {{ exports needs imports; }};
+            files {{ "app.c" }};
+        }}
+
+        unit Sys = {{
+            exports [ main : Main ];
+            link {{
+                tw : Tweaker;
+                blob : ScrambleBlob [ t = tw.t ];
+                app : App [ s = blob.s ];
+                main = app.main;
+            }};
+            {}
+        }}
+        "#,
+            if flatten { "flatten;" } else { "" }
+        ),
+    )
+    .unwrap();
+    let mut t = SourceTree::new();
+    t.add("tweak.c", "int tweak(int x) { return x + 100; }");
+    t.add("app.c", "int scramble(int x);\nint main() { return scramble(7); }");
+    t.add_object("scramble.o", scramble_object());
+    (p, t)
+}
+
+#[test]
+fn object_code_units_link_and_run() {
+    let (p, t) = setup(false);
+    let report = build(&p, &t, &BuildOptions::new("Sys", machine::runtime_symbols())).unwrap();
+    let mut m = Machine::new(report.image).unwrap();
+    assert_eq!(m.run_entry().unwrap(), 7 * 3 + 1 + 100);
+}
+
+#[test]
+fn object_code_units_coexist_with_flattening() {
+    // the group flattens its source units; the blob stays on the objcopy
+    // path, wired to the merged group's (still-external) symbols
+    let (p, t) = setup(true);
+    let report = build(&p, &t, &BuildOptions::new("Sys", machine::runtime_symbols())).unwrap();
+    let mut m = Machine::new(report.image).unwrap();
+    assert_eq!(m.run_entry().unwrap(), 122);
+}
+
+#[test]
+fn invalid_prebuilt_objects_are_rejected() {
+    let (p, mut t) = setup(false);
+    // corrupt the object: defined symbol without a body
+    let mut bad = ObjectFile::new("scramble.o");
+    bad.add_symbol(Symbol::func("scramble"));
+    t.add_object("scramble.o", bad);
+    let err = build(&p, &t, &BuildOptions::new("Sys", machine::runtime_symbols())).unwrap_err();
+    assert!(err.to_string().contains("scramble.o"), "{err}");
+}
+
+#[test]
+fn multiple_instances_of_an_object_unit_are_duplicated() {
+    let mut p = Program::new();
+    p.load_str(
+        "t.unit",
+        r#"
+        bundletype Scramble = { scramble }
+        bundletype Tweak = { tweak }
+        bundletype Main = { main }
+        unit ScrambleBlob = {
+            imports [ t : Tweak ];
+            exports [ s : Scramble ];
+            depends { exports needs imports; };
+            files { "scramble.o" };
+        }
+        unit Add100 = { exports [ t : Tweak ]; files { "t1.c" }; }
+        unit Add200 = { exports [ t : Tweak ]; files { "t2.c" }; }
+        unit App = {
+            imports [ a : Scramble, b : Scramble ];
+            exports [ main : Main ];
+            depends { exports needs imports; };
+            files { "app.c" };
+            rename { a.scramble to scr_a; b.scramble to scr_b; };
+        }
+        unit Sys = {
+            exports [ main : Main ];
+            link {
+                t1 : Add100;
+                t2 : Add200;
+                s1 : ScrambleBlob [ t = t1.t ];
+                s2 : ScrambleBlob [ t = t2.t ];
+                app : App [ a = s1.s, b = s2.s ];
+                main = app.main;
+            };
+        }
+        "#,
+    )
+    .unwrap();
+    let mut t = SourceTree::new();
+    t.add("t1.c", "int tweak(int x) { return x + 100; }");
+    t.add("t2.c", "int tweak(int x) { return x + 200; }");
+    t.add(
+        "app.c",
+        "int scr_a(int x);\nint scr_b(int x);\nint main() { return scr_a(1) * 1000 + scr_b(1); }",
+    );
+    t.add_object("scramble.o", scramble_object());
+    let report = build(&p, &t, &BuildOptions::new("Sys", machine::runtime_symbols())).unwrap();
+    let mut m = Machine::new(report.image).unwrap();
+    // scr_a(1) = 4 + 100 = 104; scr_b(1) = 4 + 200 = 204
+    assert_eq!(m.run_entry().unwrap(), 104 * 1000 + 204);
+}

@@ -1,0 +1,293 @@
+//! # flatten — cross-component optimization by source merging
+//!
+//! Section 6 of the Knit paper: *"Knit merges the code from many different
+//! C files into a single file, and then invokes the C compiler on the
+//! resulting file. … Knit must rename variables to eliminate conflicts,
+//! eliminate duplicate declarations for variables and types, and sort
+//! function definitions so that the definition of each function comes
+//! before as many uses as possible (to encourage inlining in the C
+//! compiler)."*
+//!
+//! This crate does exactly that over `cmini` ASTs:
+//!
+//! 1. **Rename** each instance's code apart: link-visible names follow the
+//!    instance's Knit symbol map (the same map `objcopy` would apply),
+//!    private globals get an instance tag, `static`s get a per-file tag,
+//!    struct tags get an instance tag. Runtime (`__`-prefixed) names pass
+//!    through.
+//! 2. **Merge** all items into one translation unit, dropping duplicate
+//!    prototypes/extern declarations.
+//! 3. **Sort** function definitions callee-before-caller (Kahn's algorithm
+//!    over the direct-call graph; cycles broken by original order) — this
+//!    is what arms `cmini`'s gcc-like definition-before-use inliner across
+//!    what used to be component boundaries.
+//!
+//! The merged unit is then compiled at `-O2`, producing a single object
+//! whose exports carry the same mangled names the unflattened build would
+//! have produced — so flattening is a drop-in substitution at link time.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cmini::ast::*;
+use cmini::error::CError;
+use cmini::CompileOptions;
+use cobj::object::ObjectFile;
+
+mod rename;
+mod sort;
+
+pub use rename::rename_tu;
+pub use sort::sort_functions;
+
+/// One unit instance's contribution to a flattened group.
+pub struct FlattenInput {
+    /// Unique tag for this instance (e.g. `"k3"`); used to rename private
+    /// globals and struct tags apart.
+    pub tag: String,
+    /// The instance's parsed translation units (one per source file).
+    pub tus: Vec<TranslationUnit>,
+    /// Knit symbol map for link-visible names: C identifier → mangled
+    /// link-level name (exports to their mangles, imports to their
+    /// providers' mangles).
+    pub symbol_map: BTreeMap<String, String>,
+}
+
+/// Merge a group of instances into one translation unit (public so tests
+/// and ablation benches can inspect the merged source before compilation).
+pub fn merge(name: &str, inputs: &[FlattenInput]) -> TranslationUnit {
+    let mut items: Vec<Item> = Vec::new();
+    for input in inputs {
+        for (file_idx, tu) in input.tus.iter().enumerate() {
+            let renamed = rename_tu(tu, &input.tag, file_idx, &input.symbol_map);
+            items.extend(renamed.items);
+        }
+    }
+    let items = dedup_decls(items);
+    let items = sort_functions(items);
+    TranslationUnit { file: name.to_string(), items }
+}
+
+/// Flatten a group and compile it to a single object file.
+///
+/// `external` lists the mangled names that must stay link-visible (exports
+/// wired to units outside the group, plus initializers the generated boot
+/// code calls). Everything else is localized and — once the inliner has
+/// absorbed it — garbage-collected, so flattening *shrinks* text rather
+/// than duplicating it (the paper observes flattening reduced the router's
+/// text size).
+pub fn flatten_group(
+    name: &str,
+    inputs: &[FlattenInput],
+    opts: &CompileOptions,
+    external: &BTreeSet<String>,
+) -> Result<ObjectFile, CError> {
+    let merged = merge(name, inputs);
+    let mut obj = cmini::backend(merged, opts)?;
+    cobj::objcopy::localize_except(&mut obj, external);
+    Ok(cobj::objcopy::gc(&obj))
+}
+
+/// Remove duplicate prototypes and extern declarations: keep at most one
+/// declaration per name, and none at all when a definition exists.
+fn dedup_decls(items: Vec<Item>) -> Vec<Item> {
+    let mut defined_funcs: BTreeSet<String> = BTreeSet::new();
+    let mut defined_globals: BTreeSet<String> = BTreeSet::new();
+    let mut defined_structs: BTreeSet<String> = BTreeSet::new();
+    for i in &items {
+        match i {
+            Item::Func(f) if f.body.is_some() => {
+                defined_funcs.insert(f.name.clone());
+            }
+            Item::Global(g) if g.storage != Storage::Extern => {
+                defined_globals.insert(g.name.clone());
+            }
+            Item::Struct(s) if !s.fields.is_empty() => {
+                defined_structs.insert(s.name.clone());
+            }
+            _ => {}
+        }
+    }
+    let mut seen_protos: BTreeSet<String> = BTreeSet::new();
+    let mut seen_extern: BTreeSet<String> = BTreeSet::new();
+    let mut seen_structs: BTreeSet<String> = BTreeSet::new();
+    let mut out = Vec::with_capacity(items.len());
+    for i in items {
+        match &i {
+            Item::Func(f) if f.body.is_none() => {
+                if defined_funcs.contains(&f.name) {
+                    // a definition exists; keep the first prototype only if
+                    // it precedes the definition — simplest is to keep one
+                    // prototype always (harmless) but never duplicates
+                    if !seen_protos.insert(f.name.clone()) {
+                        continue;
+                    }
+                } else if !seen_protos.insert(f.name.clone()) {
+                    continue;
+                }
+            }
+            Item::Global(g) if g.storage == Storage::Extern => {
+                if !seen_extern.insert(g.name.clone()) {
+                    continue;
+                }
+                let _ = defined_globals.contains(&g.name); // both fine to keep once
+            }
+            Item::Struct(s) if s.fields.is_empty() => {
+                // forward declarations are never needed after merging
+                if defined_structs.contains(&s.name) || !seen_structs.insert(s.name.clone()) {
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        out.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmini::parser::parse;
+
+    fn input(tag: &str, srcs: &[&str], map: &[(&str, &str)]) -> FlattenInput {
+        FlattenInput {
+            tag: tag.to_string(),
+            tus: srcs.iter().enumerate().map(|(i, s)| parse(&format!("{tag}_{i}.c"), s).unwrap()).collect(),
+            symbol_map: map.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+        }
+    }
+
+    #[test]
+    fn merge_renames_instances_apart() {
+        // two instances of the same "counter" unit
+        let src = "static int count = 0; int bump() { count = count + 1; return count; }";
+        let a = input("k0", &[src], &[("bump", "bump__a")]);
+        let b = input("k1", &[src], &[("bump", "bump__b")]);
+        let merged = merge("grp", &[a, b]);
+        let names: Vec<&str> = merged
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Func(f) => Some(f.name.as_str()),
+                Item::Global(g) => Some(g.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"bump__a"));
+        assert!(names.contains(&"bump__b"));
+        // statics tagged apart
+        assert!(names.iter().filter(|n| n.contains("count")).count() == 2);
+        assert!(names.iter().all(|n| *n != "count"));
+    }
+
+    #[test]
+    fn merge_wires_import_to_provider_and_sorts_for_inlining() {
+        // provider exports serve as `serve__p`; consumer imports serve
+        // (undefined in its TU) wired to `serve__p`. The consumer appears
+        // FIRST in the group, so only sorting makes inlining possible.
+        let consumer = input(
+            "k0",
+            &["int serve(int x);\nint handle(int x) { return serve(x); }"],
+            &[("serve", "serve__p"), ("handle", "handle__c")],
+        );
+        let provider =
+            input("k1", &["int serve(int x) { return x + 1; }"], &[("serve", "serve__p")]);
+        let merged = merge("grp", &[consumer, provider]);
+        // the provider's definition must precede the consumer's
+        let order: Vec<&str> = merged
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Func(f) if f.body.is_some() => Some(f.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        let p = order.iter().position(|n| *n == "serve__p").unwrap();
+        let c = order.iter().position(|n| *n == "handle__c").unwrap();
+        assert!(p < c, "callee must come first: {order:?}");
+
+        // and compiling it actually inlines the cross-component call
+        let obj = cmini::backend(merged, &CompileOptions::default()).unwrap();
+        let handle = obj
+            .funcs
+            .iter()
+            .find(|f| obj.symbol(f.sym).name == "handle__c")
+            .expect("handle compiled");
+        assert!(
+            !handle.body.iter().any(|i| matches!(i, cobj::Instr::Call { .. })),
+            "cross-component call should be inlined after flattening"
+        );
+    }
+
+    #[test]
+    fn duplicate_prototypes_are_deduped() {
+        let a = input("k0", &["int shared(int x);\nint fa(int x) { return shared(x); }"], &[
+            ("shared", "shared__s"),
+            ("fa", "fa__a"),
+        ]);
+        let b = input("k1", &["int shared(int x);\nint fb(int x) { return shared(x); }"], &[
+            ("shared", "shared__s"),
+            ("fb", "fb__b"),
+        ]);
+        let merged = merge("grp", &[a, b]);
+        let protos = merged
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Func(f) if f.body.is_none() && f.name == "shared__s"))
+            .count();
+        assert_eq!(protos, 1);
+    }
+
+    #[test]
+    fn statics_in_different_files_of_one_instance_stay_apart() {
+        let a = input(
+            "k0",
+            &[
+                "static int x = 1; int get1() { return x; }",
+                "static int x = 2; int get2() { return x; }",
+            ],
+            &[("get1", "g1"), ("get2", "g2")],
+        );
+        let merged = merge("grp", &[a]);
+        let globals: Vec<&str> = merged
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Global(g) => Some(g.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(globals.len(), 2);
+        assert_ne!(globals[0], globals[1]);
+    }
+
+    #[test]
+    fn struct_tags_are_renamed_per_instance() {
+        let src = "struct state { int v; };\nstruct state st;\nint get() { return st.v; }";
+        let a = input("k0", &[src], &[("get", "ga")]);
+        let b = input("k1", &[src], &[("get", "gb")]);
+        let merged = merge("grp", &[a, b]);
+        let structs: Vec<&str> = merged
+            .items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Struct(s) => Some(s.name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(structs.len(), 2);
+        assert_ne!(structs[0], structs[1]);
+        // and it still compiles
+        assert!(cmini::backend(merged, &CompileOptions::default()).is_ok());
+    }
+
+    #[test]
+    fn runtime_symbols_pass_through() {
+        let a = input("k0", &["int __con_putc(int c);\nvoid out(int c) { __con_putc(c); }"], &[(
+            "out", "out__a",
+        )]);
+        let merged = merge("grp", &[a]);
+        let obj = cmini::backend(merged, &CompileOptions::default()).unwrap();
+        assert!(obj.undefined_names().contains("__con_putc"));
+    }
+}

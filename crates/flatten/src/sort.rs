@@ -1,0 +1,228 @@
+//! Callee-before-caller ordering of function definitions.
+//!
+//! "sort function definitions so that the definition of each function comes
+//! before as many uses as possible (to encourage inlining in the C
+//! compiler)" — §6. Kahn's algorithm over the direct-call graph; cycles
+//! (mutually recursive functions) are broken by original order, which is
+//! exactly "as many uses as possible" rather than "all".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cmini::ast::*;
+
+/// Reorder: struct definitions first, then globals and prototypes (original
+/// order), then function definitions callee-before-caller.
+pub fn sort_functions(items: Vec<Item>) -> Vec<Item> {
+    let mut structs = Vec::new();
+    let mut decls = Vec::new();
+    let mut funcs: Vec<FuncDef> = Vec::new();
+    for i in items {
+        match i {
+            Item::Struct(_) => structs.push(i),
+            Item::Global(_) => decls.push(i),
+            Item::Func(f) => {
+                if f.body.is_some() {
+                    funcs.push(f);
+                } else {
+                    decls.push(Item::Func(f));
+                }
+            }
+        }
+    }
+
+    // direct-call graph among defined functions
+    let index: BTreeMap<&str, usize> =
+        funcs.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+    let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); funcs.len()];
+    for (i, f) in funcs.iter().enumerate() {
+        if let Some(body) = &f.body {
+            for s in body {
+                collect_calls_stmt(s, &index, &mut callees[i]);
+            }
+        }
+        callees[i].remove(&i); // self-recursion is not an ordering edge
+    }
+
+    // Kahn with original order as the tiebreak; on a cycle, emit the
+    // earliest remaining function (breaking the cycle there).
+    let n = funcs.len();
+    let mut emitted = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while order.len() < n {
+        let mut picked = None;
+        for i in 0..n {
+            if !emitted[i] && callees[i].iter().all(|&c| emitted[c]) {
+                picked = Some(i);
+                break;
+            }
+        }
+        let pick = picked.unwrap_or_else(|| {
+            // cycle: emit the earliest remaining
+            (0..n).find(|&i| !emitted[i]).expect("order incomplete implies something remains")
+        });
+        emitted[pick] = true;
+        order.push(pick);
+    }
+
+    let mut out = structs;
+    out.extend(decls);
+    // reorder funcs without cloning bodies
+    let mut slots: Vec<Option<FuncDef>> = funcs.into_iter().map(Some).collect();
+    for i in order {
+        out.push(Item::Func(slots[i].take().expect("each index emitted once")));
+    }
+    out
+}
+
+fn collect_calls_stmt(s: &Stmt, index: &BTreeMap<&str, usize>, out: &mut BTreeSet<usize>) {
+    match s {
+        Stmt::Expr(e) | Stmt::Return(Some(e), _) => collect_calls_expr(e, index, out),
+        Stmt::Decl { init: Some(e), .. } => collect_calls_expr(e, index, out),
+        Stmt::If { cond, then_s, else_s } => {
+            collect_calls_expr(cond, index, out);
+            collect_calls_stmt(then_s, index, out);
+            if let Some(e) = else_s {
+                collect_calls_stmt(e, index, out);
+            }
+        }
+        Stmt::While { cond, body } => {
+            collect_calls_expr(cond, index, out);
+            collect_calls_stmt(body, index, out);
+        }
+        Stmt::DoWhile { body, cond } => {
+            collect_calls_stmt(body, index, out);
+            collect_calls_expr(cond, index, out);
+        }
+        Stmt::For { init, cond, step, body } => {
+            if let Some(i) = init {
+                collect_calls_stmt(i, index, out);
+            }
+            if let Some(c) = cond {
+                collect_calls_expr(c, index, out);
+            }
+            if let Some(st) = step {
+                collect_calls_expr(st, index, out);
+            }
+            collect_calls_stmt(body, index, out);
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_calls_stmt(s, index, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_calls_expr(e: &Expr, index: &BTreeMap<&str, usize>, out: &mut BTreeSet<usize>) {
+    match &e.kind {
+        ExprKind::Ident(n) => {
+            // any reference (call or address) counts as a use worth
+            // ordering after the definition
+            if let Some(&i) = index.get(n.as_str()) {
+                out.insert(i);
+            }
+        }
+        ExprKind::Call { callee, args } => {
+            collect_calls_expr(callee, index, out);
+            for a in args {
+                collect_calls_expr(a, index, out);
+            }
+        }
+        ExprKind::Bin { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+            collect_calls_expr(lhs, index, out);
+            collect_calls_expr(rhs, index, out);
+        }
+        ExprKind::Un { expr, .. }
+        | ExprKind::Cast { expr, .. }
+        | ExprKind::Deref(expr)
+        | ExprKind::AddrOf(expr)
+        | ExprKind::SizeofExpr(expr)
+        | ExprKind::IncDec { expr, .. }
+        | ExprKind::VarArg(expr) => collect_calls_expr(expr, index, out),
+        ExprKind::Cond { cond, then_e, else_e } => {
+            collect_calls_expr(cond, index, out);
+            collect_calls_expr(then_e, index, out);
+            collect_calls_expr(else_e, index, out);
+        }
+        ExprKind::Index { base, index: idx } => {
+            collect_calls_expr(base, index, out);
+            collect_calls_expr(idx, index, out);
+        }
+        ExprKind::Member { base, .. } => collect_calls_expr(base, index, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmini::parser::parse;
+
+    fn order_of(src: &str) -> Vec<String> {
+        let tu = parse("t.c", src).unwrap();
+        sort_functions(tu.items)
+            .into_iter()
+            .filter_map(|i| match i {
+                Item::Func(f) if f.body.is_some() => Some(f.name),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn callee_moves_before_caller() {
+        let order = order_of(
+            "int caller(int x) { return callee(x); }\nint callee(int x) { return x + 1; }",
+        );
+        assert_eq!(order, vec!["callee", "caller"]);
+    }
+
+    #[test]
+    fn chains_sort_depth_first() {
+        let order = order_of(
+            "int a(int x) { return b(x); }\nint b(int x) { return c(x); }\nint c(int x) { return x; }",
+        );
+        assert_eq!(order, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn cycles_break_at_original_order() {
+        let order = order_of(
+            "int ping(int x) { return x ? pong(x - 1) : 0; }\nint pong(int x) { return x ? ping(x - 1) : 1; }",
+        );
+        // cycle: earliest remaining (ping) is emitted first
+        assert_eq!(order, vec!["ping", "pong"]);
+    }
+
+    #[test]
+    fn self_recursion_is_not_a_cycle() {
+        let order = order_of(
+            "int f(int x) { return x ? f(x - 1) : 0; }\nint g(int x) { return f(x); }",
+        );
+        assert_eq!(order, vec!["f", "g"]);
+    }
+
+    #[test]
+    fn structs_and_globals_stay_in_front() {
+        let tu = parse(
+            "t.c",
+            "int caller() { return callee(); }\nstruct s { int v; };\nint g = 3;\nint callee() { return g; }",
+        )
+        .unwrap();
+        let sorted = sort_functions(tu.items);
+        assert!(matches!(sorted[0], Item::Struct(_)));
+        assert!(matches!(&sorted[1], Item::Global(_)));
+        assert!(matches!(&sorted[2], Item::Func(f) if f.name == "callee"));
+    }
+
+    #[test]
+    fn address_taken_functions_also_ordered_first() {
+        let order = order_of(
+            "int user() { return apply(&target); }\nint target() { return 1; }\nint apply(int (*f)()) { return f(); }",
+        );
+        let u = order.iter().position(|n| n == "user").unwrap();
+        let t = order.iter().position(|n| n == "target").unwrap();
+        assert!(t < u);
+    }
+}

@@ -1,0 +1,259 @@
+//! Abstract syntax for the Knit language.
+//!
+//! The shapes follow §3.3 and §4 of the paper (Figure 5 shows the concrete
+//! syntax this models): `bundletype`, `flags`, `property`/`type`
+//! declarations, and `unit` declarations that are either *atomic* (wrap C
+//! files) or *compound* (a `link` block wiring other units together).
+
+use crate::token::Span;
+
+/// A parsed `.unit` file.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KnitFile {
+    /// File name for diagnostics.
+    pub file: String,
+    /// Declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// One top-level declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decl {
+    /// `bundletype Serve = { serve_web }`
+    BundleType(BundleTypeDecl),
+    /// `flags CFlags = { "-Ioskit/include" }`
+    Flags(FlagsDecl),
+    /// `property context`
+    Property(PropertyDecl),
+    /// `type ProcessContext < NoContext` — attaches to the most recent
+    /// `property` declaration.
+    PropValue(PropValueDecl),
+    /// `unit Name = { … }`
+    Unit(UnitDecl),
+}
+
+/// A bundle type: a named set of member names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleTypeDecl {
+    pub name: String,
+    pub members: Vec<String>,
+    pub span: Span,
+}
+
+/// A named set of compiler flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlagsDecl {
+    pub name: String,
+    pub flags: Vec<String>,
+    pub span: Span,
+}
+
+/// A property namespace (e.g. `context`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDecl {
+    pub name: String,
+    pub span: Span,
+}
+
+/// A property value, optionally declared below others in the partial order
+/// (`type ProcessContext < NoContext` means ProcessContext is *less
+/// general*).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropValueDecl {
+    pub name: String,
+    /// Values this one is strictly below.
+    pub below: Vec<String>,
+    pub span: Span,
+}
+
+/// A unit declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitDecl {
+    pub name: String,
+    /// Imported ports (`local_name : BundleType`).
+    pub imports: Vec<Port>,
+    /// Exported ports.
+    pub exports: Vec<Port>,
+    /// Atomic or compound body.
+    pub body: UnitBody,
+    /// Architectural constraints (§4).
+    pub constraints: Vec<Constraint>,
+    /// Whether this unit (compound) is a flattening boundary (§6).
+    pub flatten: bool,
+    pub span: Span,
+}
+
+/// An import or export port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// The name used inside this unit's declarations.
+    pub name: String,
+    /// The bundle type name.
+    pub bundle_type: String,
+    pub span: Span,
+}
+
+/// Atomic vs compound unit body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitBody {
+    Atomic(AtomicBody),
+    Compound(CompoundBody),
+}
+
+/// The body of a unit implemented by C files.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AtomicBody {
+    /// Source files (paths into the build's source tree).
+    pub files: Vec<String>,
+    /// Name of a `flags` declaration to compile with.
+    pub flags: Option<String>,
+    /// Fine-grained dependency declarations.
+    pub depends: Vec<DependsClause>,
+    /// Renamings between Knit names and C identifiers.
+    pub renames: Vec<RenameClause>,
+    /// `initializer f for bundle;`
+    pub initializers: Vec<InitDecl>,
+    /// `finalizer f for bundle;`
+    pub finalizers: Vec<InitDecl>,
+}
+
+/// The body of a unit built by linking other units.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompoundBody {
+    /// Sub-unit instantiations, in order.
+    pub instances: Vec<InstanceDecl>,
+    /// Which instance exports become this unit's exports.
+    pub export_bindings: Vec<ExportBinding>,
+}
+
+/// `lhs needs (a + b);` — `lhs` is an export bundle, an initializer or
+/// finalizer function name, or the keyword `exports`; the right side names
+/// import bundles (or the keyword `imports`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependsClause {
+    pub lhs: DepSide,
+    pub rhs: Vec<DepAtom>,
+    pub span: Span,
+}
+
+/// Left side of a `needs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepSide {
+    /// The keyword `exports` (all export bundles).
+    Exports,
+    /// An export bundle or initializer/finalizer function name.
+    Name(String),
+}
+
+/// Right side atom of a `needs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepAtom {
+    /// The keyword `imports` (all import bundles).
+    Imports,
+    /// A specific import bundle.
+    Name(String),
+}
+
+/// `port.member to c_identifier;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RenameClause {
+    /// The import or export port.
+    pub port: String,
+    /// The bundle member being renamed.
+    pub member: String,
+    /// The C identifier the unit's code actually uses/defines.
+    pub to: String,
+    pub span: Span,
+}
+
+/// `initializer open_log for serveLog;` (also used for finalizers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitDecl {
+    /// The C function to call.
+    pub func: String,
+    /// The export port it initializes/finalizes.
+    pub bundle: String,
+    pub span: Span,
+}
+
+/// `web : Web [ serveFile = serveFile, serveCGI = serveCGI ];`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDecl {
+    /// Instance name, local to the link block.
+    pub name: String,
+    /// The unit being instantiated.
+    pub unit: String,
+    /// Bindings for the instantiated unit's imports.
+    pub bindings: Vec<(String, PathRef)>,
+    pub span: Span,
+}
+
+/// A reference inside a link block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathRef {
+    /// A bare name: one of the compound unit's own imports.
+    Name(String),
+    /// `instance.port`: an export of a sibling instance.
+    Dotted(String, String),
+}
+
+/// `serveLog = log.serveLog;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportBinding {
+    /// The compound unit's export port.
+    pub export: String,
+    /// Instance providing it.
+    pub instance: String,
+    /// That instance's export port.
+    pub port: String,
+    pub span: Span,
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum COp {
+    /// `=` (both directions of `<=`).
+    Eq,
+    /// `<=` in the property's partial order.
+    Le,
+}
+
+/// A term in a constraint: `context(serveLog)`, `context(exports)`, or a
+/// property value name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTerm {
+    /// `prop(target)`
+    Prop { prop: String, target: CTarget },
+    /// A bare property value.
+    Value(String),
+}
+
+/// Target of a property application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CTarget {
+    /// All import ports.
+    Imports,
+    /// All export ports.
+    Exports,
+    /// A specific port (or a member of one — resolved during checking).
+    Name(String),
+}
+
+/// One constraint: `context(exports) <= context(imports);`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    pub lhs: CTerm,
+    pub op: COp,
+    pub rhs: CTerm,
+    pub span: Span,
+}
+
+impl KnitFile {
+    /// Find a unit declaration by name.
+    pub fn find_unit(&self, name: &str) -> Option<&UnitDecl> {
+        self.decls.iter().find_map(|d| match d {
+            Decl::Unit(u) if u.name == name => Some(u),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,42 @@
+//! Diagnostics for the Knit language front end.
+
+use std::fmt;
+
+use crate::token::Span;
+
+/// A front-end error with position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KError {
+    /// Lexical error.
+    Lex { file: String, span: Span, msg: String },
+    /// Syntax error.
+    Parse { file: String, span: Span, msg: String },
+}
+
+impl KError {
+    pub(crate) fn lex(file: &str, span: Span, msg: impl Into<String>) -> KError {
+        KError::Lex { file: file.to_string(), span, msg: msg.into() }
+    }
+
+    pub(crate) fn parse(file: &str, span: Span, msg: impl Into<String>) -> KError {
+        KError::Parse { file: file.to_string(), span, msg: msg.into() }
+    }
+
+    /// The message text.
+    pub fn message(&self) -> &str {
+        match self {
+            KError::Lex { msg, .. } | KError::Parse { msg, .. } => msg,
+        }
+    }
+}
+
+impl fmt::Display for KError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KError::Lex { file, span, msg } => write!(f, "{file}:{span}: lex: {msg}"),
+            KError::Parse { file, span, msg } => write!(f, "{file}:{span}: parse: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KError {}

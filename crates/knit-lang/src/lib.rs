@@ -1,0 +1,57 @@
+//! # knit-lang — front end for the Knit language
+//!
+//! Knit (OSDI 2000) is "a new component definition and linking language for
+//! systems code". This crate provides the language's lexer, AST, parser,
+//! and pretty-printer. The semantic work — elaboration of compound units,
+//! initializer scheduling, constraint checking, and the build pipeline —
+//! lives in the `knit` crate.
+//!
+//! The concrete syntax follows Figure 5 of the paper:
+//!
+//! ```text
+//! bundletype Serve = { serve_web }
+//! flags CFlags = { "-Ioskit/include" }
+//!
+//! unit Web = {
+//!     imports [ serveFile : Serve, serveCGI : Serve ];
+//!     exports [ serveWeb : Serve ];
+//!     depends { serveWeb needs (serveFile + serveCGI); };
+//!     files { "web.c" } with flags CFlags;
+//!     rename { serveFile.serve_web to serve_file; };
+//! }
+//! ```
+//!
+//! Compound units use a `link` block (the paper truncates its compound-unit
+//! syntax; ours names each instance and binds its imports explicitly, which
+//! also gives multiple instantiation for free):
+//!
+//! ```text
+//! unit LogServe = {
+//!     imports [ serveFile : Serve, serveCGI : Serve, stdio : Stdio ];
+//!     exports [ serveLog : Serve ];
+//!     link {
+//!         web : Web [ serveFile = serveFile, serveCGI = serveCGI ];
+//!         log : Log [ serveWeb = web.serveWeb, stdio = stdio ];
+//!         serveLog = log.serveLog;
+//!     };
+//! }
+//! ```
+//!
+//! Properties and architectural constraints follow §4:
+//!
+//! ```text
+//! property context
+//! type NoContext
+//! type ProcessContext < NoContext
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::KnitFile;
+pub use error::KError;
+pub use parser::parse;
+pub use printer::print;

@@ -1,0 +1,602 @@
+//! Recursive-descent parser for the Knit language.
+
+use crate::ast::*;
+use crate::error::KError;
+use crate::token::{lex, Span, Tok, Token};
+
+/// Parse a `.unit` source file.
+pub fn parse(file: &str, src: &str) -> Result<KnitFile, KError> {
+    let toks = lex(file, src)?;
+    let mut p = Parser { file: file.to_string(), toks, pos: 0 };
+    p.knit_file()
+}
+
+struct Parser {
+    file: String,
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, KError> {
+        Err(KError::parse(&self.file, self.span(), msg.into()))
+    }
+
+    fn expect(&mut self, t: Tok) -> Result<(), KError> {
+        if *self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {t}, found {}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, t: Tok) -> bool {
+        if *self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, KError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, KError> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected string, found {other}")),
+        }
+    }
+
+    fn knit_file(&mut self) -> Result<KnitFile, KError> {
+        let mut decls = Vec::new();
+        while *self.peek() != Tok::Eof {
+            decls.push(self.decl()?);
+        }
+        Ok(KnitFile { file: self.file.clone(), decls })
+    }
+
+    fn decl(&mut self) -> Result<Decl, KError> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::KwBundletype => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Eq)?;
+                self.expect(Tok::LBrace)?;
+                let mut members = Vec::new();
+                if !self.eat(Tok::RBrace) {
+                    loop {
+                        members.push(self.ident()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                self.eat(Tok::Semi);
+                Ok(Decl::BundleType(BundleTypeDecl { name, members, span }))
+            }
+            Tok::KwFlags => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(Tok::Eq)?;
+                self.expect(Tok::LBrace)?;
+                let mut flags = Vec::new();
+                if !self.eat(Tok::RBrace) {
+                    loop {
+                        flags.push(self.string()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBrace)?;
+                }
+                self.eat(Tok::Semi);
+                Ok(Decl::Flags(FlagsDecl { name, flags, span }))
+            }
+            Tok::KwProperty => {
+                self.bump();
+                let name = self.ident()?;
+                self.eat(Tok::Semi);
+                Ok(Decl::Property(PropertyDecl { name, span }))
+            }
+            Tok::KwType => {
+                self.bump();
+                let name = self.ident()?;
+                let mut below = Vec::new();
+                if self.eat(Tok::Lt) {
+                    loop {
+                        below.push(self.ident()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.eat(Tok::Semi);
+                Ok(Decl::PropValue(PropValueDecl { name, below, span }))
+            }
+            Tok::KwUnit => self.unit_decl(),
+            other => self.err(format!("expected a declaration, found {other}")),
+        }
+    }
+
+    fn unit_decl(&mut self) -> Result<Decl, KError> {
+        let span = self.span();
+        self.expect(Tok::KwUnit)?;
+        let name = self.ident()?;
+        self.expect(Tok::Eq)?;
+        self.expect(Tok::LBrace)?;
+
+        let mut imports = Vec::new();
+        let mut exports = Vec::new();
+        let mut atomic = AtomicBody::default();
+        let mut compound: Option<CompoundBody> = None;
+        let mut constraints = Vec::new();
+        let mut flatten = false;
+        let mut saw_files = false;
+
+        while !self.eat(Tok::RBrace) {
+            match self.peek().clone() {
+                Tok::KwImports => {
+                    self.bump();
+                    imports = self.port_list()?;
+                    self.expect(Tok::Semi)?;
+                }
+                Tok::KwExports => {
+                    self.bump();
+                    exports = self.port_list()?;
+                    self.expect(Tok::Semi)?;
+                }
+                Tok::KwDepends => {
+                    self.bump();
+                    self.expect(Tok::LBrace)?;
+                    while !self.eat(Tok::RBrace) {
+                        atomic.depends.push(self.depends_clause()?);
+                    }
+                    self.eat(Tok::Semi);
+                }
+                Tok::KwInitializer => {
+                    self.bump();
+                    let func = self.ident()?;
+                    self.expect(Tok::KwFor)?;
+                    let bundle = self.ident()?;
+                    let ispan = self.span();
+                    self.expect(Tok::Semi)?;
+                    atomic.initializers.push(InitDecl { func, bundle, span: ispan });
+                }
+                Tok::KwFinalizer => {
+                    self.bump();
+                    let func = self.ident()?;
+                    self.expect(Tok::KwFor)?;
+                    let bundle = self.ident()?;
+                    let ispan = self.span();
+                    self.expect(Tok::Semi)?;
+                    atomic.finalizers.push(InitDecl { func, bundle, span: ispan });
+                }
+                Tok::KwFiles => {
+                    self.bump();
+                    saw_files = true;
+                    self.expect(Tok::LBrace)?;
+                    if !self.eat(Tok::RBrace) {
+                        loop {
+                            atomic.files.push(self.string()?);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RBrace)?;
+                    }
+                    if self.eat(Tok::KwWith) {
+                        self.expect(Tok::KwFlags)?;
+                        atomic.flags = Some(self.ident()?);
+                    }
+                    self.expect(Tok::Semi)?;
+                }
+                Tok::KwRename => {
+                    self.bump();
+                    self.expect(Tok::LBrace)?;
+                    while !self.eat(Tok::RBrace) {
+                        let rspan = self.span();
+                        let port = self.ident()?;
+                        self.expect(Tok::Dot)?;
+                        let member = self.ident()?;
+                        self.expect(Tok::KwTo)?;
+                        let to = self.ident()?;
+                        self.expect(Tok::Semi)?;
+                        atomic.renames.push(RenameClause { port, member, to, span: rspan });
+                    }
+                    self.eat(Tok::Semi);
+                }
+                Tok::KwConstraints => {
+                    self.bump();
+                    self.expect(Tok::LBrace)?;
+                    while !self.eat(Tok::RBrace) {
+                        constraints.push(self.constraint()?);
+                    }
+                    self.eat(Tok::Semi);
+                }
+                Tok::KwLink => {
+                    self.bump();
+                    compound = Some(self.link_block()?);
+                    self.eat(Tok::Semi);
+                }
+                Tok::KwFlatten => {
+                    self.bump();
+                    flatten = true;
+                    self.expect(Tok::Semi)?;
+                }
+                other => return self.err(format!("unexpected {other} in unit body")),
+            }
+        }
+        self.eat(Tok::Semi);
+
+        let body = match compound {
+            Some(c) => {
+                if saw_files {
+                    return Err(KError::parse(
+                        &self.file,
+                        span,
+                        format!("unit `{name}` has both `files` and `link`"),
+                    ));
+                }
+                UnitBody::Compound(c)
+            }
+            None => {
+                if !saw_files {
+                    return Err(KError::parse(
+                        &self.file,
+                        span,
+                        format!("unit `{name}` needs either `files` (atomic) or `link` (compound)"),
+                    ));
+                }
+                UnitBody::Atomic(atomic)
+            }
+        };
+        Ok(Decl::Unit(UnitDecl { name, imports, exports, body, constraints, flatten, span }))
+    }
+
+    fn port_list(&mut self) -> Result<Vec<Port>, KError> {
+        self.expect(Tok::LBracket)?;
+        let mut out = Vec::new();
+        if !self.eat(Tok::RBracket) {
+            loop {
+                let span = self.span();
+                let name = self.ident()?;
+                self.expect(Tok::Colon)?;
+                let bundle_type = self.ident()?;
+                out.push(Port { name, bundle_type, span });
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+            self.expect(Tok::RBracket)?;
+        }
+        Ok(out)
+    }
+
+    fn depends_clause(&mut self) -> Result<DependsClause, KError> {
+        let span = self.span();
+        let lhs = if self.eat(Tok::KwExports) {
+            DepSide::Exports
+        } else {
+            DepSide::Name(self.ident()?)
+        };
+        self.expect(Tok::KwNeeds)?;
+        let mut rhs = Vec::new();
+        if self.eat(Tok::LParen) {
+            loop {
+                rhs.push(self.dep_atom()?);
+                if !self.eat(Tok::Plus) {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen)?;
+        } else {
+            loop {
+                rhs.push(self.dep_atom()?);
+                // allow `a, b` and `a + b` without parens
+                if !self.eat(Tok::Plus) && !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(DependsClause { lhs, rhs, span })
+    }
+
+    fn dep_atom(&mut self) -> Result<DepAtom, KError> {
+        if self.eat(Tok::KwImports) {
+            Ok(DepAtom::Imports)
+        } else {
+            Ok(DepAtom::Name(self.ident()?))
+        }
+    }
+
+    fn link_block(&mut self) -> Result<CompoundBody, KError> {
+        self.expect(Tok::LBrace)?;
+        let mut body = CompoundBody::default();
+        while !self.eat(Tok::RBrace) {
+            let span = self.span();
+            let name = self.ident()?;
+            if self.eat(Tok::Colon) {
+                // instance: name : Unit [ import = path, ... ];
+                let unit = self.ident()?;
+                let mut bindings = Vec::new();
+                if self.eat(Tok::LBracket) {
+                    if !self.eat(Tok::RBracket) {
+                        loop {
+                            let import = self.ident()?;
+                            self.expect(Tok::Eq)?;
+                            let path = self.path_ref()?;
+                            bindings.push((import, path));
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(Tok::RBracket)?;
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                body.instances.push(InstanceDecl { name, unit, bindings, span });
+            } else if self.eat(Tok::Eq) {
+                // export binding: export = instance.port;
+                let instance = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let port = self.ident()?;
+                self.expect(Tok::Semi)?;
+                body.export_bindings.push(ExportBinding { export: name, instance, port, span });
+            } else {
+                return self.err(format!("expected `:` or `=` after `{name}` in link block"));
+            }
+        }
+        Ok(body)
+    }
+
+    fn path_ref(&mut self) -> Result<PathRef, KError> {
+        let first = self.ident()?;
+        if self.eat(Tok::Dot) {
+            let second = self.ident()?;
+            Ok(PathRef::Dotted(first, second))
+        } else {
+            Ok(PathRef::Name(first))
+        }
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, KError> {
+        let span = self.span();
+        let lhs = self.cterm()?;
+        let op = match self.bump() {
+            Tok::Eq => COp::Eq,
+            Tok::Le => COp::Le,
+            other => return self.err(format!("expected `=` or `<=`, found {other}")),
+        };
+        let rhs = self.cterm()?;
+        self.expect(Tok::Semi)?;
+        Ok(Constraint { lhs, op, rhs, span })
+    }
+
+    fn cterm(&mut self) -> Result<CTerm, KError> {
+        let first = self.ident()?;
+        if self.eat(Tok::LParen) {
+            let target = match self.peek().clone() {
+                Tok::KwImports => {
+                    self.bump();
+                    CTarget::Imports
+                }
+                Tok::KwExports => {
+                    self.bump();
+                    CTarget::Exports
+                }
+                _ => CTarget::Name(self.ident()?),
+            };
+            self.expect(Tok::RParen)?;
+            Ok(CTerm::Prop { prop: first, target })
+        } else {
+            Ok(CTerm::Value(first))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 5, verbatim modulo our link-block syntax.
+    pub const FIGURE5: &str = r#"
+        bundletype Serve = { serve_web }
+        bundletype Stdio = { fopen, fprintf }
+        flags CFlags = { "-Ioskit/include" }
+
+        unit Web = {
+            imports [ serveFile : Serve, serveCGI : Serve ];
+            exports [ serveWeb : Serve ];
+            depends { serveWeb needs (serveFile + serveCGI); };
+            files { "web.c" } with flags CFlags;
+            rename {
+                serveFile.serve_web to serve_file;
+                serveCGI.serve_web to serve_cgi;
+            };
+        }
+
+        unit Log = {
+            imports [ serveWeb : Serve, stdio : Stdio ];
+            exports [ serveLog : Serve ];
+            initializer open_log for serveLog;
+            finalizer close_log for serveLog;
+            depends {
+                open_log needs stdio;
+                close_log needs stdio;
+                serveLog needs (serveWeb + stdio);
+            };
+            files { "log.c" } with flags CFlags;
+            rename {
+                serveWeb.serve_web to serve_unlogged;
+                serveLog.serve_web to serve_logged;
+            };
+        }
+
+        unit LogServe = {
+            imports [ serveFile : Serve, serveCGI : Serve, stdio : Stdio ];
+            exports [ serveLog : Serve ];
+            link {
+                web : Web [ serveFile = serveFile, serveCGI = serveCGI ];
+                log : Log [ serveWeb = web.serveWeb, stdio = stdio ];
+                serveLog = log.serveLog;
+            };
+        }
+    "#;
+
+    #[test]
+    fn parses_figure5() {
+        let kf = parse("fig5.unit", FIGURE5).unwrap();
+        assert_eq!(kf.decls.len(), 6);
+        let web = kf.find_unit("Web").unwrap();
+        assert_eq!(web.imports.len(), 2);
+        assert_eq!(web.exports[0].name, "serveWeb");
+        match &web.body {
+            UnitBody::Atomic(a) => {
+                assert_eq!(a.files, vec!["web.c"]);
+                assert_eq!(a.flags.as_deref(), Some("CFlags"));
+                assert_eq!(a.renames.len(), 2);
+                assert_eq!(a.depends.len(), 1);
+                assert_eq!(a.depends[0].rhs.len(), 2);
+            }
+            _ => panic!("Web should be atomic"),
+        }
+        let log = kf.find_unit("Log").unwrap();
+        match &log.body {
+            UnitBody::Atomic(a) => {
+                assert_eq!(a.initializers.len(), 1);
+                assert_eq!(a.initializers[0].func, "open_log");
+                assert_eq!(a.finalizers[0].func, "close_log");
+            }
+            _ => panic!(),
+        }
+        let ls = kf.find_unit("LogServe").unwrap();
+        match &ls.body {
+            UnitBody::Compound(c) => {
+                assert_eq!(c.instances.len(), 2);
+                assert_eq!(c.instances[1].bindings[0].1, PathRef::Dotted("web".into(), "serveWeb".into()));
+                assert_eq!(c.export_bindings.len(), 1);
+            }
+            _ => panic!("LogServe should be compound"),
+        }
+    }
+
+    #[test]
+    fn parses_properties_and_constraints() {
+        let src = r#"
+            property context
+            type NoContext
+            type ProcessContext < NoContext
+            bundletype T = { f }
+            unit U = {
+                imports [ a : T ];
+                exports [ b : T ];
+                files { "u.c" };
+                constraints {
+                    context(b) <= NoContext;
+                    context(exports) <= context(imports);
+                    context(f) = ProcessContext;
+                };
+            }
+        "#;
+        let kf = parse("t.unit", src).unwrap();
+        assert!(matches!(&kf.decls[0], Decl::Property(p) if p.name == "context"));
+        assert!(matches!(&kf.decls[2], Decl::PropValue(v) if v.below == vec!["NoContext"]));
+        let u = kf.find_unit("U").unwrap();
+        assert_eq!(u.constraints.len(), 3);
+        assert!(matches!(&u.constraints[1].lhs, CTerm::Prop { target: CTarget::Exports, .. }));
+        assert!(matches!(&u.constraints[2].op, COp::Eq));
+    }
+
+    #[test]
+    fn parses_exports_needs_imports_sugar() {
+        let src = r#"
+            bundletype T = { f }
+            unit U = {
+                imports [ a : T ];
+                exports [ b : T ];
+                depends { exports needs imports; };
+                files { "u.c" };
+            }
+        "#;
+        let kf = parse("t.unit", src).unwrap();
+        let u = kf.find_unit("U").unwrap();
+        match &u.body {
+            UnitBody::Atomic(a) => {
+                assert_eq!(a.depends[0].lhs, DepSide::Exports);
+                assert_eq!(a.depends[0].rhs, vec![DepAtom::Imports]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_flatten_marker() {
+        let src = r#"
+            bundletype T = { f }
+            unit U = {
+                exports [ b : T ];
+                link { };
+                flatten;
+            }
+        "#;
+        let kf = parse("t.unit", src).unwrap();
+        assert!(kf.find_unit("U").unwrap().flatten);
+    }
+
+    #[test]
+    fn rejects_unit_with_files_and_link() {
+        let src = r#"
+            unit U = {
+                files { "u.c" };
+                link { };
+            }
+        "#;
+        assert!(parse("t.unit", src).is_err());
+    }
+
+    #[test]
+    fn rejects_unit_with_neither() {
+        assert!(parse("t.unit", "unit U = { }").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let err = parse("t.unit", "unit U = {\n  imports [ x ];\n}").unwrap_err();
+        match err {
+            KError::Parse { span, .. } => assert_eq!(span.line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

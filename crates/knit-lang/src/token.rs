@@ -1,0 +1,336 @@
+//! Lexer for the Knit component definition and linking language.
+
+use crate::error::KError;
+
+/// 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line, starting at 1.
+    pub line: u32,
+    /// Column, starting at 1.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Tokens of the Knit language (syntax per §3.3 of the paper, Figure 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Str(String),
+    // keywords
+    KwBundletype,
+    KwFlags,
+    KwProperty,
+    KwType,
+    KwUnit,
+    KwImports,
+    KwExports,
+    KwDepends,
+    KwNeeds,
+    KwFiles,
+    KwWith,
+    KwRename,
+    KwTo,
+    KwInitializer,
+    KwFinalizer,
+    KwFor,
+    KwLink,
+    KwFlatten,
+    KwConstraints,
+    // punctuation
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Dot,
+    Eq,
+    Le,
+    Lt,
+    Plus,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Tok::Ident(n) => return write!(f, "identifier `{n}`"),
+            Tok::Str(_) => return write!(f, "string literal"),
+            Tok::KwBundletype => "bundletype",
+            Tok::KwFlags => "flags",
+            Tok::KwProperty => "property",
+            Tok::KwType => "type",
+            Tok::KwUnit => "unit",
+            Tok::KwImports => "imports",
+            Tok::KwExports => "exports",
+            Tok::KwDepends => "depends",
+            Tok::KwNeeds => "needs",
+            Tok::KwFiles => "files",
+            Tok::KwWith => "with",
+            Tok::KwRename => "rename",
+            Tok::KwTo => "to",
+            Tok::KwInitializer => "initializer",
+            Tok::KwFinalizer => "finalizer",
+            Tok::KwFor => "for",
+            Tok::KwLink => "link",
+            Tok::KwFlatten => "flatten",
+            Tok::KwConstraints => "constraints",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::Semi => ";",
+            Tok::Comma => ",",
+            Tok::Colon => ":",
+            Tok::Dot => ".",
+            Tok::Eq => "=",
+            Tok::Le => "<=",
+            Tok::Lt => "<",
+            Tok::Plus => "+",
+            Tok::Eof => return write!(f, "end of input"),
+        };
+        write!(f, "`{s}`")
+    }
+}
+
+/// A token plus position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub span: Span,
+}
+
+fn keyword(s: &str) -> Option<Tok> {
+    Some(match s {
+        "bundletype" => Tok::KwBundletype,
+        "flags" => Tok::KwFlags,
+        "property" => Tok::KwProperty,
+        "type" => Tok::KwType,
+        "unit" => Tok::KwUnit,
+        "imports" => Tok::KwImports,
+        "exports" => Tok::KwExports,
+        "depends" => Tok::KwDepends,
+        "needs" => Tok::KwNeeds,
+        "files" => Tok::KwFiles,
+        "with" => Tok::KwWith,
+        "rename" => Tok::KwRename,
+        "to" => Tok::KwTo,
+        "initializer" => Tok::KwInitializer,
+        "finalizer" => Tok::KwFinalizer,
+        "for" => Tok::KwFor,
+        "link" => Tok::KwLink,
+        "flatten" => Tok::KwFlatten,
+        "constraints" => Tok::KwConstraints,
+        _ => return None,
+    })
+}
+
+/// Lex a Knit source string. `//` and `/* */` comments are skipped.
+pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, KError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let (mut i, mut line, mut col) = (0usize, 1u32, 1u32);
+
+    macro_rules! bump {
+        () => {{
+            if i < b.len() {
+                if b[i] == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let span = Span { line, col };
+        if c.is_ascii_whitespace() {
+            bump!();
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                bump!();
+            }
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            bump!();
+            bump!();
+            loop {
+                if i + 1 >= b.len() {
+                    return Err(KError::lex(file, span, "unterminated block comment"));
+                }
+                if b[i] == b'*' && b[i + 1] == b'/' {
+                    bump!();
+                    bump!();
+                    break;
+                }
+                bump!();
+            }
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                bump!();
+            }
+            let s = &src[start..i];
+            out.push(Token { tok: keyword(s).unwrap_or_else(|| Tok::Ident(s.to_string())), span });
+            continue;
+        }
+        if c == b'"' {
+            bump!();
+            let mut text = String::new();
+            loop {
+                if i >= b.len() {
+                    return Err(KError::lex(file, span, "unterminated string literal"));
+                }
+                match b[i] {
+                    b'"' => {
+                        bump!();
+                        break;
+                    }
+                    b'\\' => {
+                        bump!();
+                        if i >= b.len() {
+                            return Err(KError::lex(file, span, "unterminated escape"));
+                        }
+                        let e = match b[i] {
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'\\' => '\\',
+                            b'"' => '"',
+                            other => {
+                                return Err(KError::lex(
+                                    file,
+                                    span,
+                                    format!("bad escape `\\{}`", other as char),
+                                ))
+                            }
+                        };
+                        text.push(e);
+                        bump!();
+                    }
+                    other => {
+                        text.push(other as char);
+                        bump!();
+                    }
+                }
+            }
+            out.push(Token { tok: Tok::Str(text), span });
+            continue;
+        }
+        let tok = match c {
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b':' => Tok::Colon,
+            b'.' => Tok::Dot,
+            b'=' => Tok::Eq,
+            b'+' => Tok::Plus,
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    bump!();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            other => {
+                return Err(KError::lex(file, span, format!("unexpected character `{}`", other as char)))
+            }
+        };
+        bump!();
+        out.push(Token { tok, span });
+    }
+    out.push(Token { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex("t.unit", src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lex_bundletype_line() {
+        assert_eq!(
+            toks("bundletype Serve = { serve_web }"),
+            vec![
+                Tok::KwBundletype,
+                Tok::Ident("Serve".into()),
+                Tok::Eq,
+                Tok::LBrace,
+                Tok::Ident("serve_web".into()),
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        assert_eq!(
+            toks("a <= b < c + d.e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Ident("b".into()),
+                Tok::Lt,
+                Tok::Ident("c".into()),
+                Tok::Plus,
+                Tok::Ident("d".into()),
+                Tok::Dot,
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_with_escapes() {
+        assert_eq!(toks(r#""-Ioskit/include""#), vec![Tok::Str("-Ioskit/include".into()), Tok::Eof]);
+        assert_eq!(toks(r#""a\"b""#), vec![Tok::Str("a\"b".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        assert_eq!(
+            toks("unit // a comment\n/* block */ Web"),
+            vec![Tok::KwUnit, Tok::Ident("Web".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("t", "\"open").is_err());
+        assert!(lex("t", "/*").is_err());
+        assert!(lex("t", "@").is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the Knit front end: printing a parsed file and
+//! reparsing it must be a fixed point, and the parser must never panic.
+
+use proptest::prelude::*;
+
+use knit_lang::{parse, print};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_filter("keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "bundletype" | "flags" | "property" | "type" | "unit" | "imports" | "exports"
+                | "depends" | "needs" | "files" | "with" | "rename" | "to" | "initializer"
+                | "finalizer" | "for" | "link" | "flatten" | "constraints"
+        )
+    })
+}
+
+/// Generate a structurally valid atomic unit (ports, depends, renames,
+/// initializers) plus its bundletype declarations.
+fn atomic_unit() -> impl Strategy<Value = String> {
+    (
+        ident(),
+        ident(),
+        ident(),
+        ident(),
+        prop::collection::vec(ident(), 1..4),
+        "[a-z]{1,8}\\.c",
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_filter("distinct names", |(u, bt, pi, po, ms, _, _, _)| {
+            u != bt && pi != po && !ms.contains(pi) && !ms.contains(po)
+        })
+        .prop_map(|(unit, bt, pin, pout, members, file, with_init, with_rename)| {
+            let mut s = format!("bundletype {bt} = {{ {} }}\n", members.join(", "));
+            s.push_str(&format!("unit {unit} = {{\n"));
+            s.push_str(&format!("    imports [ {pin} : {bt} ];\n"));
+            s.push_str(&format!("    exports [ {pout} : {bt} ];\n"));
+            if with_init {
+                s.push_str(&format!("    initializer boot_fn for {pout};\n"));
+                s.push_str(&format!("    depends {{ boot_fn needs {pin}; exports needs imports; }};\n"));
+            } else {
+                s.push_str("    depends { exports needs imports; };\n");
+            }
+            s.push_str(&format!("    files {{ \"{file}\" }};\n"));
+            if with_rename {
+                s.push_str(&format!(
+                    "    rename {{ {pin}.{m} to renamed_{m}; }};\n",
+                    m = members[0]
+                ));
+            }
+            s.push_str("}\n");
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_is_a_fixed_point(src in atomic_unit()) {
+        let ast1 = parse("gen.unit", &src).expect("generated unit parses");
+        let printed1 = print(&ast1);
+        let ast2 = parse("gen2.unit", &printed1).expect("printed unit reparses");
+        let printed2 = print(&ast2);
+        prop_assert_eq!(printed1, printed2);
+    }
+
+    #[test]
+    fn parser_total_on_arbitrary_bytes(src in "\\PC{0,300}") {
+        let _ = parse("fuzz.unit", &src);
+    }
+
+    #[test]
+    fn parser_total_on_mangled_valid_input(src in atomic_unit(), cut in 0usize..200) {
+        // truncating valid input anywhere must produce an error, not a panic
+        let cut = cut.min(src.len());
+        // avoid slicing through a UTF-8 boundary (ASCII generator, but stay safe)
+        if src.is_char_boundary(cut) {
+            let _ = parse("cut.unit", &src[..cut]);
+        }
+    }
+}
+
+#[test]
+fn compound_units_round_trip() {
+    let src = r#"
+        bundletype T = { f, g }
+        unit Leaf = { exports [ o : T ]; files { "l.c" }; }
+        unit Mid = {
+            imports [ i : T ];
+            exports [ o : T ];
+            files { "m.c" };
+            rename { i.f to inner_f; };
+        }
+        unit Top = {
+            exports [ o : T ];
+            link {
+                a : Leaf;
+                b : Mid [ i = a.o ];
+                o = b.o;
+            };
+            flatten;
+        }
+    "#;
+    let a = parse("t.unit", src).unwrap();
+    let p1 = print(&a);
+    let b = parse("t2.unit", &p1).unwrap();
+    assert_eq!(p1, print(&b));
+}
+
+#[test]
+fn properties_and_constraints_round_trip() {
+    let src = r#"
+        property context
+        type NoContext
+        type ProcessContext < NoContext
+        bundletype T = { f }
+        unit U = {
+            imports [ i : T ];
+            exports [ o : T ];
+            files { "u.c" };
+            constraints {
+                context(o) = NoContext;
+                context(exports) <= context(imports);
+                context(f) <= ProcessContext;
+            };
+        }
+    "#;
+    let a = parse("t.unit", src).unwrap();
+    let p1 = print(&a);
+    let b = parse("t2.unit", &p1).unwrap();
+    assert_eq!(p1, print(&b));
+}

@@ -1,0 +1,166 @@
+//! Direct-mapped instruction-cache simulator.
+//!
+//! Fetches are fed the byte address and encoded size of each executed
+//! instruction; an instruction spanning a line boundary touches both lines.
+//! The paper measured "the impact of stalls in the instruction fetch unit
+//! because there is a risk that the inlining enabled by flattening would
+//! increase the size of the router code, leading to poor I-cache
+//! performance" (§6) — and found the opposite: flattening *improved*
+//! I-cache behaviour. This model lets that same experiment run here: miss
+//! behaviour is a pure function of code layout and execution order.
+
+/// Geometry and penalty of the instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ICacheParams {
+    /// Total size in bytes (see `Default` for the scaling rationale).
+    pub size: u64,
+    /// Line size in bytes. Default 32, as on the Pentium Pro.
+    pub line: u64,
+    /// Stall cycles charged per miss.
+    pub miss_stall: u64,
+}
+
+impl Default for ICacheParams {
+    fn default() -> Self {
+        // Scaled-down Pentium Pro: the real chip had 8 KiB of L1 I-cache
+        // against hot paths of tens of KiB; our simulated routers are much
+        // smaller, so a 4 KiB cache reproduces a comparable pressure ratio.
+        ICacheParams { size: 4 * 1024, line: 32, miss_stall: 14 }
+    }
+}
+
+/// A direct-mapped instruction cache.
+#[derive(Debug, Clone)]
+pub struct ICache {
+    params: ICacheParams,
+    /// Tag per line; `u64::MAX` marks an empty line.
+    tags: Vec<u64>,
+    misses: u64,
+    accesses: u64,
+}
+
+impl ICache {
+    /// Create an empty cache.
+    pub fn new(params: ICacheParams) -> Self {
+        assert!(params.line.is_power_of_two(), "line size must be a power of two");
+        assert!(params.size % params.line == 0, "size must be a multiple of line size");
+        let nlines = (params.size / params.line) as usize;
+        ICache { params, tags: vec![u64::MAX; nlines], misses: 0, accesses: 0 }
+    }
+
+    /// Simulate fetching `size` bytes starting at `addr`.
+    /// Returns the stall cycles incurred.
+    pub fn fetch(&mut self, addr: u64, size: u64) -> u64 {
+        if self.params.miss_stall == 0 {
+            return 0;
+        }
+        let first_line = addr / self.params.line;
+        let last_line = (addr + size.max(1) - 1) / self.params.line;
+        let nlines = self.tags.len() as u64;
+        let mut stall = 0;
+        for line in first_line..=last_line {
+            let set = (line % nlines) as usize;
+            let tag = line / nlines;
+            self.accesses += 1;
+            if self.tags[set] != tag {
+                self.tags[set] = tag;
+                self.misses += 1;
+                stall += self.params.miss_stall;
+            }
+        }
+        stall
+    }
+
+    /// Number of line accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidate all lines and zero the statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.misses = 0;
+        self.accesses = 0;
+    }
+
+    /// Zero the statistics but keep cache contents (for warm measurements,
+    /// matching the paper's steady-state packet timing).
+    pub fn reset_stats(&mut self) {
+        self.misses = 0;
+        self.accesses = 0;
+    }
+
+    /// The cache geometry in use.
+    pub fn params(&self) -> ICacheParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ICache {
+        ICache::new(ICacheParams { size: 128, line: 32, miss_stall: 10 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.fetch(0, 4), 10);
+        assert_eq!(c.fetch(4, 4), 0);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.accesses(), 2);
+    }
+
+    #[test]
+    fn straddling_instruction_touches_two_lines() {
+        let mut c = small();
+        assert_eq!(c.fetch(30, 4), 20);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = small(); // 4 lines of 32B
+        assert_eq!(c.fetch(0, 1), 10);
+        // 128 bytes later maps to the same set with a different tag.
+        assert_eq!(c.fetch(128, 1), 10);
+        // Original line was evicted.
+        assert_eq!(c.fetch(0, 1), 10);
+    }
+
+    #[test]
+    fn compact_loop_fits_and_stops_missing() {
+        let mut c = small();
+        // Simulate executing a 64-byte loop body twice.
+        for _ in 0..2 {
+            for a in (0..64).step_by(4) {
+                c.fetch(a, 4);
+            }
+        }
+        // Only the two distinct lines miss, once each.
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_counts_nothing() {
+        let mut c = ICache::new(ICacheParams { size: 128, line: 32, miss_stall: 0 });
+        assert_eq!(c.fetch(0, 4), 0);
+        assert_eq!(c.misses(), 0);
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = small();
+        c.fetch(0, 4);
+        c.reset();
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.fetch(0, 4), 10);
+    }
+}

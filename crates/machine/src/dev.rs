@@ -1,0 +1,88 @@
+//! Simulated devices.
+//!
+//! The paper's testbed was "three 200 MHz Pentium Pro machines … directly
+//! connected via DEC Tulip 10/100 Ethernet cards, with the machine in the
+//! middle functioning as the IP router". Here the middle machine is the
+//! simulated CPU, and the two neighbours are the benchmark harness: it
+//! enqueues packets on a [`NetDev`]'s receive queue and drains the transmit
+//! queue, while guest code reaches the devices through runtime intrinsics.
+
+use std::collections::VecDeque;
+
+/// A character console (stands in for the OSKit's serial/VGA consoles).
+#[derive(Debug, Default, Clone)]
+pub struct Console {
+    /// Everything guest code has written.
+    pub output: String,
+    /// Pending input characters for `__con_getc`.
+    pub input: VecDeque<u8>,
+}
+
+impl Console {
+    /// Append one output character.
+    pub fn putc(&mut self, c: u8) {
+        self.output.push(c as char);
+    }
+
+    /// Pop one input character, if any.
+    pub fn getc(&mut self) -> Option<u8> {
+        self.input.pop_front()
+    }
+
+    /// Queue input for the guest.
+    pub fn feed(&mut self, s: &str) {
+        self.input.extend(s.bytes());
+    }
+}
+
+/// A network device with receive and transmit queues.
+#[derive(Debug, Default, Clone)]
+pub struct NetDev {
+    /// Packets waiting for the guest to receive.
+    pub rx: VecDeque<Vec<u8>>,
+    /// Packets the guest has transmitted.
+    pub tx: VecDeque<Vec<u8>>,
+    /// Count of packets dropped because a receive buffer was too small.
+    pub rx_truncated: u64,
+}
+
+impl NetDev {
+    /// Harness side: enqueue an incoming packet.
+    pub fn inject(&mut self, pkt: Vec<u8>) {
+        self.rx.push_back(pkt);
+    }
+
+    /// Harness side: dequeue a transmitted packet.
+    pub fn collect(&mut self) -> Option<Vec<u8>> {
+        self.tx.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_round_trip() {
+        let mut c = Console::default();
+        c.feed("hi");
+        assert_eq!(c.getc(), Some(b'h'));
+        assert_eq!(c.getc(), Some(b'i'));
+        assert_eq!(c.getc(), None);
+        c.putc(b'x');
+        assert_eq!(c.output, "x");
+    }
+
+    #[test]
+    fn netdev_queues_are_fifo() {
+        let mut d = NetDev::default();
+        d.inject(vec![1]);
+        d.inject(vec![2]);
+        assert_eq!(d.rx.pop_front(), Some(vec![1]));
+        d.tx.push_back(vec![3]);
+        d.tx.push_back(vec![4]);
+        assert_eq!(d.collect(), Some(vec![3]));
+        assert_eq!(d.collect(), Some(vec![4]));
+        assert_eq!(d.collect(), None);
+    }
+}

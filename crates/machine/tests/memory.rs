@@ -1,0 +1,160 @@
+//! Memory-system tests: access widths, host staging helpers, and the
+//! machine's guest/host boundary.
+
+use cobj::ir::{BinOp, Instr, Width};
+use cobj::object::{DataDef, FuncDef, ObjectFile, Symbol};
+use cobj::{link, LinkInput, LinkOptions};
+use machine::{Fault, Machine};
+
+fn image(obj: ObjectFile) -> cobj::Image {
+    link(
+        &[LinkInput::Object(obj)],
+        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .unwrap()
+}
+
+/// Build a function that stores `value` at `buf+off` with `w`, reloads it
+/// with `w2`, and returns the loaded value.
+fn store_load(w: Width, w2: Width, value: i64) -> i64 {
+    let mut o = ObjectFile::new("t.o");
+    let buf = o.add_symbol(Symbol::data("buf"));
+    let f = o.add_symbol(Symbol::func("f"));
+    o.data.push(DataDef { sym: buf, init: vec![], zeroed: 16, relocs: vec![], align: 8 });
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 3,
+        frame_size: 0,
+        body: vec![
+            Instr::Addr { dst: 0, sym: buf, offset: 0 },
+            Instr::Const { dst: 1, value },
+            Instr::Store { addr: 0, offset: 4, src: 1, width: w },
+            Instr::Load { dst: 2, addr: 0, offset: 4, width: w2 },
+            Instr::Ret { value: Some(2) },
+        ],
+    });
+    let mut m = Machine::new(image(o)).unwrap();
+    m.call("f", &[]).unwrap()
+}
+
+#[test]
+fn width_one_truncates_and_zero_extends() {
+    assert_eq!(store_load(Width::W1, Width::W1, 0x1ff), 0xff);
+    assert_eq!(store_load(Width::W1, Width::W1, -1), 0xff);
+}
+
+#[test]
+fn width_two_round_trips() {
+    assert_eq!(store_load(Width::W2, Width::W2, 0x1234), 0x1234);
+    assert_eq!(store_load(Width::W2, Width::W2, 0x1_ffff), 0xffff);
+}
+
+#[test]
+fn width_four_sign_extends() {
+    assert_eq!(store_load(Width::W4, Width::W4, 0x7fff_ffff), 0x7fff_ffff);
+    assert_eq!(store_load(Width::W4, Width::W4, -5), -5);
+    assert_eq!(store_load(Width::W8, Width::W4, -5), -5);
+}
+
+#[test]
+fn width_eight_is_lossless() {
+    assert_eq!(store_load(Width::W8, Width::W8, i64::MIN), i64::MIN);
+    assert_eq!(store_load(Width::W8, Width::W8, i64::MAX), i64::MAX);
+}
+
+#[test]
+fn narrow_store_leaves_neighbors_alone() {
+    // write 8 bytes, overwrite the middle 2, check the rest
+    let mut o = ObjectFile::new("t.o");
+    let buf = o.add_symbol(Symbol::data("buf"));
+    let f = o.add_symbol(Symbol::func("f"));
+    o.data.push(DataDef { sym: buf, init: vec![], zeroed: 16, relocs: vec![], align: 8 });
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 3,
+        frame_size: 0,
+        body: vec![
+            Instr::Addr { dst: 0, sym: buf, offset: 0 },
+            Instr::Const { dst: 1, value: -1 }, // 0xffff…
+            Instr::Store { addr: 0, offset: 0, src: 1, width: Width::W8 },
+            Instr::Const { dst: 1, value: 0 },
+            Instr::Store { addr: 0, offset: 3, src: 1, width: Width::W2 },
+            Instr::Load { dst: 2, addr: 0, offset: 0, width: Width::W8 },
+            Instr::Ret { value: Some(2) },
+        ],
+    });
+    let mut m = Machine::new(image(o)).unwrap();
+    let v = m.call("f", &[]).unwrap() as u64;
+    assert_eq!(v, 0xffff_ff00_00ff_ffff);
+}
+
+#[test]
+fn host_helpers_round_trip_guest_memory() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("strlen_"));
+    // strlen over a pointer arg
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 1,
+        nregs: 4,
+        frame_size: 0,
+        body: vec![
+            Instr::Const { dst: 1, value: 0 },                            // 0: n = 0
+            Instr::Load { dst: 2, addr: 0, offset: 0, width: Width::W1 }, // 1: c = *p
+            Instr::Branch { cond: 2, then_to: 3, else_to: 7 },            // 2
+            Instr::Const { dst: 3, value: 1 },                            // 3
+            Instr::Bin { op: BinOp::Add, dst: 1, a: 1, b: 3 },            // 4: n++
+            Instr::Bin { op: BinOp::Add, dst: 0, a: 0, b: 3 },            // 5: p++
+            Instr::Jump { target: 1 },                                    // 6
+            Instr::Ret { value: Some(1) },                                // 7
+        ],
+    });
+    let mut m = Machine::new(image(o)).unwrap();
+    let addr = m.host_alloc(32).unwrap();
+    m.write_mem(addr, b"knit\0").unwrap();
+    assert_eq!(m.call("strlen_", &[addr as i64]).unwrap(), 4);
+    assert_eq!(m.read_cstr(addr, 32).unwrap(), "knit");
+    assert_eq!(m.read_mem(addr, 4).unwrap(), b"knit");
+}
+
+#[test]
+fn out_of_range_host_access_faults() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 1,
+        frame_size: 0,
+        body: vec![Instr::Ret { value: None }],
+    });
+    let m = Machine::new(image(o)).unwrap();
+    assert!(matches!(m.read_mem(0, 8), Err(Fault::MemOutOfBounds { .. })));
+    assert!(matches!(m.read_mem(u64::MAX - 4, 8), Err(Fault::MemOutOfBounds { .. })));
+}
+
+#[test]
+fn heap_allocations_are_aligned_and_disjoint() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 1,
+        frame_size: 0,
+        body: vec![Instr::Ret { value: None }],
+    });
+    let mut m = Machine::new(image(o)).unwrap();
+    let a = m.host_alloc(10).unwrap();
+    let b = m.host_alloc(1).unwrap();
+    let c = m.host_alloc(100).unwrap();
+    assert_eq!(a % 16, 0);
+    assert_eq!(b % 16, 0);
+    assert_eq!(c % 16, 0);
+    assert!(a + 10 <= b && b + 1 <= c);
+    m.write_mem(a, &[1; 10]).unwrap();
+    m.write_mem(b, &[2; 1]).unwrap();
+    assert_eq!(m.read_mem(a, 10).unwrap(), &[1; 10]);
+}

@@ -1,0 +1,8 @@
+/* Unit-boundary microbenchmark stage: one hop in a call chain across
+ * component boundaries (§6's "programs designed to spend most of their
+ * time traversing unit boundaries"). */
+int next_stage(int x);
+
+int stage(int x) {
+    return next_stage(x + 1);
+}

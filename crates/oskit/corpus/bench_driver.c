@@ -1,0 +1,10 @@
+/* Drives the cross-unit call chain many times. */
+int next_stage(int x);
+
+int run_chain(int iters) {
+    int acc = 0;
+    for (int i = 0; i < iters; i++) {
+        acc += next_stage(i);
+    }
+    return acc;
+}

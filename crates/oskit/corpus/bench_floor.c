@@ -1,0 +1,4 @@
+/* Bottom of the microbenchmark chain. */
+int stage(int x) {
+    return x;
+}

@@ -1,0 +1,30 @@
+/* Bump allocator: fast, never frees. The simplest Malloc provider. */
+int __brk(int n);
+
+#define BUMP_POOL (1 << 20)
+
+static char *pool;
+static int used;
+static int total;
+
+void alloc_init() {
+    pool = (char*)__brk(BUMP_POOL);
+    used = 0;
+    total = BUMP_POOL;
+}
+
+void *malloc(int n) {
+    n = (n + 15) & ~15;
+    if (used + n > total) {
+        char *more = (char*)__brk(BUMP_POOL);
+        /* pool growth only works when __brk is contiguous, which it is */
+        total += BUMP_POOL;
+    }
+    char *p = pool + used;
+    used += n;
+    return p;
+}
+
+void free(void *p) {
+    /* bump allocators do not free */
+}

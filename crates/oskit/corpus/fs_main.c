@@ -1,0 +1,21 @@
+/* Filesystem kernel: create, write, read back, report. */
+int printf(char *fmt, ...);
+int fopen(char *name, char *mode);
+int fputs(int fd, char *s);
+int fread(int fd, char *buf, int max);
+int fclose(int fd);
+int strlen(char *s);
+
+int main() {
+    int f = fopen("motd", "w");
+    fputs(f, "component kits ");
+    fputs(f, "compose");
+    fclose(f);
+
+    int g = fopen("motd", "r");
+    char buf[64];
+    int n = fread(g, buf, 63);
+    buf[n] = 0;
+    printf("motd(%d): %s\n", n, buf);
+    return n;
+}

@@ -1,0 +1,8 @@
+/* Quickstart kernel: print and return. */
+int printf(char *fmt, ...);
+
+int main() {
+    printf("Hello from Knit!\n");
+    printf("answer=%d hex=%x char=%c str=%s\n", 42, 255, 'k', "units");
+    return 42;
+}

@@ -1,0 +1,6 @@
+#ifndef MEMFS_H
+#define MEMFS_H 1
+#define MEMFS_MAX_FILES 16
+#define MEMFS_NAME_MAX 32
+#define MEMFS_CHUNK 256
+#endif

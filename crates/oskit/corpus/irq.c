@@ -1,0 +1,13 @@
+/* Interrupt dispatch: calls the wired handler with no process context. */
+int handle(int irq);
+
+static int count;
+
+int irq_entry(int irq) {
+    count++;
+    return handle(irq);
+}
+
+int irq_count() {
+    return count;
+}

@@ -1,0 +1,12 @@
+/* An interrupt-safe handler: touches a spinlock only. */
+int lock_acquire();
+int lock_release();
+
+static int events;
+
+int handle(int irq) {
+    lock_acquire();
+    events += irq;
+    lock_release();
+    return events;
+}

@@ -1,0 +1,12 @@
+/* Drives the interrupt path: each "interrupt" bumps a counter through the
+ * dispatcher and wired handler. */
+int printf(char *fmt, ...);
+int irq_entry(int irq);
+int irq_count();
+
+int main() {
+    int sum = 0;
+    for (int i = 0; i < 5; i++) sum += irq_entry(i);
+    printf("irqs=%d sum=%d\n", irq_count(), sum);
+    return sum;
+}

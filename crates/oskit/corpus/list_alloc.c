@@ -1,0 +1,60 @@
+/* Free-list allocator: first-fit with block splitting; free() returns
+ * blocks to the list. A drop-in alternative provider of Malloc — the point
+ * of component kits is that callers cannot tell the difference. */
+int __brk(int n);
+
+struct block {
+    int size;
+    struct block *next;
+};
+
+#define LIST_CHUNK (1 << 18)
+#define HDR ((int)sizeof(struct block))
+
+static struct block *free_list;
+
+void alloc_init() {
+    free_list = (struct block*)0;
+}
+
+static void grow(int need) {
+    int n = need + HDR;
+    if (n < LIST_CHUNK) n = LIST_CHUNK;
+    struct block *b = (struct block*)__brk(n);
+    b->size = n - HDR;
+    b->next = free_list;
+    free_list = b;
+}
+
+void *malloc(int n) {
+    n = (n + 15) & ~15;
+    struct block *prev = (struct block*)0;
+    struct block *cur = free_list;
+    while (cur) {
+        if (cur->size >= n) {
+            if (cur->size >= n + HDR + 16) {
+                /* split: tail becomes a new free block */
+                char *raw = (char*)cur;
+                struct block *tail = (struct block*)(raw + HDR + n);
+                tail->size = cur->size - n - HDR;
+                tail->next = cur->next;
+                cur->size = n;
+                if (prev) prev->next = tail; else free_list = tail;
+            } else {
+                if (prev) prev->next = cur->next; else free_list = cur->next;
+            }
+            return (char*)cur + HDR;
+        }
+        prev = cur;
+        cur = cur->next;
+    }
+    grow(n);
+    return malloc(n);
+}
+
+void free(void *p) {
+    if (!p) return;
+    struct block *b = (struct block*)((char*)p - HDR);
+    b->next = free_list;
+    free_list = b;
+}

@@ -1,0 +1,13 @@
+/* Exercises a lock through the generic Lock bundle. */
+int printf(char *fmt, ...);
+int lock_acquire();
+int lock_release();
+
+int main() {
+    for (int i = 0; i < 3; i++) {
+        lock_acquire();
+        printf("in critical section %d\n", i);
+        lock_release();
+    }
+    return 3;
+}

@@ -1,0 +1,82 @@
+/* In-memory filesystem: a fixed table of growable files. */
+#include "memfs.h"
+
+void *malloc(int n);
+void free(void *p);
+int strcmp(char *a, char *b);
+char *strcpy(char *d, char *s);
+void *memcpy(void *d, void *s, int n);
+
+struct mfile {
+    char name[MEMFS_NAME_MAX];
+    char *data;
+    int size;
+    int cap;
+    int used_slot;
+};
+
+struct mfile fs_table[MEMFS_MAX_FILES];
+
+int fs_find(char *name);   /* defined in memfs_util.c (same unit) */
+
+void fs_init() {
+    for (int i = 0; i < MEMFS_MAX_FILES; i++) {
+        fs_table[i].used_slot = 0;
+        fs_table[i].size = 0;
+        fs_table[i].cap = 0;
+    }
+}
+
+int fs_create(char *name) {
+    int existing = fs_find(name);
+    if (existing >= 0) {
+        fs_table[existing].size = 0;
+        return existing;
+    }
+    for (int i = 0; i < MEMFS_MAX_FILES; i++) {
+        if (!fs_table[i].used_slot) {
+            fs_table[i].used_slot = 1;
+            strcpy(fs_table[i].name, name);
+            fs_table[i].size = 0;
+            fs_table[i].cap = MEMFS_CHUNK;
+            fs_table[i].data = (char*)malloc(MEMFS_CHUNK);
+            return i;
+        }
+    }
+    return -1;
+}
+
+int fs_open(char *name) {
+    return fs_find(name);
+}
+
+int fs_write(int fd, char *buf, int n) {
+    if (fd < 0 || fd >= MEMFS_MAX_FILES) return -1;
+    struct mfile *f = &fs_table[fd];
+    if (!f->used_slot) return -1;
+    while (f->size + n > f->cap) {
+        char *bigger = (char*)malloc(f->cap * 2);
+        memcpy(bigger, f->data, f->size);
+        free(f->data);
+        f->data = bigger;
+        f->cap = f->cap * 2;
+    }
+    memcpy(f->data + f->size, buf, n);
+    f->size += n;
+    return n;
+}
+
+int fs_read(int fd, char *buf, int max) {
+    if (fd < 0 || fd >= MEMFS_MAX_FILES) return -1;
+    struct mfile *f = &fs_table[fd];
+    if (!f->used_slot) return -1;
+    int n = f->size < max ? f->size : max;
+    memcpy(buf, f->data, n);
+    return n;
+}
+
+int fs_size(int fd) {
+    if (fd < 0 || fd >= MEMFS_MAX_FILES) return -1;
+    if (!fs_table[fd].used_slot) return -1;
+    return fs_table[fd].size;
+}

@@ -1,0 +1,22 @@
+/* Second file of the memfs unit: exercises cross-file unit-private
+ * symbols (fs_table, fs_find are unit-internal, not exported). */
+#include "memfs.h"
+
+int strcmp(char *a, char *b);
+
+struct mfile {
+    char name[MEMFS_NAME_MAX];
+    char *data;
+    int size;
+    int cap;
+    int used_slot;
+};
+
+extern struct mfile fs_table[16];
+
+int fs_find(char *name) {
+    for (int i = 0; i < MEMFS_MAX_FILES; i++) {
+        if (fs_table[i].used_slot && !strcmp(fs_table[i].name, name)) return i;
+    }
+    return -1;
+}

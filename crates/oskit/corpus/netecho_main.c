@@ -1,0 +1,30 @@
+/* Network echo kernel: forward every frame from device 0 to device 1,
+ * reversing the payload bytes after the 14-byte header. */
+int printf(char *fmt, ...);
+int net_recv(int dev, char *buf, int max);
+int net_send(int dev, char *buf, int len);
+int net_pending(int dev);
+
+static char buf[1600];
+
+int main() {
+    int frames = 0;
+    while (net_pending(0) > 0) {
+        int n = net_recv(0, buf, 1600);
+        if (n <= 14) continue;
+        /* reverse payload in place */
+        int lo = 14;
+        int hi = n - 1;
+        while (lo < hi) {
+            char t = buf[lo];
+            buf[lo] = buf[hi];
+            buf[hi] = t;
+            lo++;
+            hi--;
+        }
+        net_send(1, buf, n);
+        frames++;
+    }
+    printf("echoed %d frames\n", frames);
+    return frames;
+}

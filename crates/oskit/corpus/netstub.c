@@ -1,0 +1,16 @@
+/* Thin wrapper over the machine's network devices. */
+int __net_rx(int dev, char *buf, int max);
+int __net_tx(int dev, char *buf, int len);
+int __net_poll(int dev);
+
+int net_recv(int dev, char *buf, int max) {
+    return __net_rx(dev, buf, max);
+}
+
+int net_send(int dev, char *buf, int len) {
+    return __net_tx(dev, buf, len);
+}
+
+int net_pending(int dev) {
+    return __net_poll(dev);
+}

@@ -1,0 +1,54 @@
+/* Formatted output over an imported console. */
+int console_putc(int c);
+
+int putchar(int c) {
+    return console_putc(c);
+}
+
+int puts(char *s) {
+    while (*s) { console_putc(*s); s++; }
+    console_putc('\n');
+    return 0;
+}
+
+static void print_str(char *s) {
+    while (*s) { console_putc(*s); s++; }
+}
+
+static void print_udec(int v) {
+    if (v >= 10) print_udec(v / 10);
+    console_putc('0' + v % 10);
+}
+
+static void print_dec(int v) {
+    if (v < 0) { console_putc('-'); print_udec(-v); }
+    else print_udec(v);
+}
+
+static char hexdigits[] = "0123456789abcdef";
+
+static void print_hex(int v) {
+    if (v >= 16) print_hex(v / 16);
+    console_putc(hexdigits[v % 16]);
+}
+
+int printf(char *fmt, ...) {
+    int argi = 0;
+    int written = 0;
+    while (*fmt) {
+        if (*fmt == '%') {
+            fmt++;
+            if (*fmt == 'd') { print_dec(__vararg(argi)); argi++; }
+            else if (*fmt == 's') { print_str((char*)__vararg(argi)); argi++; }
+            else if (*fmt == 'c') { console_putc(__vararg(argi)); argi++; }
+            else if (*fmt == 'x') { print_hex(__vararg(argi)); argi++; }
+            else if (*fmt == '%') { console_putc('%'); }
+            else { console_putc('%'); console_putc(*fmt); }
+        } else {
+            console_putc(*fmt);
+        }
+        fmt++;
+        written++;
+    }
+    return written;
+}

@@ -1,0 +1,14 @@
+/* The paper's §5.1 example: "OSKit device drivers generate output by
+ * calling printf, which is also used for application output. Redirecting
+ * device driver output without Knit requires creating two separate copies
+ * of printf" — with Knit it is just two instances of the same unit, wired
+ * to different consoles, renamed apart here. */
+int app_printf(char *fmt, ...);
+int drv_printf(char *fmt, ...);
+
+int main() {
+    app_printf("app: user output %d\n", 1);
+    drv_printf("drv: device state %x\n", 255);
+    app_printf("app: done\n");
+    return 0;
+}

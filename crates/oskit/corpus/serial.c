@@ -1,0 +1,13 @@
+/* Serial console driver. Defines serial_putc/serial_getc; the unit's
+ * rename clauses export them under the generic console interface —
+ * the paper's own example of renaming (§3.2). */
+int __serial_putc(int c);
+int __serial_getc();
+
+int serial_putc(int c) {
+    return __serial_putc(c);
+}
+
+int serial_getc() {
+    return __serial_getc();
+}

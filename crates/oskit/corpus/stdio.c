@@ -1,0 +1,34 @@
+/* Buffered-ish stdio over the filesystem. */
+int fs_create(char *name);
+int fs_open(char *name);
+int fs_read(int fd, char *buf, int max);
+int fs_write(int fd, char *buf, int n);
+int fs_size(int fd);
+int strlen(char *s);
+
+int fopen(char *name, char *mode) {
+    if (mode[0] == 'r') return fs_open(name);
+    if (mode[0] == 'w') return fs_create(name);
+    if (mode[0] == 'a') {
+        int fd = fs_open(name);
+        if (fd >= 0) return fd;
+        return fs_create(name);
+    }
+    return -1;
+}
+
+int fclose(int fd) {
+    return 0;
+}
+
+int fread(int fd, char *buf, int max) {
+    return fs_read(fd, buf, max);
+}
+
+int fwrite(int fd, char *buf, int n) {
+    return fs_write(fd, buf, n);
+}
+
+int fputs(int fd, char *s) {
+    return fs_write(fd, s, strlen(s));
+}

@@ -1,0 +1,40 @@
+/* String and memory utilities: the OSKit's minimal C library slice. */
+int strlen(char *s) {
+    int n = 0;
+    while (s[n]) n++;
+    return n;
+}
+
+int strcmp(char *a, char *b) {
+    int i = 0;
+    while (a[i] && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] != b[i]) return a[i] - b[i];
+        if (a[i] == 0) return 0;
+    }
+    return 0;
+}
+
+char *strcpy(char *dst, char *src) {
+    int i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return dst;
+}
+
+void *memset(void *p, int c, int n) {
+    char *b = (char*)p;
+    for (int i = 0; i < n; i++) b[i] = c;
+    return p;
+}
+
+void *memcpy(void *dst, void *src, int n) {
+    char *d = (char*)dst;
+    char *s = (char*)src;
+    for (int i = 0; i < n; i++) d[i] = s[i];
+    return dst;
+}

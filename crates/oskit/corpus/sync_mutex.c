@@ -1,0 +1,15 @@
+/* Blocking mutex: requires a process context to block in. */
+static int held;
+static int waiters;
+
+int lock_acquire() {
+    if (held) waiters++;
+    while (held) { }
+    held = 1;
+    return 0;
+}
+
+int lock_release() {
+    held = 0;
+    return 0;
+}

@@ -1,0 +1,6 @@
+/* Cycle-counter timer. */
+int __clock();
+
+int uptime() {
+    return __clock();
+}

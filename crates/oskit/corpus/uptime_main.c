@@ -1,0 +1,18 @@
+/* Timer kernel: measure the cost of a unit of work via the Time bundle. */
+int printf(char *fmt, ...);
+int uptime();
+
+static int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) acc += i * i;
+    return acc;
+}
+
+int main() {
+    int t0 = uptime();
+    spin(1000);
+    int t1 = uptime();
+    int spent = t1 - t0;
+    printf("1000 iterations took %d cycles\n", spent);
+    return spent > 0;
+}

@@ -1,0 +1,11 @@
+/* VGA text console driver: the machine's primary console device. */
+int __con_putc(int c);
+int __con_getc();
+
+int console_putc(int c) {
+    return __con_putc(c);
+}
+
+int console_getc() {
+    return __con_getc();
+}

@@ -1,0 +1,303 @@
+//! # oskit — a mini component kit for Knit
+//!
+//! The paper's primary target is the Flux OSKit, "a large collection of
+//! components for building low-level systems" of which the authors
+//! converted ~250 to Knit. This crate is the reproduction's component
+//! corpus: a deliberately smaller kit (documented as a substitution in
+//! DESIGN.md) that nonetheless exercises every Knit feature the paper
+//! discusses:
+//!
+//! * swap-in providers of one interface (two consoles, two allocators,
+//!   two locks);
+//! * renaming on import and export (the serial console exports
+//!   `serial_putc` as `console_putc`; the redirect kernel renames two
+//!   `printf` imports apart);
+//! * multiple instantiation (two `Printf`s, one per console — §5.1's
+//!   device-driver output redirection);
+//! * initializer scheduling with fine-grained dependencies (the allocator
+//!   initializes before the filesystem that `needs` it);
+//! * multi-file units with unit-private cross-file symbols (`MemFs`);
+//! * `context` constraints that accept the spinlock interrupt kernel and
+//!   reject the blocking-mutex one (§4);
+//! * flattening boundaries (`ChainKernelFlat`).
+//!
+//! Sources live under `corpus/` as real `.c`/`.h`/`.unit` files embedded
+//! into the library, served to the Knit pipeline through a [`SourceTree`].
+
+use knit::{build, BuildOptions, BuildReport, KnitError, Program, SourceTree};
+
+/// Name of the quickstart kernel (console + printf + hello).
+pub const KERNEL_HELLO: &str = "HelloKernel";
+/// Filesystem kernel (allocator + memfs + stdio + printf).
+pub const KERNEL_FS: &str = "FsKernel";
+/// Two-printf output-redirection kernel (§5.1's example).
+pub const KERNEL_REDIRECT: &str = "RedirectKernel";
+/// Interrupt kernel with a spinlock handler — passes constraints.
+pub const KERNEL_IRQ_GOOD: &str = "IrqKernelGood";
+/// Interrupt kernel with a blocking mutex — rejected by constraints (§4).
+pub const KERNEL_IRQ_BAD: &str = "IrqKernelBad";
+/// Blocking-mutex application kernel.
+pub const KERNEL_LOCK: &str = "LockKernel";
+/// The same application over a spinlock.
+pub const KERNEL_LOCK_SPIN: &str = "LockKernelSpin";
+/// Network echo kernel (device 0 → reversed payload → device 1).
+pub const KERNEL_NETECHO: &str = "NetEchoKernel";
+/// Timer kernel reading the cycle counter through the Time bundle.
+pub const KERNEL_UPTIME: &str = "UptimeKernel";
+/// The hello application over the serial console instead of VGA.
+pub const KERNEL_HELLO_SERIAL: &str = "HelloSerialKernel";
+/// Unit-boundary-crossing microbenchmark configuration (§6).
+pub const KERNEL_CHAIN: &str = "ChainKernel";
+/// The same configuration under a `flatten` boundary.
+pub const KERNEL_CHAIN_FLAT: &str = "ChainKernelFlat";
+
+/// All kernels that should build cleanly.
+pub const GOOD_KERNELS: &[&str] = &[
+    KERNEL_HELLO,
+    KERNEL_HELLO_SERIAL,
+    KERNEL_FS,
+    KERNEL_REDIRECT,
+    KERNEL_IRQ_GOOD,
+    KERNEL_LOCK,
+    KERNEL_LOCK_SPIN,
+    KERNEL_NETECHO,
+    KERNEL_UPTIME,
+    KERNEL_CHAIN,
+    KERNEL_CHAIN_FLAT,
+];
+
+/// The kit's C and header sources as an in-memory tree.
+pub fn sources() -> SourceTree {
+    let mut t = SourceTree::new();
+    t.add("include/memfs.h", include_str!("../corpus/include/memfs.h"));
+    t.add("str.c", include_str!("../corpus/str.c"));
+    t.add("vga.c", include_str!("../corpus/vga.c"));
+    t.add("serial.c", include_str!("../corpus/serial.c"));
+    t.add("printf.c", include_str!("../corpus/printf.c"));
+    t.add("bump_alloc.c", include_str!("../corpus/bump_alloc.c"));
+    t.add("list_alloc.c", include_str!("../corpus/list_alloc.c"));
+    t.add("memfs.c", include_str!("../corpus/memfs.c"));
+    t.add("memfs_util.c", include_str!("../corpus/memfs_util.c"));
+    t.add("stdio.c", include_str!("../corpus/stdio.c"));
+    t.add("timer.c", include_str!("../corpus/timer.c"));
+    t.add("sync_spin.c", include_str!("../corpus/sync_spin.c"));
+    t.add("sync_mutex.c", include_str!("../corpus/sync_mutex.c"));
+    t.add("irq.c", include_str!("../corpus/irq.c"));
+    t.add("netstub.c", include_str!("../corpus/netstub.c"));
+    t.add("hello_main.c", include_str!("../corpus/hello_main.c"));
+    t.add("fs_main.c", include_str!("../corpus/fs_main.c"));
+    t.add("redirect_main.c", include_str!("../corpus/redirect_main.c"));
+    t.add("lock_main.c", include_str!("../corpus/lock_main.c"));
+    t.add("irq_main.c", include_str!("../corpus/irq_main.c"));
+    t.add("irq_handler_spin.c", include_str!("../corpus/irq_handler_spin.c"));
+    t.add("netecho_main.c", include_str!("../corpus/netecho_main.c"));
+    t.add("uptime_main.c", include_str!("../corpus/uptime_main.c"));
+    t.add("bench_chain.c", include_str!("../corpus/bench_chain.c"));
+    t.add("bench_floor.c", include_str!("../corpus/bench_floor.c"));
+    t.add("bench_driver.c", include_str!("../corpus/bench_driver.c"));
+    t
+}
+
+/// The kit's unit declarations, loaded into a fresh [`Program`].
+pub fn program() -> Program {
+    let mut p = Program::new();
+    p.load_str("base.unit", include_str!("../corpus/units/base.unit"))
+        .expect("base.unit parses");
+    p.load_str("components.unit", include_str!("../corpus/units/components.unit"))
+        .expect("components.unit parses");
+    p.load_str("kernels.unit", include_str!("../corpus/units/kernels.unit"))
+        .expect("kernels.unit parses");
+    p.load_str("bench.unit", include_str!("../corpus/units/bench.unit"))
+        .expect("bench.unit parses");
+    p
+}
+
+/// Program and sources together.
+pub fn setup() -> (Program, SourceTree) {
+    (program(), sources())
+}
+
+/// Default build options for a kit kernel: constraints on, flattening on,
+/// runtime symbols from the `machine` crate.
+pub fn kernel_options(root: &str) -> BuildOptions {
+    BuildOptions::new(root, machine::runtime_symbols())
+}
+
+/// Build one of the kit's kernels with default options.
+pub fn build_kernel(root: &str) -> Result<BuildReport, KnitError> {
+    let (p, t) = setup();
+    build(&p, &t, &kernel_options(root))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::Machine;
+
+    #[test]
+    fn all_good_kernels_build() {
+        for k in GOOD_KERNELS {
+            if let Err(e) = build_kernel(k) {
+                panic!("kernel {k} failed to build: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn hello_kernel_runs() {
+        let report = build_kernel(KERNEL_HELLO).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        assert_eq!(m.run_entry().unwrap(), 42);
+        assert!(m.console.output.contains("Hello from Knit!"));
+        assert!(m.console.output.contains("answer=42 hex=ff char=k str=units"));
+    }
+
+    #[test]
+    fn fs_kernel_round_trips_file_contents() {
+        let report = build_kernel(KERNEL_FS).unwrap();
+        // allocator must initialize before the filesystem
+        let pos = |n: &str| {
+            report.schedule.iter().position(|s| s.ends_with(n)).unwrap_or_else(|| {
+                panic!("{n} missing from schedule {:?}", report.schedule)
+            })
+        };
+        assert!(pos("alloc_init") < pos("fs_init"));
+        let mut m = Machine::new(report.image).unwrap();
+        let n = m.run_entry().unwrap();
+        assert_eq!(n, "component kits compose".len() as i64);
+        assert!(m.console.output.contains("motd(22): component kits compose"));
+    }
+
+    #[test]
+    fn redirect_kernel_splits_output_between_consoles() {
+        let report = build_kernel(KERNEL_REDIRECT).unwrap();
+        // two Printf instances share one compiled unit
+        assert_eq!(report.stats.instances, 5);
+        let mut m = Machine::new(report.image).unwrap();
+        m.run_entry().unwrap();
+        assert!(m.console.output.contains("app: user output 1"));
+        assert!(m.console.output.contains("app: done"));
+        assert!(!m.console.output.contains("drv:"), "vga got: {}", m.console.output);
+        assert!(m.serial.output.contains("drv: device state ff"));
+        assert!(!m.serial.output.contains("app:"), "serial got: {}", m.serial.output);
+    }
+
+    #[test]
+    fn irq_bad_kernel_is_rejected_by_constraints() {
+        match build_kernel(KERNEL_IRQ_BAD) {
+            Err(KnitError::ConstraintViolation { property, explanation }) => {
+                assert_eq!(property, "context");
+                assert!(
+                    explanation.contains("NoContext") && explanation.contains("ProcessContext"),
+                    "{explanation}"
+                );
+            }
+            Ok(_) => panic!("blocking mutex under interrupt context must be rejected"),
+            Err(other) => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn irq_good_kernel_runs() {
+        let report = build_kernel(KERNEL_IRQ_GOOD).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        let r = m.run_entry().unwrap();
+        assert!(m.console.output.contains("irqs=5"));
+        assert!(r > 0);
+    }
+
+    #[test]
+    fn lock_kernels_agree() {
+        let a = build_kernel(KERNEL_LOCK).unwrap();
+        let b = build_kernel(KERNEL_LOCK_SPIN).unwrap();
+        let mut ma = Machine::new(a.image).unwrap();
+        let mut mb = Machine::new(b.image).unwrap();
+        assert_eq!(ma.run_entry().unwrap(), mb.run_entry().unwrap());
+        assert_eq!(ma.console.output, mb.console.output);
+    }
+
+    #[test]
+    fn chain_kernels_match_and_flat_is_faster() {
+        let plain = build_kernel(KERNEL_CHAIN).unwrap();
+        let flat = build_kernel(KERNEL_CHAIN_FLAT).unwrap();
+        assert_eq!(flat.stats.flatten_groups, 1);
+        let entry_p = plain.exports["chain.run_chain"].clone();
+        let entry_f = flat.exports["chain.run_chain"].clone();
+
+        let mut mp = Machine::new(plain.image).unwrap();
+        mp.call("__knit_init", &[]).unwrap();
+        mp.reset_counters();
+        let rp = mp.call(&entry_p, &[1000]).unwrap();
+        let cp = mp.counters();
+
+        let mut mf = Machine::new(flat.image).unwrap();
+        mf.call("__knit_init", &[]).unwrap();
+        mf.reset_counters();
+        let rf = mf.call(&entry_f, &[1000]).unwrap();
+        let cf = mf.counters();
+
+        assert_eq!(rp, rf, "flattening must not change results");
+        assert!(cf.calls < cp.calls, "flat calls {} vs plain {}", cf.calls, cp.calls);
+        assert!(cf.cycles < cp.cycles, "flat cycles {} vs plain {}", cf.cycles, cp.cycles);
+    }
+
+    #[test]
+    fn netecho_kernel_reverses_payloads() {
+        let report = build_kernel(KERNEL_NETECHO).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        let mut frame = vec![0u8; 14];
+        frame.extend_from_slice(b"abcdef");
+        m.netdevs[0].inject(frame);
+        m.netdevs[0].inject(vec![1; 14]); // header-only frame is skipped
+        let echoed = m.run_entry().unwrap();
+        assert_eq!(echoed, 1);
+        let out = m.netdevs[1].collect().unwrap();
+        assert_eq!(&out[14..], b"fedcba");
+        assert!(m.console.output.contains("echoed 1 frames"));
+    }
+
+    #[test]
+    fn uptime_kernel_reads_monotone_clock() {
+        let report = build_kernel(KERNEL_UPTIME).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        assert_eq!(m.run_entry().unwrap(), 1, "elapsed cycles must be positive");
+        assert!(m.console.output.contains("cycles"));
+    }
+
+    #[test]
+    fn serial_hello_goes_to_serial_only() {
+        let report = build_kernel(KERNEL_HELLO_SERIAL).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        assert_eq!(m.run_entry().unwrap(), 42);
+        assert!(m.serial.output.contains("Hello from Knit!"));
+        assert!(m.console.output.is_empty());
+    }
+
+    #[test]
+    fn allocators_are_interchangeable() {
+        // Swap ListAlloc for BumpAlloc in the fs kernel via a new config.
+        let (mut p, t) = setup();
+        p.load_str(
+            "swap.unit",
+            r#"
+            unit FsKernelBump = {
+                exports [ main : Main ];
+                link {
+                    con : VgaConsole;
+                    out : Printf [ console = con.console ];
+                    str : StrLib;
+                    mem : BumpAlloc;
+                    fs : MemFs [ mem = mem.mem, str = str.str ];
+                    stdio : StdioUnit [ fs = fs.fs, str = str.str ];
+                    m : FsMain [ stdout = out.stdout, stdio = stdio.stdio, str = str.str ];
+                    main = m.main;
+                };
+            }
+            "#,
+        )
+        .unwrap();
+        let report = knit::build(&p, &t, &kernel_options("FsKernelBump")).unwrap();
+        let mut m = Machine::new(report.image).unwrap();
+        assert_eq!(m.run_entry().unwrap(), 22);
+    }
+}

@@ -1,0 +1,7 @@
+int serve_web(int s, char *path);
+
+int main() {
+    serve_web(1, "/index.html");
+    serve_web(2, "/cgi-bin/status");
+    return 0;
+}

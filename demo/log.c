@@ -1,0 +1,21 @@
+/* Figure 6's log.c: wrap serve_web with logging. */
+int fopen(char *path, char *mode);
+int fprintf(int f, char *fmt, ...);
+int serve_unlogged(int s, char *path);
+
+static int log;
+
+void open_log() {
+    log = fopen("ServerLog", "a");
+}
+
+void close_log() {
+    fprintf(log, "-- log closed --\n");
+}
+
+int serve_logged(int s, char *path) {
+    int r;
+    r = serve_unlogged(s, path);
+    fprintf(log, "%s -> %d\n", path, r);
+    return r;
+}

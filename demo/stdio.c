@@ -1,0 +1,33 @@
+/* Console-backed stdio with an initializer. */
+int __con_putc(int c);
+
+static int ready = 0;
+
+void stdio_init() { ready = 1; }
+
+int fopen(char *path, char *mode) { return ready ? 3 : -1; }
+
+static void put_str(char *s) { while (*s) { __con_putc(*s); s++; } }
+
+static void put_int(int v) {
+    if (v < 0) { __con_putc('-'); v = -v; }
+    if (v >= 10) put_int(v / 10);
+    __con_putc('0' + v % 10);
+}
+
+int fprintf(int f, char *fmt, ...) {
+    int argi = 0;
+    if (f < 0) return -1;
+    while (*fmt) {
+        if (*fmt == '%') {
+            fmt++;
+            if (*fmt == 'd') put_int(__vararg(argi));
+            if (*fmt == 's') put_str((char*)__vararg(argi));
+            argi++;
+        } else {
+            __con_putc(*fmt);
+        }
+        fmt++;
+    }
+    return 0;
+}

@@ -1,0 +1,196 @@
+//! Quickstart: the paper's running example (Figures 5 and 6) end to end.
+//!
+//! A web server's `serve_web` is wrapped by a logging unit; the logging
+//! unit's `open_log` initializer depends on stdio being initialized first,
+//! so Knit schedules `stdio_init` before `open_log` automatically — the
+//! §3.2 subtlety that "open_log needs stdio" orders components while
+//! "serveLog needs stdio" alone would not.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use knit_repro::knit::{build, BuildOptions, Program, SourceTree};
+use knit_repro::machine::{self, Machine};
+
+const UNITS: &str = r#"
+bundletype Serve = { serve_web }
+bundletype Stdio = { fopen, fprintf }
+bundletype Main = { main }
+flags CFlags = { "-O2" }
+
+unit Web = {
+    imports [ serveFile : Serve, serveCGI : Serve ];
+    exports [ serveWeb : Serve ];
+    depends { serveWeb needs (serveFile + serveCGI); };
+    files { "web.c" } with flags CFlags;
+    rename {
+        serveFile.serve_web to serve_file;
+        serveCGI.serve_web to serve_cgi;
+    };
+}
+
+unit Log = {
+    imports [ serveWeb : Serve, stdio : Stdio ];
+    exports [ serveLog : Serve ];
+    initializer open_log for serveLog;
+    finalizer close_log for serveLog;
+    depends {
+        open_log needs stdio;
+        close_log needs stdio;
+        serveLog needs (serveWeb + stdio);
+    };
+    files { "log.c" } with flags CFlags;
+    rename {
+        serveWeb.serve_web to serve_unlogged;
+        serveLog.serve_web to serve_logged;
+    };
+}
+
+unit FileServer = { exports [ serve : Serve ]; files { "file.c" } with flags CFlags; }
+unit CgiServer  = { exports [ serve : Serve ]; files { "cgi.c" } with flags CFlags; }
+
+unit StdioUnit = {
+    exports [ stdio : Stdio ];
+    initializer stdio_init for stdio;
+    files { "stdio.c" } with flags CFlags;
+}
+
+unit Driver = {
+    imports [ serve : Serve ];
+    exports [ main : Main ];
+    depends { main needs serve; };
+    files { "driver.c" } with flags CFlags;
+}
+
+unit WebServer = {
+    exports [ main : Main ];
+    link {
+        fserve : FileServer;
+        cgi : CgiServer;
+        io : StdioUnit;
+        web : Web [ serveFile = fserve.serve, serveCGI = cgi.serve ];
+        log : Log [ serveWeb = web.serveWeb, stdio = io.stdio ];
+        drv : Driver [ serve = log.serveLog ];
+        main = drv.main;
+    };
+}
+"#;
+
+fn sources() -> SourceTree {
+    let mut t = SourceTree::new();
+    // Figure 6's web.c, verbatim in spirit.
+    t.add(
+        "web.c",
+        r#"
+int serve_file(int s, char *path);
+int serve_cgi(int s, char *path);
+static int strncmp_(char *a, char *b, int n) {
+    for (int i = 0; i < n; i++) {
+        if (a[i] != b[i]) return a[i] - b[i];
+        if (a[i] == 0) return 0;
+    }
+    return 0;
+}
+int serve_web(int s, char *path) {
+    if (!strncmp_(path, "/cgi-bin/", 9))
+        return serve_cgi(s, path + 9);
+    else
+        return serve_file(s, path);
+}
+"#,
+    );
+    // Figure 6's log.c.
+    t.add(
+        "log.c",
+        r#"
+int fopen(char *path, char *mode);
+int fprintf(int f, char *fmt, ...);
+int serve_unlogged(int s, char *path);
+static int log;
+void open_log() {
+    log = fopen("ServerLog", "a");
+}
+void close_log() {
+    fprintf(log, "-- log closed --\n");
+}
+int serve_logged(int s, char *path) {
+    int r;
+    r = serve_unlogged(s, path);
+    fprintf(log, "%s -> %d\n", path, r);
+    return r;
+}
+"#,
+    );
+    t.add("file.c", "int serve_web(int s, char *path) { return 200; }\n");
+    t.add("cgi.c", "int serve_web(int s, char *path) { return 201; }\n");
+    t.add(
+        "stdio.c",
+        r#"
+int __con_putc(int c);
+static int ready = 0;
+void stdio_init() { ready = 1; }
+int fopen(char *path, char *mode) { return ready ? 3 : -1; }
+static void put_str(char *s) { while (*s) { __con_putc(*s); s++; } }
+static void put_int(int v) {
+    if (v < 0) { __con_putc('-'); v = -v; }
+    if (v >= 10) put_int(v / 10);
+    __con_putc('0' + v % 10);
+}
+int fprintf(int f, char *fmt, ...) {
+    int argi = 0;
+    if (f < 0) return -1;
+    while (*fmt) {
+        if (*fmt == '%') {
+            fmt++;
+            if (*fmt == 'd') put_int(__vararg(argi));
+            if (*fmt == 's') put_str((char*)__vararg(argi));
+            argi++;
+        } else {
+            __con_putc(*fmt);
+        }
+        fmt++;
+    }
+    return 0;
+}
+"#,
+    );
+    t.add(
+        "driver.c",
+        r#"
+int serve_web(int s, char *path);
+int main() {
+    int a = serve_web(1, "/index.html");
+    int b = serve_web(2, "/cgi-bin/status");
+    return a + b;
+}
+"#,
+    );
+    t
+}
+
+fn main() {
+    let mut program = Program::new();
+    program.load_str("webserver.unit", UNITS).expect("unit file parses");
+    let tree = sources();
+
+    let report = build(
+        &program,
+        &tree,
+        &BuildOptions::new("WebServer", machine::runtime_symbols()),
+    )
+    .expect("web server builds");
+
+    println!("== build ==");
+    println!("instances: {}", report.stats.instances);
+    println!("initializer schedule (note stdio_init before open_log):");
+    for s in &report.schedule {
+        println!("  {s}");
+    }
+
+    let mut m = Machine::new(report.image).expect("machine boots");
+    let code = m.run_entry().expect("kernel runs");
+    println!("\n== run ==");
+    println!("exit code: {code}");
+    println!("console:\n{}", m.console.output);
+}

@@ -1,0 +1,27 @@
+//! `knit-repro` — umbrella package for the Rust reproduction of
+//! *Knit: Component Composition for Systems Software* (OSDI 2000).
+//!
+//! The actual functionality lives in the workspace crates; this package
+//! re-exports them so the root `examples/` and `tests/` can reach everything
+//! through one dependency:
+//!
+//! * [`knit`] — the paper's contribution: the component language semantics,
+//!   elaboration, initializer scheduling, constraint checking, and the
+//!   build pipeline.
+//! * [`knit_lang`] — front end (lexer/parser) for the Knit language.
+//! * [`cmini`] — a mini-C compiler substrate.
+//! * [`cobj`] — object files, `objcopy`-style renaming, and a bag-of-objects
+//!   `ld` baseline.
+//! * [`flatten`] — cross-component optimization (source merging).
+//! * [`machine`] — the execution substrate with a cycle/I-cache cost model.
+//! * [`oskit`] — a mini component kit in the spirit of the Flux OSKit.
+//! * [`clack`] — the Click-subset modular router used by the evaluation.
+
+pub use clack;
+pub use cmini;
+pub use cobj;
+pub use flatten;
+pub use knit;
+pub use knit_lang;
+pub use machine;
+pub use oskit;

@@ -1,0 +1,124 @@
+//! The "Before Knit" workflow (§5.1): components as object files in
+//! archives, overridden by careful ordering of `ld`'s arguments — and the
+//! ways that workflow breaks, which motivated Knit.
+
+use knit_repro::cmini;
+use knit_repro::cobj::{self, Archive, LinkInput, LinkOptions};
+use knit_repro::machine::{self, Machine};
+
+fn compile(name: &str, src: &str) -> cobj::ObjectFile {
+    cmini::compile_simple(name, src).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn opts() -> LinkOptions {
+    LinkOptions::new("main", machine::runtime_symbols())
+}
+
+const APP: &str = r#"
+int console_putc(int c);
+static void puts_(char *s) { while (*s) { console_putc(*s); s++; } }
+int main() { puts_("hello"); return 0; }
+"#;
+
+const VGA: &str = r#"
+int __con_putc(int c);
+int console_putc(int c) { return __con_putc(c); }
+"#;
+
+const SERIAL: &str = r#"
+int __serial_putc(int c);
+int console_putc(int c) { return __serial_putc(c); }
+"#;
+
+/// The kit as the OSKit shipped it: components in an archive, the default
+/// console pulled in on demand.
+fn kit() -> Archive {
+    Archive::from_members(
+        "liboskit.a",
+        vec![compile("vga.o", VGA), compile("unused.o", "int unused_component() { return 0; }")],
+    )
+}
+
+#[test]
+fn default_configuration_pulls_the_archived_console() {
+    let img = cobj::link(
+        &[LinkInput::Object(compile("app.o", APP)), LinkInput::Archive(kit())],
+        &opts(),
+    )
+    .unwrap();
+    // only the needed member was pulled (no `unused_component`)
+    assert!(img.func_by_name("unused_component").is_none());
+    let mut m = Machine::new(img).unwrap();
+    m.run_entry().unwrap();
+    assert_eq!(m.console.output, "hello");
+    assert_eq!(m.serial.output, "");
+}
+
+#[test]
+fn override_by_ordering_swaps_the_console() {
+    // §5.1: "a careful ordering of ld's arguments would allow a programmer
+    // to override an existing component" — serial.o before the archive.
+    let img = cobj::link(
+        &[
+            LinkInput::Object(compile("app.o", APP)),
+            LinkInput::Object(compile("serial.o", SERIAL)),
+            LinkInput::Archive(kit()),
+        ],
+        &opts(),
+    )
+    .unwrap();
+    let mut m = Machine::new(img).unwrap();
+    m.run_entry().unwrap();
+    assert_eq!(m.serial.output, "hello", "output goes to the serial line now");
+    assert_eq!(m.console.output, "");
+}
+
+#[test]
+fn wrong_ordering_silently_keeps_the_default() {
+    // The trap: put the override AFTER the archive and ld quietly keeps the
+    // original (the member already satisfied the symbol)… unless the
+    // override is an explicit object, in which case it is a multiple
+    // definition. Both failure modes are why "experience soon revealed the
+    // deficiencies of ld as a component-linking tool".
+    let as_archive = Archive::from_members("libserial.a", vec![compile("serial.o", SERIAL)]);
+    let img = cobj::link(
+        &[
+            LinkInput::Object(compile("app.o", APP)),
+            LinkInput::Archive(kit()),
+            LinkInput::Archive(as_archive),
+        ],
+        &opts(),
+    )
+    .unwrap();
+    let mut m = Machine::new(img).unwrap();
+    m.run_entry().unwrap();
+    assert_eq!(m.console.output, "hello", "the override silently did nothing");
+
+    let err = cobj::link(
+        &[
+            LinkInput::Object(compile("app.o", APP)),
+            LinkInput::Archive(kit()),
+            LinkInput::Object(compile("serial.o", SERIAL)),
+        ],
+        &opts(),
+    );
+    // explicit objects are always included, so this time it is an error
+    assert!(matches!(err, Err(cobj::LinkError::MultipleDefinition { .. })));
+}
+
+#[test]
+fn two_consoles_at_once_is_impossible_without_knit() {
+    // wanting BOTH consoles in one program (the redirect_printf example)
+    // cannot be expressed at all: the two objects collide on console_putc.
+    let err = cobj::link(
+        &[
+            LinkInput::Object(compile("app.o", APP)),
+            LinkInput::Object(compile("vga.o", VGA)),
+            LinkInput::Object(compile("serial.o", SERIAL)),
+        ],
+        &opts(),
+    );
+    assert!(matches!(err, Err(cobj::LinkError::MultipleDefinition { .. })));
+    // …which is exactly what the RedirectKernel does trivially with Knit
+    // (see oskit::KERNEL_REDIRECT and examples/redirect_printf.rs).
+}

@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: the full pipeline from `.unit` + mini-C
+//! sources to executed images, across all the major subsystems.
+
+use knit_repro::clack::{self, packets, RouterHarness};
+use knit_repro::knit::{build, BuildOptions, Program, SourceTree};
+use knit_repro::machine::{self, Machine};
+use knit_repro::oskit;
+
+fn options(root: &str) -> BuildOptions {
+    BuildOptions::new(root, machine::runtime_symbols())
+}
+
+#[test]
+fn every_oskit_kernel_builds_and_runs() {
+    for k in oskit::GOOD_KERNELS {
+        let report = oskit::build_kernel(k).unwrap_or_else(|e| panic!("{k}: {e}"));
+        // kernels with a main export should run to completion
+        if report.exports.keys().any(|e| e.ends_with(".main")) {
+            let mut m = Machine::new(report.image).expect("machine");
+            m.run_entry().unwrap_or_else(|e| panic!("{k} run: {e}"));
+        }
+    }
+}
+
+#[test]
+fn four_router_implementations_agree_packet_for_packet() {
+    // modular Clack, flattened Clack, hand-optimized, Click generic, Click
+    // optimized: five independent implementations of the same router must
+    // emit identical frames in identical order.
+    let work = packets::workload(&packets::WorkloadOptions {
+        count: 96,
+        pct_non_ip: 10,
+        pct_ttl_expired: 10,
+        pct_no_route: 10,
+        seed: 99,
+        ..Default::default()
+    });
+
+    let mut outputs: Vec<(String, Vec<Vec<u8>>, Vec<Vec<u8>>)> = Vec::new();
+
+    let mut run = |name: &str, mut h: RouterHarness| {
+        for (dev, p) in &work {
+            h.inject(*dev, p.clone());
+        }
+        h.run_until_idle();
+        outputs.push((name.to_string(), h.collect(0), h.collect(1)));
+    };
+
+    let g = clack::ip_router();
+    run("clack-modular", RouterHarness::new(&clack::build_clack_router(&g, false).unwrap()).unwrap());
+    run("clack-flat", RouterHarness::new(&clack::build_clack_router(&g, true).unwrap()).unwrap());
+    run("hand", RouterHarness::new(&clack::build_hand_router(false).unwrap()).unwrap());
+    run(
+        "click-generic",
+        RouterHarness::from_image(
+            clack::click::build_click_router(&g, None).unwrap(),
+            Some("click_init"),
+            "router_step",
+        )
+        .unwrap(),
+    );
+    run(
+        "click-optimized",
+        RouterHarness::from_image(
+            clack::click::build_click_router(&g, Some(clack::click::ClickOpts::all())).unwrap(),
+            Some("click_init"),
+            "router_step",
+        )
+        .unwrap(),
+    );
+
+    let (ref_name, ref0, ref1) = outputs[0].clone();
+    for (name, o0, o1) in &outputs[1..] {
+        assert_eq!(o0, &ref0, "{name} port 0 differs from {ref_name}");
+        assert_eq!(o1, &ref1, "{name} port 1 differs from {ref_name}");
+    }
+    assert!(!ref0.is_empty() && !ref1.is_empty());
+}
+
+#[test]
+fn click_config_language_to_running_router() {
+    let graph = clack::config::parse(
+        "from0 :: FromDevice(0);\n\
+         from1 :: FromDevice(1);\n\
+         cls :: Classifier(12/0800, -);\n\
+         ttl :: DecIPTTL;\n\
+         rt :: LookupIPRoute(10.0.1.0/24 0, 10.0.2.0/24 1);\n\
+         chk :: CheckIPHeader;\n\
+         from0 -> Counter -> cls;\n\
+         from1 -> Counter -> cls;\n\
+         cls[0] -> Strip(14) -> chk;\n\
+         cls[1] -> Discard;\n\
+         chk[0] -> ttl;\n\
+         chk[1] -> Discard;\n\
+         ttl[0] -> rt;\n\
+         ttl[1] -> Discard;\n\
+         rt[0] -> EtherEncap(0) -> Queue(4) -> ToDevice(0);\n\
+         rt[1] -> EtherEncap(1) -> Queue(4) -> ToDevice(1);\n\
+         rt[2] -> Discard;",
+    )
+    .expect("config parses");
+    let report = clack::build_clack_router(&graph, false).expect("builds");
+    let mut h = RouterHarness::new(&report).expect("harness");
+    h.inject(0, packets::ip_packet(1, packets::NET1 | 9, 5, &[1, 2, 3]));
+    h.run_until_idle();
+    assert_eq!(h.collect(1).len(), 1);
+}
+
+#[test]
+fn schedule_failure_reported_with_cycle() {
+    let mut p = Program::new();
+    p.load_str(
+        "cycle.unit",
+        r#"
+        bundletype A = { fa }
+        bundletype B = { fb }
+        unit UA = {
+            imports [ b : B ];
+            exports [ a : A ];
+            initializer ia for a;
+            depends { ia needs b; };
+            files { "a.c" };
+        }
+        unit UB = {
+            imports [ a : A ];
+            exports [ b : B ];
+            initializer ib for b;
+            depends { ib needs a; };
+            files { "b.c" };
+        }
+        unit Sys = {
+            exports [ out : A ];
+            link {
+                ua : UA [ b = ub.b ];
+                ub : UB [ a = ua.a ];
+                out = ua.a;
+            };
+        }
+        "#,
+    )
+    .unwrap();
+    let mut t = SourceTree::new();
+    t.add("a.c", "void ia() { }\nint fa() { return 1; }");
+    t.add("b.c", "void ib() { }\nint fb() { return 2; }");
+    let err = build(&p, &t, &options("Sys")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("initialization cycle"), "{msg}");
+    assert!(msg.contains("ia") && msg.contains("ib"), "{msg}");
+}
+
+#[test]
+fn flattened_oskit_fs_kernel_matches_unflattened() {
+    // flatten the whole FsKernel and require byte-identical console output
+    let (mut p, t) = oskit::setup();
+    p.load_str(
+        "flatfs.unit",
+        r#"
+        unit FsKernelFlat = {
+            exports [ main : Main ];
+            link {
+                con : VgaConsole;
+                out : Printf [ console = con.console ];
+                str : StrLib;
+                mem : ListAlloc;
+                fs : MemFs [ mem = mem.mem, str = str.str ];
+                stdio : StdioUnit [ fs = fs.fs, str = str.str ];
+                m : FsMain [ stdout = out.stdout, stdio = stdio.stdio, str = str.str ];
+                main = m.main;
+            };
+            flatten;
+        }
+        "#,
+    )
+    .unwrap();
+    let plain = oskit::build_kernel(oskit::KERNEL_FS).unwrap();
+    let flat = build(&p, &t, &options("FsKernelFlat")).unwrap();
+    assert_eq!(flat.stats.flatten_groups, 1);
+
+    let mut mp = Machine::new(plain.image).unwrap();
+    let rp = mp.run_entry().unwrap();
+    let mut mf = Machine::new(flat.image).unwrap();
+    let rf = mf.run_entry().unwrap();
+    assert_eq!(rp, rf);
+    assert_eq!(mp.console.output, mf.console.output);
+    // Like the paper's Table 1 (±3% text), flattening must not balloon the
+    // image: inlined copies are paid for by garbage-collecting the merged
+    // group's now-private functions.
+    assert!(
+        flat.stats.text_size < plain.stats.text_size * 13 / 10,
+        "flattened text {} vs plain {}",
+        flat.stats.text_size,
+        plain.stats.text_size
+    );
+}
+
+#[test]
+fn flattening_a_group_with_duplicate_instances_keeps_state_apart() {
+    // The hardest flatten interaction: the RedirectKernel instantiates the
+    // SAME Printf unit twice. Under flattening, both instances merge into
+    // one translation unit — their statics and helpers must stay distinct.
+    let (mut p, t) = oskit::setup();
+    p.load_str(
+        "flatredir.unit",
+        r#"
+        unit RedirectKernelFlat = {
+            exports [ main : Main ];
+            link {
+                vga : VgaConsole;
+                ser : SerialConsole;
+                appout : Printf [ console = vga.console ];
+                drvout : Printf [ console = ser.console ];
+                m : RedirectMain [ app = appout.stdout, drv = drvout.stdout ];
+                main = m.main;
+            };
+            flatten;
+        }
+        "#,
+    )
+    .unwrap();
+    let plain = oskit::build_kernel(oskit::KERNEL_REDIRECT).unwrap();
+    let flat = build(&p, &t, &options("RedirectKernelFlat")).unwrap();
+    assert_eq!(flat.stats.flatten_groups, 1);
+
+    let mut mp = Machine::new(plain.image).unwrap();
+    mp.run_entry().unwrap();
+    let mut mf = Machine::new(flat.image).unwrap();
+    mf.run_entry().unwrap();
+    assert_eq!(mp.console.output, mf.console.output, "vga output identical");
+    assert_eq!(mp.serial.output, mf.serial.output, "serial output identical");
+    assert!(mf.console.output.contains("app:"));
+    assert!(mf.serial.output.contains("drv:"));
+}
+
+#[test]
+fn build_reports_are_deterministic_across_runs() {
+    let a = clack::build_clack_router(&clack::ip_router(), true).unwrap();
+    let b = clack::build_clack_router(&clack::ip_router(), true).unwrap();
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.stats.text_size, b.stats.text_size);
+    assert_eq!(a.exports, b.exports);
+    let work = packets::workload(&packets::WorkloadOptions { count: 32, ..Default::default() });
+    let ca = RouterHarness::new(&a).unwrap().measure(&work).unwrap().cycles_per_packet;
+    let cb = RouterHarness::new(&b).unwrap().measure(&work).unwrap().cycles_per_packet;
+    assert_eq!(ca, cb, "whole-stack determinism");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core invariants (DESIGN.md §6).
+
+use proptest::prelude::*;
+
+use knit_repro::clack::{self, packets, RouterHarness};
+use knit_repro::cmini;
+use knit_repro::cobj;
+use knit_repro::knit_lang;
+use knit_repro::machine::{self, Machine};
+
+// ---------------------------------------------------------------------------
+// front-end robustness: no panics on arbitrary input
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn knit_lang_parser_never_panics(src in ".{0,200}") {
+        let _ = knit_lang::parse("fuzz.unit", &src);
+    }
+
+    #[test]
+    fn cmini_frontend_never_panics(src in ".{0,200}") {
+        let _ = cmini::compile_simple("fuzz.c", &src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// knit-lang: pretty-print / reparse round trip
+// ---------------------------------------------------------------------------
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "bundletype" | "flags" | "property" | "type" | "unit" | "imports" | "exports"
+                | "depends" | "needs" | "files" | "with" | "rename" | "to" | "initializer"
+                | "finalizer" | "for" | "link" | "flatten" | "constraints"
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn printed_knit_files_reparse_identically(
+        bt in ident(),
+        members in prop::collection::vec(ident(), 1..4),
+        unit in ident(),
+        port_in in ident(),
+        port_out in ident(),
+        file in "[a-z]{1,8}\\.c",
+        flat in any::<bool>(),
+    ) {
+        prop_assume!(port_in != port_out);
+        let mut decls = format!("bundletype {bt} = {{ {} }}\n", members.join(", "));
+        decls.push_str(&format!(
+            "unit {unit} = {{\n    imports [ {port_in} : {bt} ];\n    exports [ {port_out} : {bt} ];\n    depends {{ exports needs imports; }};\n    files {{ \"{file}\" }};\n{}}}\n",
+            if flat { "    flatten;\n" } else { "" }
+        ));
+        let parsed = knit_lang::parse("gen.unit", &decls).expect("generated source parses");
+        let printed = knit_lang::print(&parsed);
+        let reparsed = knit_lang::parse("gen2.unit", &printed).expect("printed source reparses");
+        prop_assert_eq!(knit_lang::print(&reparsed), printed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compiler: O0 and O2 agree on randomly generated arithmetic programs
+// ---------------------------------------------------------------------------
+
+/// A tiny expression generator producing valid mini-C over variables a, b.
+fn expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            (-100i64..100).prop_map(|v| v.to_string()),
+            Just("a".to_string()),
+            Just("b".to_string()),
+        ]
+        .boxed()
+    } else {
+        let sub = expr(depth - 1);
+        let sub2 = expr(depth - 1);
+        prop_oneof![
+            (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")], sub2.clone())
+                .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
+            (sub.clone(), prop_oneof![Just("<"), Just("<="), Just("=="), Just("!=")], sub2.clone())
+                .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
+            (sub.clone(), sub2.clone(), expr(0)).prop_map(|(c, t, e)| format!("({c} ? {t} : {e})")),
+            sub,
+        ]
+        .boxed()
+    }
+}
+
+fn run_compiled(src: &str, opt: cmini::OptLevel, a: i64, b: i64) -> i64 {
+    let opts = cmini::CompileOptions { opt, ..Default::default() };
+    let obj = cmini::compile("gen.c", src, &opts, &cmini::NoFiles).expect("compiles");
+    let img = cobj::link(
+        &[cobj::LinkInput::Object(obj)],
+        &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+    )
+    .expect("links");
+    let mut m = Machine::new(img).expect("machine");
+    m.call("f", &[a, b]).expect("runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_arithmetic_semantics(
+        e in expr(3),
+        a in -50i64..50,
+        b in -50i64..50,
+    ) {
+        let src = format!("int helper(int a, int b) {{ return {e}; }}\nint f(int a, int b) {{ int r = helper(a, b); return r + helper(b, a); }}");
+        let o0 = run_compiled(&src, cmini::OptLevel::O0, a, b);
+        let o2 = run_compiled(&src, cmini::OptLevel::O2, a, b);
+        prop_assert_eq!(o0, o2, "src: {}", src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// linker invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn objcopy_duplicate_then_rename_is_consistent(suffix in "[a-z]{1,6}") {
+        let obj = cmini::compile_simple(
+            "t.c",
+            "int helper();\nstatic int s;\nint entry() { s++; return helper(); }",
+        ).expect("compiles");
+        let dup = cobj::objcopy::duplicate(&obj, &format!("_{suffix}"));
+        dup.validate().expect("duplicate is structurally valid");
+        // every global got the suffix; locals untouched
+        let expected_tail = format!("_{suffix}");
+        for name in dup.exported_names() {
+            prop_assert!(name.ends_with(&expected_tail));
+        }
+        for name in dup.undefined_names() {
+            prop_assert!(name.ends_with(&expected_tail));
+        }
+        prop_assert!(dup.symbols.iter().any(|s| s.name == "s"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// machine invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counters_are_monotone_and_reproducible(n in 1i64..200) {
+        let obj = cmini::compile_simple(
+            "t.c",
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i * i; return s; }",
+        ).expect("compiles");
+        let img = cobj::link(
+            &[cobj::LinkInput::Object(obj)],
+            &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        ).expect("links");
+        let mut m = Machine::new(img.clone()).expect("machine");
+        let before = m.counters();
+        let r1 = m.call("f", &[n]).expect("runs");
+        let mid = m.counters();
+        let r2 = m.call("f", &[n]).expect("runs again");
+        let after = m.counters();
+        prop_assert_eq!(r1, r2);
+        prop_assert!(mid.cycles > before.cycles);
+        prop_assert!(after.cycles > mid.cycles);
+        prop_assert!(mid.instructions > 0);
+
+        // fresh machine, same program, same answer and same cold cost
+        let mut m2 = Machine::new(img).expect("machine");
+        let r3 = m2.call("f", &[n]).expect("runs");
+        prop_assert_eq!(r3, r1);
+        prop_assert_eq!(m2.counters().cycles, mid.cycles - before.cycles);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// whole-router optimization soundness on random packets
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // builds are cached outside the closure; only packets vary
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn flattening_is_sound_on_random_packets(
+        dsts in prop::collection::vec((0u32..2, 1u32..255, 1u8..64), 1..12),
+    ) {
+        use std::sync::OnceLock;
+        static BUILDS: OnceLock<(knit_repro::knit::BuildReport, knit_repro::knit::BuildReport)> =
+            OnceLock::new();
+        let (plain, flat) = BUILDS.get_or_init(|| {
+            let g = clack::ip_router();
+            (
+                clack::build_clack_router(&g, false).expect("plain builds"),
+                clack::build_clack_router(&g, true).expect("flat builds"),
+            )
+        });
+        let mut hp = RouterHarness::new(plain).expect("harness");
+        let mut hf = RouterHarness::new(flat).expect("harness");
+        for (net, host, ttl) in &dsts {
+            let dst = if *net == 0 { packets::NET0 } else { packets::NET1 } | *host;
+            let p = packets::ip_packet(0x0A000301, dst, *ttl, &[7; 16]);
+            hp.inject((*net ^ 1) as usize, p.clone());
+            hf.inject((*net ^ 1) as usize, p);
+        }
+        hp.run_until_idle();
+        hf.run_until_idle();
+        prop_assert_eq!(hp.collect(0), hf.collect(0));
+        prop_assert_eq!(hp.collect(1), hf.collect(1));
+    }
+}
