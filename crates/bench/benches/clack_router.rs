@@ -41,7 +41,9 @@ fn bench_clack_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("clack_build");
     group.sample_size(10);
     group.bench_function("modular", |b| {
-        b.iter(|| black_box(build_clack_router(&ip_router(), false).expect("build").stats.text_size))
+        b.iter(|| {
+            black_box(build_clack_router(&ip_router(), false).expect("build").stats.text_size)
+        })
     });
     group.bench_function("flattened", |b| {
         b.iter(|| black_box(build_clack_router(&ip_router(), true).expect("build").stats.text_size))

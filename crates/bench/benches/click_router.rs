@@ -16,7 +16,10 @@ fn bench_click(c: &mut Criterion) {
     for (name, opts) in [
         ("generic", None),
         ("optimized", Some(ClickOpts::all())),
-        ("specializer_only", Some(ClickOpts { fast_classifier: false, specialize: true, xform: false })),
+        (
+            "specializer_only",
+            Some(ClickOpts { fast_classifier: false, specialize: true, xform: false }),
+        ),
     ] {
         let image = build_click_router(&ip_router(), opts).expect("build");
         group.bench_function(name, |b| {

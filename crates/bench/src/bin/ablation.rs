@@ -81,7 +81,9 @@ fn main() {
 
     println!("\n== ablation 2: call-overhead cost vs the flattening win ==");
     println!("  call cost  modular  flattened   delta");
-    for (name, call, ret) in [("cheap (2/1)", 2u64, 1u64), ("default (14/6)", 14, 6), ("expensive (30/12)", 30, 12)] {
+    for (name, call, ret) in
+        [("cheap (2/1)", 2u64, 1u64), ("default (14/6)", 14, 6), ("expensive (30/12)", 30, 12)]
+    {
         let costs = CostModel { call_overhead: call, ret_overhead: ret, ..CostModel::default() };
         let base = measure_with(costs.clone(), false, false, &work);
         let flat = measure_with(costs, true, false, &work);
@@ -107,12 +109,13 @@ fn main() {
 
     println!("\n== ablation 4: hand-optimization with and without flattening on top ==");
     let base = measure_with(CostModel::default(), false, false, &work);
-    for (name, hand, flat) in [
-        ("modular", false, false),
-        ("hand", true, false),
-        ("hand+flatten", true, true),
-    ] {
+    for (name, hand, flat) in
+        [("modular", false, false), ("hand", true, false), ("hand+flatten", true, true)]
+    {
         let c = measure_with(CostModel::default(), flat, hand, &work);
-        println!("  {name:14} {c:6} cycles/pkt ({:+.1}% vs modular)", (c as f64 - base as f64) / base as f64 * 100.0);
+        println!(
+            "  {name:14} {c:6} cycles/pkt ({:+.1}% vs modular)",
+            (c as f64 - base as f64) / base as f64 * 100.0
+        );
     }
 }

@@ -1,6 +1,8 @@
 //! Regenerate the §6 build-time observation: "Our prototype implementation
 //! is acceptably fast — more than 95% of build time is spent in the C
-//! compiler and linker."
+//! compiler and linker." — and measure the driver's parallel, cache-aware
+//! compile pipeline on top of it: serial vs parallel vs warm-cache builds
+//! of the modular Clack router.
 //!
 //! ```text
 //! cargo run --release -p bench --bin build_time
@@ -23,4 +25,39 @@ fn main() {
         }
     }
     println!("\n  C compiler + linker: {cc_ld:.1}%   Knit itself: {knit:.1}%");
+
+    println!("\nparallel + cached compile pipeline (same router, byte-identical images)\n");
+    println!(
+        "  {:<12} {:>4}  {:>12} {:>12}  {:>9} {:>6}",
+        "mode", "jobs", "compile ms", "total ms", "compiled", "hits"
+    );
+    let rows = bench::build_time_modes();
+    for r in &rows {
+        println!(
+            "  {:<12} {:>4}  {:>12.3} {:>12.3}  {:>9} {:>6}",
+            r.mode, r.jobs, r.compile_ms, r.total_ms, r.units_compiled, r.cache_hits
+        );
+    }
+    let serial = &rows[0];
+    let parallel = &rows[1];
+    let warm = &rows[2];
+    if parallel.jobs > 1 && knit::default_jobs() > 1 {
+        println!(
+            "\n  parallel compile speedup over serial: {:.2}x ({} cores available)",
+            serial.compile_ms / parallel.compile_ms,
+            knit::default_jobs()
+        );
+    } else {
+        println!(
+            "\n  (only one core available — parallel row exercises the threaded\n   \
+             path with {} workers but cannot beat serial wall-clock here)",
+            parallel.jobs
+        );
+    }
+    println!(
+        "  warm-cache rebuild: {} recompiles, compile phase {:.3} ms ({:.1}% of cold)",
+        warm.units_compiled,
+        warm.compile_ms,
+        warm.compile_ms / serial.compile_ms * 100.0
+    );
 }

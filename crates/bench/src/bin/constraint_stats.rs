@@ -27,7 +27,11 @@ fn main() {
     println!("    constraints checked:      {}", s.constraints);
     println!(
         "    seeded context bug caught: {}",
-        if s.caught_seeded_bug { "yes (blocking mutex under interrupt context rejected)" } else { "NO" }
+        if s.caught_seeded_bug {
+            "yes (blocking mutex under interrupt context rejected)"
+        } else {
+            "NO"
+        }
     );
     println!(
         "    Knit-only time:           {} us unchecked -> {} us checked ({:.1}x)",

@@ -33,10 +33,5 @@ fn main() {
     println!();
     println!("  paper deltas: hand -21%, flatten -35%, both -40%");
     let pct = |i: usize| (rows[i].cycles as f64 - base) / base * 100.0;
-    println!(
-        "  ours:         hand {:+.0}%, flatten {:+.0}%, both {:+.0}%",
-        pct(1),
-        pct(2),
-        pct(3)
-    );
+    println!("  ours:         hand {:+.0}%, flatten {:+.0}%, both {:+.0}%", pct(1), pct(2), pct(3));
 }

@@ -16,9 +16,11 @@ fn main() {
     let delta = (t.click_optimized as f64 - t.click_unoptimized as f64)
         / t.click_unoptimized as f64
         * 100.0;
-    let vs_clack =
-        (t.click_unoptimized as f64 - t.clack_base as f64) / t.clack_base as f64 * 100.0;
-    println!("  ours:    unoptimized {}, optimized {} cycles ({:+.0}%)", t.click_unoptimized, t.click_optimized, delta);
+    let vs_clack = (t.click_unoptimized as f64 - t.clack_base as f64) / t.clack_base as f64 * 100.0;
+    println!(
+        "  ours:    unoptimized {}, optimized {} cycles ({:+.0}%)",
+        t.click_unoptimized, t.click_optimized, delta
+    );
     println!("           (base Click {vs_clack:+.0}% vs base Clack {})\n", t.clack_base);
 
     println!("  ablation over the three optimizations (cycles/packet):");

@@ -7,14 +7,21 @@
 
 use clack::click::{build_click_router, ClickOpts};
 use clack::packets::{self, WorkloadOptions};
-use clack::{build_clack_router, build_hand_router, ip_router, RouterHarness};
-use knit::{build, BuildOptions, Program, SourceTree};
+use clack::{build_clack_router, build_hand_router, ip_router, router_build_inputs, RouterHarness};
+use knit::{build, build_with_cache, BuildCache, BuildOptions, Program, SourceTree};
 use machine::Machine;
+
+/// A Table 1 / Table 2 packet workload of `count` forwardable IP frames,
+/// both directions, deterministic. The binaries use
+/// [`router_workload`]'s 512 packets; smoke tests pass something tiny.
+pub fn router_workload_sized(count: usize) -> Vec<packets::WorkItem> {
+    packets::workload(&WorkloadOptions { count, ..Default::default() })
+}
 
 /// The standard Table 1 / Table 2 packet workload: forwardable IP frames,
 /// both directions, deterministic.
 pub fn router_workload() -> Vec<packets::WorkItem> {
-    packets::workload(&WorkloadOptions { count: 512, ..Default::default() })
+    router_workload_sized(512)
 }
 
 /// One row of Table 1.
@@ -34,7 +41,11 @@ pub struct Table1Row {
 
 /// Run the four Clack configurations of Table 1.
 pub fn table1() -> Vec<Table1Row> {
-    let work = router_workload();
+    table1_with(&router_workload())
+}
+
+/// [`table1`] over a caller-supplied workload (smoke tests use a tiny one).
+pub fn table1_with(work: &[packets::WorkItem]) -> Vec<Table1Row> {
     let mut rows = Vec::new();
     for (hand, flat) in [(false, false), (true, false), (false, true), (true, true)] {
         let report = if hand {
@@ -43,7 +54,7 @@ pub fn table1() -> Vec<Table1Row> {
             build_clack_router(&ip_router(), flat).expect("clack router builds")
         };
         let mut h = RouterHarness::new(&report).expect("harness");
-        let m = h.measure(&work).expect("measure");
+        let m = h.measure(work).expect("measure");
         rows.push(Table1Row {
             hand_optimized: hand,
             flattened: flat,
@@ -68,16 +79,23 @@ pub struct Table2 {
 
 /// Run Table 2.
 pub fn table2() -> Table2 {
-    let work = router_workload();
+    table2_with(&router_workload())
+}
+
+/// [`table2`] over a caller-supplied workload (smoke tests use a tiny one).
+pub fn table2_with(work: &[packets::WorkItem]) -> Table2 {
     let measure_click = |opts: Option<ClickOpts>| {
         let img = build_click_router(&ip_router(), opts).expect("click builds");
         let mut h =
             RouterHarness::from_image(img, Some("click_init"), "router_step").expect("harness");
-        h.measure(&work).expect("measure").cycles_per_packet
+        h.measure(work).expect("measure").cycles_per_packet
     };
     let clack = build_clack_router(&ip_router(), false).expect("clack builds");
-    let clack_base =
-        RouterHarness::new(&clack).expect("harness").measure(&work).expect("measure").cycles_per_packet;
+    let clack_base = RouterHarness::new(&clack)
+        .expect("harness")
+        .measure(work)
+        .expect("measure")
+        .cycles_per_packet;
     Table2 {
         click_unoptimized: measure_click(None),
         click_optimized: measure_click(Some(ClickOpts::all())),
@@ -304,8 +322,10 @@ pub fn constraint_stats() -> ConstraintStats {
             } else {
                 "context(exports) <= context(imports); context(lock) <= NoContext;"
             };
-            format!("    constraints {{ {c} }};
-")
+            format!(
+                "    constraints {{ {c} }};
+"
+            )
         } else {
             String::new()
         };
@@ -385,7 +405,9 @@ unit DeepLockKernel = {
         let r = build(&p, &t, &opts).expect("builds");
         r.phases
             .iter()
-            .filter(|(n, _)| matches!(*n, "elaborate" | "constraints" | "schedule" | "objcopy" | "generate"))
+            .filter(|(n, _)| {
+                matches!(*n, "elaborate" | "constraints" | "schedule" | "objcopy" | "generate")
+            })
             .map(|(_, d)| d.as_micros())
             .sum()
     };
@@ -408,15 +430,72 @@ unit DeepLockKernel = {
 // §6 build-time breakdown
 // ---------------------------------------------------------------------------
 
+/// One row of the serial / parallel / warm-cache build comparison.
+#[derive(Debug, Clone)]
+pub struct BuildModeRow {
+    /// `"serial"`, `"parallel"`, or `"warm cache"`.
+    pub mode: &'static str,
+    /// `BuildOptions::jobs` used for the build.
+    pub jobs: usize,
+    /// Compile-phase wall-clock (ms).
+    pub compile_ms: f64,
+    /// Whole-pipeline wall-clock (ms).
+    pub total_ms: f64,
+    /// Units that went through the C compiler (cache misses).
+    pub units_compiled: usize,
+    /// Units served from the compile cache.
+    pub cache_hits: usize,
+}
+
+/// Build the modular Clack router three ways — serial cold (`jobs = 1`,
+/// empty cache), parallel cold (`jobs = `[`knit::default_jobs`]` max 2`,
+/// empty cache), and warm (same jobs, through the cache the parallel
+/// build just filled, so every unit should hit) — and report per-mode
+/// timings. Asserts all three images are byte-identical; the speedup of
+/// the parallel row over the serial row is bounded by the machine's core
+/// count (on one core the two rows measure the same work).
+pub fn build_time_modes() -> Vec<BuildModeRow> {
+    let (p, t, opts) = router_build_inputs(&ip_router(), false).expect("router inputs");
+    let compile_ms = |r: &knit::BuildReport| {
+        r.phases
+            .iter()
+            .find(|(n, _)| *n == "compile")
+            .map(|(_, d)| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    };
+    let total_ms =
+        |r: &knit::BuildReport| r.phases.iter().map(|(_, d)| d.as_secs_f64() * 1e3).sum::<f64>();
+    let row = |mode: &'static str, r: &knit::BuildReport| BuildModeRow {
+        mode,
+        jobs: r.jobs,
+        compile_ms: compile_ms(r),
+        total_ms: total_ms(r),
+        units_compiled: r.stats.cache_misses,
+        cache_hits: r.stats.cache_hits,
+    };
+
+    let mut serial_opts = opts.clone();
+    serial_opts.jobs = 1;
+    let serial = build_with_cache(&p, &t, &serial_opts, &BuildCache::new()).expect("serial build");
+
+    let mut par_opts = opts;
+    par_opts.jobs = knit::default_jobs().max(2);
+    let cache = BuildCache::new();
+    let parallel = build_with_cache(&p, &t, &par_opts, &cache).expect("parallel build");
+    let warm = build_with_cache(&p, &t, &par_opts, &cache).expect("warm build");
+
+    assert_eq!(serial.image, parallel.image, "jobs must not change the image");
+    assert_eq!(parallel.image, warm.image, "the cache must not change the image");
+    assert_eq!(warm.stats.cache_misses, 0, "warm rebuild must recompile nothing");
+
+    vec![row("serial", &serial), row("parallel", &parallel), row("warm cache", &warm)]
+}
+
 /// Per-phase build times for a configuration.
 pub fn build_time_breakdown() -> Vec<(String, f64)> {
     let report = build_clack_router(&ip_router(), false).expect("router builds");
     let total: f64 = report.phases.iter().map(|(_, d)| d.as_secs_f64()).sum();
-    report
-        .phases
-        .iter()
-        .map(|(n, d)| (n.to_string(), d.as_secs_f64() / total * 100.0))
-        .collect()
+    report.phases.iter().map(|(n, d)| (n.to_string(), d.as_secs_f64() / total * 100.0)).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,57 @@
+//! Smoke tests for the experiment binaries' underlying harnesses, on tiny
+//! packet workloads so they run inside `cargo test` in seconds. The full
+//! 512-packet runs (and the paper-ordering assertions) live in the crate's
+//! unit tests and in the binaries themselves.
+
+use bench::{
+    build_time_breakdown, build_time_modes, router_workload_sized, table1_with, table2_with,
+};
+
+#[test]
+fn table1_smoke() {
+    let rows = table1_with(&router_workload_sized(32));
+    assert_eq!(rows.len(), 4, "four Clack configurations");
+    for r in &rows {
+        assert!(r.cycles > 0, "row {:?} measured nothing", (r.hand_optimized, r.flattened));
+        assert!(r.text_size > 0);
+    }
+}
+
+#[test]
+fn table2_smoke() {
+    let t = table2_with(&router_workload_sized(32));
+    assert!(t.click_unoptimized > 0);
+    assert!(t.click_optimized > 0);
+    assert!(t.clack_base > 0);
+}
+
+#[test]
+fn build_time_modes_smoke() {
+    // build_time_modes itself asserts byte-identical images across all
+    // three modes and a zero-recompile warm rebuild
+    let rows = build_time_modes();
+    assert_eq!(rows.len(), 3);
+    let (serial, parallel, warm) = (&rows[0], &rows[1], &rows[2]);
+    assert_eq!(serial.mode, "serial");
+    assert_eq!(serial.jobs, 1);
+    assert_eq!(serial.cache_hits, 0);
+    assert_eq!(parallel.mode, "parallel");
+    assert!(parallel.jobs >= 2, "parallel row must exercise the threaded path");
+    assert_eq!(parallel.units_compiled, serial.units_compiled);
+    assert_eq!(warm.mode, "warm cache");
+    assert_eq!(warm.units_compiled, 0, "warm rebuild recompiles nothing");
+    assert_eq!(warm.cache_hits, serial.units_compiled);
+    for r in &rows {
+        assert!(r.compile_ms >= 0.0 && r.total_ms >= r.compile_ms);
+    }
+}
+
+#[test]
+fn build_time_breakdown_smoke() {
+    let phases = build_time_breakdown();
+    let total: f64 = phases.iter().map(|(_, pct)| pct).sum();
+    assert!((total - 100.0).abs() < 1e-6, "percentages sum to 100, got {total}");
+    for name in ["elaborate", "compile", "link"] {
+        assert!(phases.iter().any(|(n, _)| n == name), "phase {name} missing");
+    }
+}

@@ -42,7 +42,8 @@ pub fn generate(graph: &Graph, kernel: &str, flatten: bool) -> Result<Generated,
     }
 
     // --- the compound unit ---
-    unit_text.push_str(&format!("unit {kernel} = {{\n    exports [ router : Router ];\n    link {{\n"));
+    unit_text
+        .push_str(&format!("unit {kernel} = {{\n    exports [ router : Router ];\n    link {{\n"));
     for e in &graph.elems {
         if e.ty.takes_params() {
             unit_text.push_str(&format!("        p_{0} : P_{0};\n", e.name));
@@ -146,11 +147,7 @@ mod tests {
         let gen = generate(&g, "IpRouter", false).unwrap();
         // the generated text must parse as Knit (in context of the element
         // declarations, which define the bundletypes)
-        let combined = format!(
-            "{}\n{}",
-            include_str!("../corpus/elements.unit"),
-            gen.unit_text
-        );
+        let combined = format!("{}\n{}", include_str!("../corpus/elements.unit"), gen.unit_text);
         knit_lang::parse("generated.unit", &combined).expect("generated unit text parses");
     }
 }

@@ -321,11 +321,8 @@ pub fn generate_generic(graph: &Graph) -> Result<Vec<(String, String)>, String> 
     let _ = writeln!(c, "int __net_rx(int dev, char *buf, int max);");
     for e in &graph.elems {
         if e.ty != ElemType::FromDevice {
-            let _ = writeln!(
-                c,
-                "int {}(struct element *self, struct packet *p);",
-                type_push_fn(e.ty)
-            );
+            let _ =
+                writeln!(c, "int {}(struct element *self, struct packet *p);", type_push_fn(e.ty));
         }
     }
     let n = graph.elems.len();
@@ -333,7 +330,12 @@ pub fn generate_generic(graph: &Graph) -> Result<Vec<(String, String)>, String> 
     for (i, e) in graph.elems.iter().enumerate() {
         if !e.params.is_empty() {
             let vals: Vec<String> = e.params.iter().map(|v| v.to_string()).collect();
-            let _ = writeln!(c, "static int params_{i}[{}] = {{ {} }};", e.params.len(), vals.join(", "));
+            let _ = writeln!(
+                c,
+                "static int params_{i}[{}] = {{ {} }};",
+                e.params.len(),
+                vals.join(", ")
+            );
         }
         match e.ty {
             ElemType::FromDevice => {
@@ -405,7 +407,10 @@ pub fn generate_generic(graph: &Graph) -> Result<Vec<(String, String)>, String> 
 }
 
 /// Generate the optimized Click program: one specialized translation unit.
-pub fn generate_optimized(graph: &Graph, opts: &ClickOpts) -> Result<Vec<(String, String)>, String> {
+pub fn generate_optimized(
+    graph: &Graph,
+    opts: &ClickOpts,
+) -> Result<Vec<(String, String)>, String> {
     graph.validate()?;
     let n = graph.elems.len();
 
@@ -430,8 +435,11 @@ pub fn generate_optimized(graph: &Graph, opts: &ClickOpts) -> Result<Vec<(String
     let order = reverse_topo(graph);
 
     let mut c = String::new();
-    let _ = writeln!(c, "/* generated by the Click optimizer: fast_classifier={} specialize={} xform={} */",
-        opts.fast_classifier, opts.specialize, opts.xform);
+    let _ = writeln!(
+        c,
+        "/* generated by the Click optimizer: fast_classifier={} specialize={} xform={} */",
+        opts.fast_classifier, opts.specialize, opts.xform
+    );
     let _ = writeln!(c, "struct packet {{ char *data; int len; }};");
     let _ = writeln!(c, "int __net_poll(int dev);");
     let _ = writeln!(c, "int __net_rx(int dev, char *buf, int max);");
@@ -477,7 +485,8 @@ static int pk_get32(char *p, int off) {{
                 let _ = writeln!(c, "static char qbuf_{nm}[6400]; static int qhead_{nm};");
             }
             ElemType::FromDevice => {
-                let _ = writeln!(c, "static char rxbuf_{nm}[1600]; static struct packet inpkt_{nm};");
+                let _ =
+                    writeln!(c, "static char rxbuf_{nm}[1600]; static struct packet inpkt_{nm};");
             }
             ElemType::Tee => {
                 let _ = writeln!(c, "static char tbuf_{nm}[1600];");
@@ -664,7 +673,10 @@ static int pk_get32(char *p, int off) {{
                 );
             }
             ElemType::Discard => {
-                let _ = writeln!(c, "static int push_{nm}(struct packet *p) {{\n    cnt_{nm}++;\n    return 0;\n}}");
+                let _ = writeln!(
+                    c,
+                    "static int push_{nm}(struct packet *p) {{\n    cnt_{nm}++;\n    return 0;\n}}"
+                );
             }
             ElemType::Tee => {
                 let _ = writeln!(
@@ -713,10 +725,7 @@ static int pk_get32(char *p, int off) {{
             format!("vt_from_{nm}(&inpkt_{nm})")
         };
         if !opts.specialize {
-            let _ = writeln!(
-                c,
-                "    static int once_{nm};\n    if (!once_{nm}) once_{nm} = 1;"
-            );
+            let _ = writeln!(c, "    static int once_{nm};\n    if (!once_{nm}) once_{nm} = 1;");
         }
         let _ = writeln!(c, "    if (__net_poll({dev}) > 0) {{");
         let _ = writeln!(c, "        int len = __net_rx({dev}, rxbuf_{nm}, 1600);");
@@ -783,9 +792,9 @@ fn reverse_topo(graph: &Graph) -> Vec<usize> {
         }
         if !progressed {
             // cycle: emit the rest in index order
-            for i in 0..n {
-                if !emitted[i] {
-                    emitted[i] = true;
+            for (i, e) in emitted.iter_mut().enumerate() {
+                if !*e {
+                    *e = true;
                     order.push(i);
                 }
             }

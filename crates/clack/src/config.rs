@@ -125,7 +125,10 @@ fn parse_class(s: &str) -> Result<(ElemType, Vec<i64>), String> {
 
 fn parse_params(ty: ElemType, args: &[&str]) -> Result<Vec<i64>, String> {
     match ty {
-        ElemType::FromDevice | ElemType::ToDevice | ElemType::Strip | ElemType::Unstrip
+        ElemType::FromDevice
+        | ElemType::ToDevice
+        | ElemType::Strip
+        | ElemType::Unstrip
         | ElemType::Queue => {
             if args.len() != 1 {
                 return Err(format!("{ty:?} takes exactly one integer argument"));
@@ -167,13 +170,11 @@ fn parse_params(ty: ElemType, args: &[&str]) -> Result<Vec<i64>, String> {
                     .split_once('/')
                     .ok_or_else(|| format!("route `{cidr}` is not addr/len"))?;
                 let ip = parse_ipv4(addr)?;
-                let len: u32 =
-                    len.parse().map_err(|_| format!("bad prefix length `{len}`"))?;
+                let len: u32 = len.parse().map_err(|_| format!("bad prefix length `{len}`"))?;
                 if len > 32 {
                     return Err(format!("prefix length {len} out of range"));
                 }
-                let mask: u32 =
-                    if len == 0 { 0 } else { u32::MAX << (32 - len) };
+                let mask: u32 = if len == 0 { 0 } else { u32::MAX << (32 - len) };
                 params.push(ip as i64);
                 params.push(mask as i64);
                 params.push(parse_int(port)?);

@@ -81,7 +81,9 @@ impl ElemType {
     pub fn out_ports(self) -> usize {
         match self {
             ElemType::ToDevice | ElemType::Discard => 0,
-            ElemType::Classifier | ElemType::CheckIPHeader | ElemType::DecIPTTL | ElemType::Tee => 2,
+            ElemType::Classifier | ElemType::CheckIPHeader | ElemType::DecIPTTL | ElemType::Tee => {
+                2
+            }
             ElemType::LookupIPRoute => 3,
             _ => 1,
         }

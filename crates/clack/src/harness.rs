@@ -51,7 +51,11 @@ impl RouterHarness {
 
     /// Build a harness from a raw image whose `router_step` and optional
     /// `click_init` are link-level symbols (the Click baseline path).
-    pub fn from_image(image: Image, init: Option<&str>, entry: &str) -> Result<RouterHarness, Fault> {
+    pub fn from_image(
+        image: Image,
+        init: Option<&str>,
+        entry: &str,
+    ) -> Result<RouterHarness, Fault> {
         let mut machine = Machine::new(image)?;
         if let Some(f) = init {
             machine.call(f, &[])?;

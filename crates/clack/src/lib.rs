@@ -67,9 +67,15 @@ pub fn program() -> Program {
     p
 }
 
-/// Build the modular Clack router for `graph` (24 units for the canonical
-/// config), optionally flattened.
-pub fn build_clack_router(graph: &Graph, flatten: bool) -> Result<BuildReport, KnitError> {
+/// The full build inputs for the modular Clack router: program, source
+/// tree, and default options. Callers that tune parallelism
+/// (`BuildOptions::jobs`) or build through a shared `knit::BuildCache`
+/// (the `bench` harnesses do both) take these and call
+/// `knit::build_with_cache` themselves.
+pub fn router_build_inputs(
+    graph: &Graph,
+    flatten: bool,
+) -> Result<(Program, SourceTree, BuildOptions), KnitError> {
     let kernel = if flatten { "GenRouterFlat" } else { "GenRouter" };
     let generated = clackgen::generate(graph, kernel, flatten)
         .map_err(|e| KnitError::BadDeclaration { unit: kernel.into(), what: e })?;
@@ -77,7 +83,14 @@ pub fn build_clack_router(graph: &Graph, flatten: bool) -> Result<BuildReport, K
     p.load_str("generated.unit", &generated.unit_text)?;
     let mut t = sources();
     clackgen::install(&generated, &mut t);
-    build(&p, &t, &options(kernel))
+    Ok((p, t, options(kernel)))
+}
+
+/// Build the modular Clack router for `graph` (24 units for the canonical
+/// config), optionally flattened.
+pub fn build_clack_router(graph: &Graph, flatten: bool) -> Result<BuildReport, KnitError> {
+    let (p, t, opts) = router_build_inputs(graph, flatten)?;
+    build(&p, &t, &opts)
 }
 
 /// Build the hand-optimized 2-component router, optionally flattened.
@@ -264,8 +277,7 @@ mod tests {
         .expect("tee config parses");
         for opts in [None, Some(crate::click::ClickOpts::all())] {
             let img = crate::click::build_click_router(&g2, opts).expect("click tee builds");
-            let mut hc =
-                RouterHarness::from_image(img, Some("click_init"), "router_step").unwrap();
+            let mut hc = RouterHarness::from_image(img, Some("click_init"), "router_step").unwrap();
             let frame = packets::ip_packet(7, packets::NET0 | 1, 9, &[1, 2, 3, 4]);
             hc.inject(0, frame.clone());
             hc.run_until_idle();

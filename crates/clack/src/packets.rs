@@ -191,10 +191,7 @@ mod tests {
             ..Default::default()
         };
         let w = workload(&opts);
-        let arps = w
-            .iter()
-            .filter(|(_, f)| f[12..14] == ETHERTYPE_ARP.to_be_bytes())
-            .count();
+        let arps = w.iter().filter(|(_, f)| f[12..14] == ETHERTYPE_ARP.to_be_bytes()).count();
         let expired = w.iter().filter(|(_, f)| frame_ttl(f) == Some(1)).count();
         assert!(arps > 10, "arps = {arps}");
         assert!(expired > 10, "expired = {expired}");

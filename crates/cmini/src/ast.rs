@@ -178,12 +178,7 @@ pub enum Stmt {
     /// `do … while` loop.
     DoWhile { body: Box<Stmt>, cond: Expr },
     /// `for` loop. The init clause may be a declaration or expression.
-    For {
-        init: Option<Box<Stmt>>,
-        cond: Option<Expr>,
-        step: Option<Expr>,
-        body: Box<Stmt>,
-    },
+    For { init: Option<Box<Stmt>>, cond: Option<Expr>, step: Option<Expr>, body: Box<Stmt> },
     /// `return`, with optional value.
     Return(Option<Expr>, Span),
     /// `break`.

@@ -76,7 +76,8 @@ impl<'a> Cg<'a> {
                     let defined = f.body.is_some();
                     if let Some(prev) = self.funcs.get(&f.name) {
                         if prev.defined && defined {
-                            return self.terr(f.span, format!("duplicate definition of `{}`", f.name));
+                            return self
+                                .terr(f.span, format!("duplicate definition of `{}`", f.name));
                         }
                     }
                     let entry = FuncSig {
@@ -91,11 +92,13 @@ impl<'a> Cg<'a> {
                     let defined = g.storage != Storage::Extern;
                     if let Some(prev) = self.globals.get(&g.name) {
                         if prev.defined && defined {
-                            return self.terr(g.span, format!("duplicate definition of `{}`", g.name));
+                            return self
+                                .terr(g.span, format!("duplicate definition of `{}`", g.name));
                         }
                     }
                     if self.funcs.contains_key(&g.name) {
-                        return self.terr(g.span, format!("`{}` is both function and variable", g.name));
+                        return self
+                            .terr(g.span, format!("`{}` is both function and variable", g.name));
                     }
                     let entry = GlobalSig {
                         ty: g.ty.clone(),
@@ -167,7 +170,13 @@ impl<'a> Cg<'a> {
             let layout = self.types.layout_at(&g.ty, g.span)?;
             let sym = self.sym_for(&g.name);
             let def = match &g.init {
-                None => DataDef { sym, init: vec![], zeroed: layout.size, relocs: vec![], align: layout.align },
+                None => DataDef {
+                    sym,
+                    init: vec![],
+                    zeroed: layout.size,
+                    relocs: vec![],
+                    align: layout.align,
+                },
                 Some(init) => {
                     let mut buf = vec![0u8; layout.size as usize];
                     let mut relocs = Vec::new();
@@ -220,7 +229,9 @@ impl<'a> Cg<'a> {
             (Type::Struct(name), Init::List(items)) => {
                 let info = match self.types.struct_info(name) {
                     Some(i) => i.clone(),
-                    None => return self.terr(span, format!("struct `{name}` has no definition here")),
+                    None => {
+                        return self.terr(span, format!("struct `{name}` has no definition here"))
+                    }
                 };
                 if items.len() > info.fields.len() {
                     return self.terr(span, "too many initializers for struct");
@@ -237,7 +248,7 @@ impl<'a> Cg<'a> {
 
     fn write_scalar_init(
         &mut self,
-        buf: &mut Vec<u8>,
+        buf: &mut [u8],
         relocs: &mut Vec<DataReloc>,
         at: u64,
         ty: &Type,
@@ -316,9 +327,7 @@ impl<'a> Cg<'a> {
                 let v = self.const_eval(expr)?;
                 Some(if matches!(ty, Type::Char) { v & 0xff } else { v })
             }
-            ExprKind::SizeofType(t) => {
-                self.types.layout_at(t, e.span).ok().map(|l| l.size as i64)
-            }
+            ExprKind::SizeofType(t) => self.types.layout_at(t, e.span).ok().map(|l| l.size as i64),
             _ => None,
         }
     }
@@ -518,7 +527,10 @@ impl<'a, 'b> FnCg<'a, 'b> {
     fn prologue(&mut self) -> Result<(), CError> {
         for (i, (name, ty)) in self.f.params.iter().enumerate() {
             if !ty.is_scalar() {
-                return self.terr(self.f.span, format!("parameter `{name}` must be scalar (pass aggregates by pointer)"));
+                return self.terr(
+                    self.f.span,
+                    format!("parameter `{name}` must be scalar (pass aggregates by pointer)"),
+                );
             }
             if self.addr_taken.contains(name) {
                 let offset = self.alloc_slot(ty, self.f.span)?;
@@ -589,12 +601,20 @@ impl<'a, 'b> FnCg<'a, 'b> {
                             }
                         }
                         if !ty.is_scalar() {
-                            return self.terr(*span, "aggregate locals cannot have expression initializers");
+                            return self.terr(
+                                *span,
+                                "aggregate locals cannot have expression initializers",
+                            );
                         }
                         let (v, _) = self.rvalue(e)?;
                         let addr = self.reg();
                         self.emit(Instr::FrameAddr { dst: addr, offset });
-                        self.emit(Instr::Store { addr, offset: 0, src: v, width: TypeTable::width_of(ty) });
+                        self.emit(Instr::Store {
+                            addr,
+                            offset: 0,
+                            src: v,
+                            width: TypeTable::width_of(ty),
+                        });
                     }
                 } else {
                     let r = self.reg();
@@ -907,7 +927,12 @@ impl<'a, 'b> FnCg<'a, 'b> {
                         let a = self.reg();
                         let r = self.reg();
                         self.emit(Instr::FrameAddr { dst: a, offset });
-                        self.emit(Instr::Load { dst: r, addr: a, offset: 0, width: TypeTable::width_of(&ty) });
+                        self.emit(Instr::Load {
+                            dst: r,
+                            addr: a,
+                            offset: 0,
+                            width: TypeTable::width_of(&ty),
+                        });
                         Ok((r, ty))
                     }
                 },
@@ -928,7 +953,12 @@ impl<'a, 'b> FnCg<'a, 'b> {
                 Type::Struct(_) => Ok((a, g.ty.clone())),
                 _ => {
                     let r = self.reg();
-                    self.emit(Instr::Load { dst: r, addr: a, offset: 0, width: TypeTable::width_of(&g.ty) });
+                    self.emit(Instr::Load {
+                        dst: r,
+                        addr: a,
+                        offset: 0,
+                        width: TypeTable::width_of(&g.ty),
+                    });
                     Ok((r, g.ty.clone()))
                 }
             };
@@ -936,7 +966,12 @@ impl<'a, 'b> FnCg<'a, 'b> {
         self.terr(span, format!("unknown identifier `{name}`"))
     }
 
-    fn short_circuit(&mut self, lhs: &Expr, rhs: &Expr, is_and: bool) -> Result<(u32, Type), CError> {
+    fn short_circuit(
+        &mut self,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+    ) -> Result<(u32, Type), CError> {
         let out = self.reg();
         let rhs_l = self.new_label();
         let short_l = self.new_label();
@@ -960,7 +995,13 @@ impl<'a, 'b> FnCg<'a, 'b> {
         Ok((out, Type::Int))
     }
 
-    fn binop(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr, span: Span) -> Result<(u32, Type), CError> {
+    fn binop(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        span: Span,
+    ) -> Result<(u32, Type), CError> {
         let (a, at) = self.rvalue(lhs)?;
         let (b, bt) = self.rvalue(rhs)?;
         let ir = ast_to_ir_bin(op).expect("short-circuit handled elsewhere");
@@ -1040,12 +1081,11 @@ impl<'a, 'b> FnCg<'a, 'b> {
             Some(op) => {
                 let (old, _) = self.load_lv(self.clone_lv(&lv), ty.clone(), span)?;
                 let (r, rt) = self.rvalue(rhs)?;
-                let ir = ast_to_ir_bin(op)
-                    .ok_or_else(|| CError::Type {
-                        file: self.cg.tu.file.clone(),
-                        span,
-                        msg: "&&= / ||= are not valid".into(),
-                    })?;
+                let ir = ast_to_ir_bin(op).ok_or_else(|| CError::Type {
+                    file: self.cg.tu.file.clone(),
+                    span,
+                    msg: "&&= / ||= are not valid".into(),
+                })?;
                 // pointer += int scaling
                 let r = match (&ty, &rt) {
                     (Type::Ptr(p), _) if matches!(op, BinOp::Add | BinOp::Sub) => {
@@ -1102,7 +1142,8 @@ impl<'a, 'b> FnCg<'a, 'b> {
                 let sym = self.cg.sym_for(name);
                 let out = self.reg();
                 self.emit(Instr::Call { dst: Some(out), target: sym, args: argv });
-                let ret = if matches!(sig.ty.ret, Type::Void) { Type::Int } else { sig.ty.ret.clone() };
+                let ret =
+                    if matches!(sig.ty.ret, Type::Void) { Type::Int } else { sig.ty.ret.clone() };
                 return Ok((out, ret));
             }
         }
@@ -1115,7 +1156,10 @@ impl<'a, 'b> FnCg<'a, 'b> {
                     if args.len() < want || (!sig.varargs && args.len() > want) {
                         return self.terr(
                             span,
-                            format!("function pointer expects {want} argument(s), got {}", args.len()),
+                            format!(
+                                "function pointer expects {want} argument(s), got {}",
+                                args.len()
+                            ),
                         );
                     }
                     sig.ret.clone()
@@ -1268,7 +1312,8 @@ impl<'a, 'b> FnCg<'a, 'b> {
                 let (fty, foff) = match self.cg.types.field(&sname, field) {
                     Some((t, o)) => (t.clone(), o),
                     None => {
-                        return self.terr(e.span, format!("struct `{sname}` has no field `{field}`"))
+                        return self
+                            .terr(e.span, format!("struct `{sname}` has no field `{field}`"))
                     }
                 };
                 Ok((Lv::Mem { addr, offset: offset + foff as i64 }, fty))
@@ -1281,7 +1326,10 @@ impl<'a, 'b> FnCg<'a, 'b> {
     /// Best-effort static type of an expression (for `sizeof expr`).
     fn type_of(&mut self, e: &Expr) -> Result<Type, CError> {
         Ok(match &e.kind {
-            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::SizeofExpr(_) | ExprKind::SizeofType(_) => Type::Int,
+            ExprKind::IntLit(_)
+            | ExprKind::CharLit(_)
+            | ExprKind::SizeofExpr(_)
+            | ExprKind::SizeofType(_) => Type::Int,
             ExprKind::StrLit(s) => Type::Array(Box::new(Type::Char), s.len() as u64 + 1),
             ExprKind::Ident(name) => {
                 if let Some(l) = self.lookup_local(name) {
@@ -1350,11 +1398,7 @@ impl<'a, 'b> FnCg<'a, 'b> {
 fn collect_addr_taken_stmt(s: &Stmt, out: &mut BTreeSet<String>) {
     match s {
         Stmt::Expr(e) => collect_addr_taken_expr(e, out),
-        Stmt::Decl { init, .. } => {
-            if let Some(e) = init {
-                collect_addr_taken_expr(e, out);
-            }
-        }
+        Stmt::Decl { init: Some(e), .. } => collect_addr_taken_expr(e, out),
         Stmt::If { cond, then_s, else_s } => {
             collect_addr_taken_expr(cond, out);
             collect_addr_taken_stmt(then_s, out);

@@ -114,6 +114,18 @@ pub fn frontend(
     parser::parse(file, &expanded)
 }
 
+/// Parse an *already preprocessed* source into an AST. The Knit driver
+/// preprocesses each file once to content-hash it for its compile cache,
+/// then hands the expanded text here on a cache miss — the same text
+/// [`frontend`] would have produced, without preprocessing twice.
+///
+/// Like every entry point in this crate, this is a pure function of its
+/// arguments (no global or thread-local state anywhere in `cmini`), so
+/// callers may invoke it from many threads at once.
+pub fn frontend_expanded(file: &str, expanded: &str) -> Result<ast::TranslationUnit, CError> {
+    parser::parse(file, expanded)
+}
+
 /// Optimize (per `opts.opt`) and generate code for an already-parsed
 /// translation unit.
 pub fn backend(mut tu: ast::TranslationUnit, opts: &CompileOptions) -> Result<ObjectFile, CError> {

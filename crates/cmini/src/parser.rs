@@ -200,7 +200,8 @@ impl Parser {
             if *self.peek() == Tok::LParen && *self.peek2() == Tok::Star {
                 self.bump();
                 self.bump();
-                let name = if let Tok::Ident(_) = self.peek() { self.ident()? } else { String::new() };
+                let name =
+                    if let Tok::Ident(_) = self.peek() { self.ident()? } else { String::new() };
                 self.expect(Tok::RParen)?;
                 self.expect(Tok::LParen)?;
                 let (ps, va) = self.param_types()?;
@@ -208,13 +209,16 @@ impl Parser {
                 let fnty = Type::Func(Box::new(FuncType { ret: t, params: ps, varargs: va }));
                 out.push((name, fnty.ptr()));
             } else {
-                let name = if let Tok::Ident(_) = self.peek() { self.ident()? } else { String::new() };
+                let name =
+                    if let Tok::Ident(_) = self.peek() { self.ident()? } else { String::new() };
                 // array params decay to pointers
                 while self.eat(Tok::LBracket) {
                     if !self.eat(Tok::RBracket) {
                         match self.bump() {
                             Tok::Int(_) => {}
-                            other => return self.err(format!("expected array size, found {other}")),
+                            other => {
+                                return self.err(format!("expected array size, found {other}"))
+                            }
                         }
                         self.expect(Tok::RBracket)?;
                     }
@@ -277,7 +281,11 @@ impl Parser {
         if let Type::Struct(name) = &base {
             if *self.peek() == Tok::Semi {
                 self.bump();
-                return Ok(Item::Struct(StructDef { name: clone_name(name), fields: vec![], span }));
+                return Ok(Item::Struct(StructDef {
+                    name: clone_name(name),
+                    fields: vec![],
+                    span,
+                }));
             }
         }
         let mut t = base;
@@ -625,7 +633,9 @@ impl Parser {
                                 return self.err("__vararg takes exactly one argument");
                             }
                             e = Expr::new(
-                                ExprKind::VarArg(Box::new(args.into_iter().next().expect("one arg"))),
+                                ExprKind::VarArg(Box::new(
+                                    args.into_iter().next().expect("one arg"),
+                                )),
                                 span,
                             );
                             continue;
@@ -637,25 +647,40 @@ impl Parser {
                     self.bump();
                     let idx = self.expr()?;
                     self.expect(Tok::RBracket)?;
-                    e = Expr::new(ExprKind::Index { base: Box::new(e), index: Box::new(idx) }, span);
+                    e = Expr::new(
+                        ExprKind::Index { base: Box::new(e), index: Box::new(idx) },
+                        span,
+                    );
                 }
                 Tok::Dot => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field: f, arrow: false }, span);
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field: f, arrow: false },
+                        span,
+                    );
                 }
                 Tok::Arrow => {
                     self.bump();
                     let f = self.ident()?;
-                    e = Expr::new(ExprKind::Member { base: Box::new(e), field: f, arrow: true }, span);
+                    e = Expr::new(
+                        ExprKind::Member { base: Box::new(e), field: f, arrow: true },
+                        span,
+                    );
                 }
                 Tok::PlusPlus => {
                     self.bump();
-                    e = Expr::new(ExprKind::IncDec { pre: false, inc: true, expr: Box::new(e) }, span);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: true, expr: Box::new(e) },
+                        span,
+                    );
                 }
                 Tok::MinusMinus => {
                     self.bump();
-                    e = Expr::new(ExprKind::IncDec { pre: false, inc: false, expr: Box::new(e) }, span);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: false, expr: Box::new(e) },
+                        span,
+                    );
                 }
                 _ => break,
             }
@@ -773,13 +798,17 @@ mod tests {
         let tu = parse("t.c", src).unwrap();
         match &tu.items[0] {
             Item::Struct(s) => {
-                assert!(matches!(&s.fields[0].1, Type::Ptr(inner) if matches!(**inner, Type::Func(_))));
+                assert!(
+                    matches!(&s.fields[0].1, Type::Ptr(inner) if matches!(**inner, Type::Func(_)))
+                );
             }
             _ => panic!(),
         }
         match &tu.items[1] {
             Item::Func(f) => {
-                assert!(matches!(&f.params[0].1, Type::Ptr(inner) if matches!(**inner, Type::Func(_))));
+                assert!(
+                    matches!(&f.params[0].1, Type::Ptr(inner) if matches!(**inner, Type::Func(_)))
+                );
             }
             _ => panic!(),
         }
@@ -835,7 +864,9 @@ mod tests {
         match &tu.items[1] {
             Item::Func(f) => {
                 let body = f.body.as_ref().unwrap();
-                assert!(matches!(&body[0], Stmt::Return(Some(e), _) if matches!(e.kind, ExprKind::VarArg(_))));
+                assert!(
+                    matches!(&body[0], Stmt::Return(Some(e), _) if matches!(e.kind, ExprKind::VarArg(_)))
+                );
             }
             _ => panic!(),
         }

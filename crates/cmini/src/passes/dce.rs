@@ -90,11 +90,8 @@ mod tests {
 
     #[test]
     fn cleans_nested_blocks() {
-        let mut tu = parse(
-            "t.c",
-            "int f(int x) { while (x) { break; x = x - 1; } return x; }",
-        )
-        .unwrap();
+        let mut tu =
+            parse("t.c", "int f(int x) { while (x) { break; x = x - 1; } return x; }").unwrap();
         dce_tu(&mut tu);
         let f = tu.find_func("f").unwrap();
         match &f.body.as_ref().unwrap()[0] {

@@ -18,11 +18,7 @@ pub fn fold_tu(tu: &mut TranslationUnit) {
 fn fold_stmt(s: &mut Stmt) {
     match s {
         Stmt::Expr(e) => fold_expr(e),
-        Stmt::Decl { init, .. } => {
-            if let Some(e) = init {
-                fold_expr(e);
-            }
-        }
+        Stmt::Decl { init: Some(e), .. } => fold_expr(e),
         Stmt::If { cond, then_s, else_s } => {
             fold_expr(cond);
             fold_stmt(then_s);
@@ -124,7 +120,12 @@ pub fn fold_expr(e: &mut Expr) {
             // algebraic identities: x+0, x*1, x*0 (rhs only; lhs may have
             // side effects worth keeping even though pure here — we only
             // simplify when the *other* side is untouched)
-            (None, Some(0)) if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr) => {
+            (None, Some(0))
+                if matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+                ) =>
+            {
                 let kept = lhs.as_ref().clone();
                 e.kind = kept.kind;
                 return;

@@ -44,9 +44,7 @@ pub fn inline_tu(tu: &mut TranslationUnit, budget: usize) -> usize {
     let mut fresh = 0usize;
     for i in 0..tu.items.len() {
         let (name, mut body) = match &tu.items[i] {
-            Item::Func(f) if f.body.is_some() => {
-                (f.name.clone(), f.body.clone().expect("body"))
-            }
+            Item::Func(f) if f.body.is_some() => (f.name.clone(), f.body.clone().expect("body")),
             _ => continue,
         };
         // A few rounds so newly exposed calls get a chance.
@@ -273,10 +271,8 @@ fn scan_expr_top(e: &Expr, funcs: &BTreeSet<String>, out: &mut BTreeSet<String>)
 /// name does NOT count as address-taken.
 fn scan_expr(e: &Expr, funcs: &BTreeSet<String>, out: &mut BTreeSet<String>, in_call_callee: bool) {
     match &e.kind {
-        ExprKind::Ident(n) => {
-            if !in_call_callee && funcs.contains(n) {
-                out.insert(n.clone());
-            }
+        ExprKind::Ident(n) if !in_call_callee && funcs.contains(n) => {
+            out.insert(n.clone());
         }
         ExprKind::Call { callee, args } => {
             scan_expr(callee, funcs, out, true);
@@ -459,13 +455,14 @@ impl<'a> InlineCtx<'a> {
             Stmt::Decl { name: var, ty, init: Some(e), span } => {
                 let (fname, args, _) = as_direct_call(e)?;
                 let callee = self.candidate(fname, args.len())?;
-                let mut out = vec![Stmt::Decl {
-                    name: var.clone(),
-                    ty: ty.clone(),
-                    init: None,
-                    span: *span,
-                }];
-                out.extend(self.splice(callee, args, *span, Consumer::AssignTo(var.clone(), *span)));
+                let mut out =
+                    vec![Stmt::Decl { name: var.clone(), ty: ty.clone(), init: None, span: *span }];
+                out.extend(self.splice(
+                    callee,
+                    args,
+                    *span,
+                    Consumer::AssignTo(var.clone(), *span),
+                ));
                 Some(out)
             }
             _ => None,
@@ -501,7 +498,13 @@ impl<'a> InlineCtx<'a> {
     }
 
     /// Build the replacement statements for one inlined call.
-    fn splice(&mut self, callee: &FuncDef, args: &[Expr], span: Span, consumer: Consumer) -> Vec<Stmt> {
+    fn splice(
+        &mut self,
+        callee: &FuncDef,
+        args: &[Expr],
+        span: Span,
+        consumer: Consumer,
+    ) -> Vec<Stmt> {
         let k = *self.fresh;
         *self.fresh += 1;
         let body = callee.body.as_ref().expect("candidate has body");
@@ -530,7 +533,8 @@ impl<'a> InlineCtx<'a> {
         // result variable
         let needs_ret = !matches!(consumer, Consumer::Discard);
         if needs_ret {
-            let ret_ty = if matches!(callee.ret, Type::Void) { Type::Int } else { callee.ret.clone() };
+            let ret_ty =
+                if matches!(callee.ret, Type::Void) { Type::Int } else { callee.ret.clone() };
             out.push(Stmt::Decl {
                 name: ret_name.clone(),
                 ty: ret_ty,
@@ -574,8 +578,7 @@ impl<'a> InlineCtx<'a> {
                     Some(chained) => inner = chained,
                     None => {
                         let done_name = format!("__inl{k}_done");
-                        let guarded =
-                            guard_stmts(&inner, &done_name, &ret_name, needs_ret, span);
+                        let guarded = guard_stmts(&inner, &done_name, &ret_name, needs_ret, span);
                         inner = vec![Stmt::Decl {
                             name: done_name,
                             ty: Type::Int,
@@ -786,7 +789,8 @@ fn chain_stmts(ss: &[Stmt], ret: &str, need_value: bool) -> Option<Vec<Stmt>> {
                 let rest = &ss[i + 1..];
                 match else_s {
                     None if always_returns(then_s) => {
-                        let t = chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
+                        let t =
+                            chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
                         let r = chain_stmts(rest, ret, need_value)?;
                         out.push(Stmt::If {
                             cond: cond.clone(),
@@ -796,7 +800,8 @@ fn chain_stmts(ss: &[Stmt], ret: &str, need_value: bool) -> Option<Vec<Stmt>> {
                         return Some(out);
                     }
                     Some(e) if always_returns(then_s) && always_returns(e) => {
-                        let t = chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
+                        let t =
+                            chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
                         let el = chain_stmts(std::slice::from_ref(e.as_ref()), ret, need_value)?;
                         out.push(Stmt::If {
                             cond: cond.clone(),
@@ -806,7 +811,8 @@ fn chain_stmts(ss: &[Stmt], ret: &str, need_value: bool) -> Option<Vec<Stmt>> {
                         return Some(out); // rest unreachable
                     }
                     Some(e) if always_returns(then_s) && !has_return(e) => {
-                        let t = chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
+                        let t =
+                            chain_stmts(std::slice::from_ref(then_s.as_ref()), ret, need_value)?;
                         let mut tail: Vec<Stmt> = vec![e.as_ref().clone()];
                         tail.extend_from_slice(rest);
                         let r = chain_stmts(&tail, ret, need_value)?;
@@ -996,14 +1002,12 @@ fn rename_stmt(s: &Stmt, map: &BTreeMap<String, String>) -> Stmt {
             then_s: Box::new(rename_stmt(then_s, map)),
             else_s: else_s.as_ref().map(|e| Box::new(rename_stmt(e, map))),
         },
-        Stmt::While { cond, body } => Stmt::While {
-            cond: rename_expr(cond, map),
-            body: Box::new(rename_stmt(body, map)),
-        },
-        Stmt::DoWhile { body, cond } => Stmt::DoWhile {
-            body: Box::new(rename_stmt(body, map)),
-            cond: rename_expr(cond, map),
-        },
+        Stmt::While { cond, body } => {
+            Stmt::While { cond: rename_expr(cond, map), body: Box::new(rename_stmt(body, map)) }
+        }
+        Stmt::DoWhile { body, cond } => {
+            Stmt::DoWhile { body: Box::new(rename_stmt(body, map)), cond: rename_expr(cond, map) }
+        }
         Stmt::For { init, cond, step, body } => Stmt::For {
             init: init.as_ref().map(|i| Box::new(rename_stmt(i, map))),
             cond: cond.as_ref().map(|c| rename_expr(c, map)),
@@ -1020,9 +1024,7 @@ fn rename_stmt(s: &Stmt, map: &BTreeMap<String, String>) -> Stmt {
 
 fn rename_expr(e: &Expr, map: &BTreeMap<String, String>) -> Expr {
     let kind = match &e.kind {
-        ExprKind::Ident(n) => {
-            ExprKind::Ident(map.get(n).cloned().unwrap_or_else(|| n.clone()))
-        }
+        ExprKind::Ident(n) => ExprKind::Ident(map.get(n).cloned().unwrap_or_else(|| n.clone())),
         ExprKind::Bin { op, lhs, rhs } => ExprKind::Bin {
             op: *op,
             lhs: Box::new(rename_expr(lhs, map)),
@@ -1152,7 +1154,8 @@ mod tests {
 
     #[test]
     fn single_call_site_waives_budget_and_removes_dead_static() {
-        let big = "static int big(int x) { x = x + 1; x = x + 1; x = x + 1; x = x + 1; return x; }\n\
+        let big =
+            "static int big(int x) { x = x + 1; x = x + 1; x = x + 1; x = x + 1; return x; }\n\
                    int f(int y) { return big(y); }";
         let (tu, n) = run(big, 2);
         assert_eq!(n, 1);

@@ -14,7 +14,7 @@
 //!   optimizing compilers to do the rest".
 
 pub mod dce;
-pub mod hoist;
 pub mod fold;
+pub mod hoist;
 pub mod inline;
 pub mod vn;

@@ -46,7 +46,10 @@ enum Key {
 }
 
 fn commutative(op: BinOp) -> bool {
-    matches!(op, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne)
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+    )
 }
 
 /// Block leader set: instruction indices that start a basic block.
@@ -70,10 +73,8 @@ fn leaders(body: &[Instr]) -> Vec<bool> {
                     l[i + 1] = true;
                 }
             }
-            Instr::Ret { .. } => {
-                if i + 1 < l.len() {
-                    l[i + 1] = true;
-                }
+            Instr::Ret { .. } if i + 1 < l.len() => {
+                l[i + 1] = true;
             }
             _ => {}
         }
@@ -92,7 +93,12 @@ struct VnState {
 
 impl VnState {
     fn new() -> Self {
-        VnState { next_vn: 0, reg_vn: HashMap::new(), expr_vn: HashMap::new(), const_of: HashMap::new() }
+        VnState {
+            next_vn: 0,
+            reg_vn: HashMap::new(),
+            expr_vn: HashMap::new(),
+            const_of: HashMap::new(),
+        }
     }
 
     fn fresh(&mut self) -> u32 {
@@ -161,7 +167,10 @@ fn value_number(f: &mut FuncDef) -> bool {
     // target leader); only useful when the edge source was already
     // processed (forward edges).
     let mut edge_state: HashMap<usize, VnState> = HashMap::new();
-    let capture = |target: usize, st: &VnState, edge_state: &mut HashMap<usize, VnState>, in_edges: &HashMap<usize, usize>| {
+    let capture = |target: usize,
+                   st: &VnState,
+                   edge_state: &mut HashMap<usize, VnState>,
+                   in_edges: &HashMap<usize, usize>| {
         if in_edges.get(&target).copied().unwrap_or(0) == 1 {
             edge_state.insert(target, st.clone());
         }
@@ -194,7 +203,9 @@ fn value_number(f: &mut FuncDef) -> bool {
             Instr::Bin { op, dst, a, b } => {
                 let (mut va, mut vb) = (st.vn_of(a), st.vn_of(b));
                 // constant fold at IR level
-                if let (Some(ca), Some(cb)) = (st.const_of.get(&va).copied(), st.const_of.get(&vb).copied()) {
+                if let (Some(ca), Some(cb)) =
+                    (st.const_of.get(&va).copied(), st.const_of.get(&vb).copied())
+                {
                     if let Some(v) = op.eval(ca, cb) {
                         f.body[i] = Instr::Const { dst, value: v };
                         let key = Key::Const(v);
@@ -356,8 +367,8 @@ fn dead_code(f: &mut FuncDef) -> bool {
     }
 
     let mut removed = false;
-    for i in 0..n {
-        let pure_dst = match &f.body[i] {
+    for (ins, live_after) in f.body.iter_mut().zip(&live) {
+        let pure_dst = match &*ins {
             Instr::Const { dst, .. }
             | Instr::Mov { dst, .. }
             | Instr::Un { dst, .. }
@@ -369,8 +380,8 @@ fn dead_code(f: &mut FuncDef) -> bool {
             _ => None,
         };
         if let Some(d) = pure_dst {
-            if (d as usize) < nregs && !live[i][d as usize] {
-                f.body[i] = Instr::Nop;
+            if (d as usize) < nregs && !live_after[d as usize] {
+                *ins = Instr::Nop;
                 removed = true;
             }
         }
@@ -392,15 +403,15 @@ fn live_in(ins: &Instr, live_out: &[bool], nregs: usize) -> Vec<bool> {
         | Instr::Load { dst, .. }
         | Instr::Addr { dst, .. }
         | Instr::FrameAddr { dst, .. }
-        | Instr::VarArg { dst, .. } => {
-            if (*dst as usize) < nregs {
-                l[*dst as usize] = false;
-            }
+        | Instr::VarArg { dst, .. }
+            if (*dst as usize) < nregs =>
+        {
+            l[*dst as usize] = false;
         }
-        Instr::Call { dst: Some(d), .. } | Instr::CallInd { dst: Some(d), .. } => {
-            if (*d as usize) < nregs {
-                l[*d as usize] = false;
-            }
+        Instr::Call { dst: Some(d), .. } | Instr::CallInd { dst: Some(d), .. }
+            if (*d as usize) < nregs =>
+        {
+            l[*d as usize] = false;
         }
         _ => {}
     }
@@ -446,16 +457,15 @@ fn compact(f: &mut FuncDef) {
     let n = f.body.len();
     let mut new_index = vec![0usize; n + 1];
     let mut kept = 0usize;
-    for i in 0..n {
+    for (i, ins) in f.body.iter().enumerate() {
         new_index[i] = kept;
-        if !matches!(f.body[i], Instr::Nop) {
+        if !matches!(ins, Instr::Nop) {
             kept += 1;
         }
     }
     new_index[n] = kept;
     let old = std::mem::take(&mut f.body);
-    for (i, mut ins) in old.into_iter().enumerate() {
-        let _ = i;
+    for mut ins in old {
         if matches!(ins, Instr::Nop) {
             continue;
         }
@@ -615,11 +625,7 @@ mod tests {
             3,
         );
         optimize_func(&mut f);
-        assert!(
-            !f.body.iter().any(|i| matches!(i, Instr::Branch { .. })),
-            "body: {:?}",
-            f.body
-        );
+        assert!(!f.body.iter().any(|i| matches!(i, Instr::Branch { .. })), "body: {:?}", f.body);
         assert!(wrap(f).validate().is_ok());
     }
 
@@ -672,13 +678,13 @@ mod tests {
         // load inside the loop must not be satisfied by the preheader load.
         let mut f = func(
             vec![
-                Instr::Load { dst: 1, addr: 0, offset: 0, width: Width::W8 },  // 0 preheader
-                Instr::Load { dst: 2, addr: 0, offset: 0, width: Width::W8 },  // 1 loop head (2 preds)
-                Instr::Bin { op: BinOp::Add, dst: 2, a: 2, b: 2 },              // 2
+                Instr::Load { dst: 1, addr: 0, offset: 0, width: Width::W8 }, // 0 preheader
+                Instr::Load { dst: 2, addr: 0, offset: 0, width: Width::W8 }, // 1 loop head (2 preds)
+                Instr::Bin { op: BinOp::Add, dst: 2, a: 2, b: 2 },            // 2
                 Instr::Store { addr: 0, offset: 0, src: 2, width: Width::W8 }, // 3
-                Instr::Bin { op: BinOp::Lt, dst: 2, a: 2, b: 1 },               // 4
-                Instr::Branch { cond: 2, then_to: 1, else_to: 6 },              // 5
-                Instr::Ret { value: Some(1) },                                  // 6
+                Instr::Bin { op: BinOp::Lt, dst: 2, a: 2, b: 1 },             // 4
+                Instr::Branch { cond: 2, then_to: 1, else_to: 6 },            // 5
+                Instr::Ret { value: Some(1) },                                // 6
             ],
             1,
             3,

@@ -98,8 +98,8 @@ fn expand(
                         return Err(err(lineno, format!("circular #include of \"{path}\"")));
                     }
                     let mut found = None;
-                    let bare_first = std::iter::once(String::new())
-                        .chain(opts.include_dirs.iter().cloned());
+                    let bare_first =
+                        std::iter::once(String::new()).chain(opts.include_dirs.iter().cloned());
                     for dir in bare_first {
                         let cand = if dir.is_empty() {
                             path.to_string()
@@ -320,12 +320,9 @@ mod tests {
 
     #[test]
     fn predefines_from_options() {
-        let opts = PpOptions {
-            include_dirs: vec![],
-            defines: vec![("DEBUG".into(), "1".into())],
-        };
-        let out = preprocess("t.c", "#ifdef DEBUG\nint dbg = DEBUG;\n#endif\n", &opts, &NoFiles)
-            .unwrap();
+        let opts = PpOptions { include_dirs: vec![], defines: vec![("DEBUG".into(), "1".into())] };
+        let out =
+            preprocess("t.c", "#ifdef DEBUG\nint dbg = DEBUG;\n#endif\n", &opts, &NoFiles).unwrap();
         assert_eq!(out, "int dbg = 1;\n");
     }
 

@@ -30,7 +30,12 @@ pub fn print_tu(tu: &TranslationUnit) -> String {
                 let storage = storage_prefix(g.storage);
                 match &g.init {
                     Some(init) => {
-                        let _ = writeln!(out, "{storage}{} = {};", decl(&g.ty, &g.name), init_str(init));
+                        let _ = writeln!(
+                            out,
+                            "{storage}{} = {};",
+                            decl(&g.ty, &g.name),
+                            init_str(init)
+                        );
                     }
                     None => {
                         let _ = writeln!(out, "{storage}{};", decl(&g.ty, &g.name));
@@ -38,12 +43,12 @@ pub fn print_tu(tu: &TranslationUnit) -> String {
                 }
             }
             Item::Func(f) => {
-                let storage = storage_prefix(if f.body.is_some() { f.storage } else { Storage::Public });
+                let storage =
+                    storage_prefix(if f.body.is_some() { f.storage } else { Storage::Public });
                 let params = if f.params.is_empty() && !f.varargs {
                     String::new()
                 } else {
-                    let mut ps: Vec<String> =
-                        f.params.iter().map(|(n, t)| decl(t, n)).collect();
+                    let mut ps: Vec<String> = f.params.iter().map(|(n, t)| decl(t, n)).collect();
                     if f.varargs {
                         ps.push("...".to_string());
                     }

@@ -306,8 +306,9 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CError> {
                 if i >= b.len() {
                     return Err(err(span.line, span.col, "unterminated escape".into()));
                 }
-                let e = unescape(b[i])
-                    .ok_or_else(|| err(span.line, span.col, format!("bad escape `\\{}`", b[i] as char)))?;
+                let e = unescape(b[i]).ok_or_else(|| {
+                    err(span.line, span.col, format!("bad escape `\\{}`", b[i] as char))
+                })?;
                 bump!();
                 e
             } else {
@@ -358,8 +359,9 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CError> {
         // operators & punctuation (longest match first)
         let rest = &b[i..];
         let two = |a: u8, b2: u8| rest.len() >= 2 && rest[0] == a && rest[1] == b2;
-        let three =
-            |a: u8, b2: u8, c2: u8| rest.len() >= 3 && rest[0] == a && rest[1] == b2 && rest[2] == c2;
+        let three = |a: u8, b2: u8, c2: u8| {
+            rest.len() >= 3 && rest[0] == a && rest[1] == b2 && rest[2] == c2
+        };
         let (tok, n) = if three(b'.', b'.', b'.') {
             (Tok::Ellipsis, 3)
         } else if three(b'<', b'<', b'=') {
@@ -431,7 +433,11 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, CError> {
                 b'<' => Tok::Lt,
                 b'>' => Tok::Gt,
                 _ => {
-                    return Err(err(span.line, span.col, format!("unexpected character `{}`", c as char)))
+                    return Err(err(
+                        span.line,
+                        span.col,
+                        format!("unexpected character `{}`", c as char),
+                    ))
                 }
             };
             (t, 1)

@@ -101,12 +101,7 @@ impl TypeTable {
 
     /// Field type and offset within a struct.
     pub fn field(&self, sname: &str, fname: &str) -> Option<(&Type, u64)> {
-        self.structs
-            .get(sname)?
-            .fields
-            .iter()
-            .find(|(n, _, _)| n == fname)
-            .map(|(_, t, o)| (t, *o))
+        self.structs.get(sname)?.fields.iter().find(|(n, _, _)| n == fname).map(|(_, t, o)| (t, *o))
     }
 
     /// The memory access width for loads/stores of a scalar type.

@@ -59,24 +59,25 @@ fn short_circuit_skips_side_effects() {
 #[test]
 fn loops() {
     assert_eq!(
-        run("int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }", "f", &[100]),
+        run(
+            "int f(int n) { int s = 0; for (int i = 1; i <= n; i++) s += i; return s; }",
+            "f",
+            &[100]
+        ),
         5050
     );
     assert_eq!(
         run("int f(int n) { int s = 0; while (n) { s += n; n--; } return s; }", "f", &[10]),
         55
     );
-    assert_eq!(
-        run("int f() { int i = 0; do { i++; } while (i < 5); return i; }", "f", &[]),
-        5
-    );
+    assert_eq!(run("int f() { int i = 0; do { i++; } while (i < 5); return i; }", "f", &[]), 5);
     assert_eq!(
         run(
             "int f() { int s = 0; for (int i = 0; i < 10; i++) { if (i == 3) continue; if (i == 7) break; s += i; } return s; }",
             "f",
             &[]
         ),
-        0 + 1 + 2 + 4 + 5 + 6
+        1 + 2 + 4 + 5 + 6
     );
 }
 
@@ -106,7 +107,7 @@ fn pointers_and_arrays() {
             return sum(buf, 5);
         }
     "#;
-    assert_eq!(run(src, "f", &[]), 0 + 1 + 4 + 9 + 16);
+    assert_eq!(run(src, "f", &[]), 1 + 4 + 9 + 16);
 }
 
 #[test]

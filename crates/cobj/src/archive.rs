@@ -51,13 +51,19 @@ impl Archive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::object::{FuncDef, Symbol};
     use crate::ir::Instr;
+    use crate::object::{FuncDef, Symbol};
 
     fn tiny(name: &str, sym: &str) -> ObjectFile {
         let mut o = ObjectFile::new(name);
         let s = o.add_symbol(Symbol::func(sym));
-        o.funcs.push(FuncDef { sym: s, params: 0, nregs: 0, frame_size: 0, body: vec![Instr::Ret { value: None }] });
+        o.funcs.push(FuncDef {
+            sym: s,
+            params: 0,
+            nregs: 0,
+            frame_size: 0,
+            body: vec![Instr::Ret { value: None }],
+        });
         o
     }
 

@@ -89,7 +89,11 @@ impl fmt::Display for LinkError {
                 write!(f, "ld: multiple definition of `{name}`: first defined in {first}, also in {second}")
             }
             LinkError::UndefinedReference { name, referenced_from } => {
-                write!(f, "ld: undefined reference to `{name}` (from {})", referenced_from.join(", "))
+                write!(
+                    f,
+                    "ld: undefined reference to `{name}` (from {})",
+                    referenced_from.join(", ")
+                )
             }
             LinkError::NoEntry { name } => write!(f, "ld: entry symbol `{name}` not defined"),
             LinkError::KindMismatch { name, from } => {

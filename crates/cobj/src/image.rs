@@ -78,7 +78,7 @@ pub enum RInstr {
 }
 
 /// A function placed in the image.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ImageFunc {
     /// Link-level name (post-`objcopy`, so possibly mangled).
     pub name: String,
@@ -100,8 +100,11 @@ pub struct ImageFunc {
     pub instr_sizes: Vec<u16>,
 }
 
-/// A linked, executable program image.
-#[derive(Debug, Clone)]
+/// A linked, executable program image. `PartialEq` compares every byte of
+/// layout and code — two images are `==` exactly when they are
+/// byte-identical, which the parallel/cached build pipeline's determinism
+/// tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Image {
     /// All functions, laid out in link order starting at [`TEXT_BASE`].
     pub funcs: Vec<ImageFunc>,
@@ -160,7 +163,7 @@ impl Image {
             return None;
         }
         let off = addr - INTRINSIC_BASE;
-        if off % INTRINSIC_STRIDE != 0 {
+        if !off.is_multiple_of(INTRINSIC_STRIDE) {
             return None;
         }
         let id = (off / INTRINSIC_STRIDE) as u32;

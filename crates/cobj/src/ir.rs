@@ -258,10 +258,7 @@ mod tests {
     #[test]
     fn sizes_reflect_immediates_and_args() {
         assert_eq!(Instr::Const { dst: 0, value: 1 }.size_bytes(), 5);
-        assert_eq!(
-            Instr::Const { dst: 0, value: i64::MAX }.size_bytes(),
-            10
-        );
+        assert_eq!(Instr::Const { dst: 0, value: i64::MAX }.size_bytes(), 10);
         let call = Instr::Call { dst: None, target: SymId(0), args: vec![1, 2, 3] };
         assert_eq!(call.size_bytes(), 11);
         let ind = Instr::CallInd { dst: None, target: 0, args: vec![1, 2, 3] };

@@ -71,38 +71,37 @@ fn select_objects(inputs: &[LinkInput], opts: &LinkOptions) -> Result<Vec<Object
     // enter this set, so they do not pull archive members)
     let mut undefined: BTreeSet<String> = BTreeSet::new();
 
-    let include =
-        |obj: &ObjectFile,
-         included: &mut Vec<ObjectFile>,
-         defined: &mut BTreeMap<String, usize>,
-         undefined: &mut BTreeSet<String>|
-         -> Result<(), LinkError> {
-            obj.validate()?;
-            let idx = included.len();
-            for s in &obj.symbols {
-                if s.is_global_def() {
-                    if let Some(&first) = defined.get(&s.name) {
-                        return Err(LinkError::MultipleDefinition {
-                            name: s.name.clone(),
-                            first: included[first].name.clone(),
-                            second: obj.name.clone(),
-                        });
-                    }
-                    defined.insert(s.name.clone(), idx);
-                    undefined.remove(&s.name);
+    let include = |obj: &ObjectFile,
+                   included: &mut Vec<ObjectFile>,
+                   defined: &mut BTreeMap<String, usize>,
+                   undefined: &mut BTreeSet<String>|
+     -> Result<(), LinkError> {
+        obj.validate()?;
+        let idx = included.len();
+        for s in &obj.symbols {
+            if s.is_global_def() {
+                if let Some(&first) = defined.get(&s.name) {
+                    return Err(LinkError::MultipleDefinition {
+                        name: s.name.clone(),
+                        first: included[first].name.clone(),
+                        second: obj.name.clone(),
+                    });
                 }
+                defined.insert(s.name.clone(), idx);
+                undefined.remove(&s.name);
             }
-            for s in &obj.symbols {
-                if s.def == SymDef::Undefined
-                    && !defined.contains_key(&s.name)
-                    && !opts.runtime_symbols.contains(&s.name)
-                {
-                    undefined.insert(s.name.clone());
-                }
+        }
+        for s in &obj.symbols {
+            if s.def == SymDef::Undefined
+                && !defined.contains_key(&s.name)
+                && !opts.runtime_symbols.contains(&s.name)
+            {
+                undefined.insert(s.name.clone());
             }
-            included.push(obj.clone());
-            Ok(())
-        };
+        }
+        included.push(obj.clone());
+        Ok(())
+    };
 
     for input in inputs {
         match input {
@@ -115,8 +114,7 @@ fn select_objects(inputs: &[LinkInput], opts: &LinkOptions) -> Result<Vec<Object
                         if pulled_members.contains(&mi) {
                             continue;
                         }
-                        let satisfies =
-                            m.exported_names().iter().any(|n| undefined.contains(*n));
+                        let satisfies = m.exported_names().iter().any(|n| undefined.contains(*n));
                         if satisfies {
                             include(m, &mut included, &mut defined, &mut undefined)?;
                             pulled_members.insert(mi);
@@ -275,7 +273,9 @@ fn layout(included: &[ObjectFile], opts: &LinkOptions) -> Result<Image, LinkErro
                     let base = resolve_addr_value(resolve(*sym), &slots);
                     RInstr::Const { dst: *dst, value: base.wrapping_add_signed(*offset) as i64 }
                 }
-                Instr::FrameAddr { dst, offset } => RInstr::FrameAddr { dst: *dst, offset: *offset },
+                Instr::FrameAddr { dst, offset } => {
+                    RInstr::FrameAddr { dst: *dst, offset: *offset }
+                }
                 Instr::VarArg { dst, idx } => RInstr::VarArg { dst: *dst, idx: *idx },
                 Instr::Call { dst, target, args } => {
                     let tgt = match resolve(*target) {
@@ -391,11 +391,9 @@ mod tests {
     fn simple_link_resolves_calls() {
         let a = func_obj("main.o", "main", 1, &["helper"]);
         let b = func_obj("help.o", "helper", 2, &[]);
-        let img = link(
-            &[LinkInput::Object(a), LinkInput::Object(b)],
-            &LinkOptions::new("main", []),
-        )
-        .unwrap();
+        let img =
+            link(&[LinkInput::Object(a), LinkInput::Object(b)], &LinkOptions::new("main", []))
+                .unwrap();
         assert_eq!(img.funcs.len(), 2);
         let main = &img.funcs[img.entry.unwrap() as usize];
         assert!(matches!(
@@ -421,11 +419,8 @@ mod tests {
     fn multiple_definition_is_an_error() {
         let a = func_obj("a.o", "f", 1, &[]);
         let b = func_obj("b.o", "f", 2, &[]);
-        let err = link(
-            &[LinkInput::Object(a), LinkInput::Object(b)],
-            &LinkOptions::default(),
-        )
-        .unwrap_err();
+        let err = link(&[LinkInput::Object(a), LinkInput::Object(b)], &LinkOptions::default())
+            .unwrap_err();
         assert!(matches!(err, LinkError::MultipleDefinition { .. }));
     }
 
@@ -471,11 +466,7 @@ mod tests {
         let replacement = func_obj("serial.o", "console_putc", 42, &[]);
         let lib = Archive::from_members("libc.a", vec![func_obj("vga.o", "console_putc", 7, &[])]);
         let img = link(
-            &[
-                LinkInput::Object(main),
-                LinkInput::Object(replacement),
-                LinkInput::Archive(lib),
-            ],
+            &[LinkInput::Object(main), LinkInput::Object(replacement), LinkInput::Archive(lib)],
             &LinkOptions::new("main", []),
         )
         .unwrap();
@@ -499,11 +490,7 @@ mod tests {
         // precisely the problem).
         let logger = func_obj("log.o", "serve", 3, &[]);
         let err = link(
-            &[
-                LinkInput::Object(main),
-                LinkInput::Object(logger),
-                LinkInput::Object(real),
-            ],
+            &[LinkInput::Object(main), LinkInput::Object(logger), LinkInput::Object(real)],
             &LinkOptions::new("main", []),
         )
         .unwrap_err();
@@ -513,11 +500,9 @@ mod tests {
     #[test]
     fn runtime_symbols_become_intrinsics() {
         let main = func_obj("main.o", "main", 1, &["__halt"]);
-        let img = link(
-            &[LinkInput::Object(main)],
-            &LinkOptions::new("main", ["__halt".to_string()]),
-        )
-        .unwrap();
+        let img =
+            link(&[LinkInput::Object(main)], &LinkOptions::new("main", ["__halt".to_string()]))
+                .unwrap();
         assert_eq!(img.intrinsics, vec!["__halt".to_string()]);
         assert!(matches!(
             img.funcs[0].body[0],
@@ -534,10 +519,7 @@ mod tests {
             &LinkOptions::new("main", ["__halt".to_string()]),
         )
         .unwrap();
-        assert!(matches!(
-            img.funcs[0].body[0],
-            RInstr::Call { target: CallTarget::Func(_), .. }
-        ));
+        assert!(matches!(img.funcs[0].body[0], RInstr::Call { target: CallTarget::Func(_), .. }));
     }
 
     #[test]
@@ -571,11 +553,8 @@ mod tests {
     fn text_layout_is_aligned_and_sized() {
         let a = func_obj("a.o", "f", 1, &[]);
         let b = func_obj("b.o", "g", 2, &[]);
-        let img = link(
-            &[LinkInput::Object(a), LinkInput::Object(b)],
-            &LinkOptions::default(),
-        )
-        .unwrap();
+        let img =
+            link(&[LinkInput::Object(a), LinkInput::Object(b)], &LinkOptions::default()).unwrap();
         for f in &img.funcs {
             assert_eq!(f.addr % FUNC_ALIGN, 0);
             assert_eq!(f.size, f.instr_sizes.iter().map(|&s| s as u64).sum::<u64>());

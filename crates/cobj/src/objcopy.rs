@@ -31,9 +31,10 @@ pub fn rename_symbols(
 ) -> Result<ObjectFile, ObjectError> {
     // Every key must name an existing global (defined or undefined) symbol.
     for old in map.keys() {
-        let found = obj.symbols.iter().any(|s| {
-            s.name == *old && !matches!(s.def, SymDef::Defined { local: true, .. })
-        });
+        let found = obj
+            .symbols
+            .iter()
+            .any(|s| s.name == *old && !matches!(s.def, SymDef::Defined { local: true, .. }));
         if !found {
             return Err(ObjectError::NoSuchSymbol { object: obj.name.clone(), name: old.clone() });
         }
@@ -204,7 +205,13 @@ mod tests {
                 Instr::Ret { value: Some(2) },
             ],
         });
-        o.data.push(crate::object::DataDef { sym: stat, init: vec![], zeroed: 8, relocs: vec![], align: 8 });
+        o.data.push(crate::object::DataDef {
+            sym: stat,
+            init: vec![],
+            zeroed: 8,
+            relocs: vec![],
+            align: 8,
+        });
         o
     }
 
@@ -229,10 +236,7 @@ mod tests {
         map.insert("log".to_string(), "log2".to_string());
         // "log" is local, so renaming it is an error (objcopy would not see it
         // as a link-visible symbol either).
-        assert!(matches!(
-            rename_symbols(&o, &map),
-            Err(ObjectError::NoSuchSymbol { .. })
-        ));
+        assert!(matches!(rename_symbols(&o, &map), Err(ObjectError::NoSuchSymbol { .. })));
     }
 
     #[test]
@@ -300,7 +304,10 @@ mod tests {
             params: 0,
             nregs: 1,
             frame_size: 0,
-            body: vec![Instr::Addr { dst: 0, sym: table, offset: 0 }, Instr::Ret { value: Some(0) }],
+            body: vec![
+                Instr::Addr { dst: 0, sym: table, offset: 0 },
+                Instr::Ret { value: Some(0) },
+            ],
         });
         o.funcs.push(FuncDef {
             sym: target,

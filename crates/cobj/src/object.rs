@@ -164,10 +164,7 @@ impl ObjectFile {
 
     /// Find a symbol id by name.
     pub fn find_symbol(&self, name: &str) -> Option<SymId> {
-        self.symbols
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| SymId(i as u32))
+        self.symbols.iter().position(|s| s.name == name).map(|i| SymId(i as u32))
     }
 
     /// Look up a symbol entry.
@@ -177,11 +174,7 @@ impl ObjectFile {
 
     /// Names of globally visible definitions (the "tabs").
     pub fn exported_names(&self) -> BTreeSet<&str> {
-        self.symbols
-            .iter()
-            .filter(|s| s.is_global_def())
-            .map(|s| s.name.as_str())
-            .collect()
+        self.symbols.iter().filter(|s| s.is_global_def()).map(|s| s.name.as_str()).collect()
     }
 
     /// Names of undefined references (the "notches").
@@ -354,7 +347,13 @@ mod tests {
     fn local_symbols_are_not_exported() {
         let mut o = ObjectFile::new("t.o");
         let s = o.add_symbol(Symbol::local_func("helper"));
-        o.funcs.push(FuncDef { sym: s, params: 0, nregs: 0, frame_size: 0, body: vec![Instr::Ret { value: None }] });
+        o.funcs.push(FuncDef {
+            sym: s,
+            params: 0,
+            nregs: 0,
+            frame_size: 0,
+            body: vec![Instr::Ret { value: None }],
+        });
         assert!(o.exported_names().is_empty());
         assert!(o.validate().is_ok());
     }

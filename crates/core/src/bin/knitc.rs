@@ -17,7 +17,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use knit::{build, BuildOptions, Program, SourceTree};
+use knit::{build_with_cache, BuildCache, BuildOptions, Program, SourceTree};
 
 struct Args {
     root: Option<String>,
@@ -28,16 +28,24 @@ struct Args {
     flatten: bool,
     check: bool,
     verbose: bool,
+    jobs: Option<usize>,
+    cache: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: knitc --root <Unit> [--src <dir>]... [--run] [--entry <member>]\n\
-         \x20             [--no-flatten] [--no-check] [-v] <file.unit>...\n\
+         \x20             [--no-flatten] [--no-check] [--jobs <N>] [--cache]\n\
+         \x20             [-v] <file.unit>...\n\
          \n\
          builds the root unit from the given .unit files, with C sources\n\
          resolved from the --src directories; --run executes the image on\n\
-         the simulated machine and prints its console output"
+         the simulated machine and prints its console output\n\
+         \n\
+         --jobs <N>  compile up to N units concurrently (default: all cores;\n\
+         \x20            the produced image is identical for every N)\n\
+         --cache     rebuild once through a warm compile cache and report\n\
+         \x20            the hit rate (demonstrates incremental rebuilds)"
     );
     std::process::exit(2);
 }
@@ -52,6 +60,8 @@ fn parse_args() -> Args {
         flatten: true,
         check: true,
         verbose: false,
+        jobs: None,
+        cache: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,6 +69,17 @@ fn parse_args() -> Args {
             "--root" => args.root = Some(it.next().unwrap_or_else(|| usage())),
             "--src" => args.src_dirs.push(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--entry" => args.entry = Some(it.next().unwrap_or_else(|| usage())),
+            "--jobs" => {
+                let n = it.next().unwrap_or_else(|| usage());
+                match n.parse::<usize>() {
+                    Ok(n) if n >= 1 => args.jobs = Some(n),
+                    _ => {
+                        eprintln!("knitc: --jobs needs a positive integer, got `{n}`");
+                        usage();
+                    }
+                }
+            }
+            "--cache" => args.cache = true,
             "--run" => args.run = true,
             "--no-flatten" => args.flatten = false,
             "--no-check" => args.check = false,
@@ -118,29 +139,64 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut opts = BuildOptions::new(
-        args.root.clone().expect("validated"),
-        machine::runtime_symbols(),
-    );
+    let mut opts =
+        BuildOptions::new(args.root.clone().expect("validated"), machine::runtime_symbols());
     opts.entry = args.entry.clone();
     opts.flatten = args.flatten;
     opts.check_constraints = args.check;
+    if let Some(jobs) = args.jobs {
+        opts.jobs = jobs;
+    }
 
-    let report = match build(&program, &tree, &opts) {
+    let cache = BuildCache::new();
+    let cold = match build_with_cache(&program, &tree, &opts, &cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("knitc: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let report = if args.cache {
+        // Rebuild through the now-warm cache: every unit whose content is
+        // unchanged (here: all of them) skips the C compiler.
+        let warm = match build_with_cache(&program, &tree, &opts, &cache) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("knitc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let compile_ms = |r: &knit::BuildReport| {
+            r.phases
+                .iter()
+                .find(|(n, _)| *n == "compile")
+                .map(|(_, d)| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "knitc: warm rebuild: {} cache hits, {} recompiles; compile phase {:.3} ms (cold: {:.3} ms)",
+            warm.stats.cache_hits,
+            warm.stats.cache_misses,
+            compile_ms(&warm),
+            compile_ms(&cold)
+        );
+        if warm.image != cold.image {
+            eprintln!("knitc: internal error: warm rebuild produced a different image");
+            return ExitCode::FAILURE;
+        }
+        warm
+    } else {
+        cold
+    };
 
     println!(
-        "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text",
+        "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text ({} jobs)",
         opts.root,
         report.stats.instances,
         report.stats.units_compiled,
         report.stats.objects,
-        report.stats.text_size
+        report.stats.text_size,
+        report.jobs
     );
     if args.verbose {
         println!("initializer schedule:");
@@ -160,6 +216,18 @@ fn main() -> ExitCode {
         println!("phases:");
         for (name, d) in &report.phases {
             println!("  {name:12} {:>9.3} ms", d.as_secs_f64() * 1e3);
+        }
+        println!(
+            "unit compiles ({} hit / {} miss):",
+            report.stats.cache_hits, report.stats.cache_misses
+        );
+        for u in &report.unit_compiles {
+            println!(
+                "  {:24} {:>9.3} ms  {}",
+                u.unit,
+                u.duration.as_secs_f64() * 1e3,
+                if u.cache_hit { "cached" } else { "compiled" }
+            );
         }
     }
 

@@ -120,9 +120,14 @@ impl<'a> Checker<'a> {
     ) -> Result<Vec<Var>, KnitError> {
         let node_info = &self.el.nodes[node].clone();
         match target {
-            CTarget::Imports => {
-                Ok(node_info.imports.values().cloned().collect::<Vec<_>>().iter().map(|w| self.wire_var(w)).collect())
-            }
+            CTarget::Imports => Ok(node_info
+                .imports
+                .values()
+                .cloned()
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|w| self.wire_var(w))
+                .collect()),
             CTarget::Exports => Ok(node_info
                 .exports
                 .values()
@@ -181,12 +186,13 @@ impl<'a> Checker<'a> {
     ) -> Result<(Option<String>, Vec<Term>), KnitError> {
         match term {
             CTerm::Value(v) => {
-                let prop =
-                    self.program.value_property.get(v).cloned().ok_or_else(|| KnitError::Unknown {
+                let prop = self.program.value_property.get(v).cloned().ok_or_else(|| {
+                    KnitError::Unknown {
                         kind: "property value",
                         name: v.clone(),
                         context: format!("constraint in unit `{}`", unit.name),
-                    })?;
+                    }
+                })?;
                 Ok((Some(prop), vec![Term::Const(v.clone())]))
             }
             CTerm::Prop { prop, target } => {

@@ -26,6 +26,8 @@
 //!    baseline, now collision-free by construction.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cmini::CompileOptions;
@@ -34,6 +36,7 @@ use cobj::object::{FuncDef, ObjectFile, Symbol};
 use cobj::{Image, LinkInput, LinkOptions};
 use knit_lang::ast::{AtomicBody, UnitBody, UnitDecl};
 
+use crate::cache::{BuildCache, StableHasher};
 use crate::constraints::{self, ConstraintReport};
 use crate::elaborate::{elaborate, Elaboration, Wire};
 use crate::error::KnitError;
@@ -59,6 +62,18 @@ pub struct BuildOptions {
     /// Names the runtime provides (undefined references to these become
     /// intrinsics; see `machine::runtime_symbols`).
     pub runtime_symbols: BTreeSet<String>,
+    /// Maximum concurrent unit compilations (also bounds flatten-group
+    /// recompiles). Defaults to the host's available parallelism; `1` gives
+    /// a strictly serial build. Parallelism never changes the produced
+    /// image: results are merged in deterministic unit order, so symbol
+    /// mangling and link order are identical for every `jobs` value.
+    pub jobs: usize,
+}
+
+/// The host's available parallelism (the default for
+/// [`BuildOptions::jobs`]).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl BuildOptions {
@@ -71,16 +86,20 @@ impl BuildOptions {
             flatten: true,
             default_flags: vec!["-O2".to_string()],
             runtime_symbols: runtime.into_iter().collect(),
+            jobs: default_jobs(),
         }
     }
 }
 
-/// Aggregate statistics about a build.
-#[derive(Debug, Clone, Default)]
+/// Aggregate statistics about a build. Everything here is a deterministic
+/// function of the program, sources, options, and cache warmth — never of
+/// timing or of [`BuildOptions::jobs`] — so two builds of the same inputs
+/// compare equal regardless of parallelism.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BuildStats {
     /// Atomic unit instances linked.
     pub instances: usize,
-    /// Distinct units compiled.
+    /// Distinct units compiled (cache hits included).
     pub units_compiled: usize,
     /// Objects handed to the final link.
     pub objects: usize,
@@ -88,6 +107,22 @@ pub struct BuildStats {
     pub flatten_groups: usize,
     /// Total text bytes of the image.
     pub text_size: u64,
+    /// Units whose compiled objects came from the [`BuildCache`].
+    pub cache_hits: usize,
+    /// Units that went through `cmini` this build.
+    pub cache_misses: usize,
+}
+
+/// Timing record for one distinct unit's compile step.
+#[derive(Debug, Clone)]
+pub struct UnitCompile {
+    /// Unit name.
+    pub unit: String,
+    /// Wall-clock time spent (hashing + compiling, or hashing only on a
+    /// cache hit).
+    pub duration: Duration,
+    /// Whether the compiled objects came from the cache.
+    pub cache_hit: bool,
 }
 
 /// The result of a successful build.
@@ -106,6 +141,10 @@ pub struct BuildReport {
     pub exports: BTreeMap<String, String>,
     /// Build statistics.
     pub stats: BuildStats,
+    /// Per-unit compile timings, sorted by unit name.
+    pub unit_compiles: Vec<UnitCompile>,
+    /// The parallelism this build ran with.
+    pub jobs: usize,
     /// The elaboration (instance graph), for tools and tests.
     pub elaboration: Elaboration,
 }
@@ -120,11 +159,25 @@ pub fn mangle_private(inst: usize, name: &str) -> String {
     format!("{name}_p{inst}")
 }
 
-/// Build `opts.root` from `program` and `tree` into a runnable image.
+/// Build `opts.root` from `program` and `tree` into a runnable image,
+/// with a cold (single-use) compile cache.
 pub fn build(
     program: &Program,
     tree: &SourceTree,
     opts: &BuildOptions,
+) -> Result<BuildReport, KnitError> {
+    build_with_cache(program, tree, opts, &BuildCache::new())
+}
+
+/// Build `opts.root`, compiling through `cache`: units whose content
+/// (preprocessed sources + flags + renames, see [`BuildCache`]) is already
+/// cached skip `cmini` entirely. Reuse one cache across builds to make
+/// rebuilds warm.
+pub fn build_with_cache(
+    program: &Program,
+    tree: &SourceTree,
+    opts: &BuildOptions,
+    cache: &BuildCache,
 ) -> Result<BuildReport, KnitError> {
     let mut phases: Vec<(&'static str, Duration)> = Vec::new();
     let mut timer = Instant::now();
@@ -145,30 +198,43 @@ pub fn build(
     let el = elaborate(program, &opts.root)?;
     phase!("elaborate");
 
-    let constraints = if opts.check_constraints {
-        Some(constraints::check(program, &el)?)
-    } else {
-        None
-    };
+    let constraints =
+        if opts.check_constraints { Some(constraints::check(program, &el)?) } else { None };
     phase!("constraints");
 
     let schedule = sched::schedule(program, &el)?;
     phase!("schedule");
 
-    // --- compile each distinct unit once (instances share the result) ---
-    let mut compiled: BTreeMap<String, CompiledUnit> = BTreeMap::new();
-    for inst in &el.instances {
-        if !compiled.contains_key(&inst.unit) {
-            let cu = compile_unit(program, tree, &inst.unit, opts)?;
-            compiled.insert(inst.unit.clone(), cu);
+    // --- compile each distinct unit once (instances share the result),
+    //     concurrently across units, through the content-hash cache ---
+    let distinct: Vec<&str> = {
+        let set: BTreeSet<&str> = el.instances.iter().map(|i| i.unit.as_str()).collect();
+        set.into_iter().collect()
+    };
+    let compile_results = run_indexed(opts.jobs, distinct.len(), |i| {
+        let start = Instant::now();
+        let r = compile_unit_cached(program, tree, distinct[i], opts, cache);
+        (r, start.elapsed())
+    });
+    let mut compiled: BTreeMap<String, Arc<CompiledUnit>> = BTreeMap::new();
+    let mut unit_compiles: Vec<UnitCompile> = Vec::with_capacity(distinct.len());
+    let (mut cache_hits, mut cache_misses) = (0usize, 0usize);
+    for (name, (result, duration)) in distinct.iter().zip(compile_results) {
+        let (cu, hit) = result?;
+        if hit {
+            cache_hits += 1;
+        } else {
+            cache_misses += 1;
         }
+        unit_compiles.push(UnitCompile { unit: name.to_string(), duration, cache_hit: hit });
+        compiled.insert(name.to_string(), cu);
     }
     phase!("compile");
 
     // --- per-instance symbol maps + objcopy rename/duplicate ---
     let mut maps: Vec<BTreeMap<String, String>> = Vec::with_capacity(el.instances.len());
     for inst in &el.instances {
-        maps.push(instance_symbol_map(program, &el, inst.id, &compiled[&inst.unit])?);
+        maps.push(instance_symbol_map(program, &el, inst.id, compiled[&inst.unit].as_ref())?);
     }
     // Only instances with source translation units can be merged; units
     // built from pre-compiled objects stay on the objcopy path even when
@@ -195,19 +261,13 @@ pub fn build(
                 .filter(|(k, _)| {
                     obj.symbols.iter().any(|s| {
                         s.name == **k
-                            && !matches!(
-                                s.def,
-                                cobj::object::SymDef::Defined { local: true, .. }
-                            )
+                            && !matches!(s.def, cobj::object::SymDef::Defined { local: true, .. })
                     })
                 })
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
             let mut renamed = cobj::objcopy::rename_symbols(obj, &present).map_err(|e| {
-                KnitError::BadDeclaration {
-                    unit: inst.unit.clone(),
-                    what: format!("objcopy: {e}"),
-                }
+                KnitError::BadDeclaration { unit: inst.unit.clone(), what: format!("objcopy: {e}") }
             })?;
             renamed.name = format!("{}:{}", inst.path, obj.name);
             linked_objects.push(renamed);
@@ -215,9 +275,14 @@ pub fn build(
     }
     phase!("objcopy");
 
-    // --- flatten groups (§6) ---
+    // --- flatten groups (§6): source-merge + recompile, one job per group ---
     let mut n_groups = 0usize;
     if opts.flatten {
+        // Gather per-group work serially (cheap), then recompile the merged
+        // translation units concurrently — each group is an independent
+        // `cmini` run, and recompiles dominate this phase the same way unit
+        // compiles dominate the compile phase.
+        let mut group_jobs: Vec<(usize, Vec<flatten::FlattenInput>, BTreeSet<String>)> = Vec::new();
         for (gi, group) in el.flatten_groups.iter().enumerate() {
             let group_set: BTreeSet<usize> =
                 group.iter().copied().filter(|id| flattened.contains(id)).collect();
@@ -235,13 +300,16 @@ pub fn build(
                 });
             }
             let external = group_externals(program, &el, &group_set, &schedule, &maps);
-            let mut obj = flatten::flatten_group(
-                &format!("flat{gi}"),
-                &inputs,
-                &flatten_opts(opts),
-                &external,
-            )
-            .map_err(KnitError::Compile)?;
+            group_jobs.push((gi, inputs, external));
+        }
+        let copts = flatten_opts(opts);
+        let flat_results = run_indexed(opts.jobs, group_jobs.len(), |i| {
+            let (gi, inputs, external) = &group_jobs[i];
+            flatten::flatten_group(&format!("flat{gi}"), inputs, &copts, external)
+                .map_err(KnitError::Compile)
+        });
+        for ((gi, _, _), result) in group_jobs.iter().zip(flat_results) {
+            let mut obj = result?;
             obj.name = format!("flatten-group-{gi}.o");
             linked_objects.push(obj);
             n_groups += 1;
@@ -276,6 +344,8 @@ pub fn build(
         objects: n_objects,
         flatten_groups: n_groups,
         text_size: image.text_size,
+        cache_hits,
+        cache_misses,
     };
     Ok(BuildReport {
         image,
@@ -284,8 +354,51 @@ pub fn build(
         constraints,
         exports,
         stats,
+        unit_compiles,
+        jobs: opts.jobs.max(1),
         elaboration: el,
     })
+}
+
+/// Run `task(0..n)` on up to `jobs` scoped worker threads and return the
+/// results in index order. With `jobs <= 1` (or a single task) everything
+/// runs inline on the caller's thread — the serial baseline pays no thread
+/// overhead. Results are merged by index, so callers observe a
+/// deterministic order regardless of scheduling.
+fn run_indexed<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, task(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("compile worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots.into_iter().map(|v| v.expect("every index produced")).collect()
 }
 
 /// Compile options for flattened groups: always optimize (that is the
@@ -297,24 +410,47 @@ fn flatten_opts(opts: &BuildOptions) -> CompileOptions {
     c
 }
 
-/// A unit compiled once, shared by all its instances.
-struct CompiledUnit {
+/// A unit compiled once, shared by all its instances — and, through the
+/// [`BuildCache`], by every later build of the same content.
+#[derive(Debug)]
+pub struct CompiledUnit {
     /// Parsed translation units (for flattening).
-    tus: Vec<cmini::ast::TranslationUnit>,
+    pub(crate) tus: Vec<cmini::ast::TranslationUnit>,
     /// Compiled objects, one per source file.
-    objects: Vec<ObjectFile>,
+    pub(crate) objects: Vec<ObjectFile>,
     /// All link-visible names defined across the objects.
-    defined: BTreeSet<String>,
+    pub(crate) defined: BTreeSet<String>,
     /// All undefined references across the objects.
-    undefined: BTreeSet<String>,
+    pub(crate) undefined: BTreeSet<String>,
 }
 
-fn compile_unit(
+/// One resolved `files { … }` entry, preprocessed and ready to hash or
+/// compile.
+enum FileInput {
+    /// A registered pre-compiled object (used as-is).
+    Object(ObjectFile),
+    /// A C source, already preprocessed (so the hash sees through
+    /// `#include`, and a cache miss does not preprocess twice).
+    Source { file: String, expanded: String },
+}
+
+/// Compile `unit_name` through the cache. Returns the compiled unit and
+/// whether it was a cache hit.
+///
+/// The key hashes everything that can change the compiled objects — the
+/// preprocessed text of every source, the structure of every pre-compiled
+/// object, the effective flags (in order), and the unit's renames — and
+/// nothing else, so unrelated edits leave entries valid. Runs concurrently
+/// with other units under [`BuildOptions::jobs`]; `cmini`'s entry points
+/// are pure functions of their arguments, which is what makes both the
+/// parallelism and the caching sound.
+fn compile_unit_cached(
     program: &Program,
     tree: &SourceTree,
     unit_name: &str,
     opts: &BuildOptions,
-) -> Result<CompiledUnit, KnitError> {
+    cache: &BuildCache,
+) -> Result<(Arc<CompiledUnit>, bool), KnitError> {
     let unit = &program.units[unit_name];
     let body = atomic_body(unit);
     let flags: Vec<String> = match &body.flags {
@@ -324,38 +460,74 @@ fn compile_unit(
     let copts = CompileOptions::from_flags(&flags)
         .map_err(|e| KnitError::BadDeclaration { unit: unit_name.to_string(), what: e })?;
 
-    let mut tus = Vec::new();
-    let mut objects = Vec::new();
-    let mut defined = BTreeSet::new();
-    let mut undefined = BTreeSet::new();
+    // --- resolve + preprocess every file, hashing as we go ---
+    let mut h = StableHasher::new();
+    for f in &flags {
+        h.write_str("flag");
+        h.write_str(f);
+    }
+    for r in &body.renames {
+        h.write_str("rename");
+        h.write_str(&r.port);
+        h.write_str(&r.member);
+        h.write_str(&r.to);
+    }
+    let mut inputs: Vec<FileInput> = Vec::with_capacity(body.files.len());
     for file in &body.files {
         // pre-compiled objects: "Knit can actually work with C, assembly,
         // and object code" (§3.2); registered objects are used as-is
         if let Some(obj) = tree.get_object(file) {
-            let obj = obj.clone();
-            obj.validate().map_err(|e| KnitError::BadDeclaration {
-                unit: unit_name.to_string(),
-                what: format!("pre-compiled object `{file}` is invalid: {e}"),
-            })?;
-            defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
-            undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
-            objects.push(obj);
+            h.write_str("obj");
+            h.write_str(&format!("{obj:?}"));
+            inputs.push(FileInput::Object(obj.clone()));
             continue;
         }
         let src = tree.get(file).ok_or_else(|| KnitError::MissingSource {
             unit: unit_name.to_string(),
             path: file.clone(),
         })?;
-        let tu = cmini::frontend(file, src, &copts, tree)?;
-        let obj = cmini::backend(tu.clone(), &copts)?;
-        defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
-        undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
-        tus.push(tu);
-        objects.push(obj);
+        let expanded = cmini::pp::preprocess(file, src, &copts.pp, tree)?;
+        h.write_str("src");
+        h.write_str(file);
+        h.write_str(&expanded);
+        inputs.push(FileInput::Source { file: file.clone(), expanded });
+    }
+    let key = h.finish();
+    if let Some(cu) = cache.lookup(key) {
+        return Ok((cu, true));
+    }
+
+    // --- miss: run the compiler over the preprocessed inputs ---
+    let mut tus = Vec::new();
+    let mut objects = Vec::new();
+    let mut defined = BTreeSet::new();
+    let mut undefined = BTreeSet::new();
+    for input in inputs {
+        match input {
+            FileInput::Object(obj) => {
+                obj.validate().map_err(|e| KnitError::BadDeclaration {
+                    unit: unit_name.to_string(),
+                    what: format!("pre-compiled object `{}` is invalid: {e}", obj.name),
+                })?;
+                defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
+                undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
+                objects.push(obj);
+            }
+            FileInput::Source { file, expanded } => {
+                let tu = cmini::frontend_expanded(&file, &expanded)?;
+                let obj = cmini::backend(tu.clone(), &copts)?;
+                defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
+                undefined.extend(obj.undefined_names().iter().map(|s| s.to_string()));
+                tus.push(tu);
+                objects.push(obj);
+            }
+        }
     }
     // cross-file references inside the unit are not "undefined"
     undefined.retain(|n| !defined.contains(n));
-    Ok(CompiledUnit { tus, objects, defined, undefined })
+    let cu = Arc::new(CompiledUnit { tus, objects, defined, undefined });
+    cache.insert(key, Arc::clone(&cu));
+    Ok((cu, false))
 }
 
 fn atomic_body(unit: &UnitDecl) -> &AtomicBody {
@@ -550,8 +722,7 @@ fn boot_object(
     for p in &root_unit.exports {
         let (inst, eport) = &el.root_exports[&p.name];
         for member in program.members_of(&p.bundle_type).expect("validated") {
-            exports
-                .insert(format!("{}.{member}", p.name), mangle_export(*inst, eport, member));
+            exports.insert(format!("{}.{member}", p.name), mangle_export(*inst, eport, member));
         }
     }
 

@@ -96,11 +96,8 @@ pub fn elaborate(program: &Program, root: &str) -> Result<Elaboration, KnitError
     for node_id in 0..el.nodes.len() {
         if let NodeKind::Atomic { inst } = el.nodes[node_id].kind {
             let unit = &el.program.units[&el.nodes[node_id].unit_name];
-            let ports: Vec<(String, String)> = unit
-                .imports
-                .iter()
-                .map(|p| (p.name.clone(), p.bundle_type.clone()))
-                .collect();
+            let ports: Vec<(String, String)> =
+                unit.imports.iter().map(|p| (p.name.clone(), p.bundle_type.clone())).collect();
             for (port, ty) in ports {
                 let wire = el.resolve_import(node_id, &port)?;
                 el.check_wire_type(&wire, &ty, &el.nodes[node_id].path.clone(), &port)?;
@@ -251,7 +248,10 @@ impl<'p> Elaborator<'p> {
                     path: path.clone(),
                     parent,
                     bindings,
-                    kind: NodeKind::Compound { children: BTreeMap::new(), exports: BTreeMap::new() },
+                    kind: NodeKind::Compound {
+                        children: BTreeMap::new(),
+                        exports: BTreeMap::new(),
+                    },
                     flatten: unit.flatten,
                 });
                 if unit.flatten {
@@ -570,10 +570,7 @@ mod tests {
             unit N = { imports [ x : T ]; exports [ y : T ]; files { "n.c" }; }
             unit Bad = { exports [ out : T ]; link { n : N; out = n.y; }; }
         "#;
-        assert!(matches!(
-            elaborate(&program(src), "Bad"),
-            Err(KnitError::UnboundImport { .. })
-        ));
+        assert!(matches!(elaborate(&program(src), "Bad"), Err(KnitError::UnboundImport { .. })));
     }
 
     #[test]

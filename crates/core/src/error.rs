@@ -14,12 +14,7 @@ pub enum KnitError {
     /// An instantiated unit's import was left unbound.
     UnboundImport { instance: String, port: String },
     /// A wiring connected ports of different bundle types.
-    BundleTypeMismatch {
-        instance: String,
-        port: String,
-        expected: String,
-        found: String,
-    },
+    BundleTypeMismatch { instance: String, port: String, expected: String, found: String },
     /// Unit code references a symbol that is neither an import, a
     /// definition of the unit, nor a runtime (`__`-prefixed) symbol.
     UnboundSymbol { instance: String, symbol: String },

@@ -36,6 +36,7 @@
 //! Entry points: [`Program`] to register `.unit` sources, [`SourceTree`]
 //! for the C sources, and [`driver::build`] to produce a runnable image.
 
+pub mod cache;
 pub mod constraints;
 pub mod driver;
 pub mod elaborate;
@@ -44,7 +45,10 @@ pub mod model;
 pub mod sched;
 pub mod vfs;
 
-pub use driver::{build, BuildOptions, BuildReport};
+pub use cache::BuildCache;
+pub use driver::{
+    build, build_with_cache, default_jobs, BuildOptions, BuildReport, BuildStats, UnitCompile,
+};
 pub use elaborate::{Elaboration, Wire};
 pub use error::KnitError;
 pub use model::Program;

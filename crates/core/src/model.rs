@@ -67,10 +67,8 @@ impl Poset {
         // maximal common lower bounds
         let lowers: Vec<&String> =
             self.values.iter().filter(|v| self.leq(v, a) && self.leq(v, b)).collect();
-        let maximal: Vec<&&String> = lowers
-            .iter()
-            .filter(|v| !lowers.iter().any(|w| *w != **v && self.leq(v, w)))
-            .collect();
+        let maximal: Vec<&&String> =
+            lowers.iter().filter(|v| !lowers.iter().any(|w| *w != **v && self.leq(v, w))).collect();
         if maximal.len() == 1 {
             Some((**maximal[0]).clone())
         } else {
@@ -88,10 +86,8 @@ impl Poset {
         }
         let uppers: Vec<&String> =
             self.values.iter().filter(|v| self.leq(a, v) && self.leq(b, v)).collect();
-        let minimal: Vec<&&String> = uppers
-            .iter()
-            .filter(|v| !uppers.iter().any(|w| *w != **v && self.leq(w, v)))
-            .collect();
+        let minimal: Vec<&&String> =
+            uppers.iter().filter(|v| !uppers.iter().any(|w| *w != **v && self.leq(w, v))).collect();
         if minimal.len() == 1 {
             Some((**minimal[0]).clone())
         } else {
@@ -309,7 +305,10 @@ impl Program {
                     if !c.export_bindings.iter().any(|e| e.export == p.name) {
                         return Err(KnitError::BadDeclaration {
                             unit: u.name.clone(),
-                            what: format!("export port `{}` has no binding in the link block", p.name),
+                            what: format!(
+                                "export port `{}` has no binding in the link block",
+                                p.name
+                            ),
                         });
                     }
                 }

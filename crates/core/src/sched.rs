@@ -41,10 +41,7 @@ pub struct Schedule {
 impl Schedule {
     /// Human-readable rendering (`path.func`), for logs and tests.
     pub fn describe(&self, el: &Elaboration) -> Vec<String> {
-        self.inits
-            .iter()
-            .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
-            .collect()
+        self.inits.iter().map(|(i, f)| format!("{}.{}", el.instances[*i].path, f)).collect()
     }
 }
 
@@ -174,8 +171,7 @@ pub fn schedule(program: &Program, el: &Elaboration) -> Result<Schedule, KnitErr
         let mut out = BTreeSet::new();
         if let Some(ports) = deps[inst].func_deps.get(func) {
             for dport in ports {
-                if let Some(Wire::Export { instance, port }) =
-                    el.instances[inst].imports.get(dport)
+                if let Some(Wire::Export { instance, port }) = el.instances[inst].imports.get(dport)
                 {
                     if let Some(s) = usable.get(&(*instance, port.clone())) {
                         out.extend(s.iter().cloned());
@@ -205,7 +201,8 @@ pub fn schedule(program: &Program, el: &Elaboration) -> Result<Schedule, KnitErr
 
     // --- deterministic Kahn topological sort ---
     // stable order: by (instance path, declaration position)
-    let pos: BTreeMap<&InitKey, usize> = all_inits.iter().enumerate().map(|(i, k)| (k, i)).collect();
+    let pos: BTreeMap<&InitKey, usize> =
+        all_inits.iter().enumerate().map(|(i, k)| (k, i)).collect();
     let mut order: Vec<InitKey> = Vec::with_capacity(all_inits.len());
     let mut remaining: BTreeSet<&InitKey> = all_inits.iter().collect();
     while !remaining.is_empty() {
@@ -216,10 +213,8 @@ pub fn schedule(program: &Program, el: &Elaboration) -> Result<Schedule, KnitErr
             .collect();
         if ready.is_empty() {
             // cycle — should have been caught above
-            let cycle: Vec<String> = remaining
-                .iter()
-                .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
-                .collect();
+            let cycle: Vec<String> =
+                remaining.iter().map(|(i, f)| format!("{}.{}", el.instances[*i].path, f)).collect();
             return Err(KnitError::InitCycle { cycle });
         }
         ready.sort_by_key(|k| pos[*k]);
@@ -558,11 +553,8 @@ mod tests {
         let (p, el) = build(src, "Sys");
         let sched = schedule(&p, &el).unwrap();
         let inits = sched.describe(&el);
-        let finis: Vec<String> = sched
-            .finis
-            .iter()
-            .map(|(i, f)| format!("{}.{}", el.instances[*i].path, f))
-            .collect();
+        let finis: Vec<String> =
+            sched.finis.iter().map(|(i, f)| format!("{}.{}", el.instances[*i].path, f)).collect();
         let ipos = |n: &str| inits.iter().position(|x| x.ends_with(n)).unwrap();
         let fpos = |n: &str| finis.iter().position(|x| x.ends_with(n)).unwrap();
         assert!(ipos("is") < ipos("il"));

@@ -110,7 +110,10 @@ fn constraint_violation_names_both_annotations() {
         }
         unit Sys = { exports [ o : T ]; link { s : Strict; d : Demands [ i = s.o ]; o = d.o; }; }
         "#,
-        &[("s.c", "int f() { return 1; }"), ("d.c", "int inner_f();\nint f() { return inner_f(); }")],
+        &[
+            ("s.c", "int f() { return 1; }"),
+            ("d.c", "int inner_f();\nint f() { return inner_f(); }"),
+        ],
         "Sys",
     )
     .unwrap_err();
@@ -151,10 +154,12 @@ fn needs_rename_explains_the_conflict() {
 #[test]
 fn duplicate_unit_rejected_at_load() {
     let mut p = Program::new();
-    p.load_str("a.unit", "bundletype T = { f }\nunit U = { exports [ o : T ]; files { \"u.c\" }; }")
-        .unwrap();
-    let err = p
-        .load_str("b.unit", "unit U = { exports [ o : T ]; files { \"u2.c\" }; }")
-        .unwrap_err();
+    p.load_str(
+        "a.unit",
+        "bundletype T = { f }\nunit U = { exports [ o : T ]; files { \"u.c\" }; }",
+    )
+    .unwrap();
+    let err =
+        p.load_str("b.unit", "unit U = { exports [ o : T ]; files { \"u2.c\" }; }").unwrap_err();
     assert!(err.to_string().contains("duplicate unit `U`"), "{err}");
 }

@@ -268,10 +268,7 @@ fn multiple_instantiation_duplicates_state() {
     )
     .unwrap();
     let mut t = SourceTree::new();
-    t.add(
-        "counter.c",
-        "static int n = 0;\nvoid bump() { n = n + 1; }\nint get() { return n; }",
-    );
+    t.add("counter.c", "static int n = 0;\nvoid bump() { n = n + 1; }\nint get() { return n; }");
     t.add(
         "usetwo.c",
         r#"
@@ -418,7 +415,16 @@ fn build_report_phases_and_exports() {
     let names: Vec<&str> = report.phases.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
-        vec!["elaborate", "constraints", "schedule", "compile", "objcopy", "flatten", "generate", "link"]
+        vec![
+            "elaborate",
+            "constraints",
+            "schedule",
+            "compile",
+            "objcopy",
+            "flatten",
+            "generate",
+            "link"
+        ]
     );
     assert!(report.exports.contains_key("main.main"));
     assert!(report.stats.text_size > 0);

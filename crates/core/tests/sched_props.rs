@@ -12,8 +12,8 @@ use knit::{Elaboration, Wire};
 /// Build a random poset by inserting values below random subsets of the
 /// already-present values (always acyclic by construction).
 fn arb_poset() -> impl Strategy<Value = Poset> {
-    prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1..8)
-        .prop_map(|levels| {
+    prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 0..3), 1..8).prop_map(
+        |levels| {
             let mut p = Poset::default();
             let mut names: Vec<String> = Vec::new();
             for (i, belows) in levels.iter().enumerate() {
@@ -31,7 +31,8 @@ fn arb_poset() -> impl Strategy<Value = Poset> {
                 names.push(name);
             }
             p
-        })
+        },
+    )
 }
 
 proptest! {
@@ -103,7 +104,7 @@ fn chain_config(n: usize, with_init: &[bool], init_dep: &[bool]) -> (Program, El
     let mut src = String::from("bundletype T = { f }\n");
     for i in 0..n {
         let imports =
-            if i == 0 { String::new() } else { format!("    imports [ prev : T ];\n") };
+            if i == 0 { String::new() } else { "    imports [ prev : T ];\n".to_string() };
         let init = if with_init[i] {
             let dep = if i > 0 && init_dep[i] {
                 format!("    depends {{ boot{i} needs prev; }};\n")
@@ -121,7 +122,7 @@ fn chain_config(n: usize, with_init: &[bool], init_dep: &[bool]) -> (Program, El
     src.push_str("unit Sys = {\n    exports [ out : T ];\n    link {\n");
     for i in 0..n {
         if i == 0 {
-            src.push_str(&format!("        i0 : U0;\n"));
+            src.push_str("        i0 : U0;\n");
         } else {
             src.push_str(&format!("        i{i} : U{i} [ prev = i{}.out ];\n", i - 1));
         }

@@ -131,11 +131,12 @@ fn dedup_decls(items: Vec<Item>) -> Vec<Item> {
                 }
                 let _ = defined_globals.contains(&g.name); // both fine to keep once
             }
-            Item::Struct(s) if s.fields.is_empty() => {
+            Item::Struct(s)
+                if s.fields.is_empty()
                 // forward declarations are never needed after merging
-                if defined_structs.contains(&s.name) || !seen_structs.insert(s.name.clone()) {
-                    continue;
-                }
+                && (defined_structs.contains(&s.name) || !seen_structs.insert(s.name.clone())) =>
+            {
+                continue;
             }
             _ => {}
         }
@@ -152,7 +153,11 @@ mod tests {
     fn input(tag: &str, srcs: &[&str], map: &[(&str, &str)]) -> FlattenInput {
         FlattenInput {
             tag: tag.to_string(),
-            tus: srcs.iter().enumerate().map(|(i, s)| parse(&format!("{tag}_{i}.c"), s).unwrap()).collect(),
+            tus: srcs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| parse(&format!("{tag}_{i}.c"), s).unwrap())
+                .collect(),
             symbol_map: map.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
         }
     }
@@ -221,14 +226,16 @@ mod tests {
 
     #[test]
     fn duplicate_prototypes_are_deduped() {
-        let a = input("k0", &["int shared(int x);\nint fa(int x) { return shared(x); }"], &[
-            ("shared", "shared__s"),
-            ("fa", "fa__a"),
-        ]);
-        let b = input("k1", &["int shared(int x);\nint fb(int x) { return shared(x); }"], &[
-            ("shared", "shared__s"),
-            ("fb", "fb__b"),
-        ]);
+        let a = input(
+            "k0",
+            &["int shared(int x);\nint fa(int x) { return shared(x); }"],
+            &[("shared", "shared__s"), ("fa", "fa__a")],
+        );
+        let b = input(
+            "k1",
+            &["int shared(int x);\nint fb(int x) { return shared(x); }"],
+            &[("shared", "shared__s"), ("fb", "fb__b")],
+        );
         let merged = merge("grp", &[a, b]);
         let protos = merged
             .items
@@ -283,9 +290,11 @@ mod tests {
 
     #[test]
     fn runtime_symbols_pass_through() {
-        let a = input("k0", &["int __con_putc(int c);\nvoid out(int c) { __con_putc(c); }"], &[(
-            "out", "out__a",
-        )]);
+        let a = input(
+            "k0",
+            &["int __con_putc(int c);\nvoid out(int c) { __con_putc(c); }"],
+            &[("out", "out__a")],
+        );
         let merged = merge("grp", &[a]);
         let obj = cmini::backend(merged, &CompileOptions::default()).unwrap();
         assert!(obj.undefined_names().contains("__con_putc"));

@@ -227,9 +227,7 @@ impl Renamer {
                 lhs: Box::new(self.expr(lhs)),
                 rhs: Box::new(self.expr(rhs)),
             },
-            ExprKind::Un { op, expr } => {
-                ExprKind::Un { op: *op, expr: Box::new(self.expr(expr)) }
-            }
+            ExprKind::Un { op, expr } => ExprKind::Un { op: *op, expr: Box::new(self.expr(expr)) },
             ExprKind::Assign { op, lhs, rhs } => ExprKind::Assign {
                 op: *op,
                 lhs: Box::new(self.expr(lhs)),
@@ -281,7 +279,8 @@ mod tests {
 
     #[test]
     fn exports_follow_symbol_map_and_privates_get_tagged() {
-        let tu = parse("t.c", "int helper() { return 1; }\nint api() { return helper(); }").unwrap();
+        let tu =
+            parse("t.c", "int helper() { return 1; }\nint api() { return helper(); }").unwrap();
         let out = rename_tu(&tu, "k7", 0, &map(&[("api", "api__m")]));
         let names: Vec<&str> = out
             .items
@@ -356,7 +355,9 @@ mod tests {
         }
         match &out.items[2] {
             Item::Func(f) => {
-                assert!(matches!(&f.params[0].1, Type::Ptr(inner) if **inner == Type::Struct("k2f0_s".into())));
+                assert!(
+                    matches!(&f.params[0].1, Type::Ptr(inner) if **inner == Type::Struct("k2f0_s".into()))
+                );
             }
             _ => panic!(),
         }

@@ -197,9 +197,8 @@ mod tests {
 
     #[test]
     fn self_recursion_is_not_a_cycle() {
-        let order = order_of(
-            "int f(int x) { return x ? f(x - 1) : 0; }\nint g(int x) { return f(x); }",
-        );
+        let order =
+            order_of("int f(int x) { return x ? f(x - 1) : 0; }\nint g(int x) { return f(x); }");
         assert_eq!(order, vec!["f", "g"]);
     }
 

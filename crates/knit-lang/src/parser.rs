@@ -305,11 +305,8 @@ impl Parser {
 
     fn depends_clause(&mut self) -> Result<DependsClause, KError> {
         let span = self.span();
-        let lhs = if self.eat(Tok::KwExports) {
-            DepSide::Exports
-        } else {
-            DepSide::Name(self.ident()?)
-        };
+        let lhs =
+            if self.eat(Tok::KwExports) { DepSide::Exports } else { DepSide::Name(self.ident()?) };
         self.expect(Tok::KwNeeds)?;
         let mut rhs = Vec::new();
         if self.eat(Tok::LParen) {
@@ -351,19 +348,17 @@ impl Parser {
                 // instance: name : Unit [ import = path, ... ];
                 let unit = self.ident()?;
                 let mut bindings = Vec::new();
-                if self.eat(Tok::LBracket) {
-                    if !self.eat(Tok::RBracket) {
-                        loop {
-                            let import = self.ident()?;
-                            self.expect(Tok::Eq)?;
-                            let path = self.path_ref()?;
-                            bindings.push((import, path));
-                            if !self.eat(Tok::Comma) {
-                                break;
-                            }
+                if self.eat(Tok::LBracket) && !self.eat(Tok::RBracket) {
+                    loop {
+                        let import = self.ident()?;
+                        self.expect(Tok::Eq)?;
+                        let path = self.path_ref()?;
+                        bindings.push((import, path));
+                        if !self.eat(Tok::Comma) {
+                            break;
                         }
-                        self.expect(Tok::RBracket)?;
                     }
+                    self.expect(Tok::RBracket)?;
                 }
                 self.expect(Tok::Semi)?;
                 body.instances.push(InstanceDecl { name, unit, bindings, span });
@@ -505,7 +500,10 @@ mod tests {
         match &ls.body {
             UnitBody::Compound(c) => {
                 assert_eq!(c.instances.len(), 2);
-                assert_eq!(c.instances[1].bindings[0].1, PathRef::Dotted("web".into(), "serveWeb".into()));
+                assert_eq!(
+                    c.instances[1].bindings[0].1,
+                    PathRef::Dotted("web".into(), "serveWeb".into())
+                );
                 assert_eq!(c.export_bindings.len(), 1);
             }
             _ => panic!("LogServe should be compound"),

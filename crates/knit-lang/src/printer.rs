@@ -80,7 +80,8 @@ fn print_unit(out: &mut String, u: &UnitDecl) {
             let files: Vec<String> = a.files.iter().map(|s| format!("{s:?}")).collect();
             match &a.flags {
                 Some(fl) => {
-                    let _ = writeln!(out, "    files {{ {} }} with flags {};", files.join(", "), fl);
+                    let _ =
+                        writeln!(out, "    files {{ {} }} with flags {};", files.join(", "), fl);
                 }
                 None => {
                     let _ = writeln!(out, "    files {{ {} }};", files.join(", "));
@@ -108,7 +109,8 @@ fn print_unit(out: &mut String, u: &UnitDecl) {
                 if binds.is_empty() {
                     let _ = writeln!(out, "        {} : {};", i.name, i.unit);
                 } else {
-                    let _ = writeln!(out, "        {} : {} [ {} ];", i.name, i.unit, binds.join(", "));
+                    let _ =
+                        writeln!(out, "        {} : {} [ {} ];", i.name, i.unit, binds.join(", "));
                 }
             }
             for e in &c.export_bindings {

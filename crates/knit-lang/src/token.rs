@@ -260,7 +260,11 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, KError> {
                 }
             }
             other => {
-                return Err(KError::lex(file, span, format!("unexpected character `{}`", other as char)))
+                return Err(KError::lex(
+                    file,
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
             }
         };
         bump!();
@@ -315,7 +319,10 @@ mod tests {
 
     #[test]
     fn lex_strings_with_escapes() {
-        assert_eq!(toks(r#""-Ioskit/include""#), vec![Tok::Str("-Ioskit/include".into()), Tok::Eof]);
+        assert_eq!(
+            toks(r#""-Ioskit/include""#),
+            vec![Tok::Str("-Ioskit/include".into()), Tok::Eof]
+        );
         assert_eq!(toks(r#""a\"b""#), vec![Tok::Str("a\"b".into()), Tok::Eof]);
     }
 

@@ -9,9 +9,25 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_filter("keyword", |s| {
         !matches!(
             s.as_str(),
-            "bundletype" | "flags" | "property" | "type" | "unit" | "imports" | "exports"
-                | "depends" | "needs" | "files" | "with" | "rename" | "to" | "initializer"
-                | "finalizer" | "for" | "link" | "flatten" | "constraints"
+            "bundletype"
+                | "flags"
+                | "property"
+                | "type"
+                | "unit"
+                | "imports"
+                | "exports"
+                | "depends"
+                | "needs"
+                | "files"
+                | "with"
+                | "rename"
+                | "to"
+                | "initializer"
+                | "finalizer"
+                | "for"
+                | "link"
+                | "flatten"
+                | "constraints"
         )
     })
 }
@@ -39,7 +55,9 @@ fn atomic_unit() -> impl Strategy<Value = String> {
             s.push_str(&format!("    exports [ {pout} : {bt} ];\n"));
             if with_init {
                 s.push_str(&format!("    initializer boot_fn for {pout};\n"));
-                s.push_str(&format!("    depends {{ boot_fn needs {pin}; exports needs imports; }};\n"));
+                s.push_str(&format!(
+                    "    depends {{ boot_fn needs {pin}; exports needs imports; }};\n"
+                ));
             } else {
                 s.push_str("    depends { exports needs imports; };\n");
             }

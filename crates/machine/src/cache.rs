@@ -43,7 +43,7 @@ impl ICache {
     /// Create an empty cache.
     pub fn new(params: ICacheParams) -> Self {
         assert!(params.line.is_power_of_two(), "line size must be a power of two");
-        assert!(params.size % params.line == 0, "size must be a multiple of line size");
+        assert!(params.size.is_multiple_of(params.line), "size must be a multiple of line size");
         let nlines = (params.size / params.line) as usize;
         ICache { params, tags: vec![u64::MAX; nlines], misses: 0, accesses: 0 }
     }

@@ -78,7 +78,10 @@ impl CostModel {
     /// separating call-overhead effects from locality effects in ablation
     /// benches.
     pub fn no_icache() -> Self {
-        CostModel { icache: ICacheParams { miss_stall: 0, ..ICacheParams::default() }, ..Default::default() }
+        CostModel {
+            icache: ICacheParams { miss_stall: 0, ..ICacheParams::default() },
+            ..Default::default()
+        }
     }
 }
 

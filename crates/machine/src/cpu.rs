@@ -111,7 +111,9 @@ impl std::fmt::Display for Fault {
             Fault::Halted(c) => write!(f, "halted with code {c}"),
             Fault::Aborted(c) => write!(f, "aborted with code {c}"),
             Fault::NoSuchFunction(n) => write!(f, "no such function `{n}`"),
-            Fault::OutOfHeap { requested } => write!(f, "out of heap ({requested} bytes requested)"),
+            Fault::OutOfHeap { requested } => {
+                write!(f, "out of heap ({requested} bytes requested)")
+            }
             Fault::UnknownIntrinsic(n) => write!(f, "unknown runtime symbol `{n}`"),
         }
     }
@@ -230,7 +232,11 @@ impl Machine {
     }
 
     /// Build a machine with explicit costs and limits.
-    pub fn with_config(image: Image, costs: CostModel, limits: RunLimits) -> Result<Machine, Fault> {
+    pub fn with_config(
+        image: Image,
+        costs: CostModel,
+        limits: RunLimits,
+    ) -> Result<Machine, Fault> {
         let mut intrinsic_ops = Vec::with_capacity(image.intrinsics.len());
         for name in &image.intrinsics {
             match intrinsic_by_name(name) {
@@ -349,10 +355,8 @@ impl Machine {
 
     /// Call a function by link-level name.
     pub fn call(&mut self, name: &str, args: &[i64]) -> Result<i64, Fault> {
-        let fi = self
-            .image
-            .func_by_name(name)
-            .ok_or_else(|| Fault::NoSuchFunction(name.to_string()))?;
+        let fi =
+            self.image.func_by_name(name).ok_or_else(|| Fault::NoSuchFunction(name.to_string()))?;
         self.call_idx(fi, args)
     }
 
@@ -582,7 +586,14 @@ impl Machine {
         })
     }
 
-    fn store(&mut self, addr: u64, width: Width, v: i64, func: &str, at: usize) -> Result<(), Fault> {
+    fn store(
+        &mut self,
+        addr: u64,
+        width: Width,
+        v: i64,
+        func: &str,
+        at: usize,
+    ) -> Result<(), Fault> {
         let i = self.mem_index(addr, width.bytes(), func, at)?;
         match width {
             Width::W1 => self.mem[i] = v as u8,
@@ -666,11 +677,7 @@ mod tests {
     use cobj::{link, LinkInput, LinkOptions};
 
     fn link_one(obj: ObjectFile, entry: &str) -> Image {
-        link(
-            &[LinkInput::Object(obj)],
-            &LinkOptions::new(entry, crate::runtime_symbols()),
-        )
-        .unwrap()
+        link(&[LinkInput::Object(obj)], &LinkOptions::new(entry, crate::runtime_symbols())).unwrap()
     }
 
     #[test]
@@ -705,15 +712,15 @@ mod tests {
             nregs: 4,
             frame_size: 0,
             body: vec![
-                Instr::Const { dst: 1, value: 0 },                      // 0 acc=0
-                Instr::Const { dst: 2, value: 1 },                      // 1 i=1
-                Instr::Bin { op: BinOp::Le, dst: 3, a: 2, b: 0 },       // 2 tmp = i<=n
-                Instr::Branch { cond: 3, then_to: 4, else_to: 8 },      // 3
-                Instr::Bin { op: BinOp::Add, dst: 1, a: 1, b: 2 },      // 4 acc+=i
-                Instr::Const { dst: 3, value: 1 },                      // 5
-                Instr::Bin { op: BinOp::Add, dst: 2, a: 2, b: 3 },      // 6 i+=1
-                Instr::Jump { target: 2 },                              // 7
-                Instr::Ret { value: Some(1) },                          // 8
+                Instr::Const { dst: 1, value: 0 },                 // 0 acc=0
+                Instr::Const { dst: 2, value: 1 },                 // 1 i=1
+                Instr::Bin { op: BinOp::Le, dst: 3, a: 2, b: 0 },  // 2 tmp = i<=n
+                Instr::Branch { cond: 3, then_to: 4, else_to: 8 }, // 3
+                Instr::Bin { op: BinOp::Add, dst: 1, a: 1, b: 2 }, // 4 acc+=i
+                Instr::Const { dst: 3, value: 1 },                 // 5
+                Instr::Bin { op: BinOp::Add, dst: 2, a: 2, b: 3 }, // 6 i+=1
+                Instr::Jump { target: 2 },                         // 7
+                Instr::Ret { value: Some(1) },                     // 8
             ],
         });
         let mut m = Machine::new(link_one(o, "sum")).unwrap();
@@ -758,11 +765,11 @@ mod tests {
             frame_size: 0,
             body: vec![
                 Instr::Const { dst: 0, value: 64 },
-                Instr::Call { dst: Some(1), target: brk, args: vec![0] },   // buf
-                Instr::Const { dst: 0, value: 0 },                          // dev 0
+                Instr::Call { dst: Some(1), target: brk, args: vec![0] }, // buf
+                Instr::Const { dst: 0, value: 0 },                        // dev 0
                 Instr::Const { dst: 2, value: 64 },
                 Instr::Call { dst: Some(3), target: rx, args: vec![0, 1, 2] }, // len
-                Instr::Const { dst: 0, value: 1 },                          // dev 1
+                Instr::Const { dst: 0, value: 1 },                             // dev 1
                 Instr::Call { dst: Some(4), target: tx, args: vec![0, 1, 3] },
                 Instr::Ret { value: Some(3) },
             ],

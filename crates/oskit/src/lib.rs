@@ -101,8 +101,7 @@ pub fn sources() -> SourceTree {
 /// The kit's unit declarations, loaded into a fresh [`Program`].
 pub fn program() -> Program {
     let mut p = Program::new();
-    p.load_str("base.unit", include_str!("../corpus/units/base.unit"))
-        .expect("base.unit parses");
+    p.load_str("base.unit", include_str!("../corpus/units/base.unit")).expect("base.unit parses");
     p.load_str("components.unit", include_str!("../corpus/units/components.unit"))
         .expect("components.unit parses");
     p.load_str("kernels.unit", include_str!("../corpus/units/kernels.unit"))
@@ -157,9 +156,11 @@ mod tests {
         let report = build_kernel(KERNEL_FS).unwrap();
         // allocator must initialize before the filesystem
         let pos = |n: &str| {
-            report.schedule.iter().position(|s| s.ends_with(n)).unwrap_or_else(|| {
-                panic!("{n} missing from schedule {:?}", report.schedule)
-            })
+            report
+                .schedule
+                .iter()
+                .position(|s| s.ends_with(n))
+                .unwrap_or_else(|| panic!("{n} missing from schedule {:?}", report.schedule))
         };
         assert!(pos("alloc_init") < pos("fs_init"));
         let mut m = Machine::new(report.image).unwrap();

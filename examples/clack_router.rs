@@ -43,7 +43,11 @@ const CONFIG: &str = r#"
 
 fn main() {
     let graph = config::parse(CONFIG).expect("Click config parses");
-    println!("parsed Click config: {} elements, {} connections", graph.elems.len(), graph.edges.len());
+    println!(
+        "parsed Click config: {} elements, {} connections",
+        graph.elems.len(),
+        graph.edges.len()
+    );
 
     let work = packets::workload(&packets::WorkloadOptions {
         count: 256,

@@ -47,11 +47,7 @@ fn try_with_ld() {
     let counter = cmini::compile("counter.c", COUNTER_C, &copts, &cmini::NoFiles).unwrap();
     let main_o = cmini::compile("main.c", MAIN_C, &copts, &cmini::NoFiles).unwrap();
     let result = cobj::link(
-        &[
-            LinkInput::Object(main_o),
-            LinkInput::Object(counter),
-            LinkInput::Object(worker),
-        ],
+        &[LinkInput::Object(main_o), LinkInput::Object(counter), LinkInput::Object(worker)],
         &LinkOptions::new("main", machine::runtime_symbols()),
     );
     match result {
@@ -106,8 +102,7 @@ fn with_knit() {
     t.add("counter.c", COUNTER_C);
     t.add("main.c", MAIN_C);
 
-    let report =
-        build(&p, &t, &BuildOptions::new("System", machine::runtime_symbols())).unwrap();
+    let report = build(&p, &t, &BuildOptions::new("System", machine::runtime_symbols())).unwrap();
     let mut m = Machine::new(report.image).unwrap();
     let code = m.run_entry().unwrap();
     println!("Knit links it: same sources, interposition by wiring alone.");

@@ -174,12 +174,9 @@ fn main() {
     program.load_str("webserver.unit", UNITS).expect("unit file parses");
     let tree = sources();
 
-    let report = build(
-        &program,
-        &tree,
-        &BuildOptions::new("WebServer", machine::runtime_symbols()),
-    )
-    .expect("web server builds");
+    let report =
+        build(&program, &tree, &BuildOptions::new("WebServer", machine::runtime_symbols()))
+            .expect("web server builds");
 
     println!("== build ==");
     println!("instances: {}", report.stats.instances);

@@ -41,11 +41,9 @@ fn kit() -> Archive {
 
 #[test]
 fn default_configuration_pulls_the_archived_console() {
-    let img = cobj::link(
-        &[LinkInput::Object(compile("app.o", APP)), LinkInput::Archive(kit())],
-        &opts(),
-    )
-    .unwrap();
+    let img =
+        cobj::link(&[LinkInput::Object(compile("app.o", APP)), LinkInput::Archive(kit())], &opts())
+            .unwrap();
     // only the needed member was pulled (no `unused_component`)
     assert!(img.func_by_name("unused_component").is_none());
     let mut m = Machine::new(img).unwrap();

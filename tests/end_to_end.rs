@@ -36,7 +36,9 @@ fn four_router_implementations_agree_packet_for_packet() {
         ..Default::default()
     });
 
-    let mut outputs: Vec<(String, Vec<Vec<u8>>, Vec<Vec<u8>>)> = Vec::new();
+    // (implementation name, frames out of port 0, frames out of port 1)
+    type PortFrames = Vec<Vec<u8>>;
+    let mut outputs: Vec<(String, PortFrames, PortFrames)> = Vec::new();
 
     let mut run = |name: &str, mut h: RouterHarness| {
         for (dev, p) in &work {
@@ -47,7 +49,10 @@ fn four_router_implementations_agree_packet_for_packet() {
     };
 
     let g = clack::ip_router();
-    run("clack-modular", RouterHarness::new(&clack::build_clack_router(&g, false).unwrap()).unwrap());
+    run(
+        "clack-modular",
+        RouterHarness::new(&clack::build_clack_router(&g, false).unwrap()).unwrap(),
+    );
     run("clack-flat", RouterHarness::new(&clack::build_clack_router(&g, true).unwrap()).unwrap());
     run("hand", RouterHarness::new(&clack::build_hand_router(false).unwrap()).unwrap());
     run(

@@ -34,9 +34,25 @@ fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "bundletype" | "flags" | "property" | "type" | "unit" | "imports" | "exports"
-                | "depends" | "needs" | "files" | "with" | "rename" | "to" | "initializer"
-                | "finalizer" | "for" | "link" | "flatten" | "constraints"
+            "bundletype"
+                | "flags"
+                | "property"
+                | "type"
+                | "unit"
+                | "imports"
+                | "exports"
+                | "depends"
+                | "needs"
+                | "files"
+                | "with"
+                | "rename"
+                | "to"
+                | "initializer"
+                | "finalizer"
+                | "for"
+                | "link"
+                | "flatten"
+                | "constraints"
         )
     })
 }
@@ -84,7 +100,11 @@ fn expr(depth: u32) -> BoxedStrategy<String> {
         let sub = expr(depth - 1);
         let sub2 = expr(depth - 1);
         prop_oneof![
-            (sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")], sub2.clone())
+            (
+                sub.clone(),
+                prop_oneof![Just("+"), Just("-"), Just("*"), Just("&"), Just("|"), Just("^")],
+                sub2.clone()
+            )
                 .prop_map(|(l, op, r)| format!("({l} {op} {r})")),
             (sub.clone(), prop_oneof![Just("<"), Just("<="), Just("=="), Just("!=")], sub2.clone())
                 .prop_map(|(l, op, r)| format!("({l} {op} {r})")),

@@ -1,0 +1,103 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the surface this workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `finish` — timing each closure with `std::time::Instant`
+//! and printing mean/min per sample. No warm-up modelling, outlier analysis,
+//! or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, sample_size: 10 }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one benchmark: `f` is called once per sample with a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "  {id:32} mean {:>12.3} ms   min {:>12.3} ms   ({} samples)",
+            mean.as_secs_f64() * 1e3,
+            min.as_secs_f64() * 1e3,
+            samples.len()
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] times its argument.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (called once per sample here; real
+    /// criterion batches, which this stand-in does not need).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Group several bench functions under one callable name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// The bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! slice of proptest's API its tests use: the [`proptest!`] macro,
+//! `prop_assert*`/`prop_assume!`, [`strategy::Strategy`] with `prop_map` /
+//! `prop_filter` / `boxed`, [`prop_oneof!`], [`strategy::Just`], `any::<T>()`,
+//! integer-range and regex-literal strategies, `prop::collection::vec`, and
+//! `prop::sample::Index`.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` random cases from a
+//! deterministic per-test seed (derived from the test name, overridable with
+//! `PROPTEST_SEED`). There is **no shrinking** — a failure reports the seed
+//! and case number, which reproduce the run exactly.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// `proptest::prelude::prop` look-alike: module paths used by tests.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The usual glob import surface.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: a block of `#[test]` functions whose arguments
+/// are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_cases(&__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                stringify!($lhs), stringify!($rhs), lhs, rhs, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Discard the current case (retried without counting) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,26 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An arbitrary index into any slice: the stored draw is reduced modulo the
+/// slice length at use time, so one generated `Index` is valid for slices
+/// of any (non-zero) length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Wrap a raw draw.
+    pub fn new(raw: usize) -> Index {
+        Index(raw)
+    }
+
+    /// The element of `slice` this index selects.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "Index::get on an empty slice");
+        &slice[self.0 % slice.len()]
+    }
+
+    /// The index this draw selects for a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index with len 0");
+        self.0 % len
+    }
+}

@@ -1,0 +1,149 @@
+//! Generator for the regex subset this workspace's tests use as string
+//! strategies: literals, `[...]` character classes with ranges, `.`,
+//! escaped characters, `\PC` (printable), and `{m}` / `{m,n}` repetition.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One character drawn from this set.
+    Class(Vec<char>),
+    /// Exactly this character.
+    Literal(char),
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..0x7F).map(char::from).collect()
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = prev.take().expect("range start");
+                let hi = chars.next().expect("range end");
+                for v in lo as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = prev.take() {
+                    set.push(p);
+                }
+                prev = Some(chars.next().expect("escape in class"));
+            }
+            _ => {
+                if let Some(p) = prev.take() {
+                    set.push(p);
+                }
+                prev = Some(c);
+            }
+        }
+    }
+    if let Some(p) = prev {
+        set.push(p);
+    }
+    assert!(!set.is_empty(), "empty character class");
+    set
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut out = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '.' => Atom::Class(printable_ascii()),
+            '\\' => {
+                let e = chars.next().expect("dangling escape");
+                match e {
+                    // `\PC` — "not a control character"; approximated as
+                    // printable ASCII, a valid subset for generation.
+                    'P' => {
+                        let cat = chars.next().expect("category after \\P");
+                        assert_eq!(cat, 'C', "only \\PC is supported");
+                        Atom::Class(printable_ascii())
+                    }
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut s: Vec<char> = ('a'..='z').collect();
+                        s.extend('A'..='Z');
+                        s.extend('0'..='9');
+                        s.push('_');
+                        Atom::Class(s)
+                    }
+                    other => Atom::Literal(other),
+                }
+            }
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().expect("repetition lower bound"),
+                    b.parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse(pattern) {
+        let count = if lo == hi { lo } else { rng.random_range(lo..hi + 1) };
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.random_range(0..set.len())]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn patterns_shape_output() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let id = generate("[a-z][a-z0-9_]{0,10}", &mut rng);
+            assert!((1..=11).contains(&id.len()), "{id:?}");
+            assert!(id.chars().next().unwrap().is_ascii_lowercase());
+            let f = generate("[a-z]{1,8}\\.c", &mut rng);
+            assert!(f.ends_with(".c"), "{f:?}");
+            let any = generate("\\PC{0,300}", &mut rng);
+            assert!(any.len() <= 300);
+            assert!(any.chars().all(|c| !c.is_control()));
+        }
+    }
+}
