@@ -28,19 +28,27 @@ fn main() {
 
     println!("\nparallel + cached compile pipeline (same router, byte-identical images)\n");
     println!(
-        "  {:<12} {:>4}  {:>12} {:>12}  {:>9} {:>6}",
-        "mode", "jobs", "compile ms", "total ms", "compiled", "hits"
+        "  {:<12} {:>4}  {:>12} {:>12}  {:>9} {:>7} {:>6}",
+        "mode", "jobs", "compile ms", "total ms", "compiled", "reused", "hits"
     );
     let rows = bench::build_time_modes();
     for r in &rows {
         println!(
-            "  {:<12} {:>4}  {:>12.3} {:>12.3}  {:>9} {:>6}",
-            r.mode, r.jobs, r.compile_ms, r.total_ms, r.units_compiled, r.cache_hits
+            "  {:<12} {:>4}  {:>12.3} {:>12.3}  {:>9} {:>7} {:>6}",
+            r.mode,
+            r.jobs,
+            r.compile_ms,
+            r.total_ms,
+            r.units_compiled,
+            r.units_reused,
+            r.cache_hits
         );
     }
     let serial = &rows[0];
     let parallel = &rows[1];
     let warm = &rows[2];
+    let incremental = &rows[3];
+    let incr_edit = &rows[4];
     if parallel.jobs > 1 && knit::default_jobs() > 1 {
         println!(
             "\n  parallel compile speedup over serial: {:.2}x ({} cores available)",
@@ -59,5 +67,13 @@ fn main() {
         warm.units_compiled,
         warm.compile_ms,
         warm.compile_ms / serial.compile_ms * 100.0
+    );
+    println!(
+        "  incremental no-op rebuild: {} recompiles, {:.3} ms total ({:.3} ms warm)",
+        incremental.units_compiled, incremental.total_ms, warm.total_ms
+    );
+    println!(
+        "  incremental one-file edit: {} recompile + {} reused, {:.3} ms total",
+        incr_edit.units_compiled, incr_edit.units_reused, incr_edit.total_ms
     );
 }

@@ -430,10 +430,12 @@ unit DeepLockKernel = {
 // §6 build-time breakdown
 // ---------------------------------------------------------------------------
 
-/// One row of the serial / parallel / warm-cache build comparison.
+/// One row of the serial / parallel / warm-cache / incremental build
+/// comparison.
 #[derive(Debug, Clone)]
 pub struct BuildModeRow {
-    /// `"serial"`, `"parallel"`, or `"warm cache"`.
+    /// `"serial"`, `"parallel"`, `"warm cache"`, `"incremental"`, or
+    /// `"incr edit"`.
     pub mode: &'static str,
     /// `BuildOptions::jobs` used for the build.
     pub jobs: usize,
@@ -443,15 +445,21 @@ pub struct BuildModeRow {
     pub total_ms: f64,
     /// Units that went through the C compiler (cache misses).
     pub units_compiled: usize,
+    /// Units reused without recompiling (cache hits + session memo).
+    pub units_reused: usize,
     /// Units served from the compile cache.
     pub cache_hits: usize,
 }
 
-/// Build the modular Clack router three ways — serial cold (`jobs = 1`,
+/// Build the modular Clack router five ways — serial cold (`jobs = 1`,
 /// empty cache), parallel cold (`jobs = `[`knit::default_jobs`]` max 2`,
-/// empty cache), and warm (same jobs, through the cache the parallel
-/// build just filled, so every unit should hit) — and report per-mode
-/// timings. Asserts all three images are byte-identical; the speedup of
+/// empty cache), warm (same jobs, through the cache the parallel build
+/// just filled, so every unit should hit), incremental no-op (a
+/// [`knit::BuildSession`] rebuilt with nothing changed — the full-reuse
+/// fast path), and incremental edit (the same session after one `.c`
+/// file changes — exactly one recompile) — and report per-mode timings.
+/// Asserts the cold/warm/no-op images are byte-identical and that the
+/// edited rebuild equals a cold build of the edited tree; the speedup of
 /// the parallel row over the serial row is bounded by the machine's core
 /// count (on one core the two rows measure the same work).
 pub fn build_time_modes() -> Vec<BuildModeRow> {
@@ -470,7 +478,8 @@ pub fn build_time_modes() -> Vec<BuildModeRow> {
         jobs: r.jobs,
         compile_ms: compile_ms(r),
         total_ms: total_ms(r),
-        units_compiled: r.stats.cache_misses,
+        units_compiled: r.stats.units_compiled,
+        units_reused: r.stats.units_reused,
         cache_hits: r.stats.cache_hits,
     };
 
@@ -488,7 +497,37 @@ pub fn build_time_modes() -> Vec<BuildModeRow> {
     assert_eq!(parallel.image, warm.image, "the cache must not change the image");
     assert_eq!(warm.stats.cache_misses, 0, "warm rebuild must recompile nothing");
 
-    vec![row("serial", &serial), row("parallel", &parallel), row("warm cache", &warm)]
+    // Incremental rows: a persistent session over the same inputs, sharing
+    // the warm compile cache. The first build populates the session's memo
+    // (all cache hits); the second is the unchanged fast path; then one
+    // source edit invalidates exactly one unit.
+    let mut session = knit::BuildSession::from_parts(p.clone(), t.clone(), par_opts.clone())
+        .with_cache(cache.clone());
+    session.build().expect("session warm build");
+    let noop = session.build().expect("incremental no-op build");
+    assert_eq!(noop.image, warm.image, "no-op rebuild must not change the image");
+    assert_eq!(noop.stats.units_compiled, 0, "no-op rebuild must recompile nothing");
+
+    let edited = format!(
+        "{}\nstatic int knit_bench_poke;\n",
+        t.get("counter.c").expect("router uses counter.c")
+    );
+    session.update_source("counter.c", &edited);
+    let incr = session.build().expect("incremental edit build");
+    let mut t2 = t.clone();
+    t2.add("counter.c", edited);
+    let cold_edited =
+        build_with_cache(&p, &t2, &par_opts, &BuildCache::new()).expect("cold edited build");
+    assert_eq!(incr.image, cold_edited.image, "incremental rebuild must match a cold build");
+    assert_eq!(incr.stats.units_compiled, 1, "one edit must recompile exactly one unit");
+
+    vec![
+        row("serial", &serial),
+        row("parallel", &parallel),
+        row("warm cache", &warm),
+        row("incremental", &noop),
+        row("incr edit", &incr),
+    ]
 }
 
 /// Per-phase build times for a configuration.

@@ -27,11 +27,12 @@ fn table2_smoke() {
 
 #[test]
 fn build_time_modes_smoke() {
-    // build_time_modes itself asserts byte-identical images across all
-    // three modes and a zero-recompile warm rebuild
+    // build_time_modes itself asserts byte-identical images across modes,
+    // a zero-recompile warm rebuild, and the one-edit-one-recompile law
     let rows = build_time_modes();
-    assert_eq!(rows.len(), 3);
+    assert_eq!(rows.len(), 5);
     let (serial, parallel, warm) = (&rows[0], &rows[1], &rows[2]);
+    let (incremental, incr_edit) = (&rows[3], &rows[4]);
     assert_eq!(serial.mode, "serial");
     assert_eq!(serial.jobs, 1);
     assert_eq!(serial.cache_hits, 0);
@@ -41,6 +42,18 @@ fn build_time_modes_smoke() {
     assert_eq!(warm.mode, "warm cache");
     assert_eq!(warm.units_compiled, 0, "warm rebuild recompiles nothing");
     assert_eq!(warm.cache_hits, serial.units_compiled);
+    assert_eq!(incremental.mode, "incremental");
+    assert_eq!(incremental.units_compiled, 0, "no-op rebuild recompiles nothing");
+    assert_eq!(incremental.units_reused, warm.units_compiled + warm.units_reused);
+    assert!(
+        incremental.total_ms < warm.total_ms,
+        "incremental no-op ({:.3} ms) must beat the warm rebuild ({:.3} ms)",
+        incremental.total_ms,
+        warm.total_ms
+    );
+    assert_eq!(incr_edit.mode, "incr edit");
+    assert_eq!(incr_edit.units_compiled, 1, "one edit, one recompile");
+    assert!(incr_edit.units_reused > 0, "every other unit is reused");
     for r in &rows {
         assert!(r.compile_ms >= 0.0 && r.total_ms >= r.compile_ms);
     }

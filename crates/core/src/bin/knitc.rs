@@ -9,15 +9,26 @@
 //! knitc --root WebServer --src ./demo demo/webserver.unit
 //! knitc --root WebServer --src ./demo --run demo/webserver.unit
 //! knitc --root WebServer --src ./demo --no-flatten --no-check ...
+//! knitc --root WebServer --src ./demo --watch demo/webserver.unit
 //! ```
 //!
 //! Every `.c`/`.h` file under `--src` (recursively) becomes available to
 //! `files { … }` clauses under its path relative to the source directory.
+//! Builds run through an incremental [`BuildSession`]; `--watch` polls the
+//! input files and rebuilds exactly the invalidated work on every save.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::{Duration, SystemTime};
 
-use knit::{build_with_cache, BuildCache, BuildOptions, Program, SourceTree};
+use knit::{build_with_cache, BuildOptions, BuildReport, BuildSession, KnitError, SourceTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum ErrorFormat {
+    Human,
+    Json,
+}
 
 struct Args {
     root: Option<String>,
@@ -30,12 +41,15 @@ struct Args {
     verbose: bool,
     jobs: Option<usize>,
     cache: bool,
+    watch: bool,
+    error_format: ErrorFormat,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: knitc --root <Unit> [--src <dir>]... [--run] [--entry <member>]\n\
          \x20             [--no-flatten] [--no-check] [--jobs <N>] [--cache]\n\
+         \x20             [--watch] [--error-format <human|json>]\n\
          \x20             [-v] <file.unit>...\n\
          \n\
          builds the root unit from the given .unit files, with C sources\n\
@@ -45,7 +59,12 @@ fn usage() -> ! {
          --jobs <N>  compile up to N units concurrently (default: all cores;\n\
          \x20            the produced image is identical for every N)\n\
          --cache     rebuild once through a warm compile cache and report\n\
-         \x20            the hit rate (demonstrates incremental rebuilds)"
+         \x20            the hit rate (demonstrates incremental rebuilds)\n\
+         --watch     keep running: poll the .unit and source files and\n\
+         \x20            incrementally rebuild whenever one changes\n\
+         --error-format <human|json>\n\
+         \x20            render build errors as human-readable diagnostics\n\
+         \x20            (default) or as one JSON object per line"
     );
     std::process::exit(2);
 }
@@ -62,6 +81,16 @@ fn parse_args() -> Args {
         verbose: false,
         jobs: None,
         cache: false,
+        watch: false,
+        error_format: ErrorFormat::Human,
+    };
+    let set_format = |args: &mut Args, v: &str| match v {
+        "human" => args.error_format = ErrorFormat::Human,
+        "json" => args.error_format = ErrorFormat::Json,
+        other => {
+            eprintln!("knitc: --error-format must be `human` or `json`, got `{other}`");
+            usage();
+        }
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -79,8 +108,17 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--error-format" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                set_format(&mut args, &v);
+            }
+            other if other.starts_with("--error-format=") => {
+                let v = other["--error-format=".len()..].to_string();
+                set_format(&mut args, &v);
+            }
             "--cache" => args.cache = true,
             "--run" => args.run = true,
+            "--watch" => args.watch = true,
             "--no-flatten" => args.flatten = false,
             "--no-check" => args.check = false,
             "-v" | "--verbose" => args.verbose = true,
@@ -98,107 +136,51 @@ fn parse_args() -> Args {
     args
 }
 
-fn load_sources(tree: &mut SourceTree, base: &Path, dir: &Path) -> std::io::Result<()> {
+/// Recursively load `.c`/`.h` files under `dir` into `tree` (keyed by path
+/// relative to `base`), recording each file's on-disk path for `--watch`.
+fn load_sources(
+    tree: &mut SourceTree,
+    base: &Path,
+    dir: &Path,
+    watched: &mut Vec<(PathBuf, String)>,
+) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
         if path.is_dir() {
-            load_sources(tree, base, &path)?;
+            load_sources(tree, base, &path, watched)?;
         } else if matches!(path.extension().and_then(|e| e.to_str()), Some("c" | "h")) {
             let rel = path.strip_prefix(base).unwrap_or(&path);
+            let rel = rel.to_string_lossy().replace('\\', "/");
             let text = std::fs::read_to_string(&path)?;
-            tree.add(rel.to_string_lossy().replace('\\', "/"), text);
+            tree.add(rel.clone(), text);
+            watched.push((path, rel));
         }
     }
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args = parse_args();
-
-    let mut program = Program::new();
-    for f in &args.unit_files {
-        let text = match std::fs::read_to_string(f) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("knitc: cannot read {}: {e}", f.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Err(e) = program.load_str(&f.to_string_lossy(), &text) {
-            eprintln!("knitc: {e}");
-            return ExitCode::FAILURE;
+/// Print a build error through the structured diagnostics API.
+fn report_error(e: &KnitError, format: ErrorFormat) {
+    for d in e.diagnostics() {
+        match format {
+            ErrorFormat::Human => eprintln!("knitc: {}", d.human()),
+            ErrorFormat::Json => eprintln!("{}", d.json()),
         }
     }
+}
 
-    let mut tree = SourceTree::new();
-    for dir in &args.src_dirs {
-        if let Err(e) = load_sources(&mut tree, dir, dir) {
-            eprintln!("knitc: reading sources under {}: {e}", dir.display());
-            return ExitCode::FAILURE;
-        }
-    }
-
-    let mut opts =
-        BuildOptions::new(args.root.clone().expect("validated"), machine::runtime_symbols());
-    opts.entry = args.entry.clone();
-    opts.flatten = args.flatten;
-    opts.check_constraints = args.check;
-    if let Some(jobs) = args.jobs {
-        opts.jobs = jobs;
-    }
-
-    let cache = BuildCache::new();
-    let cold = match build_with_cache(&program, &tree, &opts, &cache) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("knitc: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let report = if args.cache {
-        // Rebuild through the now-warm cache: every unit whose content is
-        // unchanged (here: all of them) skips the C compiler.
-        let warm = match build_with_cache(&program, &tree, &opts, &cache) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("knitc: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let compile_ms = |r: &knit::BuildReport| {
-            r.phases
-                .iter()
-                .find(|(n, _)| *n == "compile")
-                .map(|(_, d)| d.as_secs_f64() * 1e3)
-                .unwrap_or(0.0)
-        };
-        println!(
-            "knitc: warm rebuild: {} cache hits, {} recompiles; compile phase {:.3} ms (cold: {:.3} ms)",
-            warm.stats.cache_hits,
-            warm.stats.cache_misses,
-            compile_ms(&warm),
-            compile_ms(&cold)
-        );
-        if warm.image != cold.image {
-            eprintln!("knitc: internal error: warm rebuild produced a different image");
-            return ExitCode::FAILURE;
-        }
-        warm
-    } else {
-        cold
-    };
-
+fn print_report(root: &str, report: &BuildReport, verbose: bool) {
     println!(
         "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text ({} jobs)",
-        opts.root,
+        root,
         report.stats.instances,
-        report.stats.units_compiled,
+        report.stats.units_compiled + report.stats.units_reused,
         report.stats.objects,
         report.stats.text_size,
         report.jobs
     );
-    if args.verbose {
+    if verbose {
         println!("initializer schedule:");
         for s in &report.schedule {
             println!("  {s}");
@@ -230,33 +212,208 @@ fn main() -> ExitCode {
             );
         }
     }
+}
 
-    if args.run {
-        let mut m = match machine::Machine::new(report.image) {
-            Ok(m) => m,
+/// Run the image on the simulated machine, forwarding console output to
+/// stdout and the serial port to stderr.
+fn run_image(report: &BuildReport) -> Result<i64, ExitCode> {
+    let mut m = match machine::Machine::new(report.image.clone()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("knitc: machine: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    match m.run_entry() {
+        Ok(code) => {
+            if !m.console.output.is_empty() {
+                print!("{}", m.console.output);
+            }
+            if !m.serial.output.is_empty() {
+                eprint!("{}", m.serial.output);
+            }
+            println!("knitc: program exited with code {code}");
+            Ok(code)
+        }
+        Err(e) => {
+            eprintln!("knitc: runtime fault: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn mtime(path: &Path) -> Option<SystemTime> {
+    std::fs::metadata(path).and_then(|m| m.modified()).ok()
+}
+
+/// Poll the `.unit` files and source files every 300 ms, feed edits into
+/// the session, and incrementally rebuild. Runs until interrupted.
+fn watch_loop(mut session: BuildSession, args: &Args, sources: Vec<(PathBuf, String)>) -> ExitCode {
+    let root = args.root.clone().expect("validated");
+    let mut mtimes: BTreeMap<PathBuf, Option<SystemTime>> = BTreeMap::new();
+    for f in args.unit_files.iter().chain(sources.iter().map(|(p, _)| p)) {
+        mtimes.insert(f.clone(), mtime(f));
+    }
+    eprintln!("knitc: watching {} files for `{}` (Ctrl-C to stop)", mtimes.len(), root);
+    loop {
+        std::thread::sleep(Duration::from_millis(300));
+        let mut changed = false;
+        for f in &args.unit_files {
+            let now = mtime(f);
+            if mtimes.get(f) == Some(&now) {
+                continue;
+            }
+            mtimes.insert(f.clone(), now);
+            match std::fs::read_to_string(f) {
+                Ok(text) => {
+                    if let Err(e) = session.update_unit(&f.to_string_lossy(), &text) {
+                        report_error(&e, args.error_format);
+                        continue; // program unchanged (redefine is transactional)
+                    }
+                    changed = true;
+                }
+                Err(e) => eprintln!("knitc: cannot read {}: {e}", f.display()),
+            }
+        }
+        for (path, rel) in &sources {
+            let now = mtime(path);
+            if mtimes.get(path) == Some(&now) {
+                continue;
+            }
+            mtimes.insert(path.clone(), now);
+            match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    session.update_source(rel, &text);
+                    changed = true;
+                }
+                Err(e) => eprintln!("knitc: cannot read {}: {e}", path.display()),
+            }
+        }
+        if !changed {
+            continue;
+        }
+        match session.build() {
+            Ok(report) => {
+                println!(
+                    "knitc: rebuilt `{}`: {} recompiled, {} reused, {} bytes of text",
+                    root,
+                    report.stats.units_compiled,
+                    report.stats.units_reused,
+                    report.stats.text_size
+                );
+                if args.verbose {
+                    print_report(&root, &report, true);
+                }
+                if args.run {
+                    let _ = run_image(&report);
+                }
+            }
+            Err(e) => report_error(&e, args.error_format),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    let mut opts =
+        BuildOptions::new(args.root.clone().expect("validated"), machine::runtime_symbols());
+    opts.entry = args.entry.clone();
+    opts.flatten = args.flatten;
+    opts.check_constraints = args.check;
+    if let Some(jobs) = args.jobs {
+        opts.jobs = jobs;
+    }
+
+    let mut session = BuildSession::new(opts);
+    for f in &args.unit_files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
             Err(e) => {
-                eprintln!("knitc: machine: {e}");
+                eprintln!("knitc: cannot read {}: {e}", f.display());
                 return ExitCode::FAILURE;
             }
         };
-        match m.run_entry() {
+        if let Err(e) = session.load_units(&f.to_string_lossy(), &text) {
+            report_error(&e, args.error_format);
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut sources: Vec<(PathBuf, String)> = Vec::new();
+    for dir in &args.src_dirs {
+        let mut tree = SourceTree::new();
+        if let Err(e) = load_sources(&mut tree, dir, dir, &mut sources) {
+            eprintln!("knitc: reading sources under {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (path, text) in tree.iter() {
+            session.update_source(path, text);
+        }
+    }
+
+    let cold = match session.build() {
+        Ok(r) => r,
+        Err(e) => {
+            report_error(&e, args.error_format);
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = if args.cache {
+        // Rebuild through the now-warm compile cache (a fresh one-shot
+        // build, deliberately bypassing the session's memo): every unit
+        // whose content is unchanged (here: all of them) skips the C
+        // compiler.
+        let warm = match build_with_cache(
+            session.program(),
+            session.tree(),
+            session.options(),
+            session.cache(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                report_error(&e, args.error_format);
+                return ExitCode::FAILURE;
+            }
+        };
+        let compile_ms = |r: &BuildReport| {
+            r.phases
+                .iter()
+                .find(|(n, _)| *n == "compile")
+                .map(|(_, d)| d.as_secs_f64() * 1e3)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "knitc: warm rebuild: {} cache hits, {} recompiles; compile phase {:.3} ms (cold: {:.3} ms)",
+            warm.stats.cache_hits,
+            warm.stats.cache_misses,
+            compile_ms(&warm),
+            compile_ms(&cold)
+        );
+        if warm.image != cold.image {
+            eprintln!("knitc: internal error: warm rebuild produced a different image");
+            return ExitCode::FAILURE;
+        }
+        warm
+    } else {
+        cold
+    };
+
+    print_report(args.root.as_deref().expect("validated"), &report, args.verbose);
+
+    if args.run {
+        match run_image(&report) {
             Ok(code) => {
-                if !m.console.output.is_empty() {
-                    print!("{}", m.console.output);
-                }
-                if !m.serial.output.is_empty() {
-                    eprint!("{}", m.serial.output);
-                }
-                println!("knitc: program exited with code {code}");
                 if code != 0 {
                     return ExitCode::from((code & 0xff) as u8);
                 }
             }
-            Err(e) => {
-                eprintln!("knitc: runtime fault: {e}");
-                return ExitCode::FAILURE;
-            }
+            Err(code) => return code,
         }
+    }
+
+    if args.watch {
+        return watch_loop(session, &args, sources);
     }
     ExitCode::SUCCESS
 }

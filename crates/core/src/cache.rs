@@ -70,7 +70,12 @@ impl StableHasher {
 }
 
 /// A reusable, thread-safe compile cache, handed to
-/// [`build_with_cache`](crate::driver::build_with_cache).
+/// [`build_with_cache`](crate::driver::build_with_cache) and owned by every
+/// [`BuildSession`](crate::session::BuildSession).
+///
+/// Cloning a `BuildCache` is cheap and the clone **shares storage** with
+/// the original (it is an `Arc` handle), so several sessions — or a session
+/// and a one-shot `build_with_cache` call — can warm each other.
 ///
 /// [`build`](crate::driver::build) creates a throwaway cache per call (a
 /// cold build); keep one `BuildCache` across builds to make rebuilds warm:
@@ -94,9 +99,9 @@ impl StableHasher {
 /// assert_eq!(warm.stats.cache_misses, 0);
 /// assert_eq!(cold.image, warm.image);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BuildCache {
-    entries: Mutex<HashMap<u64, Arc<CompiledUnit>>>,
+    entries: Arc<Mutex<HashMap<u64, Arc<CompiledUnit>>>>,
 }
 
 impl BuildCache {

@@ -15,16 +15,28 @@
 //! instantiated unit's annotations, propagates them across the linking
 //! graph to a fixpoint, and reports violations with the two blame
 //! annotations that conflict. This is how the paper caught "code executing
-//! without a process context [calling] code that requires a process
+//! without a process context \[calling\] code that requires a process
 //! context" in existing OSKit kernels.
 
 use std::collections::BTreeMap;
 
 use knit_lang::ast::{COp, CTarget, CTerm, Constraint, UnitDecl};
+use knit_lang::token::Span;
 
 use crate::elaborate::{Elaboration, Wire};
 use crate::error::KnitError;
 use crate::model::{Poset, Program};
+
+/// A blame location: the `.unit` file and position of an annotation.
+type Site = Option<(String, Span)>;
+
+/// Attach a site to an error, when one is known.
+fn at_site(e: KnitError, site: &Site) -> KnitError {
+    match site {
+        Some((f, s)) => e.at(f, *s),
+        None => e,
+    }
+}
 
 /// Result of a successful check, with the statistics the paper reports in
 /// §5.1 (units annotated, constraints checked).
@@ -66,6 +78,8 @@ struct NConstraint {
     op: COp,
     rhs: Term,
     provenance: String,
+    /// Where the source constraint was written.
+    site: Site,
 }
 
 /// Check all constraints in the elaborated program.
@@ -238,6 +252,8 @@ impl<'a> Checker<'a> {
                     self.el.nodes[node].path,
                     describe(c)
                 );
+                let site: Site =
+                    self.program.unit_site(&unit_name).map(|(f, _)| (f.to_string(), c.span));
                 // cross product (aggregate targets expand)
                 for l in &lhs_terms {
                     for r in &rhs_terms {
@@ -247,6 +263,7 @@ impl<'a> Checker<'a> {
                             op: c.op,
                             rhs: r.clone(),
                             provenance: provenance.clone(),
+                            site: site.clone(),
                         });
                     }
                 }
@@ -256,8 +273,8 @@ impl<'a> Checker<'a> {
     }
 
     fn solve(&mut self) -> Result<ConstraintReport, KnitError> {
-        // bounds per (property, var)
-        type Bound = Option<(String, String)>; // (value, provenance)
+        // bounds per (property, var): (value, provenance, blame site)
+        type Bound = Option<(String, String, Site)>;
         let mut ub: BTreeMap<(String, Var), Bound> = BTreeMap::new();
         let mut lb: BTreeMap<(String, Var), Bound> = BTreeMap::new();
 
@@ -265,22 +282,28 @@ impl<'a> Checker<'a> {
                           slot: &mut Bound,
                           value: &str,
                           why: &str,
+                          site: &Site,
                           prop: &str|
          -> Result<bool, KnitError> {
             match slot {
                 None => {
-                    *slot = Some((value.to_string(), why.to_string()));
+                    *slot = Some((value.to_string(), why.to_string(), site.clone()));
                     Ok(true)
                 }
-                Some((cur, _)) => {
-                    let m = poset.meet(cur, value).ok_or_else(|| KnitError::NoMeet {
-                        property: prop.to_string(),
-                        a: cur.clone(),
-                        b: value.to_string(),
-                        context: why.to_string(),
+                Some((cur, _, _)) => {
+                    let m = poset.meet(cur, value).ok_or_else(|| {
+                        at_site(
+                            KnitError::NoMeet {
+                                property: prop.to_string(),
+                                a: cur.clone(),
+                                b: value.to_string(),
+                                context: why.to_string(),
+                            },
+                            site,
+                        )
                     })?;
                     if m != *cur {
-                        *slot = Some((m, why.to_string()));
+                        *slot = Some((m, why.to_string(), site.clone()));
                         Ok(true)
                     } else {
                         Ok(false)
@@ -292,22 +315,28 @@ impl<'a> Checker<'a> {
                         slot: &mut Bound,
                         value: &str,
                         why: &str,
+                        site: &Site,
                         prop: &str|
          -> Result<bool, KnitError> {
             match slot {
                 None => {
-                    *slot = Some((value.to_string(), why.to_string()));
+                    *slot = Some((value.to_string(), why.to_string(), site.clone()));
                     Ok(true)
                 }
-                Some((cur, _)) => {
-                    let j = poset.join(cur, value).ok_or_else(|| KnitError::NoMeet {
-                        property: prop.to_string(),
-                        a: cur.clone(),
-                        b: value.to_string(),
-                        context: why.to_string(),
+                Some((cur, _, _)) => {
+                    let j = poset.join(cur, value).ok_or_else(|| {
+                        at_site(
+                            KnitError::NoMeet {
+                                property: prop.to_string(),
+                                a: cur.clone(),
+                                b: value.to_string(),
+                                context: why.to_string(),
+                            },
+                            site,
+                        )
                     })?;
                     if j != *cur {
-                        *slot = Some((j, why.to_string()));
+                        *slot = Some((j, why.to_string(), site.clone()));
                         Ok(true)
                     } else {
                         Ok(false)
@@ -331,35 +360,43 @@ impl<'a> Checker<'a> {
                     match (lo, hi) {
                         (Term::Const(a), Term::Const(b)) => {
                             if !poset.leq(a, b) {
-                                return Err(KnitError::ConstraintViolation {
-                                    property: c.prop.clone(),
-                                    explanation: format!(
-                                        "`{a}` <= `{b}` does not hold ({})",
-                                        c.provenance
-                                    ),
-                                });
+                                return Err(at_site(
+                                    KnitError::ConstraintViolation {
+                                        property: c.prop.clone(),
+                                        explanation: format!(
+                                            "`{a}` <= `{b}` does not hold ({})",
+                                            c.provenance
+                                        ),
+                                    },
+                                    &c.site,
+                                ));
                             }
                         }
                         (Term::Var(v), Term::Const(b)) => {
                             let slot = ub.entry((c.prop.clone(), *v)).or_default();
-                            changed |= tighten_ub(poset, slot, b, &c.provenance, &c.prop)?;
+                            changed |= tighten_ub(poset, slot, b, &c.provenance, &c.site, &c.prop)?;
                         }
                         (Term::Const(a), Term::Var(v)) => {
                             let slot = lb.entry((c.prop.clone(), *v)).or_default();
-                            changed |= raise_lb(poset, slot, a, &c.provenance, &c.prop)?;
+                            changed |= raise_lb(poset, slot, a, &c.provenance, &c.site, &c.prop)?;
                         }
                         (Term::Var(a), Term::Var(b)) => {
                             // a <= b: a inherits b's upper bound; b inherits
-                            // a's lower bound.
-                            if let Some(Some((bv, bw))) = ub.get(&(c.prop.clone(), *b)).cloned() {
+                            // a's lower bound. The blame site stays with the
+                            // originating annotation, not the propagation
+                            // edge.
+                            if let Some(Some((bv, bw, bs))) = ub.get(&(c.prop.clone(), *b)).cloned()
+                            {
                                 let why = format!("{} (via {})", bw, c.provenance);
                                 let slot = ub.entry((c.prop.clone(), *a)).or_default();
-                                changed |= tighten_ub(poset, slot, &bv, &why, &c.prop)?;
+                                changed |= tighten_ub(poset, slot, &bv, &why, &bs, &c.prop)?;
                             }
-                            if let Some(Some((av, aw))) = lb.get(&(c.prop.clone(), *a)).cloned() {
+                            if let Some(Some((av, aw, asite))) =
+                                lb.get(&(c.prop.clone(), *a)).cloned()
+                            {
                                 let why = format!("{} (via {})", aw, c.provenance);
                                 let slot = lb.entry((c.prop.clone(), *b)).or_default();
-                                changed |= raise_lb(poset, slot, &av, &why, &c.prop)?;
+                                changed |= raise_lb(poset, slot, &av, &why, &asite, &c.prop)?;
                             }
                         }
                     }
@@ -378,16 +415,19 @@ impl<'a> Checker<'a> {
 
         // final check: lower bound must sit below upper bound
         for ((prop, var), bound) in &lb {
-            if let Some((lv, lw)) = bound {
-                if let Some(Some((uv, uw))) = ub.get(&(prop.clone(), *var)) {
+            if let Some((lv, lw, ls)) = bound {
+                if let Some(Some((uv, uw, _))) = ub.get(&(prop.clone(), *var)) {
                     let poset = &self.program.properties[prop];
                     if !poset.leq(lv, uv) {
-                        return Err(KnitError::ConstraintViolation {
-                            property: prop.clone(),
-                            explanation: format!(
-                                "requires at least `{lv}` ({lw}) but at most `{uv}` ({uw})"
-                            ),
-                        });
+                        return Err(at_site(
+                            KnitError::ConstraintViolation {
+                                property: prop.clone(),
+                                explanation: format!(
+                                    "requires at least `{lv}` ({lw}) but at most `{uv}` ({uw})"
+                                ),
+                            },
+                            ls,
+                        ));
                     }
                 }
             }
@@ -493,14 +533,16 @@ mod tests {
             }}
         "#
         );
-        match setup(&src, "Sys") {
-            Err(KnitError::ConstraintViolation { property, explanation }) => {
+        let err = setup(&src, "Sys").unwrap_err();
+        match err.root() {
+            KnitError::ConstraintViolation { property, explanation } => {
                 assert_eq!(property, "context");
                 assert!(explanation.contains("ProcessContext"), "{explanation}");
                 assert!(explanation.contains("NoContext"), "{explanation}");
             }
             other => panic!("expected violation, got {other:?}"),
         }
+        assert!(err.span().is_some(), "violation should blame a .unit position: {err}");
     }
 
     /// Same configuration but calling through a process-context entry point
@@ -587,7 +629,7 @@ mod tests {
             Ok(r) => {
                 assert_eq!(r.propagation_only_units, 1);
             }
-            Err(KnitError::ConstraintViolation { .. }) => {
+            Err(ref e) if matches!(e.root(), KnitError::ConstraintViolation { .. }) => {
                 // also acceptable: stricter propagation finds the conflict
             }
             Err(other) => panic!("unexpected error {other:?}"),

@@ -1,0 +1,143 @@
+//! Structured, span-carrying diagnostics.
+//!
+//! Every [`KnitError`](crate::error::KnitError) renders to one or more
+//! [`Diagnostic`]s via
+//! [`KnitError::diagnostics`](crate::error::KnitError::diagnostics). A
+//! diagnostic carries a stable code, a severity, the offending `.unit`
+//! source position when one is known, and remedy notes — so tools (and
+//! `knitc --error-format=json`) can consume errors without parsing prose.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A note attached to another diagnostic.
+    Note,
+    /// A non-fatal problem.
+    Warning,
+    /// A build-stopping error.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code for the error kind (`K0001`…), for grepping and docs.
+    pub code: &'static str,
+    /// Severity of this diagnostic.
+    pub severity: Severity,
+    /// Primary human-readable message (no location prefix).
+    pub message: String,
+    /// `(file, line, col)` of the offending declaration, 1-based, when the
+    /// pipeline could attribute the error to a source position.
+    pub span: Option<(String, u32, u32)>,
+    /// Additional notes: remedies, blame chains, related positions.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Render in the conventional compiler format:
+    ///
+    /// ```text
+    /// error[K0011]: file.unit:12:9: constraint violation on property `context`
+    ///   note: blame: requires at least `ProcessContext` (…)
+    /// ```
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{}[{}]: ", self.severity, self.code));
+        if let Some((file, line, col)) = &self.span {
+            out.push_str(&format!("{file}:{line}:{col}: "));
+        }
+        out.push_str(&self.message);
+        for n in &self.notes {
+            out.push_str(&format!("\n  note: {n}"));
+        }
+        out
+    }
+
+    /// Render as a single-line JSON object (no external dependencies — the
+    /// escaping covers everything our messages can contain).
+    pub fn json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":\"{}\"", self.code));
+        out.push_str(&format!(",\"severity\":\"{}\"", self.severity));
+        out.push_str(&format!(",\"message\":\"{}\"", json_escape(&self.message)));
+        match &self.span {
+            Some((file, line, col)) => out.push_str(&format!(
+                ",\"span\":{{\"file\":\"{}\",\"line\":{line},\"col\":{col}}}",
+                json_escape(file)
+            )),
+            None => out.push_str(",\"span\":null"),
+        }
+        out.push_str(",\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_format_includes_code_span_and_notes() {
+        let d = Diagnostic {
+            code: "K0011",
+            severity: Severity::Error,
+            message: "constraint violation on property `context`".into(),
+            span: Some(("sys.unit".into(), 12, 9)),
+            notes: vec!["blame: requires at least `ProcessContext`".into()],
+        };
+        let h = d.human();
+        assert!(h.starts_with("error[K0011]: sys.unit:12:9: "), "{h}");
+        assert!(h.contains("\n  note: blame:"), "{h}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let d = Diagnostic {
+            code: "K0009",
+            severity: Severity::Error,
+            message: "unit `A`: bad \"quote\"\nsecond line".into(),
+            span: None,
+            notes: vec![],
+        };
+        let j = d.json();
+        assert!(j.contains(r#""span":null"#), "{j}");
+        assert!(j.contains(r#"\"quote\"\nsecond"#), "{j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

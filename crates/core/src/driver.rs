@@ -25,23 +25,24 @@
 //! 8. link — everything through the same bag-of-objects `ld` as the
 //!    baseline, now collision-free by construction.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use cmini::CompileOptions;
 use cobj::ir::Instr;
 use cobj::object::{FuncDef, ObjectFile, Symbol};
-use cobj::{Image, LinkInput, LinkOptions};
+use cobj::Image;
 use knit_lang::ast::{AtomicBody, UnitBody, UnitDecl};
 
 use crate::cache::{BuildCache, StableHasher};
-use crate::constraints::{self, ConstraintReport};
-use crate::elaborate::{elaborate, Elaboration, Wire};
+use crate::constraints::ConstraintReport;
+use crate::elaborate::{Elaboration, Wire};
 use crate::error::KnitError;
 use crate::model::Program;
-use crate::sched::{self, Schedule};
+use crate::sched::Schedule;
 use crate::vfs::SourceTree;
 
 /// Options for one build.
@@ -89,6 +90,77 @@ impl BuildOptions {
             jobs: default_jobs(),
         }
     }
+
+    /// Start a fluent [`BuildOptionsBuilder`] for building `root`.
+    ///
+    /// ```
+    /// use knit::BuildOptions;
+    /// let opts = BuildOptions::root("Main").entry("main").jobs(4).flatten(false).build();
+    /// assert_eq!(opts.root, "Main");
+    /// assert_eq!(opts.entry.as_deref(), Some("main"));
+    /// assert_eq!(opts.jobs, 4);
+    /// assert!(!opts.flatten);
+    /// ```
+    pub fn root(root: impl Into<String>) -> BuildOptionsBuilder {
+        BuildOptionsBuilder { opts: BuildOptions::new(root, Vec::new()) }
+    }
+}
+
+/// Fluent builder for [`BuildOptions`], started by [`BuildOptions::root`].
+/// Every setter has the field's default (documented on [`BuildOptions`])
+/// until called.
+#[derive(Debug, Clone)]
+pub struct BuildOptionsBuilder {
+    opts: BuildOptions,
+}
+
+impl BuildOptionsBuilder {
+    /// Call this root export member from `__start` (it must exist).
+    #[must_use]
+    pub fn entry(mut self, member: impl Into<String>) -> Self {
+        self.opts.entry = Some(member.into());
+        self
+    }
+
+    /// Maximum concurrent unit compilations ([`BuildOptions::jobs`]).
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.opts.jobs = jobs;
+        self
+    }
+
+    /// Honor (or ignore) `flatten` markers (§6).
+    #[must_use]
+    pub fn flatten(mut self, on: bool) -> Self {
+        self.opts.flatten = on;
+        self
+    }
+
+    /// Run (or skip) the constraint checker (§4).
+    #[must_use]
+    pub fn check_constraints(mut self, on: bool) -> Self {
+        self.opts.check_constraints = on;
+        self
+    }
+
+    /// Compiler flags for units that name no `flags` declaration.
+    #[must_use]
+    pub fn default_flags(mut self, flags: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.opts.default_flags = flags.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Names the runtime provides (see `machine::runtime_symbols`).
+    #[must_use]
+    pub fn runtime_symbols(mut self, syms: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.opts.runtime_symbols = syms.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Finish, yielding the [`BuildOptions`].
+    pub fn build(self) -> BuildOptions {
+        self.opts
+    }
 }
 
 /// Aggregate statistics about a build. Everything here is a deterministic
@@ -99,8 +171,14 @@ impl BuildOptions {
 pub struct BuildStats {
     /// Atomic unit instances linked.
     pub instances: usize,
-    /// Distinct units compiled (cache hits included).
+    /// Distinct units that actually went through `cmini` this build.
+    /// Units whose objects were reused — from the [`BuildCache`] or from a
+    /// session's memoized artifacts — count in
+    /// [`BuildStats::units_reused`] instead.
     pub units_compiled: usize,
+    /// Distinct units whose compiled objects were reused without running
+    /// the compiler (cache hits plus incremental-session reuses).
+    pub units_reused: usize,
     /// Objects handed to the final link.
     pub objects: usize,
     /// Flatten groups merged.
@@ -179,185 +257,9 @@ pub fn build_with_cache(
     opts: &BuildOptions,
     cache: &BuildCache,
 ) -> Result<BuildReport, KnitError> {
-    let mut phases: Vec<(&'static str, Duration)> = Vec::new();
-    let mut timer = Instant::now();
-    macro_rules! phase {
-        ($name:literal) => {{
-            phases.push(($name, timer.elapsed()));
-            timer = Instant::now();
-        }};
-    }
-
-    if !program.units.contains_key(&opts.root) {
-        return Err(KnitError::Unknown {
-            kind: "unit",
-            name: opts.root.clone(),
-            context: "build root".to_string(),
-        });
-    }
-    let el = elaborate(program, &opts.root)?;
-    phase!("elaborate");
-
-    let constraints =
-        if opts.check_constraints { Some(constraints::check(program, &el)?) } else { None };
-    phase!("constraints");
-
-    let schedule = sched::schedule(program, &el)?;
-    phase!("schedule");
-
-    // --- compile each distinct unit once (instances share the result),
-    //     concurrently across units, through the content-hash cache ---
-    let distinct: Vec<&str> = {
-        let set: BTreeSet<&str> = el.instances.iter().map(|i| i.unit.as_str()).collect();
-        set.into_iter().collect()
-    };
-    let compile_results = run_indexed(opts.jobs, distinct.len(), |i| {
-        let start = Instant::now();
-        let r = compile_unit_cached(program, tree, distinct[i], opts, cache);
-        (r, start.elapsed())
-    });
-    let mut compiled: BTreeMap<String, Arc<CompiledUnit>> = BTreeMap::new();
-    let mut unit_compiles: Vec<UnitCompile> = Vec::with_capacity(distinct.len());
-    let (mut cache_hits, mut cache_misses) = (0usize, 0usize);
-    for (name, (result, duration)) in distinct.iter().zip(compile_results) {
-        let (cu, hit) = result?;
-        if hit {
-            cache_hits += 1;
-        } else {
-            cache_misses += 1;
-        }
-        unit_compiles.push(UnitCompile { unit: name.to_string(), duration, cache_hit: hit });
-        compiled.insert(name.to_string(), cu);
-    }
-    phase!("compile");
-
-    // --- per-instance symbol maps + objcopy rename/duplicate ---
-    let mut maps: Vec<BTreeMap<String, String>> = Vec::with_capacity(el.instances.len());
-    for inst in &el.instances {
-        maps.push(instance_symbol_map(program, &el, inst.id, compiled[&inst.unit].as_ref())?);
-    }
-    // Only instances with source translation units can be merged; units
-    // built from pre-compiled objects stay on the objcopy path even when
-    // inside a flatten group.
-    let flattened: BTreeSet<usize> = if opts.flatten {
-        el.flatten_groups
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|&id| !compiled[&el.instances[id].unit].tus.is_empty())
-            .collect()
-    } else {
-        BTreeSet::new()
-    };
-    let mut linked_objects: Vec<ObjectFile> = Vec::new();
-    for inst in &el.instances {
-        if flattened.contains(&inst.id) {
-            continue;
-        }
-        let cu = &compiled[&inst.unit];
-        for obj in &cu.objects {
-            let present: BTreeMap<String, String> = maps[inst.id]
-                .iter()
-                .filter(|(k, _)| {
-                    obj.symbols.iter().any(|s| {
-                        s.name == **k
-                            && !matches!(s.def, cobj::object::SymDef::Defined { local: true, .. })
-                    })
-                })
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect();
-            let mut renamed = cobj::objcopy::rename_symbols(obj, &present).map_err(|e| {
-                KnitError::BadDeclaration { unit: inst.unit.clone(), what: format!("objcopy: {e}") }
-            })?;
-            renamed.name = format!("{}:{}", inst.path, obj.name);
-            linked_objects.push(renamed);
-        }
-    }
-    phase!("objcopy");
-
-    // --- flatten groups (§6): source-merge + recompile, one job per group ---
-    let mut n_groups = 0usize;
-    if opts.flatten {
-        // Gather per-group work serially (cheap), then recompile the merged
-        // translation units concurrently — each group is an independent
-        // `cmini` run, and recompiles dominate this phase the same way unit
-        // compiles dominate the compile phase.
-        let mut group_jobs: Vec<(usize, Vec<flatten::FlattenInput>, BTreeSet<String>)> = Vec::new();
-        for (gi, group) in el.flatten_groups.iter().enumerate() {
-            let group_set: BTreeSet<usize> =
-                group.iter().copied().filter(|id| flattened.contains(id)).collect();
-            if group_set.is_empty() {
-                continue;
-            }
-            let mut inputs = Vec::new();
-            for &id in &group_set {
-                let inst = &el.instances[id];
-                let cu = &compiled[&inst.unit];
-                inputs.push(flatten::FlattenInput {
-                    tag: format!("k{id}"),
-                    tus: cu.tus.clone(),
-                    symbol_map: maps[id].clone(),
-                });
-            }
-            let external = group_externals(program, &el, &group_set, &schedule, &maps);
-            group_jobs.push((gi, inputs, external));
-        }
-        let copts = flatten_opts(opts);
-        let flat_results = run_indexed(opts.jobs, group_jobs.len(), |i| {
-            let (gi, inputs, external) = &group_jobs[i];
-            flatten::flatten_group(&format!("flat{gi}"), inputs, &copts, external)
-                .map_err(KnitError::Compile)
-        });
-        for ((gi, _, _), result) in group_jobs.iter().zip(flat_results) {
-            let mut obj = result?;
-            obj.name = format!("flatten-group-{gi}.o");
-            linked_objects.push(obj);
-            n_groups += 1;
-        }
-    }
-    phase!("flatten");
-
-    // --- boot object ---
-    let (boot, exports) = boot_object(program, &el, &schedule, &maps, opts)?;
-    phase!("generate");
-
-    // --- final link ---
-    let mut inputs: Vec<LinkInput> = Vec::with_capacity(linked_objects.len() + 1);
-    inputs.push(LinkInput::Object(boot));
-    let n_objects = linked_objects.len() + 1;
-    for o in linked_objects {
-        inputs.push(LinkInput::Object(o));
-    }
-    let image = cobj::link(
-        &inputs,
-        &LinkOptions {
-            entry: Some("__start".to_string()),
-            runtime_symbols: opts.runtime_symbols.clone(),
-        },
-    )?;
-    phase!("link");
-    let _ = timer;
-
-    let stats = BuildStats {
-        instances: el.instances.len(),
-        units_compiled: compiled.len(),
-        objects: n_objects,
-        flatten_groups: n_groups,
-        text_size: image.text_size,
-        cache_hits,
-        cache_misses,
-    };
-    Ok(BuildReport {
-        image,
-        phases,
-        schedule: schedule.describe(&el),
-        constraints,
-        exports,
-        stats,
-        unit_compiles,
-        jobs: opts.jobs.max(1),
-        elaboration: el,
-    })
+    let mut memo = crate::session::Memo::default();
+    let mut stats = crate::session::SessionStats::default();
+    crate::session::run_build(program, tree, opts, cache, &mut memo, &mut stats, &BTreeSet::new())
 }
 
 /// Run `task(0..n)` on up to `jobs` scoped worker threads and return the
@@ -365,7 +267,7 @@ pub fn build_with_cache(
 /// runs inline on the caller's thread — the serial baseline pays no thread
 /// overhead. Results are merged by index, so callers observe a
 /// deterministic order regardless of scheduling.
-fn run_indexed<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
+pub(crate) fn run_indexed<T, F>(jobs: usize, n: usize, task: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -403,7 +305,7 @@ where
 
 /// Compile options for flattened groups: always optimize (that is the
 /// point), with a generous inline budget.
-fn flatten_opts(opts: &BuildOptions) -> CompileOptions {
+pub(crate) fn flatten_opts(opts: &BuildOptions) -> CompileOptions {
     let mut c = CompileOptions::from_flags(&opts.default_flags).unwrap_or_default();
     c.opt = cmini::OptLevel::O2;
     c.inline_budget = 48;
@@ -434,8 +336,44 @@ enum FileInput {
     Source { file: String, expanded: String },
 }
 
-/// Compile `unit_name` through the cache. Returns the compiled unit and
-/// whether it was a cache hit.
+/// The result of pushing one unit through [`compile_unit_cached`]: the
+/// shared compiled artifact, its content-hash cache key, whether the cache
+/// supplied it, and every source-tree path the compile consulted. Misses
+/// are recorded too — a header that did not exist yet must still
+/// invalidate the unit when it appears.
+pub(crate) struct UnitBuild {
+    /// The compiled unit (possibly shared with the cache and other memos).
+    pub(crate) cu: Arc<CompiledUnit>,
+    /// The [`BuildCache`] content key — a fingerprint of everything that
+    /// can change the compiled objects.
+    pub(crate) key: u64,
+    /// Whether `cu` came out of the cache without running `cmini`.
+    pub(crate) cache_hit: bool,
+    /// Every source-tree path consulted (sources, headers, objects; hits
+    /// and misses) — the dependency ledger for incremental invalidation.
+    pub(crate) reads: BTreeSet<String>,
+}
+
+/// A [`SourceTree`] view that records every path consulted, hit or miss.
+struct RecordingTree<'a> {
+    tree: &'a SourceTree,
+    reads: RefCell<BTreeSet<String>>,
+}
+
+impl RecordingTree<'_> {
+    fn note(&self, path: &str) {
+        self.reads.borrow_mut().insert(path.to_string());
+    }
+}
+
+impl cmini::FileProvider for RecordingTree<'_> {
+    fn read_file(&self, path: &str) -> Option<String> {
+        self.note(path);
+        self.tree.get(path).map(str::to_string)
+    }
+}
+
+/// Compile `unit_name` through the cache.
 ///
 /// The key hashes everything that can change the compiled objects — the
 /// preprocessed text of every source, the structure of every pre-compiled
@@ -444,13 +382,13 @@ enum FileInput {
 /// with other units under [`BuildOptions::jobs`]; `cmini`'s entry points
 /// are pure functions of their arguments, which is what makes both the
 /// parallelism and the caching sound.
-fn compile_unit_cached(
+pub(crate) fn compile_unit_cached(
     program: &Program,
     tree: &SourceTree,
     unit_name: &str,
     opts: &BuildOptions,
     cache: &BuildCache,
-) -> Result<(Arc<CompiledUnit>, bool), KnitError> {
+) -> Result<UnitBuild, KnitError> {
     let unit = &program.units[unit_name];
     let body = atomic_body(unit);
     let flags: Vec<String> = match &body.flags {
@@ -461,6 +399,7 @@ fn compile_unit_cached(
         .map_err(|e| KnitError::BadDeclaration { unit: unit_name.to_string(), what: e })?;
 
     // --- resolve + preprocess every file, hashing as we go ---
+    let recorder = RecordingTree { tree, reads: RefCell::new(BTreeSet::new()) };
     let mut h = StableHasher::new();
     for f in &flags {
         h.write_str("flag");
@@ -474,6 +413,7 @@ fn compile_unit_cached(
     }
     let mut inputs: Vec<FileInput> = Vec::with_capacity(body.files.len());
     for file in &body.files {
+        recorder.note(file);
         // pre-compiled objects: "Knit can actually work with C, assembly,
         // and object code" (§3.2); registered objects are used as-is
         if let Some(obj) = tree.get_object(file) {
@@ -486,7 +426,7 @@ fn compile_unit_cached(
             unit: unit_name.to_string(),
             path: file.clone(),
         })?;
-        let expanded = cmini::pp::preprocess(file, src, &copts.pp, tree)?;
+        let expanded = cmini::pp::preprocess(file, src, &copts.pp, &recorder)?;
         h.write_str("src");
         h.write_str(file);
         h.write_str(&expanded);
@@ -494,7 +434,7 @@ fn compile_unit_cached(
     }
     let key = h.finish();
     if let Some(cu) = cache.lookup(key) {
-        return Ok((cu, true));
+        return Ok(UnitBuild { cu, key, cache_hit: true, reads: recorder.reads.into_inner() });
     }
 
     // --- miss: run the compiler over the preprocessed inputs ---
@@ -527,10 +467,10 @@ fn compile_unit_cached(
     undefined.retain(|n| !defined.contains(n));
     let cu = Arc::new(CompiledUnit { tus, objects, defined, undefined });
     cache.insert(key, Arc::clone(&cu));
-    Ok((cu, false))
+    Ok(UnitBuild { cu, key, cache_hit: false, reads: recorder.reads.into_inner() })
 }
 
-fn atomic_body(unit: &UnitDecl) -> &AtomicBody {
+pub(crate) fn atomic_body(unit: &UnitDecl) -> &AtomicBody {
     match &unit.body {
         UnitBody::Atomic(a) => a,
         UnitBody::Compound(_) => unreachable!("instances are atomic by construction"),
@@ -552,7 +492,7 @@ fn c_id(body: &AtomicBody, port: &str, member: &str) -> String {
 /// private per-instance mangle. Errors reproduce Knit's checks: missing
 /// export definitions, import/export C-identifier conflicts (→ rename),
 /// and references to symbols that are neither imported nor defined.
-fn instance_symbol_map(
+pub(crate) fn instance_symbol_map(
     program: &Program,
     el: &Elaboration,
     inst_id: usize,
@@ -628,7 +568,7 @@ fn instance_symbol_map(
 /// Link-visible names a flatten group must keep: exports wired to
 /// instances outside the group, root exports provided by the group, and
 /// the group's initializers/finalizers (called by the boot object).
-fn group_externals(
+pub(crate) fn group_externals(
     program: &Program,
     el: &Elaboration,
     group: &BTreeSet<usize>,
@@ -680,9 +620,23 @@ fn group_externals(
     ext
 }
 
+/// Mangled link-level name of each root export member
+/// (`"port.member"` → symbol) — the image's public call surface.
+pub(crate) fn root_exports_map(program: &Program, el: &Elaboration) -> BTreeMap<String, String> {
+    let mut exports = BTreeMap::new();
+    let root_unit = &program.units[&el.root];
+    for p in &root_unit.exports {
+        let (inst, eport) = &el.root_exports[&p.name];
+        for member in program.members_of(&p.bundle_type).expect("validated") {
+            exports.insert(format!("{}.{member}", p.name), mangle_export(*inst, eport, member));
+        }
+    }
+    exports
+}
+
 /// Generate the `__knit_boot` object: `__knit_init`, `__knit_fini`, and
 /// `__start` (init → optional entry call → fini → return).
-fn boot_object(
+pub(crate) fn boot_object(
     program: &Program,
     el: &Elaboration,
     schedule: &Schedule,
@@ -717,14 +671,7 @@ fn boot_object(
     obj.funcs.push(FuncDef { sym: fini_sym, params: 0, nregs: 0, frame_size: 0, body });
 
     // exports table: every root export member's mangled name
-    let mut exports = BTreeMap::new();
-    let root_unit = &program.units[&el.root];
-    for p in &root_unit.exports {
-        let (inst, eport) = &el.root_exports[&p.name];
-        for member in program.members_of(&p.bundle_type).expect("validated") {
-            exports.insert(format!("{}.{member}", p.name), mangle_export(*inst, eport, member));
-        }
-    }
+    let exports = root_exports_map(program, el);
 
     // __start
     let entry_member = opts.entry.clone().unwrap_or_else(|| "main".to_string());

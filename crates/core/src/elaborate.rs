@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use knit_lang::ast::{PathRef, UnitBody, UnitDecl};
+use knit_lang::token::Span;
 
 use crate::error::KnitError;
 use crate::model::Program;
@@ -26,9 +27,17 @@ use crate::model::Program;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Wire {
     /// Wired to `instances[instance]`'s export port `port`.
-    Export { instance: usize, port: String },
+    Export {
+        /// Index of the providing instance.
+        instance: usize,
+        /// The provider's export port.
+        port: String,
+    },
     /// Left open at the root: satisfied by the runtime (external world).
-    External { port: String },
+    External {
+        /// The open root import port.
+        port: String,
+    },
 }
 
 /// One atomic unit instance in the elaborated graph.
@@ -91,25 +100,29 @@ pub fn elaborate(program: &Program, root: &str) -> Result<Elaboration, KnitError
         stack: Vec::new(),
         flatten_roots: Vec::new(),
     };
-    let root_id = el.build(root, root.to_string(), None, BTreeMap::new())?;
+    let root_id = el.build(root, root.to_string(), None, BTreeMap::new(), None)?;
     // Resolve every atomic instance's imports.
     for node_id in 0..el.nodes.len() {
         if let NodeKind::Atomic { inst } = el.nodes[node_id].kind {
             let unit = &el.program.units[&el.nodes[node_id].unit_name];
             let ports: Vec<(String, String)> =
                 unit.imports.iter().map(|p| (p.name.clone(), p.bundle_type.clone())).collect();
+            let site = el.nodes[node_id].site.clone();
             for (port, ty) in ports {
-                let wire = el.resolve_import(node_id, &port)?;
-                el.check_wire_type(&wire, &ty, &el.nodes[node_id].path.clone(), &port)?;
+                let wire = el.resolve_import(node_id, &port).map_err(|e| e.at(&site.0, site.1))?;
+                el.check_wire_type(&wire, &ty, &el.nodes[node_id].path.clone(), &port)
+                    .map_err(|e| e.at(&site.0, site.1))?;
                 el.instances[inst].imports.insert(port, wire);
             }
         }
     }
     // Root exports.
     let root_unit = &program.units[root];
+    let root_site = el.nodes[root_id].site.clone();
     let mut root_exports = BTreeMap::new();
     for p in &root_unit.exports {
-        let (inst, port) = el.resolve_export(root_id, &p.name)?;
+        let (inst, port) =
+            el.resolve_export(root_id, &p.name).map_err(|e| e.at(&root_site.0, root_site.1))?;
         root_exports.insert(p.name.clone(), (inst, port));
     }
     let root_imports = root_unit.imports.iter().map(|p| p.name.clone()).collect();
@@ -130,13 +143,20 @@ pub fn elaborate(program: &Program, root: &str) -> Result<Elaboration, KnitError
     let mut nodes = Vec::new();
     for id in 0..el.nodes.len() {
         let unit = el.program.units[&el.nodes[id].unit_name].clone();
+        let site = el.nodes[id].site.clone();
         let mut imports = BTreeMap::new();
         for p in &unit.imports {
-            imports.insert(p.name.clone(), el.resolve_import(id, &p.name)?);
+            imports.insert(
+                p.name.clone(),
+                el.resolve_import(id, &p.name).map_err(|e| e.at(&site.0, site.1))?,
+            );
         }
         let mut exports = BTreeMap::new();
         for p in &unit.exports {
-            exports.insert(p.name.clone(), el.resolve_export(id, &p.name)?);
+            exports.insert(
+                p.name.clone(),
+                el.resolve_export(id, &p.name).map_err(|e| e.at(&site.0, site.1))?,
+            );
         }
         nodes.push(NodeInfo {
             unit: el.nodes[id].unit_name.clone(),
@@ -168,6 +188,10 @@ struct Node {
     bindings: BTreeMap<String, PathRef>,
     kind: NodeKind,
     flatten: bool,
+    /// `(file, position)` of the instantiation that created this node (the
+    /// `inst : Unit [ … ]` line, or the unit declaration for the root) —
+    /// the blame location for wiring errors involving this node.
+    site: (String, Span),
 }
 
 struct Elaborator<'p> {
@@ -179,12 +203,32 @@ struct Elaborator<'p> {
 }
 
 impl<'p> Elaborator<'p> {
+    /// Instantiate `unit_name`, wrapping any error with `site` — the
+    /// `.unit` position of the instantiation (or of the root unit's
+    /// declaration). Inner (more precise) locations win, so a failure deep
+    /// in a sub-compound blames the innermost offending line.
     fn build(
         &mut self,
         unit_name: &str,
         path: String,
         parent: Option<usize>,
         bindings: BTreeMap<String, PathRef>,
+        site: Option<(String, Span)>,
+    ) -> Result<usize, KnitError> {
+        let site = site
+            .or_else(|| self.program.unit_site(unit_name).map(|(f, s)| (f.to_string(), s)))
+            .unwrap_or_default();
+        self.build_inner(unit_name, path, parent, bindings, site.clone())
+            .map_err(|e| e.at(&site.0, site.1))
+    }
+
+    fn build_inner(
+        &mut self,
+        unit_name: &str,
+        path: String,
+        parent: Option<usize>,
+        bindings: BTreeMap<String, PathRef>,
+        site: (String, Span),
     ) -> Result<usize, KnitError> {
         let unit = self.program.units.get(unit_name).ok_or_else(|| KnitError::Unknown {
             kind: "unit",
@@ -238,11 +282,19 @@ impl<'p> Elaborator<'p> {
                     bindings,
                     kind: NodeKind::Atomic { inst: inst_id },
                     flatten: unit.flatten,
+                    site,
                 });
                 Ok(node_id)
             }
             UnitBody::Compound(c) => {
                 let c = c.clone();
+                // instance declarations inside this link block live in the
+                // file that declared this (compound) unit
+                let decl_file = self
+                    .program
+                    .unit_site(unit_name)
+                    .map(|(f, _)| f.to_string())
+                    .unwrap_or_else(|| site.0.clone());
                 self.nodes.push(Node {
                     unit_name: unit_name.to_string(),
                     path: path.clone(),
@@ -253,6 +305,7 @@ impl<'p> Elaborator<'p> {
                         exports: BTreeMap::new(),
                     },
                     flatten: unit.flatten,
+                    site,
                 });
                 if unit.flatten {
                     self.flatten_roots.push(node_id);
@@ -267,6 +320,7 @@ impl<'p> Elaborator<'p> {
                         format!("{path}/{}", inst.name),
                         Some(node_id),
                         child_bindings,
+                        Some((decl_file.clone(), inst.span)),
                     )?;
                     children.insert(inst.name.clone(), child);
                 }
@@ -570,7 +624,10 @@ mod tests {
             unit N = { imports [ x : T ]; exports [ y : T ]; files { "n.c" }; }
             unit Bad = { exports [ out : T ]; link { n : N; out = n.y; }; }
         "#;
-        assert!(matches!(elaborate(&program(src), "Bad"), Err(KnitError::UnboundImport { .. })));
+        let err = elaborate(&program(src), "Bad").unwrap_err();
+        assert!(matches!(err.root(), KnitError::UnboundImport { .. }), "{err:?}");
+        // the location wrapper points at the `n : N;` instantiation line
+        assert!(err.span().is_some(), "wiring errors carry a span: {err:?}");
     }
 
     #[test]
@@ -585,10 +642,8 @@ mod tests {
                 link { p : P; n : N [ x = p.y ]; out = n.y; };
             }
         "#;
-        assert!(matches!(
-            elaborate(&program(src), "Bad"),
-            Err(KnitError::BundleTypeMismatch { .. })
-        ));
+        let err = elaborate(&program(src), "Bad").unwrap_err();
+        assert!(matches!(err.root(), KnitError::BundleTypeMismatch { .. }), "{err:?}");
     }
 
     #[test]
@@ -609,13 +664,15 @@ mod tests {
             bundletype T = { f }
             unit Bad = { exports [ out : T ]; link { n : Nope; out = n.y; }; }
         "#;
-        assert!(matches!(elaborate(&program(src), "Bad"), Err(KnitError::Unknown { .. })));
+        let err = elaborate(&program(src), "Bad").unwrap_err();
+        assert!(matches!(err.root(), KnitError::Unknown { .. }), "{err:?}");
         let src2 = r#"
             bundletype T = { f }
             unit Leaf = { exports [ out : T ]; files { "l.c" }; }
             unit Bad2 = { exports [ o : T ]; link { l : Leaf; o = ghost.out; }; }
         "#;
-        assert!(matches!(elaborate(&program(src2), "Bad2"), Err(KnitError::Unknown { .. })));
+        let err2 = elaborate(&program(src2), "Bad2").unwrap_err();
+        assert!(matches!(err2.root(), KnitError::Unknown { .. }), "{err2:?}");
     }
 
     #[test]

@@ -1,50 +1,255 @@
 //! Errors for the Knit build pipeline.
+//!
+//! Every error can render itself as a structured, span-carrying
+//! [`Diagnostic`] via [`KnitError::diagnostics`]:
+//! the front end tracks source positions for every declaration, and the
+//! elaborator/constraint checker attach them with [`KnitError::at`] instead
+//! of flattening them into message strings.
 
 use std::fmt;
+
+use knit_lang::token::Span;
+
+use crate::diag::{Diagnostic, Severity};
 
 /// Any error the Knit compiler can report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KnitError {
+    /// An error located at a `.unit` source position. Wraps the underlying
+    /// error; produced by [`KnitError::at`], unwrapped by
+    /// [`KnitError::root`].
+    At {
+        /// The `.unit` file the error points into.
+        file: String,
+        /// 1-based line of the offending declaration.
+        line: u32,
+        /// 1-based column of the offending declaration.
+        col: u32,
+        /// The underlying error.
+        inner: Box<KnitError>,
+    },
     /// Front-end error in a `.unit` file.
     Lang(knit_lang::KError),
     /// Duplicate top-level declaration.
-    Duplicate { kind: &'static str, name: String },
+    Duplicate {
+        /// Declaration kind (`"unit"`, `"bundletype"`, …).
+        kind: &'static str,
+        /// The redeclared name.
+        name: String,
+    },
     /// Reference to an undeclared name (unit, bundletype, flags, property…).
-    Unknown { kind: &'static str, name: String, context: String },
+    Unknown {
+        /// Declaration kind expected (`"unit"`, `"property"`, …).
+        kind: &'static str,
+        /// The unresolved name.
+        name: String,
+        /// Where the reference appeared.
+        context: String,
+    },
     /// An instantiated unit's import was left unbound.
-    UnboundImport { instance: String, port: String },
+    UnboundImport {
+        /// Path of the instance with the dangling import.
+        instance: String,
+        /// The unwired import port.
+        port: String,
+    },
     /// A wiring connected ports of different bundle types.
-    BundleTypeMismatch { instance: String, port: String, expected: String, found: String },
+    BundleTypeMismatch {
+        /// Path of the instance whose import is miswired.
+        instance: String,
+        /// The import port.
+        port: String,
+        /// The import's declared bundle type.
+        expected: String,
+        /// The bundle type of the export it was wired to.
+        found: String,
+    },
     /// Unit code references a symbol that is neither an import, a
     /// definition of the unit, nor a runtime (`__`-prefixed) symbol.
-    UnboundSymbol { instance: String, symbol: String },
+    UnboundSymbol {
+        /// Path of the offending instance.
+        instance: String,
+        /// The unresolved C symbol.
+        symbol: String,
+    },
     /// A unit both imports and exports the same C identifier without
     /// renaming one of them (§3.2: renaming resolves the conflict).
-    NeedsRename { unit: String, c_name: String },
+    NeedsRename {
+        /// The unit with the conflict.
+        unit: String,
+        /// The doubly-bound C identifier.
+        c_name: String,
+    },
     /// A rename clause referenced an unknown port or member.
-    BadRename { unit: String, port: String, member: String },
+    BadRename {
+        /// The unit with the bad rename.
+        unit: String,
+        /// The named port.
+        port: String,
+        /// The named member.
+        member: String,
+    },
     /// An initializer/finalizer's `for` bundle is not an export port, or a
     /// depends clause referenced an unknown name.
-    BadDeclaration { unit: String, what: String },
+    BadDeclaration {
+        /// The unit with the bad declaration.
+        unit: String,
+        /// What is wrong with it.
+        what: String,
+    },
     /// Initialization order has an unbreakable cycle (§3.2: fine-grained
     /// dependencies are the tool for breaking them).
-    InitCycle { cycle: Vec<String> },
+    InitCycle {
+        /// The cycle, as `path.func` strings.
+        cycle: Vec<String>,
+    },
     /// A constraint was violated; the message carries the blame chain.
-    ConstraintViolation { property: String, explanation: String },
+    ConstraintViolation {
+        /// The violated property.
+        property: String,
+        /// The blame chain: which annotations conflict and why.
+        explanation: String,
+    },
     /// Two constraints force incomparable property values.
-    NoMeet { property: String, a: String, b: String, context: String },
+    NoMeet {
+        /// The property whose poset lacks the meet.
+        property: String,
+        /// One forced value.
+        a: String,
+        /// The other forced value.
+        b: String,
+        /// Which constraints forced them.
+        context: String,
+    },
     /// mini-C compilation failed.
     Compile(cmini::CError),
     /// Final link failed (should not happen for a validated configuration —
     /// indicates a bug or a hand-built object set).
     Link(cobj::LinkError),
     /// A `files` entry was missing from the source tree.
-    MissingSource { unit: String, path: String },
+    MissingSource {
+        /// The unit naming the file.
+        unit: String,
+        /// The missing path.
+        path: String,
+    },
+}
+
+impl KnitError {
+    /// Attach a source location. No-op when the error already carries one
+    /// ([`KnitError::At`], [`KnitError::Lang`]) or embeds its own file
+    /// position ([`KnitError::Compile`], [`KnitError::Link`]) — the
+    /// innermost, most precise location always wins.
+    #[must_use]
+    pub fn at(self, file: &str, span: Span) -> KnitError {
+        match self {
+            KnitError::At { .. }
+            | KnitError::Lang(_)
+            | KnitError::Compile(_)
+            | KnitError::Link(_) => self,
+            other => KnitError::At {
+                file: file.to_string(),
+                line: span.line,
+                col: span.col,
+                inner: Box::new(other),
+            },
+        }
+    }
+
+    /// The underlying error, with any [`KnitError::At`] location wrappers
+    /// stripped. Match on this to dispatch on the error kind.
+    pub fn root(&self) -> &KnitError {
+        match self {
+            KnitError::At { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
+
+    /// The source location this error points at, if it carries one:
+    /// `(file, line, col)`, 1-based.
+    pub fn span(&self) -> Option<(String, u32, u32)> {
+        match self {
+            KnitError::At { file, line, col, .. } => Some((file.clone(), *line, *col)),
+            KnitError::Lang(
+                knit_lang::KError::Lex { file, span, .. }
+                | knit_lang::KError::Parse { file, span, .. },
+            ) => Some((file.clone(), span.line, span.col)),
+            _ => None,
+        }
+    }
+
+    /// A stable diagnostic code for the error kind (`K0001`…), independent
+    /// of any location wrapper.
+    pub fn code(&self) -> &'static str {
+        match self.root() {
+            KnitError::At { .. } => unreachable!("root() strips At"),
+            KnitError::Lang(_) => "K0001",
+            KnitError::Duplicate { .. } => "K0002",
+            KnitError::Unknown { .. } => "K0003",
+            KnitError::UnboundImport { .. } => "K0004",
+            KnitError::BundleTypeMismatch { .. } => "K0005",
+            KnitError::UnboundSymbol { .. } => "K0006",
+            KnitError::NeedsRename { .. } => "K0007",
+            KnitError::BadRename { .. } => "K0008",
+            KnitError::BadDeclaration { .. } => "K0009",
+            KnitError::InitCycle { .. } => "K0010",
+            KnitError::ConstraintViolation { .. } => "K0011",
+            KnitError::NoMeet { .. } => "K0012",
+            KnitError::Compile(_) => "K0013",
+            KnitError::Link(_) => "K0014",
+            KnitError::MissingSource { .. } => "K0015",
+        }
+    }
+
+    /// Render the error as structured, span-carrying diagnostics.
+    ///
+    /// The primary diagnostic's message is the root error's text; the span
+    /// (when known) points at the offending `.unit` declaration; notes
+    /// carry remedies and blame chains.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut notes = Vec::new();
+        let message = match self.root() {
+            KnitError::ConstraintViolation { property, explanation } => {
+                notes.push(format!("blame: {explanation}"));
+                format!("constraint violation on property `{property}`")
+            }
+            KnitError::NeedsRename { unit, c_name } => {
+                notes.push(format!(
+                    "add `rename {{ <port>.<member> to <other_name>; }}` in unit `{unit}` (§3.2)"
+                ));
+                format!("unit `{unit}`: C identifier `{c_name}` is both imported and exported")
+            }
+            KnitError::InitCycle { cycle } => {
+                notes.push(
+                    "break the cycle with a finer `depends { … }` declaration (§3.2)".to_string(),
+                );
+                format!("initialization cycle: {}", cycle.join(" -> "))
+            }
+            KnitError::UnboundSymbol { .. } => {
+                notes.push(
+                    "either import a bundle providing it, define it, or rename the reference"
+                        .to_string(),
+                );
+                self.root().to_string()
+            }
+            other => other.to_string(),
+        };
+        vec![Diagnostic {
+            code: self.code(),
+            severity: Severity::Error,
+            message,
+            span: self.span(),
+            notes,
+        }]
+    }
 }
 
 impl fmt::Display for KnitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            KnitError::At { file, line, col, inner } => {
+                write!(f, "{file}:{line}:{col}: {inner}")
+            }
             KnitError::Lang(e) => write!(f, "{e}"),
             KnitError::Duplicate { kind, name } => write!(f, "duplicate {kind} `{name}`"),
             KnitError::Unknown { kind, name, context } => {

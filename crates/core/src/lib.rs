@@ -34,22 +34,59 @@
 //! ```
 //!
 //! Entry points: [`Program`] to register `.unit` sources, [`SourceTree`]
-//! for the C sources, and [`driver::build`] to produce a runnable image.
+//! for the C sources, and [`driver::build`] (one-shot) or a
+//! [`BuildSession`] (incremental) to produce a runnable image. Errors
+//! render to span-carrying [`Diagnostic`]s via
+//! [`KnitError::diagnostics`]. `use knit::prelude::*` pulls in the whole
+//! common surface.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod constraints;
+pub mod diag;
 pub mod driver;
 pub mod elaborate;
 pub mod error;
 pub mod model;
 pub mod sched;
+pub mod session;
 pub mod vfs;
 
 pub use cache::BuildCache;
+pub use diag::{Diagnostic, Severity};
 pub use driver::{
-    build, build_with_cache, default_jobs, BuildOptions, BuildReport, BuildStats, UnitCompile,
+    build, build_with_cache, default_jobs, BuildOptions, BuildOptionsBuilder, BuildReport,
+    BuildStats, UnitCompile,
 };
 pub use elaborate::{Elaboration, Wire};
 pub use error::KnitError;
 pub use model::Program;
+pub use session::{BuildSession, PhaseCount, Session, SessionStats};
 pub use vfs::SourceTree;
+
+/// One import for the common API surface:
+///
+/// ```
+/// use knit::prelude::*;
+///
+/// let mut s = Session::new(BuildOptions::root("App").jobs(1).build());
+/// s.load_units("app.unit", r#"
+///     bundletype Main = { main }
+///     unit App = { exports [ main : Main ]; files { "app.c" }; }
+/// "#).unwrap();
+/// s.update_source("app.c", "int main() { return 7; }");
+/// let report: BuildReport = s.build().unwrap();
+/// assert_eq!(report.stats.units_compiled, 1);
+/// ```
+pub mod prelude {
+    pub use crate::cache::BuildCache;
+    pub use crate::diag::{Diagnostic, Severity};
+    pub use crate::driver::{
+        build, build_with_cache, BuildOptions, BuildOptionsBuilder, BuildReport, BuildStats,
+    };
+    pub use crate::error::KnitError;
+    pub use crate::model::Program;
+    pub use crate::session::{BuildSession, PhaseCount, Session, SessionStats};
+    pub use crate::vfs::SourceTree;
+}

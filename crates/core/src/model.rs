@@ -5,6 +5,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use knit_lang::ast::{Decl, KnitFile, UnitDecl};
+use knit_lang::token::Span;
 
 use crate::error::KnitError;
 
@@ -109,6 +110,9 @@ pub struct Program {
     pub value_property: BTreeMap<String, String>,
     /// Unit declarations by name.
     pub units: BTreeMap<String, UnitDecl>,
+    /// Where each unit was declared: name → (file, position). Used to
+    /// attach source spans to elaboration and constraint diagnostics.
+    pub unit_sites: BTreeMap<String, (String, Span)>,
 }
 
 impl Program {
@@ -123,13 +127,45 @@ impl Program {
         self.register(kf)
     }
 
-    /// Register a parsed file's declarations.
+    /// Parse and **re**-register a `.unit` source string: declarations
+    /// whose names already exist *replace* the old ones instead of raising
+    /// a duplicate error. See [`Program::redefine`].
+    pub fn update_str(&mut self, file: &str, src: &str) -> Result<(), KnitError> {
+        let kf = knit_lang::parse(file, src)?;
+        self.redefine(kf)
+    }
+
+    /// Register a parsed file's declarations. Names that already exist are
+    /// duplicate errors.
     pub fn register(&mut self, kf: KnitFile) -> Result<(), KnitError> {
+        self.register_impl(kf, false)
+    }
+
+    /// Re-register a parsed file's declarations, replacing same-named
+    /// existing ones (units, bundletypes, flag sets; redefining a
+    /// `property` replaces the property and all its values). Removing a
+    /// declaration is not supported — start a fresh [`Program`] for that.
+    ///
+    /// The change is transactional: every unit in the program is
+    /// re-validated against the updated declarations, and on any error the
+    /// program is left unchanged.
+    pub fn redefine(&mut self, kf: KnitFile) -> Result<(), KnitError> {
+        let mut next = self.clone();
+        next.register_impl(kf, true)?;
+        for u in next.units.values() {
+            next.validate_unit(u)?;
+        }
+        *self = next;
+        Ok(())
+    }
+
+    fn register_impl(&mut self, kf: KnitFile, replace: bool) -> Result<(), KnitError> {
+        let file = kf.file.clone();
         let mut current_property: Option<String> = None;
         for d in kf.decls {
             match d {
                 Decl::BundleType(b) => {
-                    if self.bundletypes.contains_key(&b.name) {
+                    if !replace && self.bundletypes.contains_key(&b.name) {
                         return Err(KnitError::Duplicate { kind: "bundletype", name: b.name });
                     }
                     let mut seen = BTreeSet::new();
@@ -144,14 +180,19 @@ impl Program {
                     self.bundletypes.insert(b.name, b.members);
                 }
                 Decl::Flags(f) => {
-                    if self.flags.contains_key(&f.name) {
+                    if !replace && self.flags.contains_key(&f.name) {
                         return Err(KnitError::Duplicate { kind: "flags", name: f.name });
                     }
                     self.flags.insert(f.name, f.flags);
                 }
                 Decl::Property(p) => {
                     if self.properties.contains_key(&p.name) {
-                        return Err(KnitError::Duplicate { kind: "property", name: p.name });
+                        if !replace {
+                            return Err(KnitError::Duplicate { kind: "property", name: p.name });
+                        }
+                        // redefinition replaces the property wholesale
+                        self.properties.remove(&p.name);
+                        self.value_property.retain(|_, prop| prop != &p.name);
                     }
                     self.properties.insert(p.name.clone(), Poset::default());
                     current_property = Some(p.name);
@@ -172,15 +213,22 @@ impl Program {
                     self.value_property.insert(v.name, prop);
                 }
                 Decl::Unit(u) => {
-                    if self.units.contains_key(&u.name) {
+                    if !replace && self.units.contains_key(&u.name) {
                         return Err(KnitError::Duplicate { kind: "unit", name: u.name });
                     }
                     self.validate_unit(&u)?;
+                    self.unit_sites.insert(u.name.clone(), (file.clone(), u.span));
                     self.units.insert(u.name.clone(), u);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Where `unit` was declared: `(file, position)`, when it was
+    /// registered through [`Program::load_str`]/[`Program::register`].
+    pub fn unit_site(&self, unit: &str) -> Option<(&str, Span)> {
+        self.unit_sites.get(unit).map(|(f, s)| (f.as_str(), *s))
     }
 
     /// Members of a port's bundle type.

@@ -1,0 +1,1043 @@
+//! Incremental build sessions with fine-grained invalidation.
+//!
+//! A [`BuildSession`] is a persistent handle that owns the parsed
+//! [`Program`], the [`SourceTree`], a [`BuildCache`], and — the part
+//! one-shot [`build`](crate::driver::build) calls cannot have — memoized
+//! per-phase artifacts from the previous build. Edits flow in through
+//! [`BuildSession::update_source`] / [`BuildSession::update_unit`] /
+//! [`BuildSession::set_options`], and the next
+//! [`BuildSession::build`] reruns exactly the phases whose *inputs*
+//! changed:
+//!
+//! * every phase's inputs are reduced to a stable fingerprint (a span-free
+//!   hash, so comment and whitespace edits to `.unit` files change
+//!   nothing);
+//! * the compile phase additionally keeps a **dependency ledger**: the set
+//!   of source-tree paths each unit's compile consulted (including
+//!   misses), so editing one `.c` file re-runs exactly that unit's
+//!   compile, the objcopy of its instances, and the final link;
+//! * an unchanged session returns a fully cached [`BuildReport`] without
+//!   rerunning anything at all.
+//!
+//! The memoization is *correctness-first*: every reuse is keyed by a
+//! fingerprint of the complete phase input, so a session build and a cold
+//! [`build`](crate::driver::build) of the same program/sources/options
+//! always produce byte-identical images (`tests/incremental.rs` checks
+//! this property over randomized edit sequences). [`SessionStats`] counts
+//! per-phase reruns vs reuses, which is what the precision tests pin down.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cobj::object::ObjectFile;
+use cobj::{Image, LinkInput, LinkOptions};
+use knit_lang::ast::{
+    COp, CTarget, CTerm, Constraint, DepAtom, DepSide, PathRef, UnitBody, UnitDecl,
+};
+
+use crate::cache::{BuildCache, StableHasher};
+use crate::constraints::{self, ConstraintReport};
+use crate::driver::{
+    atomic_body, boot_object, compile_unit_cached, flatten_opts, group_externals,
+    instance_symbol_map, root_exports_map, run_indexed, BuildOptions, BuildReport, BuildStats,
+    CompiledUnit, UnitCompile,
+};
+use crate::elaborate::{elaborate, Elaboration};
+use crate::error::KnitError;
+use crate::model::Program;
+use crate::sched::{self, Schedule};
+use crate::vfs::SourceTree;
+
+/// How often one pipeline phase actually ran vs was served from a
+/// session's memo (or, for the compile phase, the [`BuildCache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCount {
+    /// Times the phase's work actually executed.
+    pub runs: usize,
+    /// Times a memoized (or cached) result was reused instead.
+    pub reuses: usize,
+}
+
+/// Cumulative per-phase rerun/reuse counts for one [`BuildSession`].
+///
+/// `unit_compiles`, `objcopy`, and `flatten` count per-unit / per-instance
+/// / per-group work items; the other phases count whole-phase executions.
+/// A [`BuildCache`] hit counts as a *reuse* — `runs` always means "the
+/// expensive thing actually happened".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Builds requested through [`BuildSession::build`].
+    pub builds: usize,
+    /// Builds answered entirely from the memoized previous report.
+    pub full_reuse_builds: usize,
+    /// Elaboration phase executions/reuses.
+    pub elaborate: PhaseCount,
+    /// Constraint-check phase executions/reuses.
+    pub constraints: PhaseCount,
+    /// Initializer-schedule phase executions/reuses.
+    pub schedule: PhaseCount,
+    /// Per-unit compile executions/reuses (`runs` = `cmini` ran).
+    pub unit_compiles: PhaseCount,
+    /// Per-instance objcopy executions/reuses.
+    pub objcopy: PhaseCount,
+    /// Per-group flatten recompile executions/reuses.
+    pub flatten: PhaseCount,
+    /// Boot-object generation executions/reuses.
+    pub generate: PhaseCount,
+    /// Final link executions/reuses.
+    pub link: PhaseCount,
+}
+
+/// Memoized compile artifact for one distinct unit, plus the ledger needed
+/// to decide whether it is still valid.
+#[derive(Debug)]
+struct UnitMemo {
+    /// Fingerprint of the unit's *declaration-level* compile inputs
+    /// (files list, effective flags, renames) — source *contents* are
+    /// covered by `reads` + the session dirty set instead, so deciding
+    /// reuse never re-hashes (or re-preprocesses) unchanged sources.
+    decl_fp: u64,
+    /// The unit's [`BuildCache`] content key from when it was built.
+    key: u64,
+    /// The compiled artifact.
+    cu: Arc<CompiledUnit>,
+    /// Every source-tree path the compile consulted (hits and misses).
+    reads: BTreeSet<String>,
+}
+
+/// Work-item counts from the last completed build, used to keep
+/// [`SessionStats`] honest on the fully-memoized fast path.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counts {
+    units: usize,
+    objcopy: usize,
+    groups: usize,
+}
+
+/// Memoized boot artifact: the generated boot object plus the resolved
+/// root export map.
+type BootArtifact = (ObjectFile, BTreeMap<String, String>);
+
+/// Memoized per-phase artifacts of the previous build. Every entry is
+/// keyed by a fingerprint of that phase's complete input; `run_build`
+/// reuses an entry only when the fingerprint matches exactly.
+#[derive(Debug, Default)]
+pub(crate) struct Memo {
+    elaborate: Option<(u64, Arc<Elaboration>)>,
+    constraints: Option<(u64, Option<ConstraintReport>)>,
+    schedule: Option<(u64, Arc<Schedule>)>,
+    units: BTreeMap<String, UnitMemo>,
+    objcopy: BTreeMap<usize, (u64, Vec<ObjectFile>)>,
+    flatten: BTreeMap<usize, (u64, ObjectFile)>,
+    boot: Option<(u64, BootArtifact)>,
+    link: Option<(u64, Image)>,
+    report: Option<BuildReport>,
+    opts_fp: Option<u64>,
+    counts: Counts,
+}
+
+// ---------------------------------------------------------------------------
+// fingerprints
+//
+// All fingerprints are span-free: AST nodes are hashed field by field,
+// skipping source positions, so shifting a declaration down a line (or
+// editing a comment) invalidates nothing.
+// ---------------------------------------------------------------------------
+
+fn hash_pathref(h: &mut StableHasher, p: &PathRef) {
+    match p {
+        PathRef::Name(n) => {
+            h.write_str("name");
+            h.write_str(n);
+        }
+        PathRef::Dotted(a, b) => {
+            h.write_str("dot");
+            h.write_str(a);
+            h.write_str(b);
+        }
+    }
+}
+
+/// Hash the parts of a unit declaration that elaboration can observe: the
+/// import/export interface, the compound wiring, and the flatten marker.
+/// Atomic bodies contribute only their discriminant — file lists, flags,
+/// renames, and schedules feed later phases' fingerprints instead.
+fn hash_unit_interface(h: &mut StableHasher, unit: &UnitDecl) {
+    h.write_str("unit");
+    h.write_str(&unit.name);
+    h.write_str(if unit.flatten { "flatten" } else { "plain" });
+    for p in &unit.imports {
+        h.write_str("import");
+        h.write_str(&p.name);
+        h.write_str(&p.bundle_type);
+    }
+    for p in &unit.exports {
+        h.write_str("export");
+        h.write_str(&p.name);
+        h.write_str(&p.bundle_type);
+    }
+    match &unit.body {
+        UnitBody::Atomic(_) => h.write_str("atomic"),
+        UnitBody::Compound(c) => {
+            h.write_str("compound");
+            for inst in &c.instances {
+                h.write_str("inst");
+                h.write_str(&inst.name);
+                h.write_str(&inst.unit);
+                for (port, pr) in &inst.bindings {
+                    h.write_str("bind");
+                    h.write_str(port);
+                    hash_pathref(h, pr);
+                }
+            }
+            for eb in &c.export_bindings {
+                h.write_str("eb");
+                h.write_str(&eb.export);
+                h.write_str(&eb.instance);
+                h.write_str(&eb.port);
+            }
+        }
+    }
+}
+
+/// Fingerprint of everything `elaborate(program, root)` can observe.
+fn fp_elaborate(program: &Program, root: &str) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("elaborate");
+    h.write_str(root);
+    for (name, members) in &program.bundletypes {
+        h.write_str("bt");
+        h.write_str(name);
+        for m in members {
+            h.write_str(m);
+        }
+    }
+    for unit in program.units.values() {
+        hash_unit_interface(&mut h, unit);
+    }
+    h.finish()
+}
+
+fn hash_cterm(h: &mut StableHasher, t: &CTerm) {
+    match t {
+        CTerm::Prop { prop, target } => {
+            h.write_str("prop");
+            h.write_str(prop);
+            match target {
+                CTarget::Imports => h.write_str("@imports"),
+                CTarget::Exports => h.write_str("@exports"),
+                CTarget::Name(n) => {
+                    h.write_str("@name");
+                    h.write_str(n);
+                }
+            }
+        }
+        CTerm::Value(v) => {
+            h.write_str("value");
+            h.write_str(v);
+        }
+    }
+}
+
+fn hash_constraint(h: &mut StableHasher, c: &Constraint) {
+    h.write_str("c");
+    hash_cterm(h, &c.lhs);
+    h.write_str(match c.op {
+        COp::Eq => "=",
+        COp::Le => "<=",
+    });
+    hash_cterm(h, &c.rhs);
+}
+
+/// Fingerprint of everything the constraint checker can observe: the
+/// elaboration, the property posets, value→property bindings, every unit's
+/// constraint declarations, and whether checking is enabled at all.
+fn fp_constraints(program: &Program, el_fp: u64, opts: &BuildOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("constraints");
+    h.write_u64(el_fp);
+    h.write_str(if opts.check_constraints { "check" } else { "skip" });
+    for (prop, poset) in &program.properties {
+        h.write_str("prop");
+        h.write_str(prop);
+        let values = poset.values();
+        for a in values {
+            h.write_str(a);
+            for b in values {
+                if poset.leq(a, b) {
+                    h.write_str(b);
+                }
+            }
+        }
+    }
+    for (value, prop) in &program.value_property {
+        h.write_str("vp");
+        h.write_str(value);
+        h.write_str(prop);
+    }
+    for unit in program.units.values() {
+        h.write_str("u");
+        h.write_str(&unit.name);
+        for c in &unit.constraints {
+            hash_constraint(&mut h, c);
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of everything the initializer scheduler can observe beyond
+/// the elaboration: each instantiated unit's `depends`, `initializer`, and
+/// `finalizer` declarations.
+fn fp_schedule(program: &Program, el: &Elaboration, el_fp: u64) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("schedule");
+    h.write_u64(el_fp);
+    let distinct: BTreeSet<&str> = el.instances.iter().map(|i| i.unit.as_str()).collect();
+    for name in distinct {
+        let body = atomic_body(&program.units[name]);
+        h.write_str("u");
+        h.write_str(name);
+        for d in &body.depends {
+            h.write_str("dep");
+            match &d.lhs {
+                DepSide::Exports => h.write_str("@exports"),
+                DepSide::Name(n) => {
+                    h.write_str("@name");
+                    h.write_str(n);
+                }
+            }
+            for a in &d.rhs {
+                match a {
+                    DepAtom::Imports => h.write_str("@imports"),
+                    DepAtom::Name(n) => {
+                        h.write_str("@name");
+                        h.write_str(n);
+                    }
+                }
+            }
+        }
+        for i in &body.initializers {
+            h.write_str("init");
+            h.write_str(&i.func);
+            h.write_str(&i.bundle);
+        }
+        for f in &body.finalizers {
+            h.write_str("fini");
+            h.write_str(&f.func);
+            h.write_str(&f.bundle);
+        }
+    }
+    h.finish()
+}
+
+/// Fingerprint of a unit's declaration-level compile inputs: its files
+/// list, effective flags, and renames — deliberately *not* the source
+/// contents, which the dependency ledger covers.
+fn fp_unit_decl(program: &Program, unit_name: &str, opts: &BuildOptions) -> u64 {
+    let body = atomic_body(&program.units[unit_name]);
+    let mut h = StableHasher::new();
+    h.write_str("unitdecl");
+    h.write_str(unit_name);
+    for f in &body.files {
+        h.write_str("file");
+        h.write_str(f);
+    }
+    let flags: &[String] = match &body.flags {
+        Some(name) => &program.flags[name],
+        None => &opts.default_flags,
+    };
+    for f in flags {
+        h.write_str("flag");
+        h.write_str(f);
+    }
+    for r in &body.renames {
+        h.write_str("rename");
+        h.write_str(&r.port);
+        h.write_str(&r.member);
+        h.write_str(&r.to);
+    }
+    h.finish()
+}
+
+/// Fingerprint of every build-relevant option. [`BuildOptions::jobs`] is
+/// deliberately excluded: parallelism never changes the produced image, so
+/// changing it must not invalidate anything.
+fn fp_options(opts: &BuildOptions) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str("opts");
+    h.write_str(&opts.root);
+    match &opts.entry {
+        Some(e) => {
+            h.write_str("entry");
+            h.write_str(e);
+        }
+        None => h.write_str("noentry"),
+    }
+    h.write_str(if opts.check_constraints { "check" } else { "nocheck" });
+    h.write_str(if opts.flatten { "flatten" } else { "noflatten" });
+    for f in &opts.default_flags {
+        h.write_str("flag");
+        h.write_str(f);
+    }
+    for s in &opts.runtime_symbols {
+        h.write_str("rt");
+        h.write_str(s);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// the phase-split build
+// ---------------------------------------------------------------------------
+
+/// Run the eight-phase pipeline over `memo`, rerunning exactly the phases
+/// whose fingerprints changed (and, for compiles, the units whose ledger
+/// intersects `dirty`). With a fresh [`Memo`] this is precisely the old
+/// monolithic `build_with_cache`; a [`BuildSession`] passes its persistent
+/// memo to make rebuilds incremental.
+pub(crate) fn run_build(
+    program: &Program,
+    tree: &SourceTree,
+    opts: &BuildOptions,
+    cache: &BuildCache,
+    memo: &mut Memo,
+    stats: &mut SessionStats,
+    dirty: &BTreeSet<String>,
+) -> Result<BuildReport, KnitError> {
+    stats.builds += 1;
+    let mut phases: Vec<(&'static str, Duration)> = Vec::new();
+    let mut timer = Instant::now();
+    macro_rules! phase {
+        ($name:literal) => {{
+            phases.push(($name, timer.elapsed()));
+            timer = Instant::now();
+        }};
+    }
+
+    if !program.units.contains_key(&opts.root) {
+        return Err(KnitError::Unknown {
+            kind: "unit",
+            name: opts.root.clone(),
+            context: "build root".to_string(),
+        });
+    }
+
+    // Evict unit memos that consulted an edited path — including units not
+    // reached by this build's root, which would otherwise go stale
+    // silently and resurface if the root later changes back.
+    if !dirty.is_empty() {
+        memo.units.retain(|_, m| m.reads.is_disjoint(dirty));
+    }
+
+    // --- elaborate ---
+    let el_fp = fp_elaborate(program, &opts.root);
+    let el: Arc<Elaboration> = match &memo.elaborate {
+        Some((fp, el)) if *fp == el_fp => {
+            stats.elaborate.reuses += 1;
+            Arc::clone(el)
+        }
+        _ => {
+            stats.elaborate.runs += 1;
+            let el = Arc::new(elaborate(program, &opts.root)?);
+            memo.elaborate = Some((el_fp, Arc::clone(&el)));
+            el
+        }
+    };
+    phase!("elaborate");
+
+    // --- constraints ---
+    let c_fp = fp_constraints(program, el_fp, opts);
+    let constraint_report = match &memo.constraints {
+        Some((fp, rep)) if *fp == c_fp => {
+            stats.constraints.reuses += 1;
+            rep.clone()
+        }
+        _ => {
+            let rep = if opts.check_constraints {
+                stats.constraints.runs += 1;
+                Some(constraints::check(program, &el)?)
+            } else {
+                None
+            };
+            memo.constraints = Some((c_fp, rep.clone()));
+            rep
+        }
+    };
+    phase!("constraints");
+
+    // --- schedule ---
+    let s_fp = fp_schedule(program, &el, el_fp);
+    let schedule: Arc<Schedule> = match &memo.schedule {
+        Some((fp, s)) if *fp == s_fp => {
+            stats.schedule.reuses += 1;
+            Arc::clone(s)
+        }
+        _ => {
+            stats.schedule.runs += 1;
+            let s = Arc::new(sched::schedule(program, &el)?);
+            memo.schedule = Some((s_fp, Arc::clone(&s)));
+            s
+        }
+    };
+    phase!("schedule");
+
+    // --- compile each distinct unit once (instances share the result) ---
+    // A memoized unit is reused iff its declaration fingerprint matches
+    // and none of the paths it read were edited (the ledger was pruned
+    // above); everything else goes through the content-hash cache,
+    // concurrently under `opts.jobs`.
+    let distinct: Vec<String> = {
+        let set: BTreeSet<&str> = el.instances.iter().map(|i| i.unit.as_str()).collect();
+        set.into_iter().map(str::to_string).collect()
+    };
+    let mut decl_fps: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut to_compile: Vec<&str> = Vec::new();
+    for name in &distinct {
+        let decl_fp = fp_unit_decl(program, name, opts);
+        let reusable = matches!(memo.units.get(name.as_str()), Some(m) if m.decl_fp == decl_fp);
+        decl_fps.insert(name, decl_fp);
+        if !reusable {
+            to_compile.push(name);
+        }
+    }
+    let compile_results = run_indexed(opts.jobs, to_compile.len(), |i| {
+        let start = Instant::now();
+        let r = compile_unit_cached(program, tree, to_compile[i], opts, cache);
+        (r, start.elapsed())
+    });
+    let mut fresh = BTreeMap::new();
+    for (name, (result, duration)) in to_compile.iter().zip(compile_results) {
+        fresh.insert(*name, (result?, duration));
+    }
+    let mut compiled: BTreeMap<String, Arc<CompiledUnit>> = BTreeMap::new();
+    let mut unit_keys: BTreeMap<String, u64> = BTreeMap::new();
+    let mut unit_compiles: Vec<UnitCompile> = Vec::with_capacity(distinct.len());
+    let (mut cache_hits, mut cache_misses, mut ledger_reuses) = (0usize, 0usize, 0usize);
+    for name in &distinct {
+        if let Some((ub, duration)) = fresh.remove(name.as_str()) {
+            if ub.cache_hit {
+                cache_hits += 1;
+                stats.unit_compiles.reuses += 1;
+            } else {
+                cache_misses += 1;
+                stats.unit_compiles.runs += 1;
+            }
+            unit_compiles.push(UnitCompile {
+                unit: name.clone(),
+                duration,
+                cache_hit: ub.cache_hit,
+            });
+            compiled.insert(name.clone(), Arc::clone(&ub.cu));
+            unit_keys.insert(name.clone(), ub.key);
+            memo.units.insert(
+                name.clone(),
+                UnitMemo {
+                    decl_fp: decl_fps[name.as_str()],
+                    key: ub.key,
+                    cu: ub.cu,
+                    reads: ub.reads,
+                },
+            );
+        } else {
+            let m = &memo.units[name.as_str()];
+            ledger_reuses += 1;
+            stats.unit_compiles.reuses += 1;
+            unit_compiles.push(UnitCompile {
+                unit: name.clone(),
+                duration: Duration::ZERO,
+                cache_hit: true,
+            });
+            compiled.insert(name.clone(), Arc::clone(&m.cu));
+            unit_keys.insert(name.clone(), m.key);
+        }
+    }
+    phase!("compile");
+
+    // --- per-instance symbol maps (always recomputed — cheap, and every
+    //     later fingerprint hashes them) + objcopy rename/duplicate ---
+    let mut maps: Vec<BTreeMap<String, String>> = Vec::with_capacity(el.instances.len());
+    for inst in &el.instances {
+        let map = instance_symbol_map(program, &el, inst.id, compiled[&inst.unit].as_ref())
+            .map_err(|e| match program.unit_site(&inst.unit) {
+                Some((file, span)) => {
+                    let file = file.to_string();
+                    e.at(&file, span)
+                }
+                None => e,
+            })?;
+        maps.push(map);
+    }
+    // Only instances with source translation units can be merged; units
+    // built from pre-compiled objects stay on the objcopy path even when
+    // inside a flatten group.
+    let flattened: BTreeSet<usize> = if opts.flatten {
+        el.flatten_groups
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&id| !compiled[&el.instances[id].unit].tus.is_empty())
+            .collect()
+    } else {
+        BTreeSet::new()
+    };
+    let mut linked_objects: Vec<ObjectFile> = Vec::new();
+    let mut objcopy_fps: Vec<(usize, u64)> = Vec::new();
+    for inst in &el.instances {
+        if flattened.contains(&inst.id) {
+            continue;
+        }
+        let fp = {
+            let mut h = StableHasher::new();
+            h.write_str("objcopy");
+            h.write_u64(unit_keys[&inst.unit]);
+            h.write_str(&inst.path);
+            for (k, v) in &maps[inst.id] {
+                h.write_str(k);
+                h.write_str(v);
+            }
+            h.finish()
+        };
+        match memo.objcopy.get(&inst.id) {
+            Some((f, objs)) if *f == fp => {
+                stats.objcopy.reuses += 1;
+                linked_objects.extend(objs.iter().cloned());
+            }
+            _ => {
+                stats.objcopy.runs += 1;
+                let cu = &compiled[&inst.unit];
+                let mut objs: Vec<ObjectFile> = Vec::with_capacity(cu.objects.len());
+                for obj in &cu.objects {
+                    let present: BTreeMap<String, String> = maps[inst.id]
+                        .iter()
+                        .filter(|(k, _)| {
+                            obj.symbols.iter().any(|s| {
+                                s.name == **k
+                                    && !matches!(
+                                        s.def,
+                                        cobj::object::SymDef::Defined { local: true, .. }
+                                    )
+                            })
+                        })
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    let mut renamed =
+                        cobj::objcopy::rename_symbols(obj, &present).map_err(|e| {
+                            KnitError::BadDeclaration {
+                                unit: inst.unit.clone(),
+                                what: format!("objcopy: {e}"),
+                            }
+                        })?;
+                    renamed.name = format!("{}:{}", inst.path, obj.name);
+                    objs.push(renamed);
+                }
+                linked_objects.extend(objs.iter().cloned());
+                memo.objcopy.insert(inst.id, (fp, objs));
+            }
+        }
+        objcopy_fps.push((inst.id, fp));
+    }
+    phase!("objcopy");
+
+    // --- flatten groups (§6): source-merge + recompile, one job per group ---
+    let mut n_groups = 0usize;
+    let mut group_fps: Vec<(usize, u64)> = Vec::new();
+    if opts.flatten {
+        let copts = flatten_opts(opts);
+        // Decide reuse per group (gathering inputs — which clones every
+        // member's translation units — only for the misses), then recompile
+        // the missed groups concurrently and splice everything back in
+        // group order so link order never depends on cache warmth.
+        let mut pending: Vec<(usize, Vec<flatten::FlattenInput>, BTreeSet<String>)> = Vec::new();
+        let mut order: Vec<(usize, u64, Option<ObjectFile>)> = Vec::new();
+        for (gi, group) in el.flatten_groups.iter().enumerate() {
+            let group_set: BTreeSet<usize> =
+                group.iter().copied().filter(|id| flattened.contains(id)).collect();
+            if group_set.is_empty() {
+                continue;
+            }
+            let external = group_externals(program, &el, &group_set, &schedule, &maps);
+            let fp = {
+                let mut h = StableHasher::new();
+                h.write_str("flatten");
+                for &id in &group_set {
+                    h.write_u64(id as u64);
+                    h.write_u64(unit_keys[&el.instances[id].unit]);
+                    for (k, v) in &maps[id] {
+                        h.write_str(k);
+                        h.write_str(v);
+                    }
+                }
+                for e in &external {
+                    h.write_str("ext");
+                    h.write_str(e);
+                }
+                for f in &opts.default_flags {
+                    h.write_str("flag");
+                    h.write_str(f);
+                }
+                h.finish()
+            };
+            group_fps.push((gi, fp));
+            n_groups += 1;
+            match memo.flatten.get(&gi) {
+                Some((f, obj)) if *f == fp => {
+                    stats.flatten.reuses += 1;
+                    order.push((gi, fp, Some(obj.clone())));
+                }
+                _ => {
+                    stats.flatten.runs += 1;
+                    let mut inputs = Vec::new();
+                    for &id in &group_set {
+                        let inst = &el.instances[id];
+                        let cu = &compiled[&inst.unit];
+                        inputs.push(flatten::FlattenInput {
+                            tag: format!("k{id}"),
+                            tus: cu.tus.clone(),
+                            symbol_map: maps[id].clone(),
+                        });
+                    }
+                    order.push((gi, fp, None));
+                    pending.push((gi, inputs, external));
+                }
+            }
+        }
+        let flat_results = run_indexed(opts.jobs, pending.len(), |i| {
+            let (gi, inputs, external) = &pending[i];
+            flatten::flatten_group(&format!("flat{gi}"), inputs, &copts, external)
+                .map_err(KnitError::Compile)
+        });
+        let mut flat_iter = flat_results.into_iter();
+        for (gi, fp, reused) in order {
+            let obj = match reused {
+                Some(obj) => obj,
+                None => {
+                    let mut obj = flat_iter.next().expect("one result per pending group")?;
+                    obj.name = format!("flatten-group-{gi}.o");
+                    memo.flatten.insert(gi, (fp, obj.clone()));
+                    obj
+                }
+            };
+            linked_objects.push(obj);
+        }
+    }
+    phase!("flatten");
+
+    // --- boot object ---
+    let exports_map = root_exports_map(program, &el);
+    let boot_fp = {
+        let mut h = StableHasher::new();
+        h.write_str("boot");
+        for (inst, func) in &schedule.inits {
+            h.write_str("init");
+            h.write_str(maps[*inst].get(func).map_or(func.as_str(), String::as_str));
+        }
+        for (inst, func) in &schedule.finis {
+            h.write_str("fini");
+            h.write_str(maps[*inst].get(func).map_or(func.as_str(), String::as_str));
+        }
+        for (k, v) in &exports_map {
+            h.write_str(k);
+            h.write_str(v);
+        }
+        match &opts.entry {
+            Some(e) => {
+                h.write_str("entry");
+                h.write_str(e);
+            }
+            None => h.write_str("noentry"),
+        }
+        h.finish()
+    };
+    let (boot, exports) = match &memo.boot {
+        Some((fp, v)) if *fp == boot_fp => {
+            stats.generate.reuses += 1;
+            v.clone()
+        }
+        _ => {
+            stats.generate.runs += 1;
+            let v = boot_object(program, &el, &schedule, &maps, opts)?;
+            memo.boot = Some((boot_fp, v.clone()));
+            v
+        }
+    };
+    phase!("generate");
+
+    // --- final link ---
+    let n_objects = linked_objects.len() + 1;
+    let link_fp = {
+        let mut h = StableHasher::new();
+        h.write_str("link");
+        h.write_u64(boot_fp);
+        for (id, fp) in &objcopy_fps {
+            h.write_u64(*id as u64);
+            h.write_u64(*fp);
+        }
+        for (gi, fp) in &group_fps {
+            h.write_str("g");
+            h.write_u64(*gi as u64);
+            h.write_u64(*fp);
+        }
+        for s in &opts.runtime_symbols {
+            h.write_str("rt");
+            h.write_str(s);
+        }
+        h.finish()
+    };
+    let image = match &memo.link {
+        Some((fp, img)) if *fp == link_fp => {
+            stats.link.reuses += 1;
+            img.clone()
+        }
+        _ => {
+            stats.link.runs += 1;
+            let mut inputs: Vec<LinkInput> = Vec::with_capacity(n_objects);
+            inputs.push(LinkInput::Object(boot));
+            for o in linked_objects {
+                inputs.push(LinkInput::Object(o));
+            }
+            let image = cobj::link(
+                &inputs,
+                &LinkOptions {
+                    entry: Some("__start".to_string()),
+                    runtime_symbols: opts.runtime_symbols.clone(),
+                },
+            )?;
+            memo.link = Some((link_fp, image.clone()));
+            image
+        }
+    };
+    phase!("link");
+    let _ = timer;
+
+    let build_stats = BuildStats {
+        instances: el.instances.len(),
+        units_compiled: cache_misses,
+        units_reused: cache_hits + ledger_reuses,
+        objects: n_objects,
+        flatten_groups: n_groups,
+        text_size: image.text_size,
+        cache_hits,
+        cache_misses,
+    };
+    let report = BuildReport {
+        image,
+        phases,
+        schedule: schedule.describe(&el),
+        constraints: constraint_report,
+        exports,
+        stats: build_stats,
+        unit_compiles,
+        jobs: opts.jobs.max(1),
+        elaboration: el.as_ref().clone(),
+    };
+    memo.counts = Counts { units: distinct.len(), objcopy: objcopy_fps.len(), groups: n_groups };
+    memo.report = Some(report.clone());
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// the session
+// ---------------------------------------------------------------------------
+
+/// A persistent, incremental build handle.
+///
+/// A session owns the program, sources, options, compile cache, and the
+/// memoized artifacts of its previous build. Feed edits in, call
+/// [`BuildSession::build`], and exactly the invalidated work reruns:
+///
+/// ```
+/// use knit::{BuildOptions, BuildSession};
+///
+/// let mut s = BuildSession::new(BuildOptions::root("App").jobs(1).build());
+/// s.load_units("app.unit", r#"
+///     bundletype Main = { main }
+///     unit App = { exports [ main : Main ]; files { "app.c" }; }
+/// "#).unwrap();
+/// s.update_source("app.c", "int main() { return 41; }");
+///
+/// let cold = s.build().unwrap();
+/// let warm = s.build().unwrap(); // nothing changed: fully memoized
+/// assert_eq!(cold.image, warm.image);
+/// assert_eq!(s.stats().full_reuse_builds, 1);
+///
+/// s.update_source("app.c", "int main() { return 42; }");
+/// let incr = s.build().unwrap(); // exactly one recompile
+/// assert_eq!(incr.stats.units_compiled, 1);
+/// ```
+///
+/// **Invalidation granularity.** Editing a `.c`/`.h` file re-runs exactly
+/// the compiles whose dependency ledger contains that path (plus their
+/// instances' objcopy and the final link). Editing a `.unit` file via
+/// [`BuildSession::update_unit`] re-runs a phase only when the part of the
+/// declaration that phase actually reads changed — re-elaboration needs an
+/// *interface* change (imports/exports/wiring/flatten), not a body or
+/// comment edit. Changing options invalidates only the phases that observe
+/// the changed field; [`BuildOptions::jobs`] invalidates nothing.
+#[derive(Debug)]
+pub struct BuildSession {
+    program: Program,
+    tree: SourceTree,
+    opts: BuildOptions,
+    cache: BuildCache,
+    memo: Memo,
+    stats: SessionStats,
+    dirty: BTreeSet<String>,
+    program_dirty: bool,
+}
+
+/// Short alias for [`BuildSession`], re-exported by [`crate::prelude`].
+pub type Session = BuildSession;
+
+impl BuildSession {
+    /// An empty session building with `opts`. Register `.unit` sources
+    /// with [`BuildSession::load_units`] and C sources with
+    /// [`BuildSession::update_source`].
+    pub fn new(opts: BuildOptions) -> BuildSession {
+        BuildSession::from_parts(Program::new(), SourceTree::new(), opts)
+    }
+
+    /// A session over an existing program and source tree.
+    pub fn from_parts(program: Program, tree: SourceTree, opts: BuildOptions) -> BuildSession {
+        BuildSession {
+            program,
+            tree,
+            opts,
+            cache: BuildCache::new(),
+            memo: Memo::default(),
+            stats: SessionStats::default(),
+            dirty: BTreeSet::new(),
+            program_dirty: false,
+        }
+    }
+
+    /// Use `cache` for compiles. [`BuildCache`] clones share storage, so
+    /// sessions (and one-shot `build_with_cache` calls) can warm each
+    /// other through a shared cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: BuildCache) -> BuildSession {
+        self.cache = cache;
+        self
+    }
+
+    /// Parse `src` (a `.unit` file) and register its declarations.
+    /// Duplicate declarations are errors — use
+    /// [`BuildSession::update_unit`] to *replace* a file's declarations.
+    pub fn load_units(&mut self, file: &str, src: &str) -> Result<(), KnitError> {
+        self.program.load_str(file, src)?;
+        self.program_dirty = true;
+        Ok(())
+    }
+
+    /// Re-parse `src` and redefine the declarations it contains
+    /// (transactionally: on error the program is unchanged). The next
+    /// build re-runs only the phases whose fingerprint actually changed —
+    /// a comment or body-whitespace edit reruns nothing.
+    pub fn update_unit(&mut self, file: &str, src: &str) -> Result<(), KnitError> {
+        self.program.update_str(file, src)?;
+        self.program_dirty = true;
+        Ok(())
+    }
+
+    /// Add or replace one C source or header. A no-op when `text` matches
+    /// the current contents; otherwise the next build recompiles exactly
+    /// the units whose dependency ledger contains `path`.
+    pub fn update_source(&mut self, path: &str, text: &str) {
+        if self.tree.get(path) == Some(text) {
+            return;
+        }
+        self.tree.add(path, text);
+        self.dirty.insert(path.to_string());
+    }
+
+    /// Replace the build options. Only phases that observe a changed field
+    /// rerun; changing [`BuildOptions::jobs`] alone invalidates nothing.
+    pub fn set_options(&mut self, opts: BuildOptions) {
+        self.opts = opts;
+    }
+
+    /// The registered program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The session's source tree.
+    pub fn tree(&self) -> &SourceTree {
+        &self.tree
+    }
+
+    /// The current build options.
+    pub fn options(&self) -> &BuildOptions {
+        &self.opts
+    }
+
+    /// The session's compile cache.
+    pub fn cache(&self) -> &BuildCache {
+        &self.cache
+    }
+
+    /// Cumulative per-phase rerun/reuse counts.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Build (or incrementally rebuild) the image.
+    ///
+    /// When nothing changed since the last successful build, the previous
+    /// [`BuildReport`] is returned directly (with timings zeroed and the
+    /// reuse stats updated) without touching any pipeline phase.
+    pub fn build(&mut self) -> Result<BuildReport, KnitError> {
+        let opts_fp = fp_options(&self.opts);
+        if !self.program_dirty && self.dirty.is_empty() && self.memo.opts_fp == Some(opts_fp) {
+            if let Some(report) = &self.memo.report {
+                self.stats.builds += 1;
+                self.stats.full_reuse_builds += 1;
+                self.stats.elaborate.reuses += 1;
+                self.stats.constraints.reuses += 1;
+                self.stats.schedule.reuses += 1;
+                self.stats.unit_compiles.reuses += self.memo.counts.units;
+                self.stats.objcopy.reuses += self.memo.counts.objcopy;
+                self.stats.flatten.reuses += self.memo.counts.groups;
+                self.stats.generate.reuses += 1;
+                self.stats.link.reuses += 1;
+                let mut r = report.clone();
+                for p in &mut r.phases {
+                    p.1 = Duration::ZERO;
+                }
+                for uc in &mut r.unit_compiles {
+                    uc.cache_hit = true;
+                    uc.duration = Duration::ZERO;
+                }
+                r.stats.cache_hits = 0;
+                r.stats.cache_misses = 0;
+                r.stats.units_compiled = 0;
+                r.stats.units_reused = self.memo.counts.units;
+                r.jobs = self.opts.jobs.max(1);
+                return Ok(r);
+            }
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let result = run_build(
+            &self.program,
+            &self.tree,
+            &self.opts,
+            &self.cache,
+            &mut self.memo,
+            &mut self.stats,
+            &dirty,
+        );
+        match &result {
+            Ok(_) => {
+                self.program_dirty = false;
+                self.memo.opts_fp = Some(opts_fp);
+            }
+            Err(_) => {
+                // Keep the paths dirty: the failed build may have evicted
+                // nothing, and the fast path must stay blocked until a
+                // build actually succeeds.
+                self.dirty = dirty;
+            }
+        }
+        result
+    }
+}

@@ -139,13 +139,17 @@ fn needs_rename_explains_the_conflict() {
     t.add("w.c", "int f() { return 1; }");
     t.add("b.c", "int f() { return 2; }");
     let err = build(&p, &t, &BuildOptions::new("Sys", runtime())).unwrap_err();
-    match err {
+    match err.root() {
         KnitError::NeedsRename { unit, c_name } => {
             assert_eq!(unit, "Wrap");
             assert_eq!(c_name, "f");
         }
         other => panic!("expected NeedsRename, got {other}"),
     }
+    // the location wrapper blames the `.unit` declaration
+    let (file, line, _col) = err.span().expect("NeedsRename should carry a span");
+    assert_eq!(file, "t.unit");
+    assert_eq!(line, 3, "span should point at unit Wrap's declaration");
     // and the Display output cites §3.2's remedy
     let msg = KnitError::NeedsRename { unit: "Wrap".into(), c_name: "f".into() }.to_string();
     assert!(msg.contains("rename"), "{msg}");

@@ -351,7 +351,7 @@ fn unbound_symbol_is_rejected_with_unit_attribution() {
     let mut t = SourceTree::new();
     t.add("bad.c", "int mystery();\nint main() { return mystery(); }");
     let err = build(&p, &t, &BuildOptions::new("Bad", runtime())).unwrap_err();
-    match err {
+    match err.root() {
         knit::KnitError::UnboundSymbol { symbol, .. } => assert_eq!(symbol, "mystery"),
         other => panic!("expected UnboundSymbol, got {other}"),
     }
@@ -387,7 +387,7 @@ fn import_export_identifier_conflict_requires_rename() {
     // wrapper defines f AND imports f — without a rename this must fail
     t.add("wrap.c", "int f() { return 2; }");
     let err = build(&p, &t, &BuildOptions::new("Sys", runtime())).unwrap_err();
-    assert!(matches!(err, knit::KnitError::NeedsRename { .. }), "got {err}");
+    assert!(matches!(err.root(), knit::KnitError::NeedsRename { .. }), "got {err}");
 }
 
 #[test]
@@ -405,7 +405,7 @@ fn missing_export_definition_is_reported() {
     let mut t = SourceTree::new();
     t.add("liar.c", "int something_else() { return 1; }");
     let err = build(&p, &t, &BuildOptions::new("Sys", runtime())).unwrap_err();
-    assert!(matches!(err, knit::KnitError::BadDeclaration { .. }), "got {err}");
+    assert!(matches!(err.root(), knit::KnitError::BadDeclaration { .. }), "got {err}");
 }
 
 #[test]
@@ -471,12 +471,12 @@ fn constraint_violation_blocks_build() {
     // check runs first and must reject the configuration before compiling.
     let mut opts = BuildOptions::new("Sys", runtime());
     let err = build(&p, &t, &opts).unwrap_err();
-    assert!(matches!(err, knit::KnitError::ConstraintViolation { .. }), "got {err}");
+    assert!(matches!(err.root(), knit::KnitError::ConstraintViolation { .. }), "got {err}");
     // with checking disabled the build proceeds past constraints (and fails
     // later for the unrelated rename reason, proving the phase order)
     opts.check_constraints = false;
     let err2 = build(&p, &t, &opts).unwrap_err();
-    assert!(!matches!(err2, knit::KnitError::ConstraintViolation { .. }));
+    assert!(!matches!(err2.root(), knit::KnitError::ConstraintViolation { .. }));
 }
 
 #[test]

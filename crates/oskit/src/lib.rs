@@ -186,15 +186,17 @@ mod tests {
     #[test]
     fn irq_bad_kernel_is_rejected_by_constraints() {
         match build_kernel(KERNEL_IRQ_BAD) {
-            Err(KnitError::ConstraintViolation { property, explanation }) => {
-                assert_eq!(property, "context");
-                assert!(
-                    explanation.contains("NoContext") && explanation.contains("ProcessContext"),
-                    "{explanation}"
-                );
-            }
+            Err(err) => match err.root() {
+                KnitError::ConstraintViolation { property, explanation } => {
+                    assert_eq!(property, "context");
+                    assert!(
+                        explanation.contains("NoContext") && explanation.contains("ProcessContext"),
+                        "{explanation}"
+                    );
+                }
+                other => panic!("wrong error: {other}"),
+            },
             Ok(_) => panic!("blocking mutex under interrupt context must be rejected"),
-            Err(other) => panic!("wrong error: {other}"),
         }
     }
 
