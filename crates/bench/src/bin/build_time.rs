@@ -76,4 +76,12 @@ fn main() {
         "  incremental one-file edit: {} recompile + {} reused, {:.3} ms total",
         incr_edit.units_compiled, incr_edit.units_reused, incr_edit.total_ms
     );
+
+    println!("\ncross-unit analyzer (`knitc lint`) on the ~100-unit deep-lock kernel\n");
+    let a = bench::analyze_time();
+    println!("  units analyzed: {}   diagnostics: {}", a.units, a.diagnostics);
+    println!(
+        "  cold analysis: {:.3} ms   one-edit re-analysis: {:.3} ms ({} unit resummarized)",
+        a.cold_ms, a.incremental_ms, a.reanalyzed
+    );
 }

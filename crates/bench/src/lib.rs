@@ -299,10 +299,12 @@ pub struct ConstraintStats {
     pub knit_time_checked_us: u128,
 }
 
-/// Build a ~100-unit kernel (the oskit kit plus generated filter layers,
-/// 70% of which carry only propagation constraints, like the paper's
-/// converted components) and gather checker statistics.
-pub fn constraint_stats() -> ConstraintStats {
+/// Inputs for the ~100-unit "deep lock kernel": the oskit kit plus
+/// generated filter layers interposing on the Lock interface, 70% of
+/// which carry only propagation constraints, like the paper's converted
+/// components. Shared by [`constraint_stats`] and [`analyze_time`] so the
+/// checker and the analyzer are measured on the same workload.
+pub fn deep_lock_kernel_inputs() -> (Program, SourceTree, BuildOptions) {
     let (mut p, mut t) = oskit::setup();
     // Generate a deep stack of interposing filter units over the Lock
     // interface — each one a real component with code.
@@ -362,7 +364,13 @@ unit DeepLockKernel = {
     ));
     p.load_str("filters.unit", &units).expect("generated filter units parse");
 
-    let mut opts = oskit::kernel_options("DeepLockKernel");
+    (p, t, oskit::kernel_options("DeepLockKernel"))
+}
+
+/// Build the deep-lock kernel of [`deep_lock_kernel_inputs`] and gather
+/// checker statistics.
+pub fn constraint_stats() -> ConstraintStats {
+    let (p, t, mut opts) = deep_lock_kernel_inputs();
     let report = build(&p, &t, &opts).expect("deep kernel builds and passes constraints");
     let cr = report.constraints.clone().expect("checked");
 
@@ -528,6 +536,61 @@ pub fn build_time_modes() -> Vec<BuildModeRow> {
         row("incremental", &noop),
         row("incr edit", &incr),
     ]
+}
+
+// ---------------------------------------------------------------------------
+// cross-unit analyzer wall-time (DESIGN.md §3, `knit::analyze`)
+// ---------------------------------------------------------------------------
+
+/// Analyzer timings over the ~100-unit deep-lock kernel.
+#[derive(Debug, Clone)]
+pub struct AnalyzeTimeRow {
+    /// Distinct units the analyzer summarized.
+    pub units: usize,
+    /// Diagnostics produced on the cold pass.
+    pub diagnostics: usize,
+    /// Cold full-program analysis wall-clock (ms).
+    pub cold_ms: f64,
+    /// Re-analysis wall-clock after a one-file edit (ms).
+    pub incremental_ms: f64,
+    /// Unit summaries rebuilt by the incremental pass.
+    pub reanalyzed: usize,
+}
+
+/// Time [`knit::BuildSession::analyze`] cold and after a one-file edit on
+/// the ~100-unit kernel of [`deep_lock_kernel_inputs`]. Asserts the
+/// session's precision law: the edit resummarizes exactly one unit and
+/// leaves the findings unchanged.
+pub fn analyze_time() -> AnalyzeTimeRow {
+    let (p, t, opts) = deep_lock_kernel_inputs();
+    let edited = format!("{}\nstatic int bench_poke;\n", t.get("filter0.c").expect("filter0.c"));
+    let config = knit::LintConfig::new();
+    let mut session = knit::BuildSession::from_parts(p, t, opts);
+
+    let start = std::time::Instant::now();
+    let cold = session.analyze(&config).expect("kernel analyzes");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let runs_cold = session.stats().analyze.runs;
+
+    session.update_source("filter0.c", &edited);
+    let start = std::time::Instant::now();
+    let incr = session.analyze(&config).expect("kernel re-analyzes");
+    let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reanalyzed = session.stats().analyze.runs - runs_cold;
+    assert_eq!(reanalyzed, 1, "one edit must resummarize exactly one unit");
+    assert_eq!(
+        incr.diagnostics.len(),
+        cold.diagnostics.len(),
+        "an unused static must not change the findings"
+    );
+
+    AnalyzeTimeRow {
+        units: cold.units_analyzed,
+        diagnostics: cold.diagnostics.len(),
+        cold_ms,
+        incremental_ms,
+        reanalyzed,
+    }
 }
 
 /// Per-phase build times for a configuration.

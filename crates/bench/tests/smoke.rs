@@ -4,7 +4,8 @@
 //! unit tests and in the binaries themselves.
 
 use bench::{
-    build_time_breakdown, build_time_modes, router_workload_sized, table1_with, table2_with,
+    analyze_time, build_time_breakdown, build_time_modes, router_workload_sized, table1_with,
+    table2_with,
 };
 
 #[test]
@@ -57,6 +58,21 @@ fn build_time_modes_smoke() {
     for r in &rows {
         assert!(r.compile_ms >= 0.0 && r.total_ms >= r.compile_ms);
     }
+}
+
+#[test]
+fn analyze_time_smoke() {
+    // analyze_time itself asserts the one-edit-one-resummary precision law
+    let row = analyze_time();
+    assert!(row.units >= 90, "around a hundred units: {}", row.units);
+    assert_eq!(row.reanalyzed, 1);
+    assert!(
+        row.incremental_ms < row.cold_ms,
+        "re-analyzing one of {} units ({:.3} ms) must beat the cold pass ({:.3} ms)",
+        row.units,
+        row.incremental_ms,
+        row.cold_ms
+    );
 }
 
 #[test]

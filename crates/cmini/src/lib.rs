@@ -40,6 +40,7 @@ pub mod pp;
 pub mod printer;
 pub mod token;
 pub mod types;
+pub mod visit;
 
 pub use error::CError;
 pub use pp::{FileProvider, NoFiles, PpOptions};

@@ -1,0 +1,665 @@
+//! Cross-unit static analysis: lints over the instance graph and ASTs.
+//!
+//! The analyzer runs after elaboration and scheduling but *before*
+//! compilation — it parses each unit's preprocessed sources with
+//! [`cmini::frontend_expanded`] (a pure frontend pass) and never invokes
+//! the backend, so a lint-dirty program can still be analyzed even when a
+//! full build would abort (e.g. on an undefined export, which the build
+//! pipeline hard-errors as `K0009`).
+//!
+//! Lints live in the [`LINTS`] registry under stable `K1xxx` codes. Each
+//! has a default level that can be overridden per run with [`LintConfig`]
+//! (the `knitc lint --allow/--warn/--deny` flags) and per unit with
+//! `#[allow(...)]` / `#[warn(...)]` / `#[deny(...)]` pragmas on the unit
+//! declaration. Results come back as ordinary
+//! [`Diagnostic`]s in the canonical deterministic
+//! order ([`crate::diag::sort_dedupe`]).
+//!
+//! The four shipped lints:
+//!
+//! * **K1001 `undefined-export`** — a bundle the unit claims to export has
+//!   a member no source file defines; the build would fail later, the lint
+//!   points at the port.
+//! * **K1002 `unused-import`** — an imported symbol no C body or global
+//!   initializer ever references; dead wiring in the link block.
+//! * **K1003 `dead-export`** — an instance export no other instance
+//!   imports and the root does not re-export; dead code the linker drags
+//!   in anyway.
+//! * **K1004 `init-order-use`** — code reachable from an initializer calls
+//!   an imported function whose provider initializes *later* in the
+//!   computed schedule (§3.2); the fix is a fine-grained `depends` clause.
+//! * **K1005 `flatten-hazard`** — constructs the flattening inliner (§6)
+//!   bails on inside a `flatten` group: varargs, address-taken functions,
+//!   self-recursion, and same-named statics across the unit's files.
+//!
+//! [`BuildSession::analyze`](crate::session::BuildSession::analyze)
+//! memoizes per-unit summaries by declaration fingerprint and source
+//! reads, so an incremental session re-analyzes exactly the units an edit
+//! touched. The one-shot entry point is [`lint`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use cmini::ast::{Item, Storage};
+use cmini::visit::{merge_uses, tu_uses, TuUses};
+use cmini::CompileOptions;
+use knit_lang::ast::{PragmaLevel, UnitDecl};
+
+use crate::diag::{self, Diagnostic, Severity};
+use crate::driver::{atomic_body, c_id, BuildOptions, RecordingTree};
+use crate::elaborate::{elaborate, Elaboration, Wire};
+use crate::error::KnitError;
+use crate::model::Program;
+use crate::sched::{self, Schedule};
+use crate::session::{fp_unit_decl, PhaseCount};
+use crate::vfs::SourceTree;
+
+/// How a lint's findings are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress the lint entirely.
+    Allow,
+    /// Report as a warning (does not fail `knitc lint`).
+    Warn,
+    /// Report as an error (`knitc lint` exits nonzero).
+    Deny,
+}
+
+/// One registered lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable diagnostic code (`K1001`…).
+    pub code: &'static str,
+    /// Human name, hyphenated (`unused-import`). Pragmas and CLI flags
+    /// accept either `-` or `_` as the separator.
+    pub name: &'static str,
+    /// Level applied when neither a pragma nor the CLI overrides it.
+    pub default_level: LintLevel,
+    /// One-line summary for `knitc explain` and the docs table.
+    pub summary: &'static str,
+    /// A minimal example that triggers it.
+    pub example: &'static str,
+}
+
+/// The lint registry. Ordered by code; every entry defaults to
+/// [`LintLevel::Warn`] so `knitc lint` is advisory unless `--deny` is
+/// given.
+pub const LINTS: &[Lint] = &[
+    Lint {
+        code: "K1001",
+        name: "undefined-export",
+        default_level: LintLevel::Warn,
+        summary: "a bundle export has a member no source file of the unit defines",
+        example: "exports [ m : Math ];  // but no file defines `add`, Math's only member",
+    },
+    Lint {
+        code: "K1002",
+        name: "unused-import",
+        default_level: LintLevel::Warn,
+        summary: "an imported symbol is never referenced in any C body or global initializer",
+        example: "imports [ log : Log ];  // but `log_msg` never appears in the unit's files",
+    },
+    Lint {
+        code: "K1003",
+        name: "dead-export",
+        default_level: LintLevel::Warn,
+        summary: "an instance export no other instance imports and the root does not re-export",
+        example: "link { spare : Logger; }  // nothing wires an import to spare.log",
+    },
+    Lint {
+        code: "K1004",
+        name: "init-order-use",
+        default_level: LintLevel::Warn,
+        summary: "an initializer reaches a call to an import whose provider initializes later",
+        example: "initializer boot for runp;  // boot() calls log_msg, Logger's init runs later",
+    },
+    Lint {
+        code: "K1005",
+        name: "flatten-hazard",
+        default_level: LintLevel::Warn,
+        summary: "a flattened unit uses constructs the cross-unit inliner bails on",
+        example: "int chatter(int n, ...) { ... }  // varargs are never inlined (§6)",
+    },
+];
+
+/// Normalize a lint name: pragmas use `_` (the `.unit` lexer has no `-`
+/// token), the CLI and registry use `-`; both spellings resolve.
+fn norm(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// Look up a lint by name, accepting either separator style.
+pub fn lint_by_name(name: &str) -> Option<&'static Lint> {
+    let n = norm(name);
+    LINTS.iter().find(|l| norm(l.name) == n)
+}
+
+/// Per-run lint configuration: CLI-level overrides plus `--deny warnings`.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    levels: BTreeMap<&'static str, LintLevel>,
+    deny_warnings: bool,
+}
+
+impl LintConfig {
+    /// A configuration with every lint at its default level.
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Override `name`'s level for this run (strongest override: beats
+    /// both the default and unit pragmas). Unknown names are a `K0003`
+    /// error so CLI typos don't silently configure nothing.
+    pub fn set(&mut self, name: &str, level: LintLevel) -> Result<(), KnitError> {
+        let lint = lint_by_name(name).ok_or_else(|| KnitError::Unknown {
+            kind: "lint",
+            name: name.to_string(),
+            context: "lint level flag".to_string(),
+        })?;
+        self.levels.insert(lint.code, level);
+        Ok(())
+    }
+
+    /// Promote surviving warnings to errors (`--deny warnings`). An
+    /// `allow` still suppresses.
+    pub fn deny_warnings(&mut self, on: bool) {
+        self.deny_warnings = on;
+    }
+
+    /// Resolve the effective level of `lint` for `unit`: registry default,
+    /// then the unit's pragmas in declaration order, then CLI overrides.
+    fn level_for(&self, lint: &Lint, unit: &UnitDecl) -> LintLevel {
+        let mut level = lint.default_level;
+        let lint_norm = norm(lint.name);
+        for p in &unit.pragmas {
+            if p.lints.iter().any(|n| norm(n) == lint_norm) {
+                level = match p.level {
+                    PragmaLevel::Allow => LintLevel::Allow,
+                    PragmaLevel::Warn => LintLevel::Warn,
+                    PragmaLevel::Deny => LintLevel::Deny,
+                };
+            }
+        }
+        if let Some(&l) = self.levels.get(lint.code) {
+            level = l;
+        }
+        level
+    }
+}
+
+/// What the analyzer learned about one unit's sources: merged identifier
+/// and call-graph facts, link-visible definitions, and cross-file static
+/// collisions. Cached per unit by the session engine.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UnitSummary {
+    /// Merged [`TuUses`] across the unit's files.
+    pub(crate) uses: TuUses,
+    /// Link-visible symbols the unit defines (non-static functions with
+    /// bodies, public globals, and exports of pre-compiled objects).
+    pub(crate) defined: BTreeSet<String>,
+    /// `static` names defined in more than one of the unit's files.
+    pub(crate) static_collisions: BTreeSet<String>,
+    /// Source-tree paths read while summarizing (files plus includes);
+    /// the session evicts the summary when any of them changes.
+    pub(crate) reads: BTreeSet<String>,
+}
+
+/// Parse (but do not compile) every file of `unit_name` and summarize it.
+pub(crate) fn summarize_unit(
+    program: &Program,
+    tree: &SourceTree,
+    unit_name: &str,
+    opts: &BuildOptions,
+) -> Result<UnitSummary, KnitError> {
+    let body = atomic_body(&program.units[unit_name]);
+    let flags: Vec<String> = match &body.flags {
+        Some(name) => program.flags[name].clone(),
+        None => opts.default_flags.clone(),
+    };
+    let copts = CompileOptions::from_flags(&flags)
+        .map_err(|e| KnitError::BadDeclaration { unit: unit_name.to_string(), what: e })?;
+
+    let recorder = RecordingTree::new(tree);
+    let mut summary = UnitSummary::default();
+    let mut statics_seen: BTreeSet<String> = BTreeSet::new();
+    for file in &body.files {
+        recorder.note(file);
+        if let Some(obj) = tree.get_object(file) {
+            summary.defined.extend(obj.exported_names().iter().map(|s| s.to_string()));
+            // an object's undefined references count as uses of imports
+            summary.uses.referenced.extend(obj.undefined_names().iter().map(|s| s.to_string()));
+            continue;
+        }
+        let src = tree.get(file).ok_or_else(|| KnitError::MissingSource {
+            unit: unit_name.to_string(),
+            path: file.clone(),
+        })?;
+        let expanded = cmini::pp::preprocess(file, src, &copts.pp, &recorder)?;
+        let tu = cmini::frontend_expanded(file, &expanded)?;
+        for item in &tu.items {
+            match item {
+                Item::Func(f) if f.body.is_some() && f.storage != Storage::Static => {
+                    summary.defined.insert(f.name.clone());
+                }
+                Item::Global(g) if g.storage == Storage::Public => {
+                    summary.defined.insert(g.name.clone());
+                }
+                _ => {}
+            }
+        }
+        let uses = tu_uses(&tu);
+        for s in &uses.statics {
+            if !statics_seen.insert(s.clone()) {
+                summary.static_collisions.insert(s.clone());
+            }
+        }
+        merge_uses(&mut summary.uses, &uses);
+    }
+    summary.reads = recorder.reads.into_inner();
+    Ok(summary)
+}
+
+/// The result of one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// All emitted diagnostics, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Distinct units whose sources were analyzed.
+    pub units_analyzed: usize,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether any diagnostic is an error (drives `knitc lint`'s exit
+    /// status).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// A memoized per-unit summary, keyed by the unit's declaration
+/// fingerprint; the session evicts it when any of `summary.reads` is
+/// dirtied.
+#[derive(Debug)]
+pub(crate) struct AnalysisMemo {
+    pub(crate) decl_fp: u64,
+    pub(crate) summary: Arc<UnitSummary>,
+}
+
+/// Summarize every instantiated unit (through `memo`) and run the lint
+/// passes. `counts` tallies per-unit summary runs vs reuses.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_analysis(
+    program: &Program,
+    tree: &SourceTree,
+    opts: &BuildOptions,
+    config: &LintConfig,
+    el: &Elaboration,
+    schedule: &Schedule,
+    memo: &mut BTreeMap<String, AnalysisMemo>,
+    counts: &mut PhaseCount,
+) -> Result<AnalysisReport, KnitError> {
+    let distinct: BTreeSet<&str> = el.instances.iter().map(|i| i.unit.as_str()).collect();
+    let mut summaries: BTreeMap<&str, Arc<UnitSummary>> = BTreeMap::new();
+    for name in &distinct {
+        let decl_fp = fp_unit_decl(program, name, opts);
+        if let Some(m) = memo.get(*name) {
+            if m.decl_fp == decl_fp {
+                counts.reuses += 1;
+                summaries.insert(name, Arc::clone(&m.summary));
+                continue;
+            }
+        }
+        counts.runs += 1;
+        let summary = Arc::new(summarize_unit(program, tree, name, opts)?);
+        memo.insert(name.to_string(), AnalysisMemo { decl_fp, summary: Arc::clone(&summary) });
+        summaries.insert(name, summary);
+    }
+    let mut diagnostics = run_lints(program, el, schedule, opts, &summaries, config);
+    diag::sort_dedupe(&mut diagnostics);
+    Ok(AnalysisReport { diagnostics, units_analyzed: distinct.len() })
+}
+
+/// One-shot analysis: elaborate, schedule, and lint `opts.root`.
+pub fn lint(
+    program: &Program,
+    tree: &SourceTree,
+    opts: &BuildOptions,
+    config: &LintConfig,
+) -> Result<AnalysisReport, KnitError> {
+    let el = elaborate(program, &opts.root)?;
+    let schedule = sched::schedule(program, &el)?;
+    let mut memo = BTreeMap::new();
+    let mut counts = PhaseCount::default();
+    run_analysis(program, tree, opts, config, &el, &schedule, &mut memo, &mut counts)
+}
+
+/// Emit one finding at the level `config` resolves for (`lint`, `unit`).
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    diags: &mut Vec<Diagnostic>,
+    config: &LintConfig,
+    lint_code: &str,
+    unit: &UnitDecl,
+    span: Option<(String, u32, u32)>,
+    message: String,
+    notes: Vec<String>,
+) {
+    let lint = LINTS.iter().find(|l| l.code == lint_code).expect("registered lint");
+    let severity = match config.level_for(lint, unit) {
+        LintLevel::Allow => return,
+        LintLevel::Warn if !config.deny_warnings => Severity::Warning,
+        _ => Severity::Error,
+    };
+    diags.push(Diagnostic { code: lint.code, severity, message, span, notes });
+}
+
+/// Names of every function transitively reachable from `start` through
+/// the direct-call graph (including undefined callees — those are the
+/// imports we care about).
+fn reachable_calls(calls: &BTreeMap<String, BTreeSet<String>>, start: &str) -> BTreeSet<String> {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut work = vec![start.to_string()];
+    while let Some(f) = work.pop() {
+        if let Some(callees) = calls.get(&f) {
+            for c in callees {
+                if seen.insert(c.clone()) {
+                    work.push(c.clone());
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn span_in(file: Option<&str>, s: knit_lang::token::Span) -> Option<(String, u32, u32)> {
+    file.map(|f| (f.to_string(), s.line, s.col))
+}
+
+fn run_lints(
+    program: &Program,
+    el: &Elaboration,
+    schedule: &Schedule,
+    opts: &BuildOptions,
+    summaries: &BTreeMap<&str, Arc<UnitSummary>>,
+    config: &LintConfig,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // --- per-unit lints: K1001 undefined-export, K1002 unused-import ---
+    for (unit_name, summary) in summaries {
+        let unit = &program.units[*unit_name];
+        let body = atomic_body(unit);
+        let file = program.unit_site(unit_name).map(|(f, _)| f);
+        for p in &unit.exports {
+            for m in program.members_of(&p.bundle_type).unwrap_or_default() {
+                let cid = c_id(body, &p.name, m);
+                if !summary.defined.contains(&cid) {
+                    emit(
+                        &mut diags,
+                        config,
+                        "K1001",
+                        unit,
+                        span_in(file, p.span),
+                        format!(
+                            "unit `{unit_name}`: export `{}.{m}` resolves to C symbol \
+                             `{cid}`, but no file of the unit defines it",
+                            p.name
+                        ),
+                        vec![format!(
+                            "define `{cid}` in one of {{ {} }} or rename the member",
+                            body.files.join(", ")
+                        )],
+                    );
+                }
+            }
+        }
+        for p in &unit.imports {
+            for m in program.members_of(&p.bundle_type).unwrap_or_default() {
+                let cid = c_id(body, &p.name, m);
+                if !summary.uses.referenced.contains(&cid) {
+                    emit(
+                        &mut diags,
+                        config,
+                        "K1002",
+                        unit,
+                        span_in(file, p.span),
+                        format!(
+                            "unit `{unit_name}`: imported symbol `{}.{m}` (C `{cid}`) is \
+                             never referenced",
+                            p.name
+                        ),
+                        vec![format!("drop the import `{}` or use `{cid}`", p.name)],
+                    );
+                }
+            }
+        }
+    }
+
+    // --- K1003 dead-export: graph-level liveness of instance exports ---
+    let mut used: BTreeSet<(usize, &str)> = BTreeSet::new();
+    for inst in &el.instances {
+        for w in inst.imports.values() {
+            if let Wire::Export { instance, port } = w {
+                used.insert((*instance, port.as_str()));
+            }
+        }
+    }
+    for (inst, port) in el.root_exports.values() {
+        used.insert((*inst, port.as_str()));
+    }
+    for inst in &el.instances {
+        let unit = &program.units[&inst.unit];
+        let file = program.unit_site(&inst.unit).map(|(f, _)| f);
+        for p in &unit.exports {
+            if !used.contains(&(inst.id, p.name.as_str())) {
+                emit(
+                    &mut diags,
+                    config,
+                    "K1003",
+                    unit,
+                    span_in(file, p.span),
+                    format!(
+                        "instance `{}`: export `{}` is never imported by any instance \
+                         and is not a root export",
+                        inst.path, p.name
+                    ),
+                    vec!["remove the instance or wire something to the export".to_string()],
+                );
+            }
+        }
+    }
+
+    // --- K1004 init-order-use: initializer call graph vs schedule ---
+    let pos: BTreeMap<(usize, &str), usize> =
+        schedule.inits.iter().enumerate().map(|(i, (id, f))| ((*id, f.as_str()), i)).collect();
+    for inst in &el.instances {
+        let unit = &program.units[&inst.unit];
+        let body = atomic_body(unit);
+        let file = program.unit_site(&inst.unit).map(|(f, _)| f);
+        let Some(summary) = summaries.get(inst.unit.as_str()) else { continue };
+        for init in &body.initializers {
+            let Some(&my_pos) = pos.get(&(inst.id, init.func.as_str())) else { continue };
+            let reach = reachable_calls(&summary.uses.calls, &init.func);
+            for p in &unit.imports {
+                let Some(Wire::Export { instance: prov, port }) = inst.imports.get(&p.name) else {
+                    continue;
+                };
+                for m in program.members_of(&p.bundle_type).unwrap_or_default() {
+                    let cid = c_id(body, &p.name, m);
+                    if !reach.contains(&cid) {
+                        continue;
+                    }
+                    let prov_inst = &el.instances[*prov];
+                    let prov_body = atomic_body(&program.units[&prov_inst.unit]);
+                    for pi in prov_body.initializers.iter().filter(|pi| &pi.bundle == port) {
+                        if let Some(&ppos) = pos.get(&(*prov, pi.func.as_str())) {
+                            if ppos > my_pos {
+                                emit(
+                                    &mut diags,
+                                    config,
+                                    "K1004",
+                                    unit,
+                                    span_in(file, init.span),
+                                    format!(
+                                        "instance `{}`: initializer `{}` reaches a call to \
+                                         imported `{}.{m}` (C `{cid}`), but provider `{}`'s \
+                                         initializer `{}` is scheduled later",
+                                        inst.path, init.func, p.name, prov_inst.path, pi.func
+                                    ),
+                                    vec![format!(
+                                        "add `depends {{ {} needs ({}); }}` to unit `{}` so \
+                                         the scheduler runs `{}` first",
+                                        init.func, p.name, inst.unit, pi.func
+                                    )],
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- K1005 flatten-hazard: inliner bail conditions in flatten groups ---
+    if opts.flatten {
+        let mut flat_units: BTreeSet<&str> = BTreeSet::new();
+        for group in &el.flatten_groups {
+            for id in group {
+                flat_units.insert(el.instances[*id].unit.as_str());
+            }
+        }
+        for unit_name in flat_units {
+            let unit = &program.units[unit_name];
+            let Some(summary) = summaries.get(unit_name) else { continue };
+            let site = program.unit_site(unit_name);
+            let span = site.map(|(f, s)| (f.to_string(), s.line, s.col));
+            let mut hazard = |what: String, why: &str| {
+                emit(
+                    &mut diags,
+                    config,
+                    "K1005",
+                    unit,
+                    span.clone(),
+                    format!("unit `{unit_name}` (in a flatten group): {what}"),
+                    vec![why.to_string()],
+                );
+            };
+            for f in &summary.uses.varargs_funcs {
+                hazard(
+                    format!("function `{f}` takes varargs"),
+                    "the flattening inliner never inlines vararg functions",
+                );
+            }
+            for f in &summary.uses.address_taken {
+                hazard(
+                    format!("the address of function `{f}` is taken"),
+                    "calls through a function pointer defeat cross-unit inlining",
+                );
+            }
+            for f in &summary.uses.self_recursive {
+                hazard(
+                    format!("function `{f}` is self-recursive"),
+                    "the inliner bails on recursive calls",
+                );
+            }
+            for s in &summary.static_collisions {
+                hazard(
+                    format!("static `{s}` is defined in more than one file of the unit"),
+                    "flattening merges the unit's files; same-named statics are \
+                     collision-prone under source merging",
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_names_resolve_with_either_separator() {
+        assert_eq!(lint_by_name("unused-import").unwrap().code, "K1002");
+        assert_eq!(lint_by_name("unused_import").unwrap().code, "K1002");
+        assert!(lint_by_name("no-such-lint").is_none());
+    }
+
+    #[test]
+    fn unknown_lint_name_errors_k0003() {
+        let mut cfg = LintConfig::new();
+        let err = cfg.set("not-a-lint", LintLevel::Deny).unwrap_err();
+        assert_eq!(err.code(), "K0003");
+        assert!(cfg.set("flatten-hazard", LintLevel::Allow).is_ok());
+    }
+
+    #[test]
+    fn every_diagnostic_code_has_an_explain_entry() {
+        // every error code issued by KnitError…
+        for i in 1..=15 {
+            let code = format!("K{i:04}");
+            let e = crate::diag::explain(&code)
+                .unwrap_or_else(|| panic!("no explain entry for {code}"));
+            assert_eq!(e.code, code);
+            assert!(!e.summary.is_empty() && !e.example.is_empty());
+        }
+        // …and every registered lint.
+        for l in LINTS {
+            let e = crate::diag::explain(l.code)
+                .unwrap_or_else(|| panic!("no explain entry for {}", l.code));
+            assert_eq!(e.summary, l.summary);
+        }
+        // the generated markdown table mentions every code
+        let md = crate::diag::diagnostics_markdown();
+        for i in 1..=15 {
+            assert!(md.contains(&format!("| K{i:04} |")), "K{i:04} missing from markdown");
+        }
+        for l in LINTS {
+            assert!(md.contains(&format!("| {} |", l.code)), "{} missing from markdown", l.code);
+        }
+    }
+
+    #[test]
+    fn pragma_and_cli_levels_compose() {
+        let src = r#"
+            bundletype T = { f }
+            #[allow(unused_import)]
+            #[deny(dead_export)]
+            unit U = {
+                imports [ a : T ];
+                files { "u.c" };
+            }
+        "#;
+        let kf = knit_lang::parser::parse("t.unit", src).unwrap();
+        let unit = kf
+            .decls
+            .iter()
+            .find_map(|d| match d {
+                knit_lang::ast::Decl::Unit(u) => Some((**u).clone()),
+                _ => None,
+            })
+            .unwrap();
+        let cfg = LintConfig::new();
+        let unused = lint_by_name("unused-import").unwrap();
+        let dead = lint_by_name("dead-export").unwrap();
+        let undef = lint_by_name("undefined-export").unwrap();
+        assert_eq!(cfg.level_for(unused, &unit), LintLevel::Allow);
+        assert_eq!(cfg.level_for(dead, &unit), LintLevel::Deny);
+        assert_eq!(cfg.level_for(undef, &unit), LintLevel::Warn);
+        // CLI overrides beat pragmas
+        let mut cli = LintConfig::new();
+        cli.set("unused-import", LintLevel::Deny).unwrap();
+        assert_eq!(cli.level_for(unused, &unit), LintLevel::Deny);
+    }
+}

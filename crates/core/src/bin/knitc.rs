@@ -22,7 +22,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, SystemTime};
 
-use knit::{build_with_cache, BuildOptions, BuildReport, BuildSession, KnitError, SourceTree};
+use knit::{
+    build_with_cache, BuildOptions, BuildReport, BuildSession, KnitError, LintConfig, LintLevel,
+    SourceTree,
+};
 
 #[derive(Clone, Copy, PartialEq)]
 enum ErrorFormat {
@@ -43,6 +46,9 @@ struct Args {
     cache: bool,
     watch: bool,
     error_format: ErrorFormat,
+    lint: bool,
+    lint_overrides: Vec<(String, LintLevel)>,
+    deny_warnings: bool,
 }
 
 fn usage() -> ! {
@@ -51,6 +57,10 @@ fn usage() -> ! {
          \x20             [--no-flatten] [--no-check] [--jobs <N>] [--cache]\n\
          \x20             [--watch] [--error-format <human|json>]\n\
          \x20             [-v] <file.unit>...\n\
+         \x20      knitc lint --root <Unit> [--src <dir>]... [--allow <lint>]\n\
+         \x20             [--warn <lint>] [--deny <lint>|warnings]\n\
+         \x20             [--error-format <human|json>] <file.unit>...\n\
+         \x20      knitc explain <code>\n\
          \n\
          builds the root unit from the given .unit files, with C sources\n\
          resolved from the --src directories; --run executes the image on\n\
@@ -64,12 +74,18 @@ fn usage() -> ! {
          \x20            incrementally rebuild whenever one changes\n\
          --error-format <human|json>\n\
          \x20            render build errors as human-readable diagnostics\n\
-         \x20            (default) or as one JSON object per line"
+         \x20            (default) or as one JSON object per line\n\
+         \n\
+         `knitc lint` runs the cross-unit static analyzer (no build):\n\
+         --allow/--warn/--deny <lint>  set a lint's level for this run\n\
+         --deny warnings               exit nonzero on any surviving warning\n\
+         \n\
+         `knitc explain <code>` describes a diagnostic code (K0001…, K1001…)"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
+fn parse_args(argv: Vec<String>) -> Args {
     let mut args = Args {
         root: None,
         src_dirs: Vec::new(),
@@ -83,6 +99,9 @@ fn parse_args() -> Args {
         cache: false,
         watch: false,
         error_format: ErrorFormat::Human,
+        lint: false,
+        lint_overrides: Vec::new(),
+        deny_warnings: false,
     };
     let set_format = |args: &mut Args, v: &str| match v {
         "human" => args.error_format = ErrorFormat::Human,
@@ -92,9 +111,31 @@ fn parse_args() -> Args {
             usage();
         }
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv.into_iter().peekable();
+    if it.peek().map(String::as_str) == Some("lint") {
+        args.lint = true;
+        it.next();
+    }
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--allow" | "--warn" | "--deny" if args.lint => {
+                let name = it.next().unwrap_or_else(|| usage());
+                if name == "warnings" {
+                    if a == "--deny" {
+                        args.deny_warnings = true;
+                    } else {
+                        eprintln!("knitc: `warnings` is only valid with --deny");
+                        usage();
+                    }
+                } else {
+                    let level = match a.as_str() {
+                        "--allow" => LintLevel::Allow,
+                        "--warn" => LintLevel::Warn,
+                        _ => LintLevel::Deny,
+                    };
+                    args.lint_overrides.push((name, level));
+                }
+            }
             "--root" => args.root = Some(it.next().unwrap_or_else(|| usage())),
             "--src" => args.src_dirs.push(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--entry" => args.entry = Some(it.next().unwrap_or_else(|| usage())),
@@ -242,6 +283,80 @@ fn run_image(report: &BuildReport) -> Result<i64, ExitCode> {
     }
 }
 
+/// `knitc explain <code>`: describe one diagnostic code from the explain
+/// registry (errors and lints alike).
+fn explain_cmd(code: &str) -> ExitCode {
+    match knit::diag::explain(code) {
+        Some(e) => {
+            if let Some(l) = knit::LINTS.iter().find(|l| l.code == e.code) {
+                let level = match l.default_level {
+                    LintLevel::Allow => "allow",
+                    LintLevel::Warn => "warn",
+                    LintLevel::Deny => "deny",
+                };
+                println!("{}: {} (lint, default {})", e.code, l.name, level);
+            } else {
+                println!("{}: error", e.code);
+            }
+            println!("  {}", e.summary);
+            println!("  example:");
+            for line in e.example.lines() {
+                println!("    {line}");
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "knitc: unknown diagnostic code `{code}` \
+                 (errors are K0001–K0015, lints K1001–K1005)"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `knitc lint`: run the analyzer instead of building, print every
+/// diagnostic, and fail on error-severity findings.
+fn lint_cmd(session: &mut BuildSession, args: &Args) -> ExitCode {
+    let mut config = LintConfig::new();
+    config.deny_warnings(args.deny_warnings);
+    for (name, level) in &args.lint_overrides {
+        if let Err(e) = config.set(name, *level) {
+            report_error(&e, args.error_format);
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match session.analyze(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            report_error(&e, args.error_format);
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        match args.error_format {
+            ErrorFormat::Human => eprintln!("knitc: {}", d.human()),
+            ErrorFormat::Json => eprintln!("{}", d.json()),
+        }
+    }
+    if args.error_format == ErrorFormat::Human {
+        println!(
+            "knitc: lint `{}`: {} units analyzed, {} warning{}, {} error{}",
+            args.root.as_deref().expect("validated"),
+            report.units_analyzed,
+            report.warnings(),
+            if report.warnings() == 1 { "" } else { "s" },
+            report.errors(),
+            if report.errors() == 1 { "" } else { "s" },
+        );
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn mtime(path: &Path) -> Option<SystemTime> {
     std::fs::metadata(path).and_then(|m| m.modified()).ok()
 }
@@ -314,7 +429,14 @@ fn watch_loop(mut session: BuildSession, args: &Args, sources: Vec<(PathBuf, Str
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("explain") {
+        return match argv.get(1) {
+            Some(code) if argv.len() == 2 => explain_cmd(code),
+            _ => usage(),
+        };
+    }
+    let args = parse_args(argv);
 
     let mut opts =
         BuildOptions::new(args.root.clone().expect("validated"), machine::runtime_symbols());
@@ -350,6 +472,10 @@ fn main() -> ExitCode {
         for (path, text) in tree.iter() {
             session.update_source(path, text);
         }
+    }
+
+    if args.lint {
+        return lint_cmd(&mut session, &args);
     }
 
     let cold = match session.build() {

@@ -92,6 +92,157 @@ impl Diagnostic {
     }
 }
 
+/// Sort diagnostics into the canonical deterministic order — by (file,
+/// line, col, code, message), span-less diagnostics after spanned ones —
+/// and drop exact duplicates. Every diagnostic-producing surface
+/// ([`KnitError::diagnostics`](crate::error::KnitError::diagnostics), the
+/// lint driver) funnels through this, so output order never depends on
+/// traversal order.
+pub fn sort_dedupe(diags: &mut Vec<Diagnostic>) {
+    fn key(d: &Diagnostic) -> (bool, &str, u32, u32, &str, &str) {
+        match &d.span {
+            Some((file, line, col)) => (false, file.as_str(), *line, *col, d.code, &d.message),
+            None => (true, "", 0, 0, d.code, &d.message),
+        }
+    }
+    diags.sort_by(|a, b| key(a).cmp(&key(b)));
+    diags.dedup();
+}
+
+/// A `knitc explain` entry: what a diagnostic code means and a minimal
+/// example that triggers it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explain {
+    /// The stable code (`K0001`…, `K1001`…).
+    pub code: &'static str,
+    /// One-line summary of the condition.
+    pub summary: &'static str,
+    /// A minimal example that triggers it.
+    pub example: &'static str,
+}
+
+/// Explain entries for the error codes issued by
+/// [`KnitError`](crate::error::KnitError) (`K0001`–`K0015`). Lint codes
+/// (`K1xxx`) live in the lint registry
+/// ([`crate::analyze::LINTS`]); [`explain`] searches both.
+pub const ERROR_EXPLAINS: &[Explain] = &[
+    Explain {
+        code: "K0001",
+        summary: "a `.unit` file failed to lex or parse",
+        example: "unit U = { files { };", // missing closing brace
+    },
+    Explain {
+        code: "K0002",
+        summary: "two top-level declarations share a name",
+        example: "bundletype T = { f }\nbundletype T = { g }",
+    },
+    Explain {
+        code: "K0003",
+        summary: "a reference names an undeclared unit, bundletype, flags set, property, or lint",
+        example: "unit U = { imports [ a : Missing ]; files { \"u.c\" }; }",
+    },
+    Explain {
+        code: "K0004",
+        summary: "an instantiated unit's import port was left unwired in the link block",
+        example: "link { w : Web; }  // Web imports serveFile, but no binding supplies it",
+    },
+    Explain {
+        code: "K0005",
+        summary: "a wiring connects an import to an export of a different bundle type",
+        example: "link { l : Log [ stdio = f.serve ]; }  // stdio : Stdio wired to a Serve export",
+    },
+    Explain {
+        code: "K0006",
+        summary: "unit code references a symbol that is neither imported, defined, nor a runtime symbol",
+        example: "int f() { return mystery(); }  // `mystery` appears in no import bundle",
+    },
+    Explain {
+        code: "K0007",
+        summary: "a unit imports and exports the same C identifier without renaming one side",
+        example: "imports [ a : T ]; exports [ b : T ];  // both bind member `f` to C symbol `f`",
+    },
+    Explain {
+        code: "K0008",
+        summary: "a rename clause names an unknown port or bundle member",
+        example: "rename { serveWeb.nope to x; }",
+    },
+    Explain {
+        code: "K0009",
+        summary: "a declaration is structurally invalid (bad initializer port, bad depends, undefined export at build time, bad flags)",
+        example: "initializer boot for imported_port;  // `for` must name an export port",
+    },
+    Explain {
+        code: "K0010",
+        summary: "initializer-level dependencies form a cycle",
+        example: "depends { ia needs b; }  // while the b-provider declares `ib needs a;`",
+    },
+    Explain {
+        code: "K0011",
+        summary: "an architectural constraint (§4) is violated; the note carries the blame chain",
+        example: "constraints { context(exports) <= context(imports); }  // wired to a lower context",
+    },
+    Explain {
+        code: "K0012",
+        summary: "two constraints force incomparable property values (no unique meet)",
+        example: "type A\ntype B  // unrelated values forced onto the same port",
+    },
+    Explain {
+        code: "K0013",
+        summary: "a C source failed to compile (cmini error, with its own file position)",
+        example: "int f( { }  // syntax error in a files { … } entry",
+    },
+    Explain {
+        code: "K0014",
+        summary: "the final link failed (duplicate or missing link-level symbols)",
+        example: "two pre-compiled objects exporting the same symbol",
+    },
+    Explain {
+        code: "K0015",
+        summary: "a files { … } entry names a path missing from the source tree",
+        example: "files { \"nope.c\" };",
+    },
+];
+
+/// Look up the explain entry for `code`, searching the error table and the
+/// lint registry. Backs `knitc explain` and the generated
+/// `docs/diagnostics.md`.
+pub fn explain(code: &str) -> Option<Explain> {
+    if let Some(e) = ERROR_EXPLAINS.iter().find(|e| e.code == code) {
+        return Some(*e);
+    }
+    crate::analyze::LINTS.iter().find(|l| l.code == code).map(|l| Explain {
+        code: l.code,
+        summary: l.summary,
+        example: l.example,
+    })
+}
+
+/// Render the full diagnostic-code table as markdown — the generator for
+/// `docs/diagnostics.md` (a test pins the file to this output).
+pub fn diagnostics_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# Diagnostic codes\n\n");
+    out.push_str("Generated by `knit::diag::diagnostics_markdown()`; do not edit by hand.\n");
+    out.push_str("`knitc explain <code>` prints the same entries.\n\n");
+    out.push_str("## Errors (K0xxx)\n\n");
+    out.push_str("| Code | Summary |\n|------|---------|\n");
+    for e in ERROR_EXPLAINS {
+        out.push_str(&format!("| {} | {} |\n", e.code, e.summary.replace('|', "\\|")));
+    }
+    out.push_str("\n## Lints (K1xxx)\n\n");
+    out.push_str(
+        "Lints default to `warn`; configure with `knitc lint --allow/--warn/--deny <lint>`\n",
+    );
+    out.push_str(
+        "or a `#[allow(...)]`/`#[warn(...)]`/`#[deny(...)]` pragma on a unit declaration.\n\n",
+    );
+    out.push_str("| Code | Name | Summary |\n|------|------|---------|\n");
+    for l in crate::analyze::LINTS {
+        out.push_str(&format!("| {} | {} | {} |\n", l.code, l.name, l.summary.replace('|', "\\|")));
+    }
+    out
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {

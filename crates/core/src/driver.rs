@@ -355,13 +355,17 @@ pub(crate) struct UnitBuild {
 }
 
 /// A [`SourceTree`] view that records every path consulted, hit or miss.
-struct RecordingTree<'a> {
-    tree: &'a SourceTree,
-    reads: RefCell<BTreeSet<String>>,
+pub(crate) struct RecordingTree<'a> {
+    pub(crate) tree: &'a SourceTree,
+    pub(crate) reads: RefCell<BTreeSet<String>>,
 }
 
-impl RecordingTree<'_> {
-    fn note(&self, path: &str) {
+impl<'a> RecordingTree<'a> {
+    pub(crate) fn new(tree: &'a SourceTree) -> RecordingTree<'a> {
+        RecordingTree { tree, reads: RefCell::new(BTreeSet::new()) }
+    }
+
+    pub(crate) fn note(&self, path: &str) {
         self.reads.borrow_mut().insert(path.to_string());
     }
 }
@@ -399,7 +403,7 @@ pub(crate) fn compile_unit_cached(
         .map_err(|e| KnitError::BadDeclaration { unit: unit_name.to_string(), what: e })?;
 
     // --- resolve + preprocess every file, hashing as we go ---
-    let recorder = RecordingTree { tree, reads: RefCell::new(BTreeSet::new()) };
+    let recorder = RecordingTree::new(tree);
     let mut h = StableHasher::new();
     for f in &flags {
         h.write_str("flag");
@@ -478,7 +482,7 @@ pub(crate) fn atomic_body(unit: &UnitDecl) -> &AtomicBody {
 }
 
 /// The C identifier of a port member, after the unit's `rename` clauses.
-fn c_id(body: &AtomicBody, port: &str, member: &str) -> String {
+pub(crate) fn c_id(body: &AtomicBody, port: &str, member: &str) -> String {
     body.renames
         .iter()
         .find(|r| r.port == port && r.member == member)

@@ -234,13 +234,15 @@ impl KnitError {
             }
             other => other.to_string(),
         };
-        vec![Diagnostic {
+        let mut diags = vec![Diagnostic {
             code: self.code(),
             severity: Severity::Error,
             message,
             span: self.span(),
             notes,
-        }]
+        }];
+        crate::diag::sort_dedupe(&mut diags);
+        diags
     }
 }
 

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod cache;
 pub mod constraints;
 pub mod diag;
@@ -53,6 +54,7 @@ pub mod sched;
 pub mod session;
 pub mod vfs;
 
+pub use analyze::{lint, lint_by_name, AnalysisReport, Lint, LintConfig, LintLevel, LINTS};
 pub use cache::BuildCache;
 pub use diag::{Diagnostic, Severity};
 pub use driver::{
@@ -80,6 +82,7 @@ pub use vfs::SourceTree;
 /// assert_eq!(report.stats.units_compiled, 1);
 /// ```
 pub mod prelude {
+    pub use crate::analyze::{lint, AnalysisReport, LintConfig, LintLevel};
     pub use crate::cache::BuildCache;
     pub use crate::diag::{Diagnostic, Severity};
     pub use crate::driver::{

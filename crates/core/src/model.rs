@@ -218,7 +218,7 @@ impl Program {
                     }
                     self.validate_unit(&u)?;
                     self.unit_sites.insert(u.name.clone(), (file.clone(), u.span));
-                    self.units.insert(u.name.clone(), u);
+                    self.units.insert(u.name.clone(), *u);
                 }
             }
         }

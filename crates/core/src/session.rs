@@ -36,6 +36,7 @@ use knit_lang::ast::{
     COp, CTarget, CTerm, Constraint, DepAtom, DepSide, PathRef, UnitBody, UnitDecl,
 };
 
+use crate::analyze::{self, AnalysisMemo, AnalysisReport, LintConfig};
 use crate::cache::{BuildCache, StableHasher};
 use crate::constraints::{self, ConstraintReport};
 use crate::driver::{
@@ -87,6 +88,9 @@ pub struct SessionStats {
     pub generate: PhaseCount,
     /// Final link executions/reuses.
     pub link: PhaseCount,
+    /// Per-unit analysis summaries ([`BuildSession::analyze`])
+    /// executions/reuses.
+    pub analyze: PhaseCount,
 }
 
 /// Memoized compile artifact for one distinct unit, plus the ledger needed
@@ -135,6 +139,7 @@ pub(crate) struct Memo {
     report: Option<BuildReport>,
     opts_fp: Option<u64>,
     counts: Counts,
+    analysis: BTreeMap<String, AnalysisMemo>,
 }
 
 // ---------------------------------------------------------------------------
@@ -333,8 +338,11 @@ fn fp_schedule(program: &Program, el: &Elaboration, el_fp: u64) -> u64 {
 
 /// Fingerprint of a unit's declaration-level compile inputs: its files
 /// list, effective flags, and renames — deliberately *not* the source
-/// contents, which the dependency ledger covers.
-fn fp_unit_decl(program: &Program, unit_name: &str, opts: &BuildOptions) -> u64 {
+/// contents, which the dependency ledger covers. (Also keys the
+/// analyzer's per-unit summaries; lint *pragmas* are deliberately
+/// excluded — they change which diagnostics are reported, not what the
+/// sources mean, and are applied at emit time.)
+pub(crate) fn fp_unit_decl(program: &Program, unit_name: &str, opts: &BuildOptions) -> u64 {
     let body = atomic_body(&program.units[unit_name]);
     let mut h = StableHasher::new();
     h.write_str("unitdecl");
@@ -883,6 +891,7 @@ pub struct BuildSession {
     memo: Memo,
     stats: SessionStats,
     dirty: BTreeSet<String>,
+    analysis_dirty: BTreeSet<String>,
     program_dirty: bool,
 }
 
@@ -907,6 +916,7 @@ impl BuildSession {
             memo: Memo::default(),
             stats: SessionStats::default(),
             dirty: BTreeSet::new(),
+            analysis_dirty: BTreeSet::new(),
             program_dirty: false,
         }
     }
@@ -948,6 +958,7 @@ impl BuildSession {
         }
         self.tree.add(path, text);
         self.dirty.insert(path.to_string());
+        self.analysis_dirty.insert(path.to_string());
     }
 
     /// Replace the build options. Only phases that observe a changed field
@@ -979,6 +990,86 @@ impl BuildSession {
     /// Cumulative per-phase rerun/reuse counts.
     pub fn stats(&self) -> &SessionStats {
         &self.stats
+    }
+
+    /// Run the cross-unit lints (see [`crate::analyze`]) over the current
+    /// program and sources.
+    ///
+    /// Analysis shares the session's memoized elaboration and schedule,
+    /// and keeps its own per-unit summary memo: a summary is reused
+    /// unless the unit's declaration fingerprint changed or one of the
+    /// paths it read (sources and includes) was edited since the last
+    /// `analyze` call — so a one-file edit re-summarizes exactly the
+    /// units that read that file ([`SessionStats::analyze`] pins this).
+    /// The graph-level lint passes themselves are recomputed every call;
+    /// they are cheap relative to parsing.
+    pub fn analyze(&mut self, config: &LintConfig) -> Result<AnalysisReport, KnitError> {
+        if !self.program.units.contains_key(&self.opts.root) {
+            return Err(KnitError::Unknown {
+                kind: "unit",
+                name: self.opts.root.clone(),
+                context: "analysis root".to_string(),
+            });
+        }
+        let dirty = std::mem::take(&mut self.analysis_dirty);
+        if !dirty.is_empty() {
+            self.memo.analysis.retain(|_, m| m.summary.reads.is_disjoint(&dirty));
+        }
+        let restore = |s: &mut Self, dirty: BTreeSet<String>, e: KnitError| {
+            // keep the paths dirty so a later analyze (or the same one,
+            // retried) still re-summarizes everything the edit touched
+            s.analysis_dirty.extend(dirty);
+            Err(e)
+        };
+        let el_fp = fp_elaborate(&self.program, &self.opts.root);
+        let el: Arc<Elaboration> = match &self.memo.elaborate {
+            Some((fp, el)) if *fp == el_fp => {
+                self.stats.elaborate.reuses += 1;
+                Arc::clone(el)
+            }
+            _ => {
+                self.stats.elaborate.runs += 1;
+                match elaborate(&self.program, &self.opts.root) {
+                    Ok(el) => {
+                        let el = Arc::new(el);
+                        self.memo.elaborate = Some((el_fp, Arc::clone(&el)));
+                        el
+                    }
+                    Err(e) => return restore(self, dirty, e),
+                }
+            }
+        };
+        let s_fp = fp_schedule(&self.program, &el, el_fp);
+        let schedule: Arc<Schedule> = match &self.memo.schedule {
+            Some((fp, s)) if *fp == s_fp => {
+                self.stats.schedule.reuses += 1;
+                Arc::clone(s)
+            }
+            _ => {
+                self.stats.schedule.runs += 1;
+                match sched::schedule(&self.program, &el) {
+                    Ok(s) => {
+                        let s = Arc::new(s);
+                        self.memo.schedule = Some((s_fp, Arc::clone(&s)));
+                        s
+                    }
+                    Err(e) => return restore(self, dirty, e),
+                }
+            }
+        };
+        match analyze::run_analysis(
+            &self.program,
+            &self.tree,
+            &self.opts,
+            config,
+            &el,
+            &schedule,
+            &mut self.memo.analysis,
+            &mut self.stats.analyze,
+        ) {
+            Ok(report) => Ok(report),
+            Err(e) => restore(self, dirty, e),
+        }
     }
 
     /// Build (or incrementally rebuild) the image.

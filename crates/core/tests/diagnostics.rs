@@ -167,3 +167,67 @@ fn duplicate_unit_rejected_at_load() {
         p.load_str("b.unit", "unit U = { exports [ o : T ]; files { \"u2.c\" }; }").unwrap_err();
     assert!(err.to_string().contains("duplicate unit `U`"), "{err}");
 }
+
+// ---------------------------------------------------------------------------
+// canonical diagnostic ordering (knit::diag::sort_dedupe)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sort_dedupe_orders_by_file_span_code_and_drops_duplicates() {
+    use knit::diag::{sort_dedupe, Severity};
+    use knit::Diagnostic;
+
+    let d = |code: &'static str, span: Option<(&str, u32, u32)>, msg: &str| Diagnostic {
+        code,
+        severity: Severity::Warning,
+        message: msg.to_string(),
+        span: span.map(|(f, l, c)| (f.to_string(), l, c)),
+        notes: vec![],
+    };
+
+    let mut diags = vec![
+        d("K1003", None, "spanless comes last"),
+        d("K1003", Some(("b.unit", 2, 1)), "later file"),
+        d("K1002", Some(("a.unit", 9, 1)), "later line"),
+        d("K1005", Some(("a.unit", 3, 7)), "later column"),
+        d("K1004", Some(("a.unit", 3, 2)), "same spot, later code"),
+        d("K1001", Some(("a.unit", 3, 2)), "same spot, earlier code"),
+        d("K1001", Some(("a.unit", 3, 2)), "same spot, earlier code"), // duplicate
+    ];
+    sort_dedupe(&mut diags);
+
+    let order: Vec<(&str, &str)> = diags.iter().map(|d| (d.code, d.message.as_str())).collect();
+    assert_eq!(
+        order,
+        [
+            ("K1001", "same spot, earlier code"),
+            ("K1004", "same spot, later code"),
+            ("K1005", "later column"),
+            ("K1002", "later line"),
+            ("K1003", "later file"),
+            ("K1003", "spanless comes last"),
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// docs/diagnostics.md is generated from the registries and must stay in sync
+// ---------------------------------------------------------------------------
+
+#[test]
+fn diagnostics_doc_is_in_sync_with_the_registries() {
+    let want = knit::diag::diagnostics_markdown();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/diagnostics.md");
+    if std::env::var_os("UPDATE_DIAGNOSTICS_MD").is_some() {
+        std::fs::write(path, &want).unwrap();
+    }
+    let got = std::fs::read_to_string(path).expect(
+        "docs/diagnostics.md missing; regenerate with \
+         UPDATE_DIAGNOSTICS_MD=1 cargo test -p knit --test diagnostics",
+    );
+    assert_eq!(
+        got, want,
+        "docs/diagnostics.md is stale; regenerate with \
+         UPDATE_DIAGNOSTICS_MD=1 cargo test -p knit --test diagnostics"
+    );
+}

@@ -28,8 +28,8 @@ pub enum Decl {
     /// `type ProcessContext < NoContext` — attaches to the most recent
     /// `property` declaration.
     PropValue(PropValueDecl),
-    /// `unit Name = { … }`
-    Unit(UnitDecl),
+    /// `unit Name = { … }` (boxed: far larger than the other variants)
+    Unit(Box<UnitDecl>),
 }
 
 /// A bundle type: a named set of member names.
@@ -80,6 +80,29 @@ pub struct UnitDecl {
     pub constraints: Vec<Constraint>,
     /// Whether this unit (compound) is a flattening boundary (§6).
     pub flatten: bool,
+    /// Lint pragmas (`#[allow(...)]` lines preceding the declaration).
+    pub pragmas: Vec<LintPragma>,
+    pub span: Span,
+}
+
+/// Severity override named by a lint pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaLevel {
+    /// `#[allow(...)]` — suppress the lint for this unit.
+    Allow,
+    /// `#[warn(...)]` — report as a warning.
+    Warn,
+    /// `#[deny(...)]` — report as an error.
+    Deny,
+}
+
+/// `#[allow(unused_import, dead_export)]` attached to a unit declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintPragma {
+    /// What level the named lints are set to.
+    pub level: PragmaLevel,
+    /// Lint names (underscore form, matched case-sensitively).
+    pub lints: Vec<String>,
     pub span: Span,
 }
 
@@ -252,7 +275,7 @@ impl KnitFile {
     /// Find a unit declaration by name.
     pub fn find_unit(&self, name: &str) -> Option<&UnitDecl> {
         self.decls.iter().find_map(|d| match d {
-            Decl::Unit(u) if u.name == name => Some(u),
+            Decl::Unit(u) if u.name == name => Some(&**u),
             _ => None,
         })
     }

@@ -144,12 +144,52 @@ impl Parser {
                 self.eat(Tok::Semi);
                 Ok(Decl::PropValue(PropValueDecl { name, below, span }))
             }
-            Tok::KwUnit => self.unit_decl(),
+            Tok::KwUnit => self.unit_decl(Vec::new()),
+            Tok::Hash => {
+                let mut pragmas = Vec::new();
+                while *self.peek() == Tok::Hash {
+                    pragmas.push(self.pragma()?);
+                }
+                if *self.peek() != Tok::KwUnit {
+                    return self.err(format!(
+                        "lint pragmas must precede a unit declaration, found {}",
+                        self.peek()
+                    ));
+                }
+                self.unit_decl(pragmas)
+            }
             other => self.err(format!("expected a declaration, found {other}")),
         }
     }
 
-    fn unit_decl(&mut self) -> Result<Decl, KError> {
+    /// `#[allow(lint_name, ...)]` (also `warn`/`deny`).
+    fn pragma(&mut self) -> Result<LintPragma, KError> {
+        let span = self.span();
+        self.expect(Tok::Hash)?;
+        self.expect(Tok::LBracket)?;
+        let level = match self.ident()?.as_str() {
+            "allow" => PragmaLevel::Allow,
+            "warn" => PragmaLevel::Warn,
+            "deny" => PragmaLevel::Deny,
+            other => {
+                return Err(KError::parse(
+                    &self.file,
+                    span,
+                    format!("expected `allow`, `warn`, or `deny` in pragma, found `{other}`"),
+                ))
+            }
+        };
+        self.expect(Tok::LParen)?;
+        let mut lints = vec![self.ident()?];
+        while self.eat(Tok::Comma) {
+            lints.push(self.ident()?);
+        }
+        self.expect(Tok::RParen)?;
+        self.expect(Tok::RBracket)?;
+        Ok(LintPragma { level, lints, span })
+    }
+
+    fn unit_decl(&mut self, pragmas: Vec<LintPragma>) -> Result<Decl, KError> {
         let span = self.span();
         self.expect(Tok::KwUnit)?;
         let name = self.ident()?;
@@ -281,7 +321,16 @@ impl Parser {
                 UnitBody::Atomic(atomic)
             }
         };
-        Ok(Decl::Unit(UnitDecl { name, imports, exports, body, constraints, flatten, span }))
+        Ok(Decl::Unit(Box::new(UnitDecl {
+            name,
+            imports,
+            exports,
+            body,
+            constraints,
+            flatten,
+            pragmas,
+            span,
+        })))
     }
 
     fn port_list(&mut self) -> Result<Vec<Port>, KError> {
@@ -571,6 +620,37 @@ mod tests {
         "#;
         let kf = parse("t.unit", src).unwrap();
         assert!(kf.find_unit("U").unwrap().flatten);
+    }
+
+    #[test]
+    fn parses_lint_pragmas() {
+        let src = r#"
+            bundletype T = { f }
+            #[allow(unused_import, dead_export)]
+            #[deny(undefined_export)]
+            unit U = {
+                imports [ a : T ];
+                exports [ b : T ];
+                files { "u.c" };
+            }
+        "#;
+        let kf = parse("t.unit", src).unwrap();
+        let u = kf.find_unit("U").unwrap();
+        assert_eq!(u.pragmas.len(), 2);
+        assert_eq!(u.pragmas[0].level, PragmaLevel::Allow);
+        assert_eq!(u.pragmas[0].lints, vec!["unused_import", "dead_export"]);
+        assert_eq!(u.pragmas[1].level, PragmaLevel::Deny);
+        assert_eq!(u.pragmas[1].span.line, 4);
+    }
+
+    #[test]
+    fn rejects_dangling_or_malformed_pragmas() {
+        // pragma not followed by a unit declaration
+        assert!(parse("t.unit", "#[allow(x)]\nbundletype T = { f }").is_err());
+        // unknown level word
+        assert!(parse("t.unit", "#[forbid(x)]\nunit U = { files { \"u.c\" }; }").is_err());
+        // empty lint list
+        assert!(parse("t.unit", "#[allow()]\nunit U = { files { \"u.c\" }; }").is_err());
     }
 
     #[test]

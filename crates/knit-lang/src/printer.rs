@@ -47,6 +47,14 @@ fn print_ports(out: &mut String, kw: &str, ports: &[Port]) {
 }
 
 fn print_unit(out: &mut String, u: &UnitDecl) {
+    for p in &u.pragmas {
+        let level = match p.level {
+            PragmaLevel::Allow => "allow",
+            PragmaLevel::Warn => "warn",
+            PragmaLevel::Deny => "deny",
+        };
+        let _ = writeln!(out, "#[{level}({})]", p.lints.join(", "));
+    }
     let _ = writeln!(out, "unit {} = {{", u.name);
     print_ports(out, "imports", &u.imports);
     print_ports(out, "exports", &u.exports);
@@ -166,6 +174,8 @@ mod tests {
             property context
             type NoContext
             type ProcessContext < NoContext
+            #[allow(unused_import)]
+            #[deny(undefined_export)]
             unit Web = {
                 imports [ serveFile : Serve ];
                 exports [ serveWeb : Serve ];

@@ -57,6 +57,7 @@ pub enum Tok {
     Le,
     Lt,
     Plus,
+    Hash,
     Eof,
 }
 
@@ -98,6 +99,7 @@ impl std::fmt::Display for Tok {
             Tok::Le => "<=",
             Tok::Lt => "<",
             Tok::Plus => "+",
+            Tok::Hash => "#",
             Tok::Eof => return write!(f, "end of input"),
         };
         write!(f, "`{s}`")
@@ -251,6 +253,7 @@ pub fn lex(file: &str, src: &str) -> Result<Vec<Token>, KError> {
             b'.' => Tok::Dot,
             b'=' => Tok::Eq,
             b'+' => Tok::Plus,
+            b'#' => Tok::Hash,
             b'<' => {
                 if i + 1 < b.len() && b[i + 1] == b'=' {
                     bump!();
@@ -331,6 +334,23 @@ mod tests {
         assert_eq!(
             toks("unit // a comment\n/* block */ Web"),
             vec![Tok::KwUnit, Tok::Ident("Web".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_pragma_hash() {
+        assert_eq!(
+            toks("#[allow(x)]"),
+            vec![
+                Tok::Hash,
+                Tok::LBracket,
+                Tok::Ident("allow".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::RBracket,
+                Tok::Eof
+            ]
         );
     }
 

@@ -1,0 +1,6 @@
+int run();
+int add(int a, int b);
+
+int main() {
+    return add(run(), 1);
+}

@@ -1,0 +1,14 @@
+void log_msg(char *m);
+
+int booted;
+
+/* Calls an import from an initializer without a depends clause (K1004). */
+int boot_init() {
+    log_msg("booting");
+    booted = 1;
+    return 0;
+}
+
+int run() {
+    return booted;
+}

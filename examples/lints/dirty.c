@@ -1,0 +1,16 @@
+/* Intentionally lint-dirty; see lints.unit. */
+
+static int counter; /* extra.c defines another static `counter` (K1005) */
+
+int add(int a, int b) {
+    counter += 1;
+    return a + b;
+}
+
+/* varargs: the flattening inliner never inlines this (K1005) */
+int chatter(int n, ...) {
+    return n + counter;
+}
+
+/* address-taken: calls through the pointer defeat inlining (K1005) */
+int (*handler)(int, int) = &add;

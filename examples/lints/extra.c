@@ -1,0 +1,10 @@
+/* Second file of unit Dirty. Deliberately does NOT define `extra_op`,
+ * the member of the exported `x : Extra` bundle (K1001), and duplicates
+ * dirty.c's static `counter` (K1005). */
+
+static int counter;
+
+int use_counter() {
+    counter += 2;
+    return counter;
+}

@@ -1,0 +1,9 @@
+int log_calls;
+
+void log_msg(char *m) {
+    log_calls += 1;
+}
+
+void log_open() {
+    log_calls = 0;
+}
