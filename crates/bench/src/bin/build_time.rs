@@ -5,8 +5,23 @@
 //! of the modular Clack router.
 //!
 //! ```text
-//! cargo run --release -p bench --bin build_time
+//! cargo run --release -p bench --bin build_time [-- --json <path>]
 //! ```
+
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => path = Some(args.next().expect("--json needs a path")),
+            other if other.starts_with("--json=") => {
+                path = Some(other["--json=".len()..].to_string());
+            }
+            other => panic!("unknown argument `{other}` (expected --json <path>)"),
+        }
+    }
+    path
+}
 
 fn main() {
     println!("§6 build-time breakdown (building the modular Clack router)\n");
@@ -84,4 +99,37 @@ fn main() {
         "  cold analysis: {:.3} ms   one-edit re-analysis: {:.3} ms ({} unit resummarized)",
         a.cold_ms, a.incremental_ms, a.reanalyzed
     );
+
+    if let Some(path) = json_path() {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"phases\": [\n");
+        for (i, (name, pct)) in phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"pct\": {pct:.2}}}{}\n",
+                if i + 1 < phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"modes\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"mode\": \"{}\", \"jobs\": {}, \"compile_ms\": {:.3}, \"total_ms\": {:.3}, \"units_compiled\": {}, \"units_reused\": {}, \"cache_hits\": {}}}{}\n",
+                r.mode,
+                r.jobs,
+                r.compile_ms,
+                r.total_ms,
+                r.units_compiled,
+                r.units_reused,
+                r.cache_hits,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"analyze\": {{\"units\": {}, \"diagnostics\": {}, \"cold_ms\": {:.3}, \"incremental_ms\": {:.3}, \"reanalyzed\": {}}}\n}}\n",
+            a.units, a.diagnostics, a.cold_ms, a.incremental_ms, a.reanalyzed
+        ));
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("build_time: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\n  wrote {path}");
+    }
 }

@@ -1,11 +1,36 @@
 //! Regenerate Table 1 of the paper: Clack router performance under the
-//! hand-optimization and flattening axes.
+//! hand-optimization and flattening axes — extended with the
+//! reproduction's profile-guided rows (layout and advisor-applied
+//! flattening; see DESIGN.md §6).
 //!
 //! ```text
-//! cargo run --release -p bench --bin table1
+//! cargo run --release -p bench --bin table1 [-- --json <path>]
 //! ```
+//!
+//! With `--json <path>` the rows are also written as a schema-stable JSON
+//! object (committed as `BENCH_table1.json` at the repo root; CI uploads a
+//! fresh copy as an artifact). Exits nonzero if the profile-guided layout
+//! regresses instruction-fetch stalls against the input-order baseline —
+//! the CI gate for the PGO pipeline.
 
-fn main() {
+use std::process::ExitCode;
+
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => path = Some(args.next().expect("--json needs a path")),
+            other if other.starts_with("--json=") => {
+                path = Some(other["--json=".len()..].to_string());
+            }
+            other => panic!("unknown argument `{other}` (expected --json <path>)"),
+        }
+    }
+    path
+}
+
+fn main() -> ExitCode {
     println!("Table 1: Clack router performance (cycles from packet entering the");
     println!("router graph to leaving it; steady state, warm caches)\n");
     println!("  paper (200 MHz Pentium Pro, gcc 2.95):");
@@ -34,4 +59,70 @@ fn main() {
     println!("  paper deltas: hand -21%, flatten -35%, both -40%");
     let pct = |i: usize| (rows[i].cycles as f64 - base) / base * 100.0;
     println!("  ours:         hand {:+.0}%, flatten {:+.0}%, both {:+.0}%", pct(1), pct(2), pct(3));
+
+    println!("\n  profile-guided rows (reproduction only; modular router):");
+    println!("    config                 |  cycles  i-fetch stalls  text bytes");
+    let (pgo, advice) = bench::table1_pgo();
+    for r in &pgo {
+        println!(
+            "    {:22} |  {:6}       {:5}          {:6}   ({:+.1}% vs base)",
+            r.config,
+            r.cycles,
+            r.ifetch_stalls,
+            r.text_size,
+            (r.cycles as f64 - pgo[0].cycles as f64) / pgo[0].cycles as f64 * 100.0,
+        );
+    }
+    println!(
+        "  advisor: {} hot cross-instance edge(s), {} flatten suggestion(s)",
+        advice.hot_edges.len(),
+        advice.suggestions.len()
+    );
+
+    if let Some(path) = json_path() {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"table1\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"hand_optimized\": {}, \"flattened\": {}, \"cycles\": {}, \"ifetch_stalls\": {}, \"text_size\": {}}}{}\n",
+                r.hand_optimized,
+                r.flattened,
+                r.cycles,
+                r.ifetch_stalls,
+                r.text_size,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"pgo\": [\n");
+        for (i, r) in pgo.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"config\": \"{}\", \"cycles\": {}, \"ifetch_stalls\": {}, \"text_size\": {}}}{}\n",
+                r.config,
+                r.cycles,
+                r.ifetch_stalls,
+                r.text_size,
+                if i + 1 < pgo.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"pgo_advice\": {{\"hot_edges\": {}, \"suggestions\": {}}}\n}}\n",
+            advice.hot_edges.len(),
+            advice.suggestions.len()
+        ));
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("table1: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n  wrote {path}");
+    }
+
+    // CI gate: the profile-guided layout must not fetch-stall more than the
+    // input-order baseline it was derived from.
+    if pgo[1].ifetch_stalls > pgo[0].ifetch_stalls {
+        eprintln!(
+            "table1: PGO REGRESSION: pgo layout stalls {} > input-order stalls {}",
+            pgo[1].ifetch_stalls, pgo[0].ifetch_stalls
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

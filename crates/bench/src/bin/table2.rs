@@ -4,8 +4,23 @@
 //! Clack routers"; we run it on the same simulated machine).
 //!
 //! ```text
-//! cargo run --release -p bench --bin table2
+//! cargo run --release -p bench --bin table2 [-- --json <path>]
 //! ```
+
+fn json_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => path = Some(args.next().expect("--json needs a path")),
+            other if other.starts_with("--json=") => {
+                path = Some(other["--json=".len()..].to_string());
+            }
+            other => panic!("unknown argument `{other}` (expected --json <path>)"),
+        }
+    }
+    path
+}
 
 fn main() {
     println!("Table 2: Click router performance\n");
@@ -24,7 +39,29 @@ fn main() {
     println!("           (base Click {vs_clack:+.0}% vs base Clack {})\n", t.clack_base);
 
     println!("  ablation over the three optimizations (cycles/packet):");
-    for (name, cycles) in bench::click_ablation() {
+    let ablation = bench::click_ablation();
+    for (name, cycles) in &ablation {
         println!("    {name:32} {cycles}");
+    }
+
+    if let Some(path) = json_path() {
+        let mut out = format!(
+            "{{\n  \"version\": 1,\n  \"click_unoptimized\": {},\n  \"click_optimized\": {},\n  \"clack_base\": {},\n  \"ablation\": [\n",
+            t.click_unoptimized, t.click_optimized, t.clack_base
+        );
+        for (i, (name, cycles)) in ablation.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cycles\": {}}}{}\n",
+                name,
+                cycles,
+                if i + 1 < ablation.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("table2: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\n  wrote {path}");
     }
 }

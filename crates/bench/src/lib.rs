@@ -66,6 +66,130 @@ pub fn table1_with(work: &[packets::WorkItem]) -> Vec<Table1Row> {
     rows
 }
 
+/// One PGO row of the Table 1 extension: the same modular Clack router,
+/// measured under profile-guided build decisions. (The paper had no PGO;
+/// this extends its Table 1 with the reproduction's own pipeline.)
+#[derive(Debug, Clone)]
+pub struct PgoRow {
+    /// Configuration label (`"base"`, `"pgo layout"`, …).
+    pub config: &'static str,
+    /// Cycles per packet, steady state.
+    pub cycles: u64,
+    /// Instruction-fetch stall cycles per packet.
+    pub ifetch_stalls: u64,
+    /// Text size in bytes.
+    pub text_size: u64,
+}
+
+/// Run `work` on a built router with call-edge profiling enabled and
+/// return the measurement plus the collected profile. Recording does not
+/// perturb the performance counters (pinned by a machine test), so the
+/// instrumented run doubles as the measurement run.
+pub fn profile_router(
+    report: &knit::BuildReport,
+    work: &[packets::WorkItem],
+) -> (clack::RouterMeasurement, machine::Profile) {
+    let mut h = RouterHarness::new(report).expect("harness");
+    h.machine().set_profiling(true);
+    let m = h.measure(work).expect("measure");
+    (m, h.machine().profile())
+}
+
+/// The PGO rows of Table 1 (plus the advisor's report on the base run):
+///
+/// 1. `base` — modular router, input-order layout (= Table 1 row 1);
+/// 2. `pgo layout` — same configuration rebuilt with the base run's
+///    profile feeding the linker's Pettis–Hansen layout;
+/// 3. `pgo flatten + layout` — the advisor's flatten suggestion applied
+///    (the hot cross-instance edges cover the router core, so the applied
+///    form is the flattened configuration), re-profiled, and re-laid-out.
+///
+/// Each configuration is profiled and laid out with *its own* profile:
+/// flattening changes the link-level symbol names, so a base-router
+/// profile does not transfer to the flattened image.
+pub fn table1_pgo() -> (Vec<PgoRow>, knit::PgoReport) {
+    table1_pgo_with(&router_workload())
+}
+
+/// [`table1_pgo`] over a caller-supplied workload.
+pub fn table1_pgo_with(work: &[packets::WorkItem]) -> (Vec<PgoRow>, knit::PgoReport) {
+    let row = |config: &'static str, m: &clack::RouterMeasurement| PgoRow {
+        config,
+        cycles: m.cycles_per_packet,
+        ifetch_stalls: m.ifetch_stalls_per_packet,
+        text_size: m.text_size,
+    };
+    let measure = |report: &knit::BuildReport| {
+        RouterHarness::new(report).expect("harness").measure(work).expect("measure")
+    };
+
+    let (p, t, opts) = router_build_inputs(&ip_router(), false).expect("router inputs");
+    let base = build(&p, &t, &opts).expect("base router builds");
+    let (mb, profile) = profile_router(&base, work);
+
+    let mut pgo_opts = opts.clone();
+    pgo_opts.profile = Some(std::sync::Arc::new(profile.layout_profile()));
+    let laid = build(&p, &t, &pgo_opts).expect("pgo-layout router builds");
+    let ml = measure(&laid);
+
+    let advice = knit::pgo::suggest(&base, &profile);
+
+    let (fp, ft, fopts) = router_build_inputs(&ip_router(), true).expect("flat router inputs");
+    let flat = build(&fp, &ft, &fopts).expect("flat router builds");
+    let (_, fprofile) = profile_router(&flat, work);
+    let mut flat_pgo_opts = fopts.clone();
+    flat_pgo_opts.profile = Some(std::sync::Arc::new(fprofile.layout_profile()));
+    let flat_laid = build(&fp, &ft, &flat_pgo_opts).expect("flat pgo-layout router builds");
+    let mf = measure(&flat_laid);
+
+    (
+        vec![
+            row("base (input order)", &mb),
+            row("pgo layout", &ml),
+            row("pgo flatten + layout", &mf),
+        ],
+        advice,
+    )
+}
+
+/// One boot of the deep-lock kernel, before vs after profile-guided
+/// layout (see [`deep_lock_pgo`]).
+pub struct DeepLockPgo {
+    /// Linked text size in bytes (layout-invariant).
+    pub text_size: u64,
+    /// (cycles, ifetch stall cycles, icache misses) at input order.
+    pub base: (u64, u64, u64),
+    /// The same three counters after a profile-guided relink.
+    pub pgo: (u64, u64, u64),
+}
+
+/// Profile-guided layout on the ~100-unit deep-lock kernel of
+/// [`deep_lock_kernel_inputs`]: boot it once with edge profiling on,
+/// relink with the collected profile, and boot the relaid image. The
+/// kernel's text overflows the 4 KiB I-cache, so clustering the hot
+/// boot path cuts fetch stalls without touching non-stall cycles.
+pub fn deep_lock_pgo() -> DeepLockPgo {
+    let boot = |image: cobj::Image, profiling: bool| {
+        let mut m = Machine::new(image).expect("kernel machine");
+        m.set_profiling(profiling);
+        let r = m.run_entry().expect("kernel boots");
+        assert_eq!(r, 3, "deep-lock kernel exit code");
+        let c = m.counters();
+        ((c.cycles, c.ifetch_stall_cycles, c.icache_misses), m.profile())
+    };
+
+    let (p, t, opts) = deep_lock_kernel_inputs();
+    let report = build(&p, &t, &opts).expect("deep-lock kernel builds");
+    let (base, profile) = boot(report.image.clone(), true);
+
+    let mut pgo_opts = opts.clone();
+    pgo_opts.profile = Some(std::sync::Arc::new(profile.layout_profile()));
+    let laid = build(&p, &t, &pgo_opts).expect("pgo deep-lock kernel builds");
+    let (pgo, _) = boot(laid.image.clone(), false);
+
+    DeepLockPgo { text_size: report.image.text_size, base, pgo }
+}
+
 /// Table 2: Click unoptimized and optimized (plus the Clack base for the
 /// paper's "approximately the same (3% slower)" comparison).
 pub struct Table2 {
@@ -231,7 +355,11 @@ pub fn chain_cycles_traditional(n: usize, iters: i64) -> (u64, i64) {
     ));
     let image = cobj::link(
         &inputs,
-        &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &cobj::LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .expect("traditional link");
     let mut m = Machine::new(image).expect("machine");
@@ -639,6 +767,65 @@ mod tests {
         assert!(hand < base, "hand optimization wins: {hand} vs {base}");
         assert!(flat < base, "flattening wins: {flat} vs {base}");
         assert!(both <= hand && both <= flat, "both is best: {both}");
+    }
+
+    /// The PGO acceptance criteria on the Clack base router: the layout
+    /// derived from a profiled run strictly cuts instruction-fetch stalls
+    /// while leaving the non-stall work untouched; the advisor names hot
+    /// cross-unit edges; and applying its flatten suggestion (the
+    /// flattened configuration) lowers cycles per packet.
+    #[test]
+    fn pgo_layout_cuts_stalls_and_advice_pays_off() {
+        let work = router_workload_sized(128);
+        let (p, t, opts) = router_build_inputs(&ip_router(), false).expect("router inputs");
+        let base = build(&p, &t, &opts).expect("base builds");
+        let (mb, profile) = profile_router(&base, &work);
+        assert!(mb.raw.ifetch_stall_cycles > 0, "base router must conflict-miss");
+
+        let mut pgo_opts = opts.clone();
+        pgo_opts.profile = Some(std::sync::Arc::new(profile.layout_profile()));
+        let laid = build(&p, &t, &pgo_opts).expect("pgo build");
+        let ml = RouterHarness::new(&laid).expect("harness").measure(&work).expect("measure");
+        assert!(
+            ml.raw.ifetch_stall_cycles < mb.raw.ifetch_stall_cycles,
+            "pgo layout must cut stalls: {} vs {}",
+            ml.raw.ifetch_stall_cycles,
+            mb.raw.ifetch_stall_cycles
+        );
+        assert_eq!(
+            ml.raw.cycles - ml.raw.ifetch_stall_cycles,
+            mb.raw.cycles - mb.raw.ifetch_stall_cycles,
+            "layout must not change the non-stall work"
+        );
+
+        let advice = knit::pgo::suggest(&base, &profile);
+        assert!(!advice.hot_edges.is_empty(), "advisor must find hot cross-instance edges");
+        let top = advice.suggestions.first().expect("advisor must suggest a flatten group");
+        assert!(top.units.len() > 1, "the suggestion must span units: {:?}", top.units);
+
+        // applying the suggestion = flattening the router core
+        let flat = build_clack_router(&ip_router(), true).expect("flat builds");
+        let mf = RouterHarness::new(&flat).expect("harness").measure(&work).expect("measure");
+        assert!(
+            mf.cycles_per_packet < mb.cycles_per_packet,
+            "applied suggestion must lower cycles/packet: {} vs {}",
+            mf.cycles_per_packet,
+            mb.cycles_per_packet
+        );
+    }
+
+    /// PGO must also pay off on the ~100-unit deep-lock kernel, the other
+    /// half of the tentpole: fewer fetch stalls and I-cache misses, the
+    /// same non-stall work, and a layout-invariant text size.
+    #[test]
+    fn pgo_layout_cuts_deep_lock_kernel_stalls() {
+        let r = deep_lock_pgo();
+        let (bc, bs, bm) = r.base;
+        let (pc, ps, pm) = r.pgo;
+        assert!(bs > 0, "kernel boot must conflict-miss at input order");
+        assert!(ps < bs, "pgo layout must cut boot stalls: {ps} vs {bs}");
+        assert!(pm < bm, "pgo layout must cut icache misses: {pm} vs {bm}");
+        assert_eq!(pc - ps, bc - bs, "layout must not change the non-stall work");
     }
 
     #[test]

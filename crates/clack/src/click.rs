@@ -823,7 +823,11 @@ pub fn build_click_image(files: &[(String, String)]) -> Result<Image, String> {
     }
     link(
         &inputs,
-        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .map_err(|e| e.to_string())
 }

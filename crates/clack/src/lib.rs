@@ -33,7 +33,7 @@ pub mod packets;
 use knit::{build, BuildOptions, BuildReport, KnitError, Program, SourceTree};
 
 pub use graph::{ip_router, ElemType, Graph};
-pub use harness::RouterHarness;
+pub use harness::{RouterHarness, RouterMeasurement};
 
 /// The Clack element sources as a source tree.
 pub fn sources() -> SourceTree {

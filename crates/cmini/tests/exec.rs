@@ -14,7 +14,11 @@ fn boot(src: &str, opt: OptLevel) -> Machine {
     let obj = compile("test.c", src, &opts, &NoFiles).unwrap_or_else(|e| panic!("compile: {e}"));
     let img = link(
         &[LinkInput::Object(obj)],
-        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .unwrap_or_else(|e| panic!("link: {e}"));
     Machine::new(img).unwrap()

@@ -13,7 +13,11 @@ fn boot(src: &str, opt: OptLevel) -> Machine {
     let obj = compile("t.c", src, &opts, &NoFiles).unwrap_or_else(|e| panic!("compile: {e}"));
     let img = link(
         &[LinkInput::Object(obj)],
-        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .unwrap_or_else(|e| panic!("link: {e}"));
     Machine::new(img).unwrap()
@@ -137,7 +141,11 @@ fn include_directories_resolve() {
         .unwrap();
     let img = link(
         &[LinkInput::Object(obj)],
-        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut m = Machine::new(img).unwrap();

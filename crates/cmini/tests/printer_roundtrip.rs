@@ -94,7 +94,11 @@ fn printed_code_executes_identically() {
         let obj = cmini::compile_simple("str.c", text).unwrap();
         let img = link(
             &[LinkInput::Object(obj)],
-            &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+            &LinkOptions {
+                entry: None,
+                runtime_symbols: machine::runtime_symbols().collect(),
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut m = Machine::new(img).unwrap();

@@ -27,6 +27,7 @@ use crate::image::{
     align_up, CallTarget, Image, ImageFunc, RInstr, SymbolLoc, FUNC_ALIGN, TEXT_BASE,
 };
 use crate::ir::{Instr, SymId};
+use crate::layout::{FuncMeta, Layout};
 use crate::object::{FuncDef, ObjectFile, SymDef};
 
 /// One linker command-line argument.
@@ -47,12 +48,25 @@ pub struct LinkOptions {
     /// Names provided by the runtime; undefined references to these resolve
     /// to intrinsics instead of failing.
     pub runtime_symbols: BTreeSet<String>,
+    /// Text-placement strategy. [`Layout::InputOrder`] (the default) keeps
+    /// the historical placement byte-for-byte.
+    pub layout: Layout,
 }
 
 impl LinkOptions {
     /// Options with an entry point and a set of runtime symbols.
     pub fn new(entry: impl Into<String>, runtime: impl IntoIterator<Item = String>) -> Self {
-        LinkOptions { entry: Some(entry.into()), runtime_symbols: runtime.into_iter().collect() }
+        LinkOptions {
+            entry: Some(entry.into()),
+            runtime_symbols: runtime.into_iter().collect(),
+            layout: Layout::InputOrder,
+        }
+    }
+
+    /// Replace the text-placement strategy.
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
     }
 }
 
@@ -158,14 +172,26 @@ fn layout(included: &[ObjectFile], opts: &LinkOptions) -> Result<Image, LinkErro
         def: &'a FuncDef,
         addr: u64,
     }
-    let mut slots: Vec<FuncSlot<'_>> = Vec::new();
-    let mut cursor = TEXT_BASE;
+    // Gather candidates in input order, then let the layout strategy pick
+    // the placement order. `InputOrder` returns the identity permutation,
+    // reproducing the historical images byte-for-byte.
+    let mut raw: Vec<(usize, &FuncDef)> = Vec::new();
+    let mut metas: Vec<FuncMeta> = Vec::new();
     for (oi, obj) in included.iter().enumerate() {
         for f in &obj.funcs {
-            cursor = align_up(cursor, FUNC_ALIGN);
-            slots.push(FuncSlot { obj: oi, def: f, addr: cursor });
-            cursor += f.size_bytes();
+            raw.push((oi, f));
+            metas.push(FuncMeta { name: obj.symbol(f.sym).name.clone(), size: f.size_bytes() });
         }
+    }
+    let order = opts.layout.order(&metas);
+    debug_assert_eq!(order.len(), raw.len());
+    let mut slots: Vec<FuncSlot<'_>> = Vec::with_capacity(raw.len());
+    let mut cursor = TEXT_BASE;
+    for &ri in &order {
+        let (oi, f) = raw[ri];
+        cursor = align_up(cursor, FUNC_ALIGN);
+        slots.push(FuncSlot { obj: oi, def: f, addr: cursor });
+        cursor += f.size_bytes();
     }
     let text_end = cursor;
     let text_size: u64 = included.iter().map(|o| o.text_size()).sum();
@@ -566,6 +592,71 @@ mod tests {
         assert_eq!(img.text_size, 6 + 6);
         assert!(img.data_base >= TEXT_BASE);
         assert!(img.heap_base >= img.data_base);
+    }
+
+    #[test]
+    fn default_layout_pins_historical_input_order_placement() {
+        // Pin the exact placement the pre-strategy linker produced: input
+        // order, each function aligned to FUNC_ALIGN. Each func_obj body
+        // (Const + Ret) encodes to 6 bytes, so with 16-byte alignment the
+        // three functions land at fixed, known addresses.
+        let objs = [
+            func_obj("a.o", "f", 1, &[]),
+            func_obj("b.o", "g", 2, &[]),
+            func_obj("c.o", "h", 3, &[]),
+        ];
+        let inputs: Vec<LinkInput> = objs.iter().cloned().map(LinkInput::Object).collect();
+        let img = link(&inputs, &LinkOptions::default()).unwrap();
+        let names: Vec<&str> = img.funcs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["f", "g", "h"], "input order preserved");
+        assert_eq!(
+            img.funcs.iter().map(|f| f.addr).collect::<Vec<_>>(),
+            vec![TEXT_BASE, TEXT_BASE + 16, TEXT_BASE + 32],
+        );
+        // An explicit InputOrder strategy is the same image, byte for byte
+        // (Image's PartialEq compares every function body, address, datum,
+        // and symbol).
+        let explicit =
+            link(&inputs, &LinkOptions::default().with_layout(crate::layout::Layout::InputOrder))
+                .unwrap();
+        assert_eq!(img, explicit);
+    }
+
+    #[test]
+    fn profile_guided_layout_moves_cold_code_behind_hot() {
+        use crate::layout::{Layout, LayoutProfile};
+        // main calls hot; cold is linked between them in input order.
+        let objs = [
+            func_obj("main.o", "main", 1, &["hot"]),
+            func_obj("cold.o", "cold", 2, &[]),
+            func_obj("hot.o", "hot", 3, &[]),
+        ];
+        let inputs: Vec<LinkInput> = objs.iter().cloned().map(LinkInput::Object).collect();
+        let mut p = LayoutProfile::default();
+        p.record_edge("main", "hot", 100);
+        p.record_func("main", 10);
+        p.record_func("hot", 10);
+        let img =
+            link(&inputs, &LinkOptions::new("main", []).with_layout(Layout::ProfileGuided(p)))
+                .unwrap();
+        let names: Vec<&str> = img.funcs.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "hot", "cold"], "hot pair adjacent, cold tail");
+        // Same function set and sizes as the default layout, different order.
+        let base = link(&inputs, &LinkOptions::new("main", [])).unwrap();
+        let mut a: Vec<(String, u64)> =
+            base.funcs.iter().map(|f| (f.name.clone(), f.size)).collect();
+        let mut b: Vec<(String, u64)> =
+            img.funcs.iter().map(|f| (f.name.clone(), f.size)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // The call still resolves to the right function.
+        let main = img.entry.unwrap() as usize;
+        assert!(matches!(
+            img.funcs[main].body[0],
+            RInstr::Call { target: CallTarget::Func(fi), .. }
+                if img.funcs[fi as usize].name == "hot"
+        ));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod archive;
 pub mod error;
 pub mod image;
 pub mod ir;
+pub mod layout;
 pub mod ld;
 pub mod objcopy;
 pub mod object;
@@ -36,5 +37,6 @@ pub use archive::Archive;
 pub use error::{LinkError, ObjectError};
 pub use image::{CallTarget, Image, ImageFunc, RInstr, SymbolLoc};
 pub use ir::{BinOp, Instr, SymId, UnOp, Width};
+pub use layout::{Layout, LayoutProfile};
 pub use ld::{link, LinkInput, LinkOptions};
 pub use object::{DataDef, DataReloc, FuncDef, ObjectFile, SymDef, SymKind, Symbol};

@@ -20,12 +20,14 @@
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 use knit::{
     build_with_cache, BuildOptions, BuildReport, BuildSession, KnitError, LintConfig, LintLevel,
     SourceTree,
 };
+use machine::Profile;
 
 #[derive(Clone, Copy, PartialEq)]
 enum ErrorFormat {
@@ -49,6 +51,9 @@ struct Args {
     lint: bool,
     lint_overrides: Vec<(String, LintLevel)>,
     deny_warnings: bool,
+    pgo_suggest: bool,
+    profile_gen: Option<PathBuf>,
+    profile_use: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -60,6 +65,8 @@ fn usage() -> ! {
          \x20      knitc lint --root <Unit> [--src <dir>]... [--allow <lint>]\n\
          \x20             [--warn <lint>] [--deny <lint>|warnings]\n\
          \x20             [--error-format <human|json>] <file.unit>...\n\
+         \x20      knitc pgo-suggest --root <Unit> [--src <dir>]...\n\
+         \x20             [--profile-use <file>] <file.unit>...\n\
          \x20      knitc explain <code>\n\
          \n\
          builds the root unit from the given .unit files, with C sources\n\
@@ -75,10 +82,20 @@ fn usage() -> ! {
          --error-format <human|json>\n\
          \x20            render build errors as human-readable diagnostics\n\
          \x20            (default) or as one JSON object per line\n\
+         --profile-gen <file>\n\
+         \x20            run the built image with call-edge profiling on and\n\
+         \x20            write the collected profile as JSON (implies --run)\n\
+         --profile-use <file>\n\
+         \x20            feed a previously collected profile into the linker:\n\
+         \x20            hot code is clustered first, cold code moved behind\n\
          \n\
          `knitc lint` runs the cross-unit static analyzer (no build):\n\
          --allow/--warn/--deny <lint>  set a lint's level for this run\n\
          --deny warnings               exit nonzero on any surviving warning\n\
+         \n\
+         `knitc pgo-suggest` ranks hot cross-instance call edges and\n\
+         suggests flatten groups; with --profile-use it reads the given\n\
+         profile, otherwise it builds, runs instrumented, and profiles\n\
          \n\
          `knitc explain <code>` describes a diagnostic code (K0001…, K1001…)"
     );
@@ -102,6 +119,9 @@ fn parse_args(argv: Vec<String>) -> Args {
         lint: false,
         lint_overrides: Vec::new(),
         deny_warnings: false,
+        pgo_suggest: false,
+        profile_gen: None,
+        profile_use: None,
     };
     let set_format = |args: &mut Args, v: &str| match v {
         "human" => args.error_format = ErrorFormat::Human,
@@ -114,6 +134,9 @@ fn parse_args(argv: Vec<String>) -> Args {
     let mut it = argv.into_iter().peekable();
     if it.peek().map(String::as_str) == Some("lint") {
         args.lint = true;
+        it.next();
+    } else if it.peek().map(String::as_str) == Some("pgo-suggest") {
+        args.pgo_suggest = true;
         it.next();
     }
     while let Some(a) = it.next() {
@@ -156,6 +179,18 @@ fn parse_args(argv: Vec<String>) -> Args {
             other if other.starts_with("--error-format=") => {
                 let v = other["--error-format=".len()..].to_string();
                 set_format(&mut args, &v);
+            }
+            "--profile-gen" => {
+                args.profile_gen = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--profile-use" => {
+                args.profile_use = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            other if other.starts_with("--profile-gen=") => {
+                args.profile_gen = Some(PathBuf::from(&other["--profile-gen=".len()..]));
+            }
+            other if other.starts_with("--profile-use=") => {
+                args.profile_use = Some(PathBuf::from(&other["--profile-use=".len()..]));
             }
             "--cache" => args.cache = true,
             "--run" => args.run = true,
@@ -256,8 +291,9 @@ fn print_report(root: &str, report: &BuildReport, verbose: bool) {
 }
 
 /// Run the image on the simulated machine, forwarding console output to
-/// stdout and the serial port to stderr.
-fn run_image(report: &BuildReport) -> Result<i64, ExitCode> {
+/// stdout and the serial port to stderr. With `profiling`, call-edge
+/// recording is enabled and the collected [`Profile`] is returned.
+fn run_image(report: &BuildReport, profiling: bool) -> Result<(i64, Option<Profile>), ExitCode> {
     let mut m = match machine::Machine::new(report.image.clone()) {
         Ok(m) => m,
         Err(e) => {
@@ -265,6 +301,7 @@ fn run_image(report: &BuildReport) -> Result<i64, ExitCode> {
             return Err(ExitCode::FAILURE);
         }
     };
+    m.set_profiling(profiling);
     match m.run_entry() {
         Ok(code) => {
             if !m.console.output.is_empty() {
@@ -274,13 +311,49 @@ fn run_image(report: &BuildReport) -> Result<i64, ExitCode> {
                 eprint!("{}", m.serial.output);
             }
             println!("knitc: program exited with code {code}");
-            Ok(code)
+            Ok((code, profiling.then(|| m.profile())))
         }
         Err(e) => {
             eprintln!("knitc: runtime fault: {e}");
             Err(ExitCode::FAILURE)
         }
     }
+}
+
+/// Read and parse a `--profile-use` JSON file.
+fn load_profile(path: &Path) -> Result<Profile, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("knitc: cannot read profile {}: {e}", path.display());
+        ExitCode::FAILURE
+    })?;
+    Profile::from_json(&text).map_err(|e| {
+        eprintln!("knitc: bad profile {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+/// `knitc pgo-suggest`: build, obtain a profile (from `--profile-use` or by
+/// running the image instrumented), and print the flatten advisor's report.
+fn pgo_suggest_cmd(session: &mut BuildSession, args: &Args) -> ExitCode {
+    let report = match session.build() {
+        Ok(r) => r,
+        Err(e) => {
+            report_error(&e, args.error_format);
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match &args.profile_use {
+        Some(path) => match load_profile(path) {
+            Ok(p) => p,
+            Err(code) => return code,
+        },
+        None => match run_image(&report, true) {
+            Ok((_, p)) => p.expect("profiling was requested"),
+            Err(code) => return code,
+        },
+    };
+    print!("{}", knit::pgo::suggest(&report, &profile).render());
+    ExitCode::SUCCESS
 }
 
 /// `knitc explain <code>`: describe one diagnostic code from the explain
@@ -420,7 +493,7 @@ fn watch_loop(mut session: BuildSession, args: &Args, sources: Vec<(PathBuf, Str
                     print_report(&root, &report, true);
                 }
                 if args.run {
-                    let _ = run_image(&report);
+                    let _ = run_image(&report, false);
                 }
             }
             Err(e) => report_error(&e, args.error_format),
@@ -445,6 +518,14 @@ fn main() -> ExitCode {
     opts.check_constraints = args.check;
     if let Some(jobs) = args.jobs {
         opts.jobs = jobs;
+    }
+    if !args.pgo_suggest {
+        if let Some(path) = &args.profile_use {
+            match load_profile(path) {
+                Ok(p) => opts.profile = Some(Arc::new(p.layout_profile())),
+                Err(code) => return code,
+            }
+        }
     }
 
     let mut session = BuildSession::new(opts);
@@ -476,6 +557,9 @@ fn main() -> ExitCode {
 
     if args.lint {
         return lint_cmd(&mut session, &args);
+    }
+    if args.pgo_suggest {
+        return pgo_suggest_cmd(&mut session, &args);
     }
 
     let cold = match session.build() {
@@ -527,9 +611,29 @@ fn main() -> ExitCode {
 
     print_report(args.root.as_deref().expect("validated"), &report, args.verbose);
 
-    if args.run {
-        match run_image(&report) {
-            Ok(code) => {
+    if let Some(path) = &args.profile_gen {
+        match run_image(&report, true) {
+            Ok((code, profile)) => {
+                let profile = profile.expect("profiling was requested");
+                if let Err(e) = std::fs::write(path, profile.to_json()) {
+                    eprintln!("knitc: cannot write profile {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "knitc: wrote profile to {} ({} edges, {} calls)",
+                    path.display(),
+                    profile.edges.len(),
+                    profile.total_calls()
+                );
+                if code != 0 {
+                    return ExitCode::from((code & 0xff) as u8);
+                }
+            }
+            Err(code) => return code,
+        }
+    } else if args.run {
+        match run_image(&report, false) {
+            Ok((code, _)) => {
                 if code != 0 {
                     return ExitCode::from((code & 0xff) as u8);
                 }

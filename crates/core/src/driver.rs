@@ -34,7 +34,7 @@ use std::time::Duration;
 use cmini::CompileOptions;
 use cobj::ir::Instr;
 use cobj::object::{FuncDef, ObjectFile, Symbol};
-use cobj::Image;
+use cobj::{Image, LayoutProfile};
 use knit_lang::ast::{AtomicBody, UnitBody, UnitDecl};
 
 use crate::cache::{BuildCache, StableHasher};
@@ -69,6 +69,13 @@ pub struct BuildOptions {
     /// image: results are merged in deterministic unit order, so symbol
     /// mangling and link order are identical for every `jobs` value.
     pub jobs: usize,
+    /// Execution profile driving the linker's profile-guided code layout
+    /// (Pettis–Hansen-style hot/cold placement; see `cobj::layout`).
+    /// `None` (the default) keeps the historical input-order placement
+    /// byte-for-byte. In a session, swapping the profile invalidates
+    /// exactly the link phase: compiles, objcopy, and flattening all
+    /// reuse.
+    pub profile: Option<Arc<LayoutProfile>>,
 }
 
 /// The host's available parallelism (the default for
@@ -88,6 +95,7 @@ impl BuildOptions {
             default_flags: vec!["-O2".to_string()],
             runtime_symbols: runtime.into_iter().collect(),
             jobs: default_jobs(),
+            profile: None,
         }
     }
 
@@ -154,6 +162,14 @@ impl BuildOptionsBuilder {
     #[must_use]
     pub fn runtime_symbols(mut self, syms: impl IntoIterator<Item = impl Into<String>>) -> Self {
         self.opts.runtime_symbols = syms.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Drive code layout from an execution profile
+    /// ([`BuildOptions::profile`]).
+    #[must_use]
+    pub fn profile(mut self, profile: impl Into<Option<Arc<LayoutProfile>>>) -> Self {
+        self.opts.profile = profile.into();
         self
     }
 

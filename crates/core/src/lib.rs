@@ -50,6 +50,7 @@ pub mod driver;
 pub mod elaborate;
 pub mod error;
 pub mod model;
+pub mod pgo;
 pub mod sched;
 pub mod session;
 pub mod vfs;
@@ -64,6 +65,7 @@ pub use driver::{
 pub use elaborate::{Elaboration, Wire};
 pub use error::KnitError;
 pub use model::Program;
+pub use pgo::{FlattenSuggestion, HotEdge, PgoReport};
 pub use session::{BuildSession, PhaseCount, Session, SessionStats};
 pub use vfs::SourceTree;
 
@@ -90,6 +92,7 @@ pub mod prelude {
     };
     pub use crate::error::KnitError;
     pub use crate::model::Program;
+    pub use crate::pgo::{FlattenSuggestion, HotEdge, PgoReport};
     pub use crate::session::{BuildSession, PhaseCount, Session, SessionStats};
     pub use crate::vfs::SourceTree;
 }

@@ -1,0 +1,361 @@
+//! Profile-guided flatten advisor.
+//!
+//! Knit's `flatten` declaration (§6 of the paper) merges the C sources of a
+//! subtree of instances into one translation unit so the C compiler can
+//! inline across component boundaries. Choosing *where* to flatten is a
+//! performance judgement call; this module automates it from measurement:
+//! run an instrumented build ([`machine::Machine::set_profiling`]), collect
+//! a [`Profile`], and [`suggest`] ranks the hot cross-instance direct-call
+//! edges that are not already inside a flatten group and clusters them into
+//! concrete flatten suggestions.
+//!
+//! The mapping from profile edges (link-level symbol names) back to
+//! instances relies on the driver's mangling scheme
+//! ([`crate::driver::mangle_export`] / [`crate::driver::mangle_private`]),
+//! which embeds the instance id as a `_i<N>` / `_p<N>` suffix. Symbols that
+//! carry no such suffix (runtime glue like `__start`, externals) are
+//! ignored.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use machine::Profile;
+
+use crate::driver::BuildReport;
+
+/// A profiled call edge between two distinct instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotEdge {
+    /// Mangled symbol name of the calling function.
+    pub caller_symbol: String,
+    /// Mangled symbol name of the called function.
+    pub callee_symbol: String,
+    /// Instance id of the caller (index into `elaboration.instances`).
+    pub caller_inst: usize,
+    /// Instance id of the callee.
+    pub callee_inst: usize,
+    /// Dynamic call count from the profile.
+    pub count: u64,
+    /// Whether the calls were made through a function pointer.
+    pub indirect: bool,
+}
+
+/// A cluster of instances worth flattening together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlattenSuggestion {
+    /// Member instance ids, sorted.
+    pub instances: Vec<usize>,
+    /// Hierarchical paths of the members, in instance-id order.
+    pub paths: Vec<String>,
+    /// Distinct unit names of the members.
+    pub units: BTreeSet<String>,
+    /// Total dynamic direct calls between members.
+    pub total_calls: u64,
+}
+
+/// The advisor's output: ranked edges plus clustered suggestions.
+#[derive(Debug, Clone, Default)]
+pub struct PgoReport {
+    /// Root unit name the profiled build was elaborated from.
+    pub root: String,
+    /// Cross-instance edges, hottest first. Includes indirect edges
+    /// (flagged) for visibility; suggestions are built from direct edges
+    /// only, since flattening helps the compiler inline direct calls.
+    pub hot_edges: Vec<HotEdge>,
+    /// Suggested flatten groups, by descending total call count.
+    pub suggestions: Vec<FlattenSuggestion>,
+}
+
+/// Parse the instance id out of a mangled symbol name, if it has one.
+///
+/// Recognises the driver's `..._<port>_i<N>` (exports) and `..._p<N>`
+/// (instance-private globals) suffixes.
+pub fn instance_of_symbol(name: &str) -> Option<usize> {
+    let idx = name.rfind(['i', 'p'])?;
+    if idx == 0 || name.as_bytes()[idx - 1] != b'_' {
+        return None;
+    }
+    let digits = &name[idx + 1..];
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Rank hot cross-instance edges and cluster them into flatten suggestions.
+///
+/// Edges whose endpoints are already inside the same elaborated flatten
+/// group are skipped — that boundary has already been erased. Instance ids
+/// parsed from symbols are validated against the elaboration; a stale
+/// profile (from a different configuration) therefore degrades to an empty
+/// report rather than nonsense.
+pub fn suggest(report: &BuildReport, profile: &Profile) -> PgoReport {
+    let el = &report.elaboration;
+    let n = el.instances.len();
+
+    // Which flatten group, if any, each instance already belongs to.
+    let mut group_of: Vec<Option<usize>> = vec![None; n];
+    for (gi, group) in el.flatten_groups.iter().enumerate() {
+        for &id in group {
+            group_of[id] = Some(gi);
+        }
+    }
+
+    // Aggregate profile edges per (caller_inst, callee_inst, indirect),
+    // remembering the hottest concrete symbol pair as the exemplar.
+    struct Agg {
+        count: u64,
+        best: u64,
+        caller_symbol: String,
+        callee_symbol: String,
+    }
+    let mut aggregated: BTreeMap<(usize, usize, bool), Agg> = BTreeMap::new();
+    for e in &profile.edges {
+        let (Some(ci), Some(ce)) = (instance_of_symbol(&e.caller), instance_of_symbol(&e.callee))
+        else {
+            continue;
+        };
+        if ci == ce || ci >= n || ce >= n || e.count == 0 {
+            continue;
+        }
+        if group_of[ci].is_some() && group_of[ci] == group_of[ce] {
+            continue;
+        }
+        let agg = aggregated.entry((ci, ce, e.indirect)).or_insert_with(|| Agg {
+            count: 0,
+            best: 0,
+            caller_symbol: e.caller.clone(),
+            callee_symbol: e.callee.clone(),
+        });
+        agg.count += e.count;
+        if e.count > agg.best {
+            agg.best = e.count;
+            agg.caller_symbol = e.caller.clone();
+            agg.callee_symbol = e.callee.clone();
+        }
+    }
+
+    let mut hot_edges: Vec<HotEdge> = aggregated
+        .into_iter()
+        .map(|((ci, ce, indirect), agg)| HotEdge {
+            caller_symbol: agg.caller_symbol,
+            callee_symbol: agg.callee_symbol,
+            caller_inst: ci,
+            callee_inst: ce,
+            count: agg.count,
+            indirect,
+        })
+        .collect();
+    // Hottest first; stable tie-break on (caller, callee) from the BTreeMap
+    // order the collect preserved.
+    hot_edges.sort_by(|a, b| b.count.cmp(&a.count).then(a.caller_inst.cmp(&b.caller_inst)));
+
+    // Union-find over direct edges → suggested clusters.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            r = parent[r];
+        }
+        let mut c = x;
+        while parent[c] != r {
+            let next = parent[c];
+            parent[c] = r;
+            c = next;
+        }
+        r
+    }
+    for e in hot_edges.iter().filter(|e| !e.indirect) {
+        let (ra, rb) = (find(&mut parent, e.caller_inst), find(&mut parent, e.callee_inst));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent[hi] = lo;
+        }
+    }
+
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut calls: BTreeMap<usize, u64> = BTreeMap::new();
+    for e in hot_edges.iter().filter(|e| !e.indirect) {
+        let r = find(&mut parent, e.caller_inst);
+        *calls.entry(r).or_default() += e.count;
+    }
+    for id in 0..n {
+        let r = find(&mut parent, id);
+        if calls.contains_key(&r) {
+            members.entry(r).or_default().push(id);
+        }
+    }
+    let mut suggestions: Vec<FlattenSuggestion> = members
+        .into_iter()
+        .filter(|(_, m)| m.len() > 1)
+        .map(|(r, m)| FlattenSuggestion {
+            paths: m.iter().map(|&id| el.instances[id].path.clone()).collect(),
+            units: m.iter().map(|&id| el.instances[id].unit.clone()).collect(),
+            total_calls: calls[&r],
+            instances: m,
+        })
+        .collect();
+    suggestions
+        .sort_by(|a, b| b.total_calls.cmp(&a.total_calls).then(a.instances.cmp(&b.instances)));
+
+    PgoReport { root: el.root.clone(), hot_edges, suggestions }
+}
+
+impl PgoReport {
+    /// True when the advisor found nothing actionable.
+    pub fn is_empty(&self) -> bool {
+        self.hot_edges.is_empty() && self.suggestions.is_empty()
+    }
+
+    /// Render the report in the same human-readable style as `knitc lint`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pgo: root `{}`: {} hot cross-instance edge(s), {} flatten suggestion(s)",
+            self.root,
+            self.hot_edges.len(),
+            self.suggestions.len()
+        );
+        if self.hot_edges.is_empty() {
+            let _ =
+                writeln!(out, "  (no cross-instance calls in the profile — nothing to suggest)");
+            return out;
+        }
+        let _ = writeln!(out, "\nhot cross-instance edges (by dynamic call count):");
+        for e in &self.hot_edges {
+            let kind = if e.indirect { "indirect" } else { "direct" };
+            let _ = writeln!(
+                out,
+                "  {:>10}  {} -> {}  [{kind}]",
+                e.count, e.caller_symbol, e.callee_symbol
+            );
+        }
+        for (i, s) in self.suggestions.iter().enumerate() {
+            let units: Vec<&str> = s.units.iter().map(String::as_str).collect();
+            let _ = writeln!(
+                out,
+                "\nsuggestion #{}: flatten {} instances ({} direct calls between them)",
+                i + 1,
+                s.instances.len(),
+                s.total_calls
+            );
+            let _ = writeln!(out, "  units: {}", units.join(", "));
+            for p in &s.paths {
+                let _ = writeln!(out, "    {p}");
+            }
+            let _ = writeln!(
+                out,
+                "  → mark the smallest compound unit containing these instances\n    with `flatten;` (or wrap them in one) and rebuild"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{build, mangle_export, BuildOptions};
+    use crate::model::Program;
+    use crate::vfs::SourceTree;
+    use machine::profile::CallEdge;
+
+    #[test]
+    fn parses_instance_ids_from_mangled_names() {
+        assert_eq!(instance_of_symbol("push_out_i3"), Some(3));
+        assert_eq!(instance_of_symbol("state_p12"), Some(12));
+        assert_eq!(instance_of_symbol(&mangle_export(7, "out", "push")), Some(7));
+        assert_eq!(instance_of_symbol("__start"), None);
+        assert_eq!(instance_of_symbol("main"), None);
+        assert_eq!(instance_of_symbol("f_i"), None);
+        assert_eq!(instance_of_symbol("f_ix9"), None);
+        assert_eq!(instance_of_symbol("i9"), None);
+    }
+
+    fn pipeline_report(flatten_inner: bool) -> BuildReport {
+        let flatten = if flatten_inner { "flatten;" } else { "" };
+        let src = format!(
+            r#"
+            bundletype Main = {{ main }}
+            bundletype T = {{ f }}
+            unit Leaf = {{ exports [ out : T ]; files {{ "leaf.c" }}; }}
+            unit Mid = {{
+                imports [ in : T ];
+                exports [ out : T ];
+                files {{ "mid.c" }};
+                rename {{ in.f to in_f; }};
+            }}
+            unit App = {{
+                imports [ in : T ];
+                exports [ main : Main ];
+                files {{ "app.c" }};
+                rename {{ in.f to in_f; }};
+            }}
+            unit Pipe = {{
+                exports [ main : Main ];
+                link {{
+                    l : Leaf;
+                    m : Mid [in = l.out];
+                    a : App [in = m.out];
+                    main = a.main;
+                }};
+                {flatten}
+            }}
+        "#
+        );
+        let mut program = Program::new();
+        program.load_str("pipe.unit", &src).unwrap();
+        let mut tree = SourceTree::new();
+        tree.add("leaf.c", "int f() { return 1; }");
+        tree.add("mid.c", "int f() { return in_f() + 1; } int in_f();");
+        tree.add("app.c", "int main() { return in_f(); } int in_f();");
+        build(&program, &tree, &BuildOptions::root("Pipe").jobs(1).build()).unwrap()
+    }
+
+    fn edge(caller: &str, callee: &str, count: u64) -> CallEdge {
+        CallEdge { caller: caller.into(), callee: callee.into(), indirect: false, count }
+    }
+
+    #[test]
+    fn suggests_flattening_a_hot_pipeline() {
+        let report = pipeline_report(false);
+        // Instance ids follow link-block order: l=0, m=1, a=2.
+        let profile = Profile {
+            edges: vec![
+                edge("main_main_i2", "f_out_i1", 900),
+                edge("f_out_i1", "f_out_i0", 900),
+                edge("main_main_i2", "__halt", 1),
+            ],
+            funcs: vec![],
+        };
+        let pgo = suggest(&report, &profile);
+        assert_eq!(pgo.hot_edges.len(), 2, "{pgo:?}");
+        assert_eq!(pgo.suggestions.len(), 1, "{pgo:?}");
+        let s = &pgo.suggestions[0];
+        assert_eq!(s.instances, vec![0, 1, 2]);
+        assert_eq!(s.total_calls, 1800);
+        assert!(s.units.contains("Mid"));
+        let text = pgo.render();
+        assert!(text.contains("flatten"), "{text}");
+        assert!(text.contains("f_out_i1"), "{text}");
+    }
+
+    #[test]
+    fn edges_inside_an_existing_flatten_group_are_skipped() {
+        let report = pipeline_report(true);
+        let profile = Profile { edges: vec![edge("main_main_i2", "f_out_i1", 900)], funcs: vec![] };
+        let pgo = suggest(&report, &profile);
+        assert!(pgo.is_empty(), "{pgo:?}");
+    }
+
+    #[test]
+    fn stale_profiles_degrade_to_empty() {
+        let report = pipeline_report(false);
+        let profile = Profile {
+            edges: vec![edge("x_out_i40", "y_out_i41", 5), edge("a", "b", 5)],
+            funcs: vec![],
+        };
+        assert!(suggest(&report, &profile).is_empty());
+    }
+}

@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cobj::object::ObjectFile;
-use cobj::{Image, LinkInput, LinkOptions};
+use cobj::{Image, Layout, LinkInput, LinkOptions};
 use knit_lang::ast::{
     COp, CTarget, CTerm, Constraint, DepAtom, DepSide, PathRef, UnitBody, UnitDecl,
 };
@@ -391,6 +391,13 @@ fn fp_options(opts: &BuildOptions) -> u64 {
     for s in &opts.runtime_symbols {
         h.write_str("rt");
         h.write_str(s);
+    }
+    match &opts.profile {
+        Some(p) => {
+            h.write_str("profile");
+            h.write_u64(p.stable_hash());
+        }
+        None => h.write_str("noprofile"),
     }
     h.finish()
 }
@@ -790,6 +797,16 @@ pub(crate) fn run_build(
             h.write_str("rt");
             h.write_str(s);
         }
+        // The profile only affects placement, which only the linker
+        // observes — hashing it here (and nowhere else) is what makes a
+        // profile swap invalidate exactly the link phase.
+        match &opts.profile {
+            Some(p) => {
+                h.write_str("profile");
+                h.write_u64(p.stable_hash());
+            }
+            None => h.write_str("noprofile"),
+        }
         h.finish()
     };
     let image = match &memo.link {
@@ -804,11 +821,16 @@ pub(crate) fn run_build(
             for o in linked_objects {
                 inputs.push(LinkInput::Object(o));
             }
+            let layout = match &opts.profile {
+                Some(p) => Layout::ProfileGuided(p.as_ref().clone()),
+                None => Layout::InputOrder,
+            };
             let image = cobj::link(
                 &inputs,
                 &LinkOptions {
                     entry: Some("__start".to_string()),
                     runtime_symbols: opts.runtime_symbols.clone(),
+                    layout,
                 },
             )?;
             memo.link = Some((link_fp, image.clone()));
@@ -965,6 +987,14 @@ impl BuildSession {
     /// rerun; changing [`BuildOptions::jobs`] alone invalidates nothing.
     pub fn set_options(&mut self, opts: BuildOptions) {
         self.opts = opts;
+    }
+
+    /// Replace the layout profile ([`BuildOptions::profile`]). Placement
+    /// is a link-time decision, so the next [`BuildSession::build`] reruns
+    /// exactly the link phase — every compile, objcopy, and flatten
+    /// artifact is reused.
+    pub fn set_profile(&mut self, profile: Option<Arc<cobj::LayoutProfile>>) {
+        self.opts.profile = profile;
     }
 
     /// The registered program.

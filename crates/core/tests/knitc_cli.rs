@@ -140,3 +140,60 @@ fn explain_resolves_lint_and_error_codes() {
     let out = knitc(&["explain", "K9999"]);
     assert!(!out.status.success(), "unknown codes must fail");
 }
+
+const DEMO_UNIT: &str = "../../demo/webserver.unit";
+const DEMO_SRC: &str = "../../demo";
+
+/// The two-phase PGO workflow end to end: `--profile-gen` writes a JSON
+/// call-edge profile from an instrumented run, `--profile-use` feeds it
+/// back into the linker, and `pgo-suggest` renders the flatten advisor's
+/// report from it.
+#[test]
+fn pgo_workflow_roundtrips_through_the_cli() {
+    let dir = std::env::temp_dir().join(format!("knitc-pgo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let profile = dir.join("web.profile.json");
+    let profile_s = profile.to_str().expect("utf-8 temp path");
+
+    let out =
+        knitc(&["--root", "WebServer", "--src", DEMO_SRC, "--profile-gen", profile_s, DEMO_UNIT]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote profile to"), "{stdout}");
+    let text = std::fs::read_to_string(&profile).expect("profile written");
+    assert!(text.contains("\"edges\"") && text.contains("\"count\""), "{text}");
+
+    let out = knitc(&[
+        "--root",
+        "WebServer",
+        "--src",
+        DEMO_SRC,
+        "--run",
+        "--profile-use",
+        profile_s,
+        DEMO_UNIT,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("exited with code 0"),
+        "pgo layout must not change behaviour: {stdout}"
+    );
+
+    let out = knitc(&[
+        "pgo-suggest",
+        "--root",
+        "WebServer",
+        "--src",
+        DEMO_SRC,
+        "--profile-use",
+        profile_s,
+        DEMO_UNIT,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hot cross-instance edge"), "{stdout}");
+    assert!(stdout.contains("suggestion #1"), "{stdout}");
+    assert!(stdout.contains("flatten"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

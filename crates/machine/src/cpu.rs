@@ -14,6 +14,7 @@ use cobj::ir::{Reg, Width};
 use crate::cache::ICache;
 use crate::costs::CostModel;
 use crate::dev::{Console, NetDev};
+use crate::profile::{CallEdge, FuncCount, Profile};
 
 /// Intrinsics provided by the runtime, by name. The id of an intrinsic in a
 /// linked image is the index of its name in the image's own (sorted)
@@ -210,6 +211,16 @@ pub struct Machine {
     mem_top: u64,
     sp: u64,
     intrinsic_ops: Vec<Intrinsic>,
+    /// When true, every call edge and per-function instruction count is
+    /// recorded (see [`Machine::profile`]). Off by default: profiling has
+    /// zero effect on execution, counters, or images.
+    profiling: bool,
+    /// (caller func idx, callee func idx, indirect) → calls.
+    prof_edges: BTreeMap<(u32, u32, bool), u64>,
+    /// (caller func idx, intrinsic id, indirect) → calls.
+    prof_intrinsics: BTreeMap<(u32, u32, bool), u64>,
+    /// Instructions retired per image function (indexed by func idx).
+    prof_instrs: Vec<u64>,
     /// Console device (the "VGA" screen).
     pub console: Console,
     /// Second console device (the "serial" line).
@@ -266,6 +277,10 @@ impl Machine {
             mem_top,
             sp: mem_top,
             intrinsic_ops,
+            profiling: false,
+            prof_edges: BTreeMap::new(),
+            prof_intrinsics: BTreeMap::new(),
+            prof_instrs: Vec::new(),
             console: Console::default(),
             serial: Console::default(),
             netdevs: vec![NetDev::default(); 4],
@@ -292,6 +307,75 @@ impl Machine {
     /// Cold-reset the I-cache (contents and statistics).
     pub fn flush_icache(&mut self) {
         self.icache.reset();
+    }
+
+    /// Enable or disable call-edge + instruction-count profiling. Counts
+    /// accumulate across calls until [`Machine::clear_profile`]; turning
+    /// profiling off keeps what was already recorded.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+        if on && self.prof_instrs.len() != self.image.funcs.len() {
+            self.prof_instrs = vec![0; self.image.funcs.len()];
+        }
+    }
+
+    /// Whether profiling is currently enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Discard all recorded profile data (profiling stays in its current
+    /// enabled/disabled state).
+    pub fn clear_profile(&mut self) {
+        self.prof_edges.clear();
+        self.prof_intrinsics.clear();
+        for c in &mut self.prof_instrs {
+            *c = 0;
+        }
+    }
+
+    /// Snapshot the recorded profile: call edges (direct, indirect, and
+    /// intrinsic callees) plus per-function instruction counts, keyed by
+    /// link-level names. Same-named functions (e.g. `static`s kept apart
+    /// by the linker) are aggregated under their shared name.
+    pub fn profile(&self) -> Profile {
+        let fname = |fi: u32| self.image.funcs[fi as usize].name.as_str();
+        let mut edges: BTreeMap<(String, String, bool), u64> = BTreeMap::new();
+        for (&(caller, callee, indirect), &n) in &self.prof_edges {
+            *edges
+                .entry((fname(caller).to_string(), fname(callee).to_string(), indirect))
+                .or_insert(0) += n;
+        }
+        for (&(caller, id, indirect), &n) in &self.prof_intrinsics {
+            *edges
+                .entry((
+                    fname(caller).to_string(),
+                    self.image.intrinsics[id as usize].clone(),
+                    indirect,
+                ))
+                .or_insert(0) += n;
+        }
+        let mut funcs: BTreeMap<String, u64> = BTreeMap::new();
+        for (fi, &n) in self.prof_instrs.iter().enumerate() {
+            if n > 0 {
+                *funcs.entry(self.image.funcs[fi].name.clone()).or_insert(0) += n;
+            }
+        }
+        Profile {
+            edges: edges
+                .into_iter()
+                .map(|((caller, callee, indirect), count)| CallEdge {
+                    caller,
+                    callee,
+                    indirect,
+                    count,
+                })
+                .collect(),
+            funcs: funcs
+                .into_iter()
+                .map(|(name, instructions)| FuncCount { name, instructions })
+                .collect(),
+        }
     }
 
     /// Read `len` bytes of guest memory.
@@ -396,6 +480,9 @@ impl Machine {
             self.counters.cycles += stall;
             self.counters.instructions += 1;
             self.counters.cycles += self.costs.base;
+            if self.profiling {
+                self.prof_instrs[func_idx as usize] += 1;
+            }
 
             let fr = frames.last_mut().expect("frame stack never empty in loop");
             fr.pc = pc + 1;
@@ -453,12 +540,19 @@ impl Machine {
                             self.counters.calls += 1;
                             let tf = *tf;
                             let dst = *dst;
+                            if self.profiling {
+                                *self.prof_edges.entry((func_idx, tf, false)).or_insert(0) += 1;
+                            }
                             if let Err(e) = self.push_frame(&image, &mut frames, tf, argv, dst) {
                                 break Err(e);
                             }
                         }
                         CallTarget::Intrinsic(id) => {
                             self.counters.intrinsic_calls += 1;
+                            if self.profiling {
+                                *self.prof_intrinsics.entry((func_idx, *id, false)).or_insert(0) +=
+                                    1;
+                            }
                             let op = self.intrinsic_ops[*id as usize];
                             let dst = *dst;
                             match self.intrinsic(op, &argv) {
@@ -481,11 +575,17 @@ impl Machine {
                     let argv: Vec<i64> = args.iter().map(|r| fr.regs[*r as usize]).collect();
                     let dst = *dst;
                     if let Some(tf) = image.func_at_addr(ptr as u64) {
+                        if self.profiling {
+                            *self.prof_edges.entry((func_idx, tf, true)).or_insert(0) += 1;
+                        }
                         if let Err(e) = self.push_frame(&image, &mut frames, tf, argv, dst) {
                             break Err(e);
                         }
                     } else if let Some(id) = image.intrinsic_at_addr(ptr as u64) {
                         self.counters.intrinsic_calls += 1;
+                        if self.profiling {
+                            *self.prof_intrinsics.entry((func_idx, id, true)).or_insert(0) += 1;
+                        }
                         let op = self.intrinsic_ops[id as usize];
                         match self.intrinsic(op, &argv) {
                             Ok(v) => {
@@ -997,6 +1097,96 @@ mod tests {
             matches!(r, Err(Fault::StackOverflow { .. }) | Err(Fault::CallDepthExceeded)),
             "got {r:?}"
         );
+    }
+
+    #[test]
+    fn profiling_records_edges_and_instruction_counts() {
+        // f calls g twice directly, calls h once indirectly, and halts.
+        let mut o = ObjectFile::new("t.o");
+        let g = o.add_symbol(Symbol::func("g"));
+        let h = o.add_symbol(Symbol::func("h"));
+        let halt = o.add_symbol(Symbol::undef("__halt"));
+        let f = o.add_symbol(Symbol::func("f"));
+        let leaf = |sym, v| FuncDef {
+            sym,
+            params: 0,
+            nregs: 1,
+            frame_size: 0,
+            body: vec![Instr::Const { dst: 0, value: v }, Instr::Ret { value: Some(0) }],
+        };
+        o.funcs.push(leaf(g, 1));
+        o.funcs.push(leaf(h, 2));
+        o.funcs.push(FuncDef {
+            sym: f,
+            params: 0,
+            nregs: 2,
+            frame_size: 0,
+            body: vec![
+                Instr::Call { dst: Some(0), target: g, args: vec![] },
+                Instr::Call { dst: Some(0), target: g, args: vec![] },
+                Instr::Addr { dst: 1, sym: h, offset: 0 },
+                Instr::CallInd { dst: Some(0), target: 1, args: vec![] },
+                Instr::Const { dst: 0, value: 0 },
+                Instr::Call { dst: None, target: halt, args: vec![0] },
+            ],
+        });
+        let mut m = Machine::new(link_one(o, "f")).unwrap();
+        m.set_profiling(true);
+        assert_eq!(m.run_entry().unwrap(), 0);
+        let p = m.profile();
+        let edge = |caller: &str, callee: &str, indirect: bool| {
+            p.edges
+                .iter()
+                .find(|e| e.caller == caller && e.callee == callee && e.indirect == indirect)
+                .map(|e| e.count)
+        };
+        assert_eq!(edge("f", "g", false), Some(2));
+        assert_eq!(edge("f", "h", true), Some(1));
+        assert_eq!(edge("f", "__halt", false), Some(1));
+        let instrs = |name: &str| p.funcs.iter().find(|x| x.name == name).map(|x| x.instructions);
+        assert_eq!(instrs("g"), Some(4));
+        assert_eq!(instrs("h"), Some(2));
+        assert_eq!(instrs("f"), Some(6));
+        // Round-trip through the serialized form.
+        assert_eq!(Profile::from_json(&p.to_json()).unwrap(), p);
+        // clear_profile drops everything.
+        m.clear_profile();
+        assert!(m.profile().is_empty());
+    }
+
+    #[test]
+    fn profiling_off_records_nothing_and_changes_no_counters() {
+        let build = |profiling: bool| {
+            let mut o = ObjectFile::new("t.o");
+            let g = o.add_symbol(Symbol::func("g"));
+            let f = o.add_symbol(Symbol::func("f"));
+            o.funcs.push(FuncDef {
+                sym: g,
+                params: 0,
+                nregs: 1,
+                frame_size: 0,
+                body: vec![Instr::Const { dst: 0, value: 1 }, Instr::Ret { value: Some(0) }],
+            });
+            o.funcs.push(FuncDef {
+                sym: f,
+                params: 0,
+                nregs: 1,
+                frame_size: 0,
+                body: vec![
+                    Instr::Call { dst: Some(0), target: g, args: vec![] },
+                    Instr::Ret { value: Some(0) },
+                ],
+            });
+            let mut m = Machine::new(link_one(o, "f")).unwrap();
+            m.set_profiling(profiling);
+            m.call("f", &[]).unwrap();
+            (m.counters(), m.profile())
+        };
+        let (on_counters, on_profile) = build(true);
+        let (off_counters, off_profile) = build(false);
+        assert_eq!(on_counters, off_counters, "profiling must not perturb counters");
+        assert!(off_profile.is_empty());
+        assert!(!on_profile.is_empty());
     }
 
     #[test]

@@ -25,11 +25,13 @@ pub mod cache;
 pub mod costs;
 pub mod cpu;
 pub mod dev;
+pub mod profile;
 
 pub use cache::{ICache, ICacheParams};
 pub use costs::CostModel;
 pub use cpu::{Fault, Machine, PerfCounters, RunLimits};
 pub use dev::{Console, NetDev};
+pub use profile::{CallEdge, FuncCount, Profile};
 
 /// Names of all runtime intrinsics the machine provides, for use as
 /// [`cobj::LinkOptions::runtime_symbols`].

@@ -1,0 +1,566 @@
+//! Execution profiles: call edges and per-function instruction counts.
+//!
+//! [`crate::Machine`] can optionally record, per call site class, every
+//! (caller, callee) pair it executes — direct calls, indirect calls
+//! resolved through function pointers, and intrinsic (device) calls — plus
+//! how many instructions each function retires. The result is surfaced as
+//! a [`Profile`]: a plain-data artifact with a stable, deterministic JSON
+//! encoding, suitable for writing to disk in a `--profile-gen` build and
+//! feeding back into the linker's profile-guided layout (and the PGO
+//! flatten advisor) in a `--profile-use` build.
+//!
+//! The JSON codec here is hand-rolled: the build environment vendors no
+//! serialization crates, and the schema is small enough that an explicit
+//! writer/reader doubles as its specification.
+
+use std::collections::BTreeMap;
+
+use cobj::layout::LayoutProfile;
+
+/// One observed call edge, aggregated over the run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CallEdge {
+    /// Link-level name of the calling function.
+    pub caller: String,
+    /// Link-level name of the called function (or intrinsic).
+    pub callee: String,
+    /// Whether the calls were made through a function pointer.
+    pub indirect: bool,
+    /// Number of calls observed.
+    pub count: u64,
+}
+
+/// Aggregated execution counts for one function.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FuncCount {
+    /// Link-level function name.
+    pub name: String,
+    /// Instructions retired while executing in this function.
+    pub instructions: u64,
+}
+
+/// A serializable execution profile.
+///
+/// Both vectors are kept sorted (edges by `(caller, callee, indirect)`,
+/// functions by name), so two profiles describing the same behaviour
+/// compare equal and serialize identically regardless of how they were
+/// accumulated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Observed call edges, sorted.
+    pub edges: Vec<CallEdge>,
+    /// Per-function instruction counts (executed functions only), sorted.
+    pub funcs: Vec<FuncCount>,
+}
+
+impl Profile {
+    /// True when the profile recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty() && self.funcs.is_empty()
+    }
+
+    /// Total calls across all edges.
+    pub fn total_calls(&self) -> u64 {
+        self.edges.iter().map(|e| e.count).sum()
+    }
+
+    /// Merge another profile into this one (summing matching counters),
+    /// e.g. to combine profiles from several workloads.
+    pub fn merge(&mut self, other: &Profile) {
+        let mut edges: BTreeMap<(String, String, bool), u64> = BTreeMap::new();
+        for e in self.edges.iter().chain(other.edges.iter()) {
+            *edges.entry((e.caller.clone(), e.callee.clone(), e.indirect)).or_insert(0) += e.count;
+        }
+        self.edges = edges
+            .into_iter()
+            .map(|((caller, callee, indirect), count)| CallEdge { caller, callee, indirect, count })
+            .collect();
+        let mut funcs: BTreeMap<String, u64> = BTreeMap::new();
+        for f in self.funcs.iter().chain(other.funcs.iter()) {
+            *funcs.entry(f.name.clone()).or_insert(0) += f.instructions;
+        }
+        self.funcs = funcs
+            .into_iter()
+            .map(|(name, instructions)| FuncCount { name, instructions })
+            .collect();
+    }
+
+    /// Project onto the layout-relevant view consumed by
+    /// [`cobj::layout::Layout::ProfileGuided`]: edge weights summed over
+    /// direct/indirect, intrinsic callees dropped (the runtime has no
+    /// placement), plus per-function heat.
+    pub fn layout_profile(&self) -> LayoutProfile {
+        let mut lp = LayoutProfile::default();
+        for e in &self.edges {
+            if e.count > 0 && !crate::cpu::INTRINSIC_NAMES.contains(&e.callee.as_str()) {
+                lp.record_edge(e.caller.clone(), e.callee.clone(), e.count);
+            }
+        }
+        for f in &self.funcs {
+            if f.instructions > 0 {
+                lp.record_func(f.name.clone(), f.instructions);
+            }
+        }
+        lp
+    }
+
+    /// Stable FNV-1a hash of the canonical JSON encoding. Used to fold a
+    /// profile into build fingerprints.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_json().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Serialize to the stable JSON encoding (sorted arrays, fixed key
+    /// order, newline-terminated).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": 1,\n  \"edges\": [");
+        for (i, e) in self.edges.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"caller\": ");
+            json_string(&mut s, &e.caller);
+            s.push_str(", \"callee\": ");
+            json_string(&mut s, &e.callee);
+            s.push_str(&format!(
+                ", \"indirect\": {}, \"count\": {}}}",
+                if e.indirect { "true" } else { "false" },
+                e.count
+            ));
+        }
+        s.push_str(if self.edges.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"funcs\": [");
+        for (i, f) in self.funcs.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\"name\": ");
+            json_string(&mut s, &f.name);
+            s.push_str(&format!(", \"instructions\": {}}}", f.instructions));
+        }
+        s.push_str(if self.funcs.is_empty() { "]\n" } else { "\n  ]\n" });
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parse a profile from its JSON encoding. Accepts any JSON with the
+    /// expected shape (whitespace and key order are free); unknown keys
+    /// are ignored so the schema can grow.
+    pub fn from_json(text: &str) -> Result<Profile, String> {
+        let v = JsonParser::new(text).parse()?;
+        let obj = v.as_object().ok_or("profile: top level must be an object")?;
+        let mut p = Profile::default();
+        if let Some(edges) = obj.get("edges") {
+            for (i, e) in
+                edges.as_array().ok_or("profile: `edges` must be an array")?.iter().enumerate()
+            {
+                let eo =
+                    e.as_object().ok_or_else(|| format!("profile: edge {i} must be an object"))?;
+                p.edges.push(CallEdge {
+                    caller: eo
+                        .get("caller")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("profile: edge {i} missing `caller`"))?
+                        .to_string(),
+                    callee: eo
+                        .get("callee")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("profile: edge {i} missing `callee`"))?
+                        .to_string(),
+                    indirect: eo.get("indirect").and_then(Json::as_bool).unwrap_or(false),
+                    count: eo
+                        .get("count")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("profile: edge {i} missing `count`"))?,
+                });
+            }
+        }
+        if let Some(funcs) = obj.get("funcs") {
+            for (i, f) in
+                funcs.as_array().ok_or("profile: `funcs` must be an array")?.iter().enumerate()
+            {
+                let fo =
+                    f.as_object().ok_or_else(|| format!("profile: func {i} must be an object"))?;
+                p.funcs.push(FuncCount {
+                    name: fo
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| format!("profile: func {i} missing `name`"))?
+                        .to_string(),
+                    instructions: fo
+                        .get("instructions")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("profile: func {i} missing `instructions`"))?,
+                });
+            }
+        }
+        p.edges.sort();
+        p.funcs.sort();
+        Ok(p)
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal.
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value (just enough JSON for the profile schema).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integer (the only number kind the schema emits); kept as
+    /// `u64` so counts above 2^53 survive the round trip exactly.
+    Int(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Minimal recursive-descent JSON parser.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("json: trailing garbage at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("json: expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("json: bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("json: unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut m = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            let key = match self.peek() {
+                Some(b'"') => self.string()?,
+                _ => return Err(format!("json: expected object key at byte {}", self.pos)),
+            };
+            self.expect(b':')?;
+            let v = self.value()?;
+            m.insert(key, v);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(format!("json: expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut v = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("json: expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("json: unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err("json: unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("json: bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "json: bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("json: bad escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|bs| std::str::from_utf8(bs).ok())
+                        .ok_or("json: invalid utf-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("json: bad number at byte {start}"))?;
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::Int(n));
+        }
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("json: bad number at byte {start}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Profile {
+        Profile {
+            edges: vec![
+                CallEdge {
+                    caller: "classify".into(),
+                    callee: "__net_tx".into(),
+                    indirect: false,
+                    count: 7,
+                },
+                CallEdge {
+                    caller: "router_step".into(),
+                    callee: "classify".into(),
+                    indirect: true,
+                    count: 512,
+                },
+            ],
+            funcs: vec![
+                FuncCount { name: "classify".into(), instructions: 4096 },
+                FuncCount { name: "router_step".into(), instructions: 1024 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let p = sample();
+        let json = p.to_json();
+        let back = Profile::from_json(&json).unwrap();
+        assert_eq!(p, back);
+        // Encoding is stable: re-serializing the parse is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn json_round_trips_weird_names() {
+        let mut p = Profile::default();
+        p.funcs.push(FuncCount { name: "we\"ird\\name\n\u{1}é".into(), instructions: 1 });
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn empty_profile_round_trips() {
+        let p = Profile::default();
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Profile::from_json("").is_err());
+        assert!(Profile::from_json("[]").is_err());
+        assert!(Profile::from_json("{\"edges\": 3}").is_err());
+        assert!(Profile::from_json("{} trailing").is_err());
+        assert!(Profile::from_json("{\"edges\": [{\"caller\": \"a\"}]}").is_err());
+    }
+
+    #[test]
+    fn parser_accepts_unknown_keys_and_any_order() {
+        let text = r#"{
+            "future": {"nested": [1, 2, null]},
+            "funcs": [{"instructions": 5, "name": "f", "extra": true}],
+            "edges": []
+        }"#;
+        let p = Profile::from_json(text).unwrap();
+        assert_eq!(p.funcs, vec![FuncCount { name: "f".into(), instructions: 5 }]);
+    }
+
+    #[test]
+    fn stable_hash_tracks_content() {
+        let p = sample();
+        let mut q = sample();
+        assert_eq!(p.stable_hash(), q.stable_hash());
+        q.edges[1].count += 1;
+        assert_ne!(p.stable_hash(), q.stable_hash());
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut p = sample();
+        p.merge(&sample());
+        assert_eq!(p.total_calls(), 2 * sample().total_calls());
+        assert_eq!(p.funcs[0].instructions, 8192);
+        // Still sorted and deduplicated.
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn layout_profile_drops_intrinsic_callees() {
+        let lp = sample().layout_profile();
+        assert_eq!(lp.edges.len(), 1, "intrinsic callee edge dropped");
+        assert_eq!(lp.edges.get(&("router_step".into(), "classify".into())), Some(&512));
+        assert_eq!(lp.func_counts.get("classify"), Some(&4096));
+    }
+}

@@ -9,7 +9,11 @@ use machine::{Fault, Machine};
 fn image(obj: ObjectFile) -> cobj::Image {
     link(
         &[LinkInput::Object(obj)],
-        &LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .unwrap()
 }

@@ -235,6 +235,42 @@ fn jobs_change_hits_the_fast_path() {
     assert_eq!(report.jobs, 3, "but the report reflects the new setting");
 }
 
+/// Swapping a layout profile in (or out) invalidates exactly the link
+/// phase: the objects are unchanged, only function placement moves. The
+/// same profile again is a full-reuse no-op, and dropping the profile
+/// restores the historical input-order image byte for byte.
+#[test]
+fn profile_swap_relinks_and_nothing_else() {
+    let mut s = session();
+    let cold = s.build().expect("cold build");
+    assert_eq!(run_to_exit(cold.image.clone()), 42);
+
+    // collect a real profile by running the built image instrumented
+    let mut m = machine::Machine::new(cold.image.clone()).expect("machine");
+    m.set_profiling(true);
+    m.run_entry().expect("runs");
+    let profile = std::sync::Arc::new(m.profile().layout_profile());
+
+    let before = s.stats().clone();
+    s.set_profile(Some(profile.clone()));
+    let laid = s.build().expect("pgo rebuild");
+    assert_deltas(&run_deltas(&before, s.stats()), &[("link", 1)]);
+    assert_eq!(run_to_exit(laid.image.clone()), 42, "layout is a semantic permutation");
+
+    // the same profile again is not a change at all
+    let before = s.stats().clone();
+    s.set_profile(Some(profile));
+    s.build().expect("same-profile rebuild");
+    assert_deltas(&run_deltas(&before, s.stats()), &[]);
+
+    // dropping the profile relinks back to the historical placement
+    let before = s.stats().clone();
+    s.set_profile(None);
+    let back = s.build().expect("unprofiled rebuild");
+    assert_deltas(&run_deltas(&before, s.stats()), &[("link", 1)]);
+    assert_eq!(back.image, cold.image, "no profile must restore input-order placement");
+}
+
 // ---------------------------------------------------------------------------
 // diagnostics: session build errors blame the offending `.unit` line
 // ---------------------------------------------------------------------------

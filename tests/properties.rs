@@ -120,7 +120,11 @@ fn run_compiled(src: &str, opt: cmini::OptLevel, a: i64, b: i64) -> i64 {
     let obj = cmini::compile("gen.c", src, &opts, &cmini::NoFiles).expect("compiles");
     let img = cobj::link(
         &[cobj::LinkInput::Object(obj)],
-        &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+        &cobj::LinkOptions {
+            entry: None,
+            runtime_symbols: machine::runtime_symbols().collect(),
+            ..Default::default()
+        },
     )
     .expect("links");
     let mut m = Machine::new(img).expect("machine");
@@ -185,7 +189,7 @@ proptest! {
         ).expect("compiles");
         let img = cobj::link(
             &[cobj::LinkInput::Object(obj)],
-            &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect() },
+            &cobj::LinkOptions { entry: None, runtime_symbols: machine::runtime_symbols().collect(), ..Default::default() },
         ).expect("links");
         let mut m = Machine::new(img.clone()).expect("machine");
         let before = m.counters();
