@@ -1,0 +1,121 @@
+//! Measure host-side simulator throughput: the fast interpreter loop
+//! against the retained reference loop, on the Clack router, the
+//! deep-lock kernel boot, and the demo web server.
+//!
+//! ```text
+//! cargo run --release -p bench --bin simperf [-- --packets N] [--seed S]
+//!     [--smoke] [--json <path>]
+//! ```
+//!
+//! Reports guest MIPS (millions of simulated instructions per host
+//! second), packets/sec, and the fast-over-reference speedup. Exits
+//! nonzero if any workload's performance counters or guest-visible output
+//! diverge between the two modes — the CI gate that pins the fast loop to
+//! the reference semantics. `--smoke` is the small CI configuration;
+//! `--packets 1000000` reproduces the EXPERIMENTS.md million-packet run.
+
+use std::process::ExitCode;
+
+use bench::simperf::{self, SimperfOptions};
+
+struct Args {
+    opts: SimperfOptions,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut opts = SimperfOptions::default();
+    let mut json = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            other if other.starts_with("--json=") => {
+                json = Some(other["--json=".len()..].to_string());
+            }
+            "--packets" => {
+                opts.packets = args
+                    .next()
+                    .expect("--packets needs a count")
+                    .parse()
+                    .expect("--packets takes a number");
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed takes a number");
+            }
+            "--smoke" => opts.packets = SimperfOptions::smoke().packets,
+            other => {
+                panic!("unknown argument `{other}` (expected --packets N, --seed S, --smoke, --json <path>)")
+            }
+        }
+    }
+    Args { opts, json }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    println!("simperf: interpreter throughput, fast vs reference loop");
+    println!("  ({} router packets, workload seed {:#x})\n", args.opts.packets, args.opts.seed);
+
+    let report = simperf::run(args.opts);
+
+    println!(
+        "  {:16} | {:>12} {:>10} {:>10} | {:>8} {:>12} | gate",
+        "workload", "guest instrs", "fast MIPS", "ref MIPS", "speedup", "packets/s"
+    );
+    for w in &report.workloads {
+        println!(
+            "  {:16} | {:>12} {:>10.1} {:>10.1} | {:>7.2}x {:>12} | {}",
+            w.name,
+            w.fast.counters.instructions,
+            w.fast.mips(),
+            w.reference.mips(),
+            w.speedup(),
+            if w.packets > 0 { format!("{:.0}", w.packets_per_sec()) } else { "-".into() },
+            if w.identical { "counters identical" } else { "DIVERGED" },
+        );
+    }
+    if report.workloads.iter().all(|w| w.name != "demo-webserver") {
+        println!("  (demo/ not present; demo-webserver workload skipped)");
+    }
+
+    if let Some(path) = &args.json {
+        let mut out = format!(
+            "{{\n  \"version\": 1,\n  \"packets\": {},\n  \"seed\": {},\n  \"workloads\": [\n",
+            report.options.packets, report.options.seed
+        );
+        for (i, w) in report.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"packets\": {}, \"guest_instructions\": {}, \"fast_wall_s\": {:.6}, \"reference_wall_s\": {:.6}, \"fast_mips\": {:.1}, \"reference_mips\": {:.1}, \"speedup\": {:.2}, \"packets_per_sec\": {:.0}, \"counters_identical\": {}}}{}\n",
+                w.name,
+                w.packets,
+                w.fast.counters.instructions,
+                w.fast.wall_s,
+                w.reference.wall_s,
+                w.fast.mips(),
+                w.reference.mips(),
+                w.speedup(),
+                w.packets_per_sec(),
+                w.identical,
+                if i + 1 < report.workloads.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("simperf: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n  wrote {path}");
+    }
+
+    let diverged = report.divergences();
+    if !diverged.is_empty() {
+        eprintln!("simperf: FAST-PATH DIVERGENCE on {diverged:?}: counters or output differ from the reference interpreter");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -5,32 +5,60 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table1 [-- --json <path>]
+//!     [--packets N] [--seed S]
 //! ```
 //!
 //! With `--json <path>` the rows are also written as a schema-stable JSON
 //! object (committed as `BENCH_table1.json` at the repo root; CI uploads a
-//! fresh copy as an artifact). Exits nonzero if the profile-guided layout
-//! regresses instruction-fetch stalls against the input-order baseline —
-//! the CI gate for the PGO pipeline.
+//! fresh copy as an artifact). `--packets` / `--seed` size and reseed the
+//! measurement workload (defaults: 512 packets, the standard deterministic
+//! stream — the committed baseline's configuration). Exits nonzero if the
+//! profile-guided layout regresses instruction-fetch stalls against the
+//! input-order baseline — the CI gate for the PGO pipeline.
 
 use std::process::ExitCode;
 
-fn json_path() -> Option<String> {
+struct Args {
+    json: Option<String>,
+    packets: usize,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut path = None;
+    let mut parsed = Args { json: None, packets: 512, seed: None };
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => path = Some(args.next().expect("--json needs a path")),
+            "--json" => parsed.json = Some(args.next().expect("--json needs a path")),
             other if other.starts_with("--json=") => {
-                path = Some(other["--json=".len()..].to_string());
+                parsed.json = Some(other["--json=".len()..].to_string());
             }
-            other => panic!("unknown argument `{other}` (expected --json <path>)"),
+            "--packets" => {
+                parsed.packets = args
+                    .next()
+                    .expect("--packets needs a count")
+                    .parse()
+                    .expect("--packets takes a number");
+            }
+            "--seed" => {
+                parsed.seed = Some(
+                    args.next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed takes a number"),
+                );
+            }
+            other => {
+                panic!("unknown argument `{other}` (expected --json <path>, --packets N, --seed S)")
+            }
         }
     }
-    path
+    parsed
 }
 
 fn main() -> ExitCode {
+    let args = parse_args();
+    let work = bench::router_workload_seeded(args.packets, args.seed);
     println!("Table 1: Clack router performance (cycles from packet entering the");
     println!("router graph to leaving it; steady state, warm caches)\n");
     println!("  paper (200 MHz Pentium Pro, gcc 2.95):");
@@ -42,7 +70,7 @@ fn main() -> ExitCode {
 
     println!("  this reproduction (simulated machine, cmini -O2):");
     println!("    hand  flat |  cycles  i-fetch stalls  text bytes");
-    let rows = bench::table1();
+    let rows = bench::table1_with(&work);
     let base = rows[0].cycles as f64;
     for r in &rows {
         println!(
@@ -62,7 +90,7 @@ fn main() -> ExitCode {
 
     println!("\n  profile-guided rows (reproduction only; modular router):");
     println!("    config                 |  cycles  i-fetch stalls  text bytes");
-    let (pgo, advice) = bench::table1_pgo();
+    let (pgo, advice) = bench::table1_pgo_with(&work);
     for r in &pgo {
         println!(
             "    {:22} |  {:6}       {:5}          {:6}   ({:+.1}% vs base)",
@@ -79,7 +107,7 @@ fn main() -> ExitCode {
         advice.suggestions.len()
     );
 
-    if let Some(path) = json_path() {
+    if let Some(path) = args.json {
         let mut out = String::from("{\n  \"version\": 1,\n  \"table1\": [\n");
         for (i, r) in rows.iter().enumerate() {
             out.push_str(&format!(

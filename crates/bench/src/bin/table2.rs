@@ -5,29 +5,58 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin table2 [-- --json <path>]
+//!     [--packets N] [--seed S]
 //! ```
+//!
+//! `--packets` / `--seed` size and reseed the measurement workload
+//! (defaults: 512 packets, the standard deterministic stream).
 
-fn json_path() -> Option<String> {
+struct Args {
+    json: Option<String>,
+    packets: usize,
+    seed: Option<u64>,
+}
+
+fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut path = None;
+    let mut parsed = Args { json: None, packets: 512, seed: None };
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => path = Some(args.next().expect("--json needs a path")),
+            "--json" => parsed.json = Some(args.next().expect("--json needs a path")),
             other if other.starts_with("--json=") => {
-                path = Some(other["--json=".len()..].to_string());
+                parsed.json = Some(other["--json=".len()..].to_string());
             }
-            other => panic!("unknown argument `{other}` (expected --json <path>)"),
+            "--packets" => {
+                parsed.packets = args
+                    .next()
+                    .expect("--packets needs a count")
+                    .parse()
+                    .expect("--packets takes a number");
+            }
+            "--seed" => {
+                parsed.seed = Some(
+                    args.next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed takes a number"),
+                );
+            }
+            other => {
+                panic!("unknown argument `{other}` (expected --json <path>, --packets N, --seed S)")
+            }
         }
     }
-    path
+    parsed
 }
 
 fn main() {
+    let args = parse_args();
     println!("Table 2: Click router performance\n");
     println!("  paper:   unoptimized 2486, optimized 1146 cycles (-54%)");
     println!("           (base Click approximately 3% slower than base Clack)\n");
 
-    let t = bench::table2();
+    let work = bench::router_workload_seeded(args.packets, args.seed);
+    let t = bench::table2_with(&work);
     let delta = (t.click_optimized as f64 - t.click_unoptimized as f64)
         / t.click_unoptimized as f64
         * 100.0;
@@ -44,7 +73,7 @@ fn main() {
         println!("    {name:32} {cycles}");
     }
 
-    if let Some(path) = json_path() {
+    if let Some(path) = args.json {
         let mut out = format!(
             "{{\n  \"version\": 1,\n  \"click_unoptimized\": {},\n  \"click_optimized\": {},\n  \"clack_base\": {},\n  \"ablation\": [\n",
             t.click_unoptimized, t.click_optimized, t.clack_base

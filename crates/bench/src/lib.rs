@@ -5,6 +5,8 @@
 //! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
 
+pub mod simperf;
+
 use clack::click::{build_click_router, ClickOpts};
 use clack::packets::{self, WorkloadOptions};
 use clack::{build_clack_router, build_hand_router, ip_router, router_build_inputs, RouterHarness};
@@ -22,6 +24,18 @@ pub fn router_workload_sized(count: usize) -> Vec<packets::WorkItem> {
 /// both directions, deterministic.
 pub fn router_workload() -> Vec<packets::WorkItem> {
     router_workload_sized(512)
+}
+
+/// A router workload with explicit size and (optionally) a non-default
+/// RNG seed — the `--packets` / `--seed` knobs of the table binaries and
+/// `simperf`. `seed: None` keeps the standard deterministic stream, so
+/// the default invocations stay byte-for-byte reproducible.
+pub fn router_workload_seeded(count: usize, seed: Option<u64>) -> Vec<packets::WorkItem> {
+    let mut opts = WorkloadOptions { count, ..Default::default() };
+    if let Some(s) = seed {
+        opts.seed = s;
+    }
+    packets::workload(&opts)
 }
 
 /// One row of Table 1.

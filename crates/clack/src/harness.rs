@@ -31,7 +31,10 @@ pub struct RouterMeasurement {
 /// Drives a built router image.
 pub struct RouterHarness {
     machine: Machine,
-    entry: String,
+    /// `router_step`'s image function index, resolved once at construction
+    /// so the per-packet [`RouterHarness::step`] is a direct `call_idx` —
+    /// no name lookup, no `String` clone on the hot path.
+    entry: u32,
 }
 
 impl RouterHarness {
@@ -46,6 +49,7 @@ impl RouterHarness {
             .ok_or_else(|| Fault::NoSuchFunction("router_step".into()))?;
         let mut machine = Machine::new(report.image.clone())?;
         machine.call("__knit_init", &[])?;
+        let entry = machine.image().func_by_name(&entry).ok_or(Fault::NoSuchFunction(entry))?;
         Ok(RouterHarness { machine, entry })
     }
 
@@ -60,7 +64,11 @@ impl RouterHarness {
         if let Some(f) = init {
             machine.call(f, &[])?;
         }
-        Ok(RouterHarness { machine, entry: entry.to_string() })
+        let entry = machine
+            .image()
+            .func_by_name(entry)
+            .ok_or_else(|| Fault::NoSuchFunction(entry.to_string()))?;
+        Ok(RouterHarness { machine, entry })
     }
 
     /// Queue a frame on input device `dev`.
@@ -71,8 +79,7 @@ impl RouterHarness {
     /// One router step (services each input device once). Returns the
     /// number of packets processed.
     pub fn step(&mut self) -> Result<i64, Fault> {
-        let entry = self.entry.clone();
-        self.machine.call(&entry, &[])
+        self.machine.call_idx(self.entry, &[])
     }
 
     /// Step until no input remains.

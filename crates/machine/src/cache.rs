@@ -71,6 +71,33 @@ impl ICache {
         stall
     }
 
+    /// Touch one predecoded line: bump the access counter and return
+    /// whether the line missed (tag mismatch, now filled). The fast
+    /// interpreter's per-instruction fetch is a run of these against
+    /// `(set, tag)` pairs computed once at `Machine` construction — the
+    /// address arithmetic of [`ICache::fetch`] done ahead of time.
+    /// Callers must skip the call entirely when `miss_stall` is zero,
+    /// mirroring [`ICache::fetch`]'s early return (which counts nothing).
+    #[inline]
+    pub(crate) fn access_line(&mut self, set: u32, tag: u64) -> bool {
+        self.accesses += 1;
+        let slot = &mut self.tags[set as usize];
+        if *slot != tag {
+            *slot = tag;
+            self.misses += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A tagless placeholder left behind while the fast interpreter loop
+    /// temporarily owns the real cache as a local (hot-loop counter
+    /// locality); never accessed.
+    pub(crate) fn placeholder(params: ICacheParams) -> Self {
+        ICache { params, tags: Vec::new(), misses: 0, accesses: 0 }
+    }
+
     /// Number of line accesses so far.
     pub fn accesses(&self) -> u64 {
         self.accesses

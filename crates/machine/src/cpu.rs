@@ -36,7 +36,7 @@ pub const INTRINSIC_NAMES: &[&str] = &[
 
 /// Resolved intrinsic operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Intrinsic {
+pub(crate) enum Intrinsic {
     Abort,
     Brk,
     Clock,
@@ -182,45 +182,66 @@ impl PerfCounters {
     }
 }
 
+/// Which interpreter loop executes guest code. Both produce bit-identical
+/// results, faults, performance counters, and profiles; the fast loop is
+/// simply faster in host wall-clock (see DESIGN.md on interpreter
+/// internals and `bench --bin simperf` for the measured gap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The predecoded, frame-pooled hot loop (the default).
+    #[default]
+    Fast,
+    /// The original one-instruction-at-a-time loop, retained verbatim as
+    /// the differential-testing oracle.
+    Reference,
+}
+
 /// One activation record.
-struct Frame {
-    func: u32,
-    pc: usize,
-    regs: Vec<i64>,
-    args: Vec<i64>,
-    ret_dst: Option<Reg>,
-    saved_sp: u64,
+pub(crate) struct Frame {
+    pub(crate) func: u32,
+    pub(crate) pc: usize,
+    pub(crate) regs: Vec<i64>,
+    pub(crate) args: Vec<i64>,
+    pub(crate) ret_dst: Option<Reg>,
+    pub(crate) saved_sp: u64,
     /// Lowest address of this frame's stack storage; `FrameAddr` offsets
     /// are relative to this.
-    frame_base: u64,
+    pub(crate) frame_base: u64,
 }
 
 /// The simulated machine: one image, one CPU, memory, devices, counters.
 pub struct Machine {
-    image: Rc<Image>,
-    costs: CostModel,
-    limits: RunLimits,
-    icache: ICache,
-    counters: PerfCounters,
+    pub(crate) image: Rc<Image>,
+    pub(crate) costs: CostModel,
+    pub(crate) limits: RunLimits,
+    pub(crate) icache: ICache,
+    pub(crate) counters: PerfCounters,
     /// Data + heap + stack, covering `[mem_base, mem_base + mem.len())`.
-    mem: Vec<u8>,
-    mem_base: u64,
-    heap_next: u64,
-    heap_end: u64,
-    stack_base: u64,
-    mem_top: u64,
-    sp: u64,
-    intrinsic_ops: Vec<Intrinsic>,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) mem_base: u64,
+    pub(crate) heap_next: u64,
+    pub(crate) heap_end: u64,
+    pub(crate) stack_base: u64,
+    pub(crate) mem_top: u64,
+    pub(crate) sp: u64,
+    pub(crate) intrinsic_ops: Vec<Intrinsic>,
+    /// Interpreter selection; see [`ExecMode`].
+    pub(crate) exec_mode: ExecMode,
+    /// Per-function predecoded fetch metadata for the fast loop (parallel
+    /// to `image.funcs`); computed once at construction.
+    pub(crate) fetch_plans: Rc<Vec<crate::exec::CodePlan>>,
+    /// Recycled register/argument buffers for the fast loop's frames.
+    pub(crate) buf_pool: Vec<Vec<i64>>,
     /// When true, every call edge and per-function instruction count is
     /// recorded (see [`Machine::profile`]). Off by default: profiling has
     /// zero effect on execution, counters, or images.
-    profiling: bool,
+    pub(crate) profiling: bool,
     /// (caller func idx, callee func idx, indirect) → calls.
-    prof_edges: BTreeMap<(u32, u32, bool), u64>,
+    pub(crate) prof_edges: BTreeMap<(u32, u32, bool), u64>,
     /// (caller func idx, intrinsic id, indirect) → calls.
-    prof_intrinsics: BTreeMap<(u32, u32, bool), u64>,
+    pub(crate) prof_intrinsics: BTreeMap<(u32, u32, bool), u64>,
     /// Instructions retired per image function (indexed by func idx).
-    prof_instrs: Vec<u64>,
+    pub(crate) prof_instrs: Vec<u64>,
     /// Console device (the "VGA" screen).
     pub console: Console,
     /// Second console device (the "serial" line).
@@ -263,6 +284,7 @@ impl Machine {
         let mut mem = vec![0u8; (mem_top - mem_base) as usize];
         mem[..image.data.len()].copy_from_slice(&image.data);
         let icache = ICache::new(costs.icache);
+        let fetch_plans = Rc::new(crate::exec::CodePlan::build_all(&image, costs.icache));
         Ok(Machine {
             image: Rc::new(image),
             costs,
@@ -277,6 +299,9 @@ impl Machine {
             mem_top,
             sp: mem_top,
             intrinsic_ops,
+            exec_mode: ExecMode::default(),
+            fetch_plans,
+            buf_pool: Vec::new(),
             profiling: false,
             prof_edges: BTreeMap::new(),
             prof_intrinsics: BTreeMap::new(),
@@ -296,6 +321,19 @@ impl Machine {
     /// Current counter values.
     pub fn counters(&self) -> PerfCounters {
         self.counters
+    }
+
+    /// Select which interpreter loop runs guest code. Both modes are
+    /// observationally identical (results, faults, counters, profiles);
+    /// [`ExecMode::Reference`] exists for differential testing and as the
+    /// baseline for `simperf`'s throughput comparison.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The interpreter loop currently in use.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
     }
 
     /// Zero the counters and I-cache statistics (cache contents stay warm).
@@ -409,6 +447,7 @@ impl Machine {
         self.brk(len)
     }
 
+    #[inline]
     fn mem_index(&self, addr: u64, len: u64, func: &str, at: usize) -> Result<usize, Fault> {
         if addr < self.mem_base || addr.saturating_add(len) > self.mem_top {
             return Err(Fault::MemOutOfBounds { addr, func: func.to_string(), at });
@@ -446,6 +485,15 @@ impl Machine {
 
     /// Call a function by image index.
     pub fn call_idx(&mut self, fi: u32, args: &[i64]) -> Result<i64, Fault> {
+        match self.exec_mode {
+            ExecMode::Fast => self.run_fast(fi, args),
+            ExecMode::Reference => self.run_reference(fi, args),
+        }
+    }
+
+    /// The original interpreter loop, kept verbatim: the oracle every
+    /// fast-path change is differentially tested against.
+    pub(crate) fn run_reference(&mut self, fi: u32, args: &[i64]) -> Result<i64, Fault> {
         let image = Rc::clone(&self.image);
         let saved_sp = self.sp;
         let mut frames: Vec<Frame> = Vec::new();
@@ -675,7 +723,14 @@ impl Machine {
         }
     }
 
-    fn load(&self, addr: u64, width: Width, func: &str, at: usize) -> Result<i64, Fault> {
+    #[inline]
+    pub(crate) fn load(
+        &self,
+        addr: u64,
+        width: Width,
+        func: &str,
+        at: usize,
+    ) -> Result<i64, Fault> {
         let i = self.mem_index(addr, width.bytes(), func, at)?;
         let m = &self.mem;
         Ok(match width {
@@ -686,7 +741,8 @@ impl Machine {
         })
     }
 
-    fn store(
+    #[inline]
+    pub(crate) fn store(
         &mut self,
         addr: u64,
         width: Width,
@@ -704,7 +760,7 @@ impl Machine {
         Ok(())
     }
 
-    fn intrinsic(&mut self, op: Intrinsic, args: &[i64]) -> Result<i64, Fault> {
+    pub(crate) fn intrinsic(&mut self, op: Intrinsic, args: &[i64]) -> Result<i64, Fault> {
         self.counters.cycles += self.costs.intrinsic;
         let arg = |i: usize| args.get(i).copied().unwrap_or(0);
         match op {

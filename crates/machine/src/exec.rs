@@ -1,0 +1,777 @@
+//! The fast interpreter loop.
+//!
+//! Executes exactly the semantics of [`Machine::run_reference`] — same
+//! results, same faults at the same `(func, pc)` sites, bit-identical
+//! performance counters and profiles (differentially tested in
+//! `tests/simperf.rs`) — but restructured for host throughput:
+//!
+//! * **Predecoded micro-ops.** Every [`RInstr`] is decoded once at
+//!   `Machine` construction into a fixed-size [`UOp`]: one dense stream
+//!   per function carrying the opcode (with [`cobj::ir::BinOp`],
+//!   [`cobj::ir::UnOp`] and [`cobj::ir::Width`] folded into the opcode
+//!   byte), the register operands, the immediate, *and* the instruction's
+//!   I-cache line metadata. The hot loop does a single indexed load per
+//!   guest instruction and one `match` — no enum-payload walking, no
+//!   second dispatch on the operator, no separate fetch-plan stream. Call
+//!   argument registers live in a per-function arena (`call_args`)
+//!   instead of a `Vec` inside the instruction.
+//! * **Predecoded fetch.** The I-cache lines each instruction touches are
+//!   a pure function of the (immutable) code layout and cache geometry,
+//!   so [`CodePlan::build_all`] computes every `(set, tag)` pair up
+//!   front. The first — almost always only — line is inline in the
+//!   `UOp`; the rare line-straddling tail lives in an arena. Fetch is
+//!   then one [`crate::ICache::access_line`] call, no division, no
+//!   address arithmetic.
+//! * **Register file, program counter and I-cache in locals.** The
+//!   reference loop re-fetches `frames.last_mut()` for nearly every
+//!   operand access because the borrow checker can't see that
+//!   `self.load(..)` leaves the frame stack alone. Here the running
+//!   frame's registers are a local `Vec`, the pc is a local `usize`
+//!   (synced to the [`Frame`] only across calls), and the I-cache is
+//!   owned by the loop, so operand access and the hot counters compile
+//!   to direct register/stack traffic.
+//! * **Frame and argument pooling.** `Call` in the reference loop
+//!   allocates a fresh `Vec<i64>` for the arguments and `push_frame`
+//!   another for the registers, every single call. The fast loop recycles
+//!   both through `Machine::buf_pool`, which persists across `call`s — a
+//!   router `step()` makes hundreds of guest calls and, warm, allocates
+//!   nothing.
+//! * **Counters in registers.** The loop accumulates [`PerfCounters`] in
+//!   a local and stores them back on exit (and around intrinsics, which
+//!   may read the live cycle count via `__clock`), freeing LLVM to keep
+//!   the hot counters in registers instead of memory.
+//!
+//! [`PerfCounters`]: crate::PerfCounters
+
+use std::rc::Rc;
+
+use cobj::image::{CallTarget, Image, RInstr};
+use cobj::ir::{BinOp, Reg, UnOp, Width};
+
+use crate::cache::ICacheParams;
+use crate::cpu::{Fault, Frame, Machine};
+
+/// Micro-op opcodes. Binary/unary operators and access widths are folded
+/// in so the loop dispatches exactly once per guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// `a = imm`.
+    Const,
+    /// `a = b`.
+    Mov,
+    // `a = b <op> c`, one opcode per operator (semantics must mirror
+    // `BinOp::eval` exactly; the differential proptests enforce this).
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    // `a = <op> b`, mirroring `UnOp::eval`.
+    Neg,
+    Not,
+    BitNot,
+    // `a = mem[b + imm]`, one opcode per width.
+    Load1,
+    Load2,
+    Load4,
+    Load8,
+    // `mem[a + imm] = b`, one opcode per width.
+    Store1,
+    Store2,
+    Store4,
+    Store8,
+    /// `a = frame_base + imm`.
+    FrameAddr,
+    /// `a = varargs[b]`.
+    VarArg,
+    /// Direct call to image function `imm`; `b` args at `call_args[c..]`,
+    /// result into register `a - 1` (0 = discarded).
+    CallFunc,
+    /// Direct call to intrinsic `imm`; operands as [`Op::CallFunc`].
+    CallIntr,
+    /// Indirect call through the pointer in register `imm`; operands as
+    /// [`Op::CallFunc`].
+    CallInd,
+    /// `pc = imm`.
+    Jump,
+    /// `pc = (regs[a] != 0) ? b : c`.
+    Branch,
+    /// Return `regs[a - 1]` (0 = return 0).
+    Ret,
+    Nop,
+}
+
+/// One predecoded instruction: opcode, operands, immediate, and the
+/// instruction's I-cache fetch metadata (first line inline — the
+/// overwhelmingly common *only* line — plus an arena reference for the
+/// rare line-straddling tail).
+#[derive(Debug, Clone)]
+struct UOp {
+    /// Immediate: constant, address offset, jump target, call target.
+    imm: i64,
+    /// First I-cache line's tag.
+    tag: u64,
+    a: u32,
+    b: u32,
+    c: u32,
+    /// First I-cache line's set index.
+    set: u32,
+    /// Start of the straddled lines in [`CodePlan::rest`].
+    rest: u32,
+    /// Number of additional lines this instruction straddles onto.
+    extra: u16,
+    code: Op,
+}
+
+/// Predecoded body of one function: the micro-op stream, the call-argument
+/// register arena, and the fetch-straddle arena.
+pub(crate) struct CodePlan {
+    ops: Vec<UOp>,
+    call_args: Vec<Reg>,
+    rest: Vec<(u32, u64)>,
+}
+
+/// Encode an optional register so 0 means "none" (register `r` becomes
+/// `r + 1`).
+fn enc_opt(r: Option<Reg>) -> u32 {
+    r.map(|r| r + 1).unwrap_or(0)
+}
+
+impl CodePlan {
+    /// Decode every function in `image` under the given cache geometry.
+    ///
+    /// Fetch metadata mirrors [`crate::ICache::fetch`]'s line arithmetic:
+    /// an instruction spans `addr / line ..= (addr + size.max(1) - 1) /
+    /// line`, each line mapping to set `line % nlines` with tag
+    /// `line / nlines`.
+    pub(crate) fn build_all(image: &Image, params: ICacheParams) -> Vec<CodePlan> {
+        let nlines = params.size / params.line;
+        image
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut ops = Vec::with_capacity(f.body.len());
+                let mut call_args: Vec<Reg> = Vec::new();
+                let mut rest = Vec::new();
+                for (i, instr) in f.body.iter().enumerate() {
+                    let addr = f.instr_addrs[i];
+                    let size = f.instr_sizes[i];
+                    let first = addr / params.line;
+                    let last = (addr + (size as u64).max(1) - 1) / params.line;
+                    let rstart = rest.len() as u32;
+                    for line in first + 1..=last {
+                        rest.push(((line % nlines) as u32, line / nlines));
+                    }
+                    let mut op = UOp {
+                        imm: 0,
+                        tag: first / nlines,
+                        a: 0,
+                        b: 0,
+                        c: 0,
+                        set: (first % nlines) as u32,
+                        rest: rstart,
+                        extra: (last - first) as u16,
+                        code: Op::Nop,
+                    };
+                    match instr {
+                        RInstr::Const { dst, value } => {
+                            op.code = Op::Const;
+                            op.a = *dst;
+                            op.imm = *value;
+                        }
+                        RInstr::Mov { dst, src } => {
+                            op.code = Op::Mov;
+                            op.a = *dst;
+                            op.b = *src;
+                        }
+                        RInstr::Bin { op: bop, dst, a, b } => {
+                            op.code = match bop {
+                                BinOp::Add => Op::Add,
+                                BinOp::Sub => Op::Sub,
+                                BinOp::Mul => Op::Mul,
+                                BinOp::Div => Op::Div,
+                                BinOp::Rem => Op::Rem,
+                                BinOp::And => Op::And,
+                                BinOp::Or => Op::Or,
+                                BinOp::Xor => Op::Xor,
+                                BinOp::Shl => Op::Shl,
+                                BinOp::Shr => Op::Shr,
+                                BinOp::Eq => Op::Eq,
+                                BinOp::Ne => Op::Ne,
+                                BinOp::Lt => Op::Lt,
+                                BinOp::Le => Op::Le,
+                                BinOp::Gt => Op::Gt,
+                                BinOp::Ge => Op::Ge,
+                            };
+                            op.a = *dst;
+                            op.b = *a;
+                            op.c = *b;
+                        }
+                        RInstr::Un { op: uop, dst, a } => {
+                            op.code = match uop {
+                                UnOp::Neg => Op::Neg,
+                                UnOp::Not => Op::Not,
+                                UnOp::BitNot => Op::BitNot,
+                            };
+                            op.a = *dst;
+                            op.b = *a;
+                        }
+                        RInstr::Load { dst, addr, offset, width } => {
+                            op.code = match width {
+                                Width::W1 => Op::Load1,
+                                Width::W2 => Op::Load2,
+                                Width::W4 => Op::Load4,
+                                Width::W8 => Op::Load8,
+                            };
+                            op.a = *dst;
+                            op.b = *addr;
+                            op.imm = *offset;
+                        }
+                        RInstr::Store { addr, offset, src, width } => {
+                            op.code = match width {
+                                Width::W1 => Op::Store1,
+                                Width::W2 => Op::Store2,
+                                Width::W4 => Op::Store4,
+                                Width::W8 => Op::Store8,
+                            };
+                            op.a = *addr;
+                            op.b = *src;
+                            op.imm = *offset;
+                        }
+                        RInstr::FrameAddr { dst, offset } => {
+                            op.code = Op::FrameAddr;
+                            op.a = *dst;
+                            op.imm = *offset;
+                        }
+                        RInstr::VarArg { dst, idx } => {
+                            op.code = Op::VarArg;
+                            op.a = *dst;
+                            op.b = *idx;
+                        }
+                        RInstr::Call { dst, target, args } => {
+                            op.a = enc_opt(*dst);
+                            op.b = args.len() as u32;
+                            op.c = call_args.len() as u32;
+                            call_args.extend_from_slice(args);
+                            match target {
+                                CallTarget::Func(tf) => {
+                                    op.code = Op::CallFunc;
+                                    op.imm = *tf as i64;
+                                }
+                                CallTarget::Intrinsic(id) => {
+                                    op.code = Op::CallIntr;
+                                    op.imm = *id as i64;
+                                }
+                            }
+                        }
+                        RInstr::CallInd { dst, target, args } => {
+                            op.code = Op::CallInd;
+                            op.a = enc_opt(*dst);
+                            op.b = args.len() as u32;
+                            op.c = call_args.len() as u32;
+                            op.imm = *target as i64;
+                            call_args.extend_from_slice(args);
+                        }
+                        RInstr::Jump { target } => {
+                            op.code = Op::Jump;
+                            op.imm = *target as i64;
+                        }
+                        RInstr::Branch { cond, then_to, else_to } => {
+                            op.code = Op::Branch;
+                            op.a = *cond;
+                            op.b = *then_to as u32;
+                            op.c = *else_to as u32;
+                        }
+                        RInstr::Ret { value } => {
+                            op.code = Op::Ret;
+                            op.a = enc_opt(*value);
+                        }
+                        RInstr::Nop => op.code = Op::Nop,
+                    }
+                    ops.push(op);
+                }
+                CodePlan { ops, call_args, rest }
+            })
+            .collect()
+    }
+}
+
+impl Machine {
+    /// Pop a recycled buffer from the pool (or allocate the first time).
+    #[inline]
+    fn take_buf(&mut self) -> Vec<i64> {
+        self.buf_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a frame's buffers to the pool, leaving the frame empty.
+    #[inline]
+    fn reclaim_frame(&mut self, fr: &mut Frame) {
+        self.buf_pool.push(std::mem::take(&mut fr.regs));
+        self.buf_pool.push(std::mem::take(&mut fr.args));
+    }
+
+    /// Build an activation record from pooled storage. `depth` is the
+    /// number of frames already live (the reference loop's `frames.len()`
+    /// at its `push_frame` check). On error the argument buffer is
+    /// reclaimed and machine state is untouched.
+    #[inline]
+    fn make_frame(
+        &mut self,
+        image: &Image,
+        fi: u32,
+        mut args: Vec<i64>,
+        ret_dst: Option<Reg>,
+        depth: usize,
+    ) -> Result<Frame, Fault> {
+        if depth >= self.limits.max_call_depth {
+            self.buf_pool.push(std::mem::take(&mut args));
+            return Err(Fault::CallDepthExceeded);
+        }
+        let func = &image.funcs[fi as usize];
+        let frame_bytes = ((func.frame_size as u64) + 15) & !15;
+        if self.sp < self.stack_base + frame_bytes {
+            self.buf_pool.push(std::mem::take(&mut args));
+            return Err(Fault::StackOverflow { func: func.name.clone() });
+        }
+        let saved_sp = self.sp;
+        self.sp -= frame_bytes;
+        let frame_base = self.sp;
+        let mut regs = self.take_buf();
+        regs.clear();
+        regs.resize(func.nregs as usize, 0);
+        let n = (func.params as usize).min(args.len()).min(regs.len());
+        regs[..n].copy_from_slice(&args[..n]);
+        Ok(Frame { func: fi, pc: 0, regs, args, ret_dst, saved_sp, frame_base })
+    }
+
+    /// The fast interpreter loop. Observationally identical to
+    /// [`Machine::run_reference`]; see the module docs for what changed.
+    ///
+    /// Dispatches to one of four monomorphized copies so the hot loop
+    /// carries no per-instruction `profiling` / fetch-enabled branches.
+    pub(crate) fn run_fast(&mut self, fi: u32, args: &[i64]) -> Result<i64, Fault> {
+        match (self.profiling, self.costs.icache.miss_stall != 0) {
+            (false, true) => self.run_fast_impl::<false, true>(fi, args),
+            (false, false) => self.run_fast_impl::<false, false>(fi, args),
+            (true, true) => self.run_fast_impl::<true, true>(fi, args),
+            (true, false) => self.run_fast_impl::<true, false>(fi, args),
+        }
+    }
+
+    fn run_fast_impl<const PROFILING: bool, const FETCH: bool>(
+        &mut self,
+        fi: u32,
+        args: &[i64],
+    ) -> Result<i64, Fault> {
+        let image = Rc::clone(&self.image);
+        let plans = Rc::clone(&self.fetch_plans);
+        let costs = self.costs.clone();
+        let miss_stall = costs.icache.miss_stall;
+        let max_steps = self.limits.max_steps;
+        let saved_sp = self.sp;
+
+        let mut root_args = self.take_buf();
+        root_args.clear();
+        root_args.extend_from_slice(args);
+        let mut fr = self.make_frame(&image, fi, root_args, None, 0)?;
+        // The running frame's register file and program counter live in
+        // locals; `fr` keeps the rest (VarArg storage, frame geometry,
+        // return linkage). `fr.pc` is only synced at call sites (as the
+        // return address) and `fr.regs` whenever the frame is suspended
+        // or retired.
+        let mut regs: Vec<i64> = std::mem::take(&mut fr.regs);
+        let mut npc: usize = 0;
+        let mut func = &image.funcs[fi as usize];
+        let mut plan = &plans[fi as usize];
+        let mut ops = plan.ops.as_slice();
+        // Suspended callers; the running frame is the local `fr`.
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut ctr = self.counters;
+        // Own the I-cache for the duration of the loop so its access/miss
+        // counters live on the stack; restored after the loop (nothing
+        // inside — loads, stores, intrinsics — reads it meanwhile).
+        let mut icache =
+            std::mem::replace(&mut self.icache, crate::ICache::placeholder(costs.icache));
+        // Guest memory as a loop-owned local too: loads and stores then
+        // compile to direct indexing off locals instead of round-tripping
+        // through `self` (whose fields LLVM must conservatively reload).
+        // Intrinsics do touch guest memory — packet and console I/O — so
+        // the buffer is swapped back around each intrinsic call.
+        let mut mem = std::mem::take(&mut self.mem);
+        let mut mem_base = self.mem_base;
+        let mut mem_top = self.mem_top;
+        // The per-instruction base cycle cost is accumulated lazily as
+        // `instructions × base` at sync points (intrinsic calls, loop
+        // exit) rather than added every iteration.
+        let mut synced = ctr.instructions;
+        let mut steps: u64 = 0;
+
+        let result = loop {
+            steps += 1;
+            if steps > max_steps {
+                break Err(Fault::StepLimitExceeded);
+            }
+            let pc = npc;
+
+            // Falling off the end of a function is an implicit `return 0`.
+            let Some(op) = ops.get(pc) else {
+                self.sp = fr.saved_sp;
+                match stack.pop() {
+                    Some(parent) => {
+                        let dst = fr.ret_dst;
+                        fr.regs = std::mem::take(&mut regs);
+                        self.reclaim_frame(&mut fr);
+                        fr = parent;
+                        regs = std::mem::take(&mut fr.regs);
+                        npc = fr.pc;
+                        if let Some(d) = dst {
+                            regs[d as usize] = 0;
+                        }
+                        func = &image.funcs[fr.func as usize];
+                        plan = &plans[fr.func as usize];
+                        ops = plan.ops.as_slice();
+                    }
+                    None => break Ok(0),
+                }
+                continue;
+            };
+
+            // Fetch: charge base cost + I-cache stalls off the predecoded
+            // line metadata (skipped entirely when stalls are free,
+            // mirroring `ICache::fetch`'s early return).
+            if FETCH {
+                let mut missed = u64::from(icache.access_line(op.set, op.tag));
+                if op.extra != 0 {
+                    let start = op.rest as usize;
+                    for &(set, tag) in &plan.rest[start..start + op.extra as usize] {
+                        missed += u64::from(icache.access_line(set, tag));
+                    }
+                }
+                let stall = missed * miss_stall;
+                ctr.icache_misses += missed;
+                ctr.ifetch_stall_cycles += stall;
+                ctr.cycles += stall;
+            }
+            ctr.instructions += 1;
+            if PROFILING {
+                self.prof_instrs[fr.func as usize] += 1;
+            }
+
+            npc = pc + 1;
+
+            match op.code {
+                Op::Const => regs[op.a as usize] = op.imm,
+                Op::Mov => regs[op.a as usize] = regs[op.b as usize],
+                Op::Add => {
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_add(regs[op.c as usize]);
+                }
+                Op::Sub => {
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_sub(regs[op.c as usize]);
+                }
+                Op::Mul => {
+                    ctr.cycles += costs.mul;
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_mul(regs[op.c as usize]);
+                }
+                Op::Div => {
+                    ctr.cycles += costs.div;
+                    let bv = regs[op.c as usize];
+                    if bv == 0 {
+                        break Err(Fault::DivByZero { func: func.name.clone(), at: pc });
+                    }
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_div(bv);
+                }
+                Op::Rem => {
+                    ctr.cycles += costs.div;
+                    let bv = regs[op.c as usize];
+                    if bv == 0 {
+                        break Err(Fault::DivByZero { func: func.name.clone(), at: pc });
+                    }
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_rem(bv);
+                }
+                Op::And => regs[op.a as usize] = regs[op.b as usize] & regs[op.c as usize],
+                Op::Or => regs[op.a as usize] = regs[op.b as usize] | regs[op.c as usize],
+                Op::Xor => regs[op.a as usize] = regs[op.b as usize] ^ regs[op.c as usize],
+                Op::Shl => {
+                    let bv = regs[op.c as usize];
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_shl((bv & 63) as u32);
+                }
+                Op::Shr => {
+                    let bv = regs[op.c as usize];
+                    regs[op.a as usize] = regs[op.b as usize].wrapping_shr((bv & 63) as u32);
+                }
+                Op::Eq => {
+                    regs[op.a as usize] = (regs[op.b as usize] == regs[op.c as usize]) as i64;
+                }
+                Op::Ne => {
+                    regs[op.a as usize] = (regs[op.b as usize] != regs[op.c as usize]) as i64;
+                }
+                Op::Lt => {
+                    regs[op.a as usize] = (regs[op.b as usize] < regs[op.c as usize]) as i64;
+                }
+                Op::Le => {
+                    regs[op.a as usize] = (regs[op.b as usize] <= regs[op.c as usize]) as i64;
+                }
+                Op::Gt => {
+                    regs[op.a as usize] = (regs[op.b as usize] > regs[op.c as usize]) as i64;
+                }
+                Op::Ge => {
+                    regs[op.a as usize] = (regs[op.b as usize] >= regs[op.c as usize]) as i64;
+                }
+                Op::Neg => regs[op.a as usize] = regs[op.b as usize].wrapping_neg(),
+                Op::Not => regs[op.a as usize] = (regs[op.b as usize] == 0) as i64,
+                Op::BitNot => regs[op.a as usize] = !regs[op.b as usize],
+                Op::Load1 | Op::Load2 | Op::Load4 | Op::Load8 => {
+                    // Inline `Machine::load` against the loop-local memory
+                    // (bounds rule and widening exactly as `mem_index`).
+                    ctr.cycles += costs.load;
+                    let len = match op.code {
+                        Op::Load1 => 1,
+                        Op::Load2 => 2,
+                        Op::Load4 => 4,
+                        _ => 8,
+                    };
+                    let a = (regs[op.b as usize] as u64).wrapping_add_signed(op.imm);
+                    if a < mem_base || a.saturating_add(len) > mem_top {
+                        break Err(Fault::MemOutOfBounds {
+                            addr: a,
+                            func: func.name.clone(),
+                            at: pc,
+                        });
+                    }
+                    let i = (a - mem_base) as usize;
+                    regs[op.a as usize] = match op.code {
+                        Op::Load1 => mem[i] as i64,
+                        Op::Load2 => u16::from_le_bytes([mem[i], mem[i + 1]]) as i64,
+                        Op::Load4 => {
+                            i32::from_le_bytes([mem[i], mem[i + 1], mem[i + 2], mem[i + 3]]) as i64
+                        }
+                        _ => i64::from_le_bytes(mem[i..i + 8].try_into().expect("8 bytes")),
+                    };
+                }
+                Op::Store1 | Op::Store2 | Op::Store4 | Op::Store8 => {
+                    ctr.cycles += costs.store;
+                    let len = match op.code {
+                        Op::Store1 => 1,
+                        Op::Store2 => 2,
+                        Op::Store4 => 4,
+                        _ => 8,
+                    };
+                    let a = (regs[op.a as usize] as u64).wrapping_add_signed(op.imm);
+                    if a < mem_base || a.saturating_add(len) > mem_top {
+                        break Err(Fault::MemOutOfBounds {
+                            addr: a,
+                            func: func.name.clone(),
+                            at: pc,
+                        });
+                    }
+                    let i = (a - mem_base) as usize;
+                    let v = regs[op.b as usize];
+                    match op.code {
+                        Op::Store1 => mem[i] = v as u8,
+                        Op::Store2 => mem[i..i + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+                        Op::Store4 => mem[i..i + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+                        _ => mem[i..i + 8].copy_from_slice(&v.to_le_bytes()),
+                    }
+                }
+                Op::FrameAddr => {
+                    regs[op.a as usize] = fr.frame_base.wrapping_add_signed(op.imm) as i64;
+                }
+                Op::VarArg => {
+                    let i = func.params as usize + regs[op.b as usize].max(0) as usize;
+                    regs[op.a as usize] = fr.args.get(i).copied().unwrap_or(0);
+                }
+                Op::CallFunc => {
+                    let argc = op.b as usize;
+                    let start = op.c as usize;
+                    let tf = op.imm as u32;
+                    let dst = if op.a == 0 { None } else { Some(op.a - 1) };
+                    ctr.cycles += costs.call_overhead + costs.call_per_arg * argc as u64;
+                    ctr.calls += 1;
+                    let mut argv = self.take_buf();
+                    argv.clear();
+                    argv.extend(
+                        plan.call_args[start..start + argc].iter().map(|r| regs[*r as usize]),
+                    );
+                    if PROFILING {
+                        *self.prof_edges.entry((fr.func, tf, false)).or_insert(0) += 1;
+                    }
+                    match self.make_frame(&image, tf, argv, dst, stack.len() + 1) {
+                        Ok(mut callee) => {
+                            fr.pc = npc;
+                            fr.regs = std::mem::take(&mut regs);
+                            regs = std::mem::take(&mut callee.regs);
+                            stack.push(std::mem::replace(&mut fr, callee));
+                            npc = 0;
+                            func = &image.funcs[tf as usize];
+                            plan = &plans[tf as usize];
+                            ops = plan.ops.as_slice();
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                Op::CallIntr => {
+                    let argc = op.b as usize;
+                    let start = op.c as usize;
+                    let id = op.imm as u32;
+                    let dst = op.a;
+                    ctr.cycles += costs.call_overhead + costs.call_per_arg * argc as u64;
+                    ctr.intrinsic_calls += 1;
+                    let mut argv = self.take_buf();
+                    argv.clear();
+                    argv.extend(
+                        plan.call_args[start..start + argc].iter().map(|r| regs[*r as usize]),
+                    );
+                    if PROFILING {
+                        *self.prof_intrinsics.entry((fr.func, id, false)).or_insert(0) += 1;
+                    }
+                    let iop = self.intrinsic_ops[id as usize];
+                    // Intrinsics observe (and charge) the live counters —
+                    // `__clock` reads `cycles` — and touch guest memory, so
+                    // sync the lazy base cycles and swap both back around
+                    // the call.
+                    ctr.cycles += costs.base * (ctr.instructions - synced);
+                    synced = ctr.instructions;
+                    self.counters = ctr;
+                    std::mem::swap(&mut self.mem, &mut mem);
+                    let r = self.intrinsic(iop, &argv);
+                    std::mem::swap(&mut self.mem, &mut mem);
+                    mem_base = self.mem_base;
+                    mem_top = self.mem_top;
+                    ctr = self.counters;
+                    self.buf_pool.push(argv);
+                    match r {
+                        Ok(v) => {
+                            if dst != 0 {
+                                regs[(dst - 1) as usize] = v;
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                Op::CallInd => {
+                    let argc = op.b as usize;
+                    let start = op.c as usize;
+                    let dst = if op.a == 0 { None } else { Some(op.a - 1) };
+                    ctr.cycles += costs.call_overhead
+                        + costs.call_per_arg * argc as u64
+                        + costs.indirect_call_penalty;
+                    ctr.indirect_calls += 1;
+                    let ptr = regs[op.imm as usize];
+                    let mut argv = self.take_buf();
+                    argv.clear();
+                    argv.extend(
+                        plan.call_args[start..start + argc].iter().map(|r| regs[*r as usize]),
+                    );
+                    if let Some(tf) = image.func_at_addr(ptr as u64) {
+                        if PROFILING {
+                            *self.prof_edges.entry((fr.func, tf, true)).or_insert(0) += 1;
+                        }
+                        match self.make_frame(&image, tf, argv, dst, stack.len() + 1) {
+                            Ok(mut callee) => {
+                                fr.pc = npc;
+                                fr.regs = std::mem::take(&mut regs);
+                                regs = std::mem::take(&mut callee.regs);
+                                stack.push(std::mem::replace(&mut fr, callee));
+                                npc = 0;
+                                func = &image.funcs[tf as usize];
+                                plan = &plans[tf as usize];
+                                ops = plan.ops.as_slice();
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    } else if let Some(id) = image.intrinsic_at_addr(ptr as u64) {
+                        ctr.intrinsic_calls += 1;
+                        if PROFILING {
+                            *self.prof_intrinsics.entry((fr.func, id, true)).or_insert(0) += 1;
+                        }
+                        let iop = self.intrinsic_ops[id as usize];
+                        ctr.cycles += costs.base * (ctr.instructions - synced);
+                        synced = ctr.instructions;
+                        self.counters = ctr;
+                        std::mem::swap(&mut self.mem, &mut mem);
+                        let r = self.intrinsic(iop, &argv);
+                        std::mem::swap(&mut self.mem, &mut mem);
+                        mem_base = self.mem_base;
+                        mem_top = self.mem_top;
+                        ctr = self.counters;
+                        self.buf_pool.push(argv);
+                        match r {
+                            Ok(v) => {
+                                if let Some(d) = dst {
+                                    regs[d as usize] = v;
+                                }
+                            }
+                            Err(e) => break Err(e),
+                        }
+                    } else {
+                        self.buf_pool.push(argv);
+                        break Err(Fault::BadFunctionPointer {
+                            value: ptr,
+                            func: func.name.clone(),
+                            at: pc,
+                        });
+                    }
+                }
+                Op::Jump => {
+                    ctr.cycles += costs.jump;
+                    npc = op.imm as usize;
+                }
+                Op::Branch => {
+                    let taken = regs[op.a as usize] != 0;
+                    // Model a simple not-taken-predicted branch.
+                    ctr.cycles += if taken { costs.branch_taken } else { costs.branch_not_taken };
+                    npc = if taken { op.b as usize } else { op.c as usize };
+                }
+                Op::Ret => {
+                    ctr.cycles += costs.ret_overhead;
+                    let v = if op.a == 0 { 0 } else { regs[(op.a - 1) as usize] };
+                    self.sp = fr.saved_sp;
+                    match stack.pop() {
+                        Some(parent) => {
+                            let dst = fr.ret_dst;
+                            fr.regs = std::mem::take(&mut regs);
+                            self.reclaim_frame(&mut fr);
+                            fr = parent;
+                            regs = std::mem::take(&mut fr.regs);
+                            npc = fr.pc;
+                            if let Some(d) = dst {
+                                regs[d as usize] = v;
+                            }
+                            func = &image.funcs[fr.func as usize];
+                            plan = &plans[fr.func as usize];
+                            ops = plan.ops.as_slice();
+                        }
+                        None => break Ok(v),
+                    }
+                }
+                Op::Nop => {}
+            }
+        };
+
+        // Sync the lazily-accumulated base cycles, store the counters,
+        // cache and memory back, recycle every remaining frame (on fault
+        // the whole stack is abandoned), and restore the stack pointer.
+        ctr.cycles += costs.base * (ctr.instructions - synced);
+        self.counters = ctr;
+        self.icache = icache;
+        self.mem = mem;
+        fr.regs = std::mem::take(&mut regs);
+        self.reclaim_frame(&mut fr);
+        for mut f in stack {
+            self.reclaim_frame(&mut f);
+        }
+        self.sp = saved_sp;
+        result
+    }
+}

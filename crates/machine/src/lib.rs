@@ -25,11 +25,12 @@ pub mod cache;
 pub mod costs;
 pub mod cpu;
 pub mod dev;
+pub(crate) mod exec;
 pub mod profile;
 
 pub use cache::{ICache, ICacheParams};
 pub use costs::CostModel;
-pub use cpu::{Fault, Machine, PerfCounters, RunLimits};
+pub use cpu::{ExecMode, Fault, Machine, PerfCounters, RunLimits};
 pub use dev::{Console, NetDev};
 pub use profile::{CallEdge, FuncCount, Profile};
 

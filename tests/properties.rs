@@ -1,4 +1,4 @@
-//! Property-based tests over the core invariants (DESIGN.md §6).
+//! Property-based tests over the core invariants (DESIGN.md §8).
 
 use proptest::prelude::*;
 

@@ -1,0 +1,446 @@
+//! Differential tests: the fast interpreter against the reference oracle.
+//!
+//! `ExecMode::Fast` must be *observationally identical* to
+//! `ExecMode::Reference` — same results, same faults at the same
+//! `(func, pc)` sites, bit-identical performance counters, profiles,
+//! memory images, device output, and traces. These tests drive both loops
+//! over randomly generated programs (which routinely divide by zero, read
+//! wild addresses, recurse forever, and spin until the step limit) and over
+//! the real Clack router, comparing every observable after every call.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use knit_repro::clack;
+use knit_repro::cobj::ir::{BinOp, Instr, UnOp, Width};
+use knit_repro::cobj::object::{FuncDef, ObjectFile, Symbol};
+use knit_repro::cobj::{link, Image, LinkInput, LinkOptions};
+use knit_repro::machine::{
+    self, CostModel, ExecMode, Fault, ICacheParams, Machine, Profile, RunLimits,
+};
+
+// ---------------------------------------------------------------------------
+// random program generator
+// ---------------------------------------------------------------------------
+
+/// Intrinsics random programs may call (a mix of pure, device, faulting,
+/// and counter-observing operations — `__clock` reads live cycle counts,
+/// which is exactly the kind of thing a buggy fast path would skew).
+const INTRINSICS: &[&str] = &["__brk", "__clock", "__con_putc", "__halt", "__trace"];
+
+/// Generate a linked image from `seed`: a handful of functions with random
+/// bodies that call each other (directly and through function pointers),
+/// touch frame and heap memory, and hit every fault class.
+fn gen_image(seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nfuncs = rng.random_range(2usize..5);
+    let mut o = ObjectFile::new("diff.o");
+    let intr_syms: Vec<_> = INTRINSICS.iter().map(|n| o.add_symbol(Symbol::undef(*n))).collect();
+    let shapes: Vec<(u32, u32, u32)> = (0..nfuncs)
+        .map(|_| {
+            let params = rng.random_range(0u32..3);
+            let nregs = rng.random_range(4u32..8);
+            let frame = [0u32, 16, 32][rng.random_range(0usize..3)];
+            (params, nregs, frame)
+        })
+        .collect();
+    let func_syms: Vec<_> =
+        (0..nfuncs).map(|i| o.add_symbol(Symbol::func(format!("f{i}")))).collect();
+
+    for (i, &(params, nregs, frame)) in shapes.iter().enumerate() {
+        let len = rng.random_range(4usize..14);
+        let mut body = Vec::with_capacity(len);
+        let reg = |rng: &mut StdRng| rng.random_range(0u32..nregs);
+        for _ in 0..len {
+            let ins = match rng.random_range(0u32..20) {
+                0 | 1 => Instr::Const {
+                    dst: reg(&mut rng),
+                    // Mostly small values (zeros make natural div-by-zero
+                    // divisors); occasionally a wild one for OOB addresses.
+                    value: if rng.random_bool(0.15) {
+                        rng.random::<i64>() >> 16
+                    } else {
+                        rng.random_range(-64i64..64)
+                    },
+                },
+                2 => Instr::Mov { dst: reg(&mut rng), src: reg(&mut rng) },
+                3..=5 => {
+                    const OPS: &[BinOp] = &[
+                        BinOp::Add,
+                        BinOp::Sub,
+                        BinOp::Mul,
+                        BinOp::Div,
+                        BinOp::Rem,
+                        BinOp::And,
+                        BinOp::Xor,
+                        BinOp::Shl,
+                        BinOp::Eq,
+                        BinOp::Lt,
+                    ];
+                    Instr::Bin {
+                        op: OPS[rng.random_range(0usize..OPS.len())],
+                        dst: reg(&mut rng),
+                        a: reg(&mut rng),
+                        b: reg(&mut rng),
+                    }
+                }
+                6 => Instr::Un {
+                    op: [UnOp::Neg, UnOp::Not, UnOp::BitNot][rng.random_range(0usize..3)],
+                    dst: reg(&mut rng),
+                    a: reg(&mut rng),
+                },
+                7 | 8 if frame > 0 => Instr::FrameAddr {
+                    dst: reg(&mut rng),
+                    offset: rng.random_range(0i64..frame as i64),
+                },
+                9 => Instr::Load {
+                    dst: reg(&mut rng),
+                    addr: reg(&mut rng),
+                    offset: rng.random_range(-4i64..12),
+                    width: [Width::W1, Width::W2, Width::W4, Width::W8]
+                        [rng.random_range(0usize..4)],
+                },
+                10 => Instr::Store {
+                    addr: reg(&mut rng),
+                    offset: rng.random_range(-4i64..12),
+                    src: reg(&mut rng),
+                    width: [Width::W1, Width::W2, Width::W4, Width::W8]
+                        [rng.random_range(0usize..4)],
+                },
+                11 => Instr::VarArg { dst: reg(&mut rng), idx: reg(&mut rng) },
+                12 | 13 => {
+                    // Direct call: another function (recursion allowed — the
+                    // depth limit is itself under test) or an intrinsic.
+                    let target = if rng.random_bool(0.6) {
+                        func_syms[rng.random_range(0usize..nfuncs)]
+                    } else {
+                        intr_syms[rng.random_range(0usize..intr_syms.len())]
+                    };
+                    let nargs = rng.random_range(0usize..3);
+                    Instr::Call {
+                        dst: if rng.random_bool(0.7) { Some(reg(&mut rng)) } else { None },
+                        target,
+                        args: (0..nargs).map(|_| reg(&mut rng)).collect(),
+                    }
+                }
+                14 => Instr::Addr {
+                    dst: reg(&mut rng),
+                    sym: if rng.random_bool(0.7) {
+                        func_syms[rng.random_range(0usize..nfuncs)]
+                    } else {
+                        intr_syms[rng.random_range(0usize..intr_syms.len())]
+                    },
+                    offset: 0,
+                },
+                15 => {
+                    // Often a garbage pointer → BadFunctionPointer; after an
+                    // `Addr`, a live one → real indirect call.
+                    let nargs = rng.random_range(0usize..3);
+                    Instr::CallInd {
+                        dst: if rng.random_bool(0.7) { Some(reg(&mut rng)) } else { None },
+                        target: reg(&mut rng),
+                        args: (0..nargs).map(|_| reg(&mut rng)).collect(),
+                    }
+                }
+                16 => Instr::Jump { target: rng.random_range(0usize..len) },
+                17 => Instr::Branch {
+                    cond: reg(&mut rng),
+                    then_to: rng.random_range(0usize..len),
+                    else_to: rng.random_range(0usize..len),
+                },
+                18 => Instr::Ret {
+                    value: if rng.random_bool(0.8) { Some(reg(&mut rng)) } else { None },
+                },
+                _ => Instr::Nop,
+            };
+            body.push(ins);
+        }
+        o.funcs.push(FuncDef { sym: func_syms[i], params, nregs, frame_size: frame, body });
+    }
+    link(&[LinkInput::Object(o)], &LinkOptions::new("f0", machine::runtime_symbols()))
+        .expect("generated object links")
+}
+
+// ---------------------------------------------------------------------------
+// observable machine state
+// ---------------------------------------------------------------------------
+
+/// Everything a guest execution can observe or produce, snapshot for
+/// comparison. `PartialEq` over the lot is the bit-identity check.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    results: Vec<Result<i64, Fault>>,
+    counters: machine::PerfCounters,
+    profile: Profile,
+    memory: Vec<u8>,
+    console: String,
+    serial: String,
+    trace: Vec<i64>,
+}
+
+/// Run `calls` invocations of `f0` on a fresh machine in `mode`, snapshot
+/// all observables. Tight limits keep runaway programs (infinite loops,
+/// unbounded recursion) fast while still exercising the fault paths.
+fn observe(image: &Image, mode: ExecMode, costs: CostModel, args: &[i64]) -> Observed {
+    let limits =
+        RunLimits { max_steps: 20_000, max_call_depth: 32, heap_size: 1 << 16, stack_size: 4096 };
+    let mut m = Machine::with_config(image.clone(), costs, limits).unwrap();
+    m.set_exec_mode(mode);
+    m.set_profiling(true);
+    // Two calls back-to-back: the second runs against warm caches and (in
+    // fast mode) recycled frame buffers, so cross-call state is covered.
+    let results = (0..2).map(|_| m.call("f0", args)).collect();
+    let mem_len =
+        (image.heap_base + limits.heap_size + limits.stack_size - image.data_base) as usize;
+    Observed {
+        results,
+        counters: m.counters(),
+        profile: m.profile(),
+        memory: m.read_mem(image.data_base, mem_len).unwrap().to_vec(),
+        console: m.console.output.clone(),
+        serial: m.serial.output.clone(),
+        trace: m.trace.clone(),
+    }
+}
+
+fn assert_modes_agree(image: &Image, costs: CostModel, args: &[i64]) {
+    let fast = observe(image, ExecMode::Fast, costs.clone(), args);
+    let reference = observe(image, ExecMode::Reference, costs, args);
+    assert_eq!(fast, reference);
+}
+
+// ---------------------------------------------------------------------------
+// property: random programs behave identically under both loops
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fast_matches_reference_on_random_programs(seed in any::<u64>()) {
+        let image = gen_image(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5f5f);
+        let args: Vec<i64> = (0..rng.random_range(0usize..3))
+            .map(|_| rng.random_range(-8i64..8))
+            .collect();
+        // Three cache geometries: the default, stalls disabled (the
+        // `miss_stall == 0` early-return path), and a tiny cache that
+        // thrashes (conflict-eviction heavy).
+        let geometries = [
+            ICacheParams::default(),
+            ICacheParams { size: 128, line: 32, miss_stall: 0 },
+            ICacheParams { size: 128, line: 32, miss_stall: 9 },
+        ];
+        let icache = geometries[rng.random_range(0usize..3)];
+        let costs = CostModel { icache, ..CostModel::default() };
+
+        let fast = observe(&image, ExecMode::Fast, costs.clone(), &args);
+        let reference = observe(&image, ExecMode::Reference, costs, &args);
+        prop_assert_eq!(fast, reference, "seed {}", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// deterministic fault-class cases (always in the suite, no seed luck needed)
+// ---------------------------------------------------------------------------
+
+fn link_one(o: ObjectFile, entry: &str) -> Image {
+    link(&[LinkInput::Object(o)], &LinkOptions::new(entry, machine::runtime_symbols())).unwrap()
+}
+
+#[test]
+fn div_by_zero_faults_at_identical_site() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f0"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 2,
+        nregs: 3,
+        frame_size: 0,
+        body: vec![
+            Instr::Nop,
+            Instr::Bin { op: BinOp::Div, dst: 2, a: 0, b: 1 },
+            Instr::Ret { value: Some(2) },
+        ],
+    });
+    let image = link_one(o, "f0");
+    // The faulting call and a subsequent successful one: the machine must
+    // stay usable after a fault in both modes.
+    for (mode_args, want) in [
+        (&[7i64, 0][..], Err(Fault::DivByZero { func: "f0".into(), at: 1 })),
+        (&[42, 2][..], Ok(21)),
+    ] {
+        let mut fast = Machine::new(image.clone()).unwrap();
+        fast.set_exec_mode(ExecMode::Fast);
+        let mut reference = Machine::new(image.clone()).unwrap();
+        reference.set_exec_mode(ExecMode::Reference);
+        let rf = fast.call("f0", mode_args);
+        let rr = reference.call("f0", mode_args);
+        assert_eq!(rf, want);
+        assert_eq!(rf, rr);
+        assert_eq!(fast.counters(), reference.counters());
+    }
+    assert_modes_agree(&image, CostModel::default(), &[9, 0]);
+}
+
+#[test]
+fn out_of_bounds_access_faults_identically() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f0"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 2,
+        frame_size: 0,
+        body: vec![
+            Instr::Const { dst: 0, value: 0x10 }, // below the data base
+            Instr::Load { dst: 1, addr: 0, offset: 0, width: Width::W8 },
+            Instr::Ret { value: Some(1) },
+        ],
+    });
+    let image = link_one(o, "f0");
+    assert_modes_agree(&image, CostModel::default(), &[]);
+    let got = observe(&image, ExecMode::Fast, CostModel::default(), &[]);
+    assert!(
+        matches!(got.results[0], Err(Fault::MemOutOfBounds { at: 1, .. })),
+        "got {:?}",
+        got.results[0]
+    );
+}
+
+#[test]
+fn step_limit_and_counters_agree_on_infinite_loop() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f0"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 1,
+        frame_size: 0,
+        body: vec![Instr::Const { dst: 0, value: 1 }, Instr::Jump { target: 0 }],
+    });
+    let image = link_one(o, "f0");
+    assert_modes_agree(&image, CostModel::default(), &[]);
+    let got = observe(&image, ExecMode::Fast, CostModel::default(), &[]);
+    assert_eq!(got.results[0], Err(Fault::StepLimitExceeded));
+    // Exactly max_steps instructions per call were charged.
+    assert_eq!(got.counters.instructions, 40_000);
+}
+
+#[test]
+fn unbounded_recursion_faults_identically() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f0"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 1,
+        frame_size: 64,
+        body: vec![
+            Instr::Call { dst: Some(0), target: f, args: vec![] },
+            Instr::Ret { value: Some(0) },
+        ],
+    });
+    let image = link_one(o, "f0");
+    assert_modes_agree(&image, CostModel::default(), &[]);
+    let got = observe(&image, ExecMode::Fast, CostModel::default(), &[]);
+    assert!(
+        matches!(got.results[0], Err(Fault::StackOverflow { .. }) | Err(Fault::CallDepthExceeded)),
+        "got {:?}",
+        got.results[0]
+    );
+}
+
+#[test]
+fn bad_function_pointer_faults_identically() {
+    let mut o = ObjectFile::new("t.o");
+    let f = o.add_symbol(Symbol::func("f0"));
+    o.funcs.push(FuncDef {
+        sym: f,
+        params: 0,
+        nregs: 1,
+        frame_size: 0,
+        body: vec![
+            Instr::Const { dst: 0, value: 0x7777 },
+            Instr::CallInd { dst: Some(0), target: 0, args: vec![] },
+            Instr::Ret { value: Some(0) },
+        ],
+    });
+    let image = link_one(o, "f0");
+    assert_modes_agree(&image, CostModel::default(), &[]);
+    let got = observe(&image, ExecMode::Fast, CostModel::default(), &[]);
+    assert!(
+        matches!(got.results[0], Err(Fault::BadFunctionPointer { value: 0x7777, at: 1, .. })),
+        "got {:?}",
+        got.results[0]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// the real thing: the Clack router, packet for packet
+// ---------------------------------------------------------------------------
+
+/// Drive the hand-built Clack router end to end in `mode` and snapshot
+/// every observable: per-device output frames, counters, profile, console.
+fn run_router(mode: ExecMode) -> (Vec<Vec<Vec<u8>>>, Observed) {
+    let report = clack::build_hand_router(false).expect("router builds");
+    let entry = report
+        .exports
+        .iter()
+        .find(|(k, _)| k.ends_with(".router_step"))
+        .map(|(_, v)| v.clone())
+        .expect("router_step exported");
+    let mut m = Machine::new(report.image.clone()).unwrap();
+    m.set_exec_mode(mode);
+    m.set_profiling(true);
+    m.call("__knit_init", &[]).expect("init");
+    let entry = m.image().func_by_name(&entry).expect("entry resolves");
+
+    let work = clack::packets::workload(&clack::packets::WorkloadOptions {
+        count: 96,
+        ..Default::default()
+    });
+    let mut results = Vec::new();
+    for (dev, pkt) in &work {
+        m.netdevs[*dev].inject(pkt.clone());
+        loop {
+            match m.call_idx(entry, &[]) {
+                Ok(0) => break,
+                Ok(n) => results.push(Ok(n)),
+                Err(e) => {
+                    results.push(Err(e));
+                    break;
+                }
+            }
+        }
+    }
+    let outputs = (0..m.netdevs.len())
+        .map(|d| {
+            let mut frames = Vec::new();
+            while let Some(fr) = m.netdevs[d].collect() {
+                frames.push(fr);
+            }
+            frames
+        })
+        .collect();
+    let obs = Observed {
+        results,
+        counters: m.counters(),
+        profile: m.profile(),
+        memory: Vec::new(), // router memory is huge; counters + frames suffice
+        console: m.console.output.clone(),
+        serial: m.serial.output.clone(),
+        trace: m.trace.clone(),
+    };
+    (outputs, obs)
+}
+
+#[test]
+fn clack_router_is_bit_identical_across_modes() {
+    let (frames_fast, fast) = run_router(ExecMode::Fast);
+    let (frames_ref, reference) = run_router(ExecMode::Reference);
+    assert_eq!(frames_fast, frames_ref, "routed frames must match");
+    assert_eq!(fast, reference, "counters, profile, and device output must match");
+    assert!(fast.counters.cycles > 0);
+}
