@@ -5,6 +5,7 @@
 //! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results.
 
+pub mod mc;
 pub mod simperf;
 
 use clack::click::{build_click_router, ClickOpts};

@@ -1,0 +1,8 @@
+/* Drives one core's shard of the router: services that core's input
+ * device once per step. One instance per core, each exporting the Router
+ * bundle as `router{c}` from the generated multi-core compound unit. */
+int core_step();
+
+int router_step() {
+    return core_step();
+}

@@ -1,0 +1,48 @@
+/* SharedQueue: the cross-core hand-off point of the sharded router.
+ * Every core's LookupIPRoute pushes into one shared instance per output
+ * port, so this unit's statics (lock word, ring, counter) live on shared,
+ * bus-coherent lines: the per-core D-caches fight over them, which is
+ * exactly the coherence traffic the multi-core bench measures.
+ *
+ * The mutex is a plain-word spinlock. Scheduling is deterministic
+ * round-robin at call granularity (no preemption inside a call), so the
+ * lock is never observed held — but acquiring it still write-invalidates
+ * the line in every other core's cache. `contended` counts spins, and
+ * must stay zero under the round-robin scheduler. */
+#include "clack.h"
+
+int next_push(struct packet *p);
+
+struct packet { char *data; int len; };
+
+static int lock;
+static int contended;
+static char ring[4][PKT_BUF];
+static int head;
+static int enqueued;
+
+static void sq_copy(char *d, char *s, int n) {
+    for (int i = 0; i < n; i++) d[i] = s[i];
+}
+
+int push(struct packet *p) {
+    while (lock) { contended++; }
+    lock = 1;
+    int slot = head % 4;
+    head++;
+    int n = p->len;
+    sq_copy(ring[slot], p->data, n);
+    struct packet q;
+    q.data = ring[slot];
+    q.len = n;
+    enqueued++;
+    /* Forward while holding the lock: the downstream encap/device chain
+     * is shared state too, so the lock serializes the whole egress path. */
+    int r = next_push(&q);
+    lock = 0;
+    return r;
+}
+
+int count_value() {
+    return enqueued;
+}

@@ -94,6 +94,107 @@ pub fn generate(graph: &Graph, kernel: &str, flatten: bool) -> Result<Generated,
     Ok(Generated { unit_text, sources, kernel: kernel.to_string() })
 }
 
+/// Generate the sharded multi-core router as compound unit `kernel`
+/// (DESIGN.md §8): one input pipeline per core (FromDevice(c) → Counter →
+/// Classifier → Strip → CheckIPHeader → DecIPTTL → LookupIPRoute, fresh
+/// instances via Knit multiple instantiation), converging on two
+/// [`SharedQueue`] instances whose state lives in shared, bus-coherent
+/// memory, then a single egress chain per output port (EtherEncap →
+/// Counter → ToDevice). Exports `router0..router{ncores-1}`, one Router
+/// bundle per core, so the harness can drive each core's shard
+/// independently under the round-robin scheduler.
+pub fn generate_mc(ncores: usize, kernel: &str, flatten: bool) -> Result<Generated, String> {
+    use crate::graph::mac_params;
+    use crate::packets::{MASK24, NET0, NET1};
+
+    if ncores < 1 {
+        return Err("a sharded router needs at least one core".to_string());
+    }
+    let mut unit_text = String::new();
+    let mut sources = Vec::new();
+    let mut param_unit = |name: &str, params: &[i64], unit_text: &mut String| {
+        let file = format!("p_{name}.c");
+        sources.push((file.clone(), param_source(params)));
+        unit_text.push_str(&format!(
+            "unit P_{name} = {{\n    exports [ params : Params ];\n    files {{ \"{file}\" }} with flags ClackFlags;\n}}\n\n",
+        ));
+    };
+
+    // --- param units: per-core ingress, shared egress ---
+    let route = [NET0 as i64, MASK24 as i64, 0, NET1 as i64, MASK24 as i64, 1];
+    for c in 0..ncores {
+        param_unit(&format!("from{c}"), &[c as i64], &mut unit_text);
+        param_unit(&format!("cls{c}"), &[12, 0x0800], &mut unit_text);
+        param_unit(&format!("strip{c}"), &[14], &mut unit_text);
+        param_unit(&format!("rt{c}"), &route, &mut unit_text);
+    }
+    param_unit("enc0", &mac_params(0), &mut unit_text);
+    param_unit("enc1", &mac_params(1), &mut unit_text);
+    param_unit("to0", &[0], &mut unit_text);
+    param_unit("to1", &[1], &mut unit_text);
+
+    // --- the compound unit ---
+    let exports: Vec<String> = (0..ncores).map(|c| format!("router{c} : Router")).collect();
+    unit_text.push_str(&format!(
+        "unit {kernel} = {{\n    exports [ {} ];\n    link {{\n",
+        exports.join(", ")
+    ));
+    for c in 0..ncores {
+        for p in ["from", "cls", "strip", "rt"] {
+            unit_text.push_str(&format!("        p_{p}{c} : P_{p}{c};\n"));
+        }
+    }
+    for p in ["enc0", "enc1", "to0", "to1"] {
+        unit_text.push_str(&format!("        p_{p} : P_{p};\n"));
+    }
+    // shared egress: SharedQueue → EtherEncap → Counter → ToDevice per port
+    for port in 0..2 {
+        unit_text.push_str(&format!("        sq{port} : SharedQueue [ out = enc{port}.in ];\n"));
+        unit_text.push_str(&format!(
+            "        enc{port} : EtherEncap [ out = cout{port}.in, params = p_enc{port}.params ];\n"
+        ));
+        unit_text.push_str(&format!("        cout{port} : Counter [ out = to{port}.in ];\n"));
+        unit_text
+            .push_str(&format!("        to{port} : ToDevice [ params = p_to{port}.params ];\n"));
+    }
+    for d in ["d_cls", "d_chk", "d_ttl", "d_rt"] {
+        unit_text.push_str(&format!("        {d} : Discard;\n"));
+    }
+    // per-core ingress pipelines and drivers
+    for c in 0..ncores {
+        unit_text.push_str(&format!(
+            "        from{c} : FromDevice [ out = cin{c}.in, params = p_from{c}.params ];\n"
+        ));
+        unit_text.push_str(&format!("        cin{c} : Counter [ out = cls{c}.in ];\n"));
+        unit_text.push_str(&format!(
+            "        cls{c} : Classifier [ out0 = strip{c}.in, out1 = d_cls.in, params = p_cls{c}.params ];\n"
+        ));
+        unit_text.push_str(&format!(
+            "        strip{c} : Strip [ out = chk{c}.in, params = p_strip{c}.params ];\n"
+        ));
+        unit_text.push_str(&format!(
+            "        chk{c} : CheckIPHeader [ out = ttl{c}.in, bad = d_chk.in ];\n"
+        ));
+        unit_text.push_str(&format!(
+            "        ttl{c} : DecIPTTL [ out = rt{c}.in, expired = d_ttl.in ];\n"
+        ));
+        unit_text.push_str(&format!(
+            "        rt{c} : LookupIPRoute [ out0 = sq0.in, out1 = sq1.in, nomatch = d_rt.in, params = p_rt{c}.params ];\n"
+        ));
+        unit_text.push_str(&format!("        drv{c} : CoreDriver [ in = from{c}.src ];\n"));
+    }
+    for c in 0..ncores {
+        unit_text.push_str(&format!("        router{c} = drv{c}.router;\n"));
+    }
+    unit_text.push_str("    };\n");
+    if flatten {
+        unit_text.push_str("    flatten;\n");
+    }
+    unit_text.push_str("}\n");
+
+    Ok(Generated { unit_text, sources, kernel: kernel.to_string() })
+}
+
 /// C source of a parameter unit.
 fn param_source(params: &[i64]) -> String {
     let n = params.len();
@@ -139,6 +240,34 @@ mod tests {
         assert!(param_source(&[]).contains("return 0"));
         let s = param_source(&[12, 2048]);
         assert!(s.contains("vals[2] = { 12, 2048 }"));
+    }
+
+    #[test]
+    fn mc_generator_shapes() {
+        let gen = generate_mc(4, "McRouter", false).unwrap();
+        // one ingress pipeline + driver per core
+        for c in 0..4 {
+            assert!(gen.unit_text.contains(&format!("from{c} : FromDevice")));
+            assert!(gen.unit_text.contains(&format!(
+                "rt{c} : LookupIPRoute [ out0 = sq0.in, out1 = sq1.in, nomatch = d_rt.in, params = p_rt{c}.params ]"
+            )));
+            assert!(gen.unit_text.contains(&format!("router{c} = drv{c}.router;")));
+        }
+        // shared egress with exactly two SharedQueues
+        assert_eq!(gen.unit_text.matches(": SharedQueue").count(), 2);
+        assert!(gen.unit_text.contains(
+            "exports [ router0 : Router, router1 : Router, router2 : Router, router3 : Router ]"
+        ));
+        assert!(!gen.unit_text.contains("flatten;"));
+        assert!(generate_mc(2, "McFlat", true).unwrap().unit_text.contains("flatten;"));
+        assert!(generate_mc(0, "Bad", false).is_err());
+    }
+
+    #[test]
+    fn mc_generated_units_parse() {
+        let gen = generate_mc(3, "McRouter", false).unwrap();
+        let combined = format!("{}\n{}", include_str!("../corpus/elements.unit"), gen.unit_text);
+        knit_lang::parse("mc_generated.unit", &combined).expect("mc unit text parses");
     }
 
     #[test]

@@ -28,12 +28,14 @@ pub mod click;
 pub mod config;
 pub mod graph;
 pub mod harness;
+pub mod mc;
 pub mod packets;
 
 use knit::{build, BuildOptions, BuildReport, KnitError, Program, SourceTree};
 
 pub use graph::{ip_router, ElemType, Graph};
 pub use harness::{RouterHarness, RouterMeasurement};
+pub use mc::{build_mc_router, McMeasurement, MultiRouterHarness};
 
 /// The Clack element sources as a source tree.
 pub fn sources() -> SourceTree {
@@ -53,6 +55,8 @@ pub fn sources() -> SourceTree {
     t.add("discard.c", include_str!("../corpus/discard.c"));
     t.add("tee.c", include_str!("../corpus/tee.c"));
     t.add("router_driver.c", include_str!("../corpus/router_driver.c"));
+    t.add("shared_queue.c", include_str!("../corpus/shared_queue.c"));
+    t.add("core_driver.c", include_str!("../corpus/core_driver.c"));
     t.add("fast_path.c", include_str!("../corpus/fast_path.c"));
     t.add("fast_out.c", include_str!("../corpus/fast_out.c"));
     t

@@ -81,6 +81,35 @@ pub fn frame_checksum_ok(frame: &[u8]) -> bool {
     frame.len() >= ETHER_HLEN + IP_HLEN && ip_checksum(frame, ETHER_HLEN) == 0
 }
 
+/// RSS-style flow hash: FNV-1a over the IPv4 source/destination addresses
+/// (the flow identity receive-side scaling steers by), falling back to the
+/// whole frame for non-IP traffic. Deterministic, so a flow always lands
+/// on the same core; `rss_hash(frame) % ncores` picks the input device of
+/// the sharded router.
+pub fn rss_hash(frame: &[u8]) -> u32 {
+    fn fnv(mut h: u32, bytes: &[u8]) -> u32 {
+        for &b in bytes {
+            h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+        }
+        h
+    }
+    // final avalanche: plain FNV's low bits are weak for short keys (the
+    // shard index is `h % ncores`), so fold the high bits down
+    fn fmix(mut h: u32) -> u32 {
+        h ^= h >> 16;
+        h = h.wrapping_mul(0x85eb_ca6b);
+        h ^= h >> 13;
+        h = h.wrapping_mul(0xc2b2_ae35);
+        h ^ (h >> 16)
+    }
+    let h = 0x811c_9dc5;
+    if frame.len() >= ETHER_HLEN + IP_HLEN && frame[12..14] == ETHERTYPE_IP.to_be_bytes() {
+        fmix(fnv(h, &frame[ETHER_HLEN + 12..ETHER_HLEN + 20]))
+    } else {
+        fmix(fnv(h, frame))
+    }
+}
+
 /// One workload item: (input device, frame bytes).
 pub type WorkItem = (usize, Vec<u8>);
 
@@ -179,6 +208,21 @@ mod tests {
             .filter(|(_, f)| frame_dst(f).map(|d| d & MASK24 == NET0).unwrap_or(false))
             .count();
         assert!(to0 > 10 && to0 < 90, "to0 = {to0}");
+    }
+
+    #[test]
+    fn rss_hash_is_deterministic_and_spreads_flows() {
+        let a = ip_packet(0x0A000301, NET0 | 7, 64, &[0; 8]);
+        assert_eq!(rss_hash(&a), rss_hash(&a));
+        // distinct flows spread across 4 shards
+        let mut shards = [0usize; 4];
+        for host in 1..64u32 {
+            let p = ip_packet(0x0A000300 | host, NET1 | host, 16, &[0; 8]);
+            shards[(rss_hash(&p) % 4) as usize] += 1;
+        }
+        assert!(shards.iter().all(|&n| n > 4), "shards = {shards:?}");
+        // non-IP frames hash too (over the whole frame)
+        assert_eq!(rss_hash(&arp_packet()), rss_hash(&arp_packet()));
     }
 
     #[test]

@@ -176,6 +176,43 @@ mod tests {
     }
 
     #[test]
+    fn access_line_matches_fetch_for_straddle_pairs() {
+        // The predecoded fast path replays a straddling fetch as two
+        // `access_line` calls on consecutive (set, tag) pairs; both paths
+        // must agree miss-for-miss. `small()` is 4 lines of 32 bytes, so
+        // addr 30 size 4 touches lines 0 and 1 → sets 0 and 1, tag 0.
+        let mut via_fetch = small();
+        let mut via_lines = small();
+        assert_eq!(via_fetch.fetch(30, 4), 20);
+        assert!(via_lines.access_line(0, 0), "first line cold-misses");
+        assert!(via_lines.access_line(1, 0), "second line cold-misses");
+        assert_eq!(via_fetch.misses(), via_lines.misses());
+        assert_eq!(via_fetch.accesses(), via_lines.accesses());
+        // replaying the same straddle hits in both models
+        assert_eq!(via_fetch.fetch(30, 4), 0);
+        assert!(!via_lines.access_line(0, 0));
+        assert!(!via_lines.access_line(1, 0));
+        assert_eq!(via_fetch.misses(), via_lines.misses());
+    }
+
+    #[test]
+    fn access_line_straddle_wraps_to_set_zero_with_next_tag() {
+        // A straddle across the cache's last line wraps: addr 127 size 2
+        // touches line 3 (set 3, tag 0) and line 4 (set 0, tag 1).
+        let mut via_fetch = small();
+        let mut via_lines = small();
+        assert_eq!(via_fetch.fetch(127, 2), 20);
+        assert!(via_lines.access_line(3, 0));
+        assert!(via_lines.access_line(0, 1));
+        // the wrapped fill evicted set 0's tag-0 occupant: refetching
+        // address 0 must conflict-miss in both models
+        assert_eq!(via_fetch.fetch(0, 1), 10);
+        assert!(via_lines.access_line(0, 0));
+        assert_eq!(via_fetch.misses(), via_lines.misses());
+        assert_eq!(via_fetch.accesses(), via_lines.accesses());
+    }
+
+    #[test]
     fn disabled_cache_counts_nothing() {
         let mut c = ICache::new(ICacheParams { size: 128, line: 32, miss_stall: 0 });
         assert_eq!(c.fetch(0, 4), 0);

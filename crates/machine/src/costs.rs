@@ -15,6 +15,7 @@
 //!   compact straight-line code flattening produces.
 
 use crate::cache::ICacheParams;
+use crate::mesi::DCacheParams;
 
 /// Cycle costs for the simulated CPU.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +51,9 @@ pub struct CostModel {
     pub intrinsic: u64,
     /// Instruction-cache geometry and miss penalty.
     pub icache: ICacheParams,
+    /// Data-cache geometry and bus penalties (multi-core coherent mode;
+    /// single-core machines keep flat-cost data accesses).
+    pub dcache: DCacheParams,
 }
 
 impl Default for CostModel {
@@ -69,6 +73,7 @@ impl Default for CostModel {
             jump: 1,
             intrinsic: 6,
             icache: ICacheParams::default(),
+            dcache: DCacheParams::default(),
         }
     }
 }

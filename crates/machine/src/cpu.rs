@@ -14,7 +14,31 @@ use cobj::ir::{Reg, Width};
 use crate::cache::ICache;
 use crate::costs::CostModel;
 use crate::dev::{Console, NetDev};
+use crate::mesi::{AccessCost, Bus};
 use crate::profile::{CallEdge, FuncCount, Profile};
+
+/// A core's handle onto the shared coherent bus: when present, every
+/// guest load/store goes through the bus's MESI protocol (and host
+/// accesses use coherent-DMA semantics) instead of the machine-local
+/// `mem` vector. Installed by [`crate::MultiMachine`]; `None` on a
+/// single-core machine, whose direct memory path is untouched.
+#[derive(Clone)]
+pub(crate) struct Coherence {
+    pub(crate) bus: std::rc::Rc<std::cell::RefCell<Bus>>,
+    pub(crate) core: usize,
+}
+
+/// Sign/zero-extend little-endian bytes exactly as [`Machine::load`]
+/// does against flat memory (W1/W2 zero-extend, W4 sign-extends).
+#[inline]
+pub(crate) fn widen(width: Width, b: &[u8; 8]) -> i64 {
+    match width {
+        Width::W1 => b[0] as i64,
+        Width::W2 => u16::from_le_bytes([b[0], b[1]]) as i64,
+        Width::W4 => i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+        Width::W8 => i64::from_le_bytes(*b),
+    }
+}
 
 /// Intrinsics provided by the runtime, by name. The id of an intrinsic in a
 /// linked image is the index of its name in the image's own (sorted)
@@ -165,6 +189,17 @@ pub struct PerfCounters {
     pub indirect_calls: u64,
     /// Intrinsic (device) calls executed.
     pub intrinsic_calls: u64,
+    /// D-cache line misses (multi-core coherent mode only; zero on a
+    /// single-core machine, whose data accesses are flat-cost).
+    pub dcache_misses: u64,
+    /// D-cache misses served by snooping a Modified line out of another
+    /// core's cache (a subset of `dcache_misses`).
+    pub coherence_misses: u64,
+    /// Copies in *other* caches invalidated by this core's writes.
+    pub invalidations: u64,
+    /// Cycles this core stalled on bus transactions (miss fills,
+    /// upgrades, drained write-backs); included in `cycles`.
+    pub bus_stall_cycles: u64,
 }
 
 impl PerfCounters {
@@ -178,6 +213,10 @@ impl PerfCounters {
             calls: self.calls - earlier.calls,
             indirect_calls: self.indirect_calls - earlier.indirect_calls,
             intrinsic_calls: self.intrinsic_calls - earlier.intrinsic_calls,
+            dcache_misses: self.dcache_misses - earlier.dcache_misses,
+            coherence_misses: self.coherence_misses - earlier.coherence_misses,
+            invalidations: self.invalidations - earlier.invalidations,
+            bus_stall_cycles: self.bus_stall_cycles - earlier.bus_stall_cycles,
         }
     }
 }
@@ -224,6 +263,8 @@ pub struct Machine {
     pub(crate) stack_base: u64,
     pub(crate) mem_top: u64,
     pub(crate) sp: u64,
+    /// Shared-bus handle in multi-core mode; see [`Coherence`].
+    pub(crate) coherence: Option<Coherence>,
     pub(crate) intrinsic_ops: Vec<Intrinsic>,
     /// Interpreter selection; see [`ExecMode`].
     pub(crate) exec_mode: ExecMode,
@@ -269,6 +310,20 @@ impl Machine {
         costs: CostModel,
         limits: RunLimits,
     ) -> Result<Machine, Fault> {
+        let fetch_plans = Rc::new(crate::exec::CodePlan::build_all(&image, costs.icache));
+        Machine::from_shared(Rc::new(image), fetch_plans, costs, limits)
+    }
+
+    /// Build a machine sharing an already-predecoded image (how
+    /// [`crate::MultiMachine`] avoids redoing `CodePlan::build_all` per
+    /// core). The plans must have been built for `image` under
+    /// `costs.icache`.
+    pub(crate) fn from_shared(
+        image: Rc<Image>,
+        fetch_plans: Rc<Vec<crate::exec::CodePlan>>,
+        costs: CostModel,
+        limits: RunLimits,
+    ) -> Result<Machine, Fault> {
         let mut intrinsic_ops = Vec::with_capacity(image.intrinsics.len());
         for name in &image.intrinsics {
             match intrinsic_by_name(name) {
@@ -284,9 +339,8 @@ impl Machine {
         let mut mem = vec![0u8; (mem_top - mem_base) as usize];
         mem[..image.data.len()].copy_from_slice(&image.data);
         let icache = ICache::new(costs.icache);
-        let fetch_plans = Rc::new(crate::exec::CodePlan::build_all(&image, costs.icache));
         Ok(Machine {
-            image: Rc::new(image),
+            image,
             costs,
             limits,
             icache,
@@ -298,6 +352,7 @@ impl Machine {
             stack_base,
             mem_top,
             sp: mem_top,
+            coherence: None,
             intrinsic_ops,
             exec_mode: ExecMode::default(),
             fetch_plans,
@@ -416,15 +471,28 @@ impl Machine {
         }
     }
 
-    /// Read `len` bytes of guest memory.
-    pub fn read_mem(&self, addr: u64, len: usize) -> Result<&[u8], Fault> {
+    /// Read `len` bytes of guest memory. Host-side accesses use
+    /// coherent-DMA semantics in multi-core mode (dirty cache lines are
+    /// flushed so the bytes are current); no core is charged cycles.
+    pub fn read_mem(&self, addr: u64, len: usize) -> Result<Vec<u8>, Fault> {
         let i = self.mem_index(addr, len as u64, "<host>", 0)?;
-        Ok(&self.mem[i..i + len])
+        if let Some(co) = &self.coherence {
+            let mut out = vec![0u8; len];
+            co.bus.borrow_mut().dma_read(addr, &mut out);
+            return Ok(out);
+        }
+        Ok(self.mem[i..i + len].to_vec())
     }
 
-    /// Write bytes into guest memory.
+    /// Write bytes into guest memory. In multi-core mode this is a
+    /// coherent DMA write: cached copies of the touched lines are
+    /// invalidated so every core observes the new bytes.
     pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) -> Result<(), Fault> {
         let i = self.mem_index(addr, bytes.len() as u64, "<host>", 0)?;
+        if let Some(co) = &self.coherence {
+            co.bus.borrow_mut().dma_write(addr, bytes);
+            return Ok(());
+        }
         self.mem[i..i + bytes.len()].copy_from_slice(bytes);
         Ok(())
     }
@@ -723,15 +791,34 @@ impl Machine {
         }
     }
 
+    /// Add one coherent access's costs to this core's counters. Shared
+    /// verbatim (same arithmetic) with the fast loop's local-counter
+    /// version so both modes stay bit-identical.
+    #[inline]
+    pub(crate) fn charge_access(counters: &mut PerfCounters, cost: AccessCost) {
+        counters.cycles += cost.stall;
+        counters.bus_stall_cycles += cost.stall;
+        counters.dcache_misses += cost.dcache_misses;
+        counters.coherence_misses += cost.coherence_misses;
+        counters.invalidations += cost.invalidations;
+    }
+
     #[inline]
     pub(crate) fn load(
-        &self,
+        &mut self,
         addr: u64,
         width: Width,
         func: &str,
         at: usize,
     ) -> Result<i64, Fault> {
         let i = self.mem_index(addr, width.bytes(), func, at)?;
+        if let Some(co) = &self.coherence {
+            let mut b = [0u8; 8];
+            let n = width.bytes() as usize;
+            let cost = co.bus.borrow_mut().read(co.core, addr, &mut b[..n]);
+            Machine::charge_access(&mut self.counters, cost);
+            return Ok(widen(width, &b));
+        }
         let m = &self.mem;
         Ok(match width {
             Width::W1 => m[i] as i64,
@@ -751,6 +838,13 @@ impl Machine {
         at: usize,
     ) -> Result<(), Fault> {
         let i = self.mem_index(addr, width.bytes(), func, at)?;
+        if let Some(co) = &self.coherence {
+            let b = v.to_le_bytes();
+            let n = width.bytes() as usize;
+            let cost = co.bus.borrow_mut().write(co.core, addr, &b[..n]);
+            Machine::charge_access(&mut self.counters, cost);
+            return Ok(());
+        }
         match width {
             Width::W1 => self.mem[i] = v as u8,
             Width::W2 => self.mem[i..i + 2].copy_from_slice(&(v as u16).to_le_bytes()),
@@ -798,7 +892,7 @@ impl Machine {
                 let dev = arg(0) as usize;
                 let buf = arg(1) as u64;
                 let len = arg(2).max(0) as usize;
-                let bytes = self.read_mem(buf, len)?.to_vec();
+                let bytes = self.read_mem(buf, len)?;
                 match self.netdevs.get_mut(dev) {
                     Some(d) => {
                         d.tx.push_back(bytes);

@@ -411,6 +411,12 @@ impl Machine {
         let mut mem = std::mem::take(&mut self.mem);
         let mut mem_base = self.mem_base;
         let mut mem_top = self.mem_top;
+        // Shared-bus handle in multi-core mode. A single predictable
+        // `Option` branch in the Load/Store arms (always `None` on a
+        // single-core machine) rather than doubling the monomorphized
+        // combinations; in coherent mode `mem` is the empty placeholder
+        // vector and every access goes through the bus.
+        let coherence = self.coherence.clone();
         // The per-instruction base cycle cost is accumulated lazily as
         // `instructions × base` at sync points (intrinsic calls, loop
         // exit) rather than added every iteration.
@@ -549,14 +555,27 @@ impl Machine {
                             at: pc,
                         });
                     }
-                    let i = (a - mem_base) as usize;
-                    regs[op.a as usize] = match op.code {
-                        Op::Load1 => mem[i] as i64,
-                        Op::Load2 => u16::from_le_bytes([mem[i], mem[i + 1]]) as i64,
-                        Op::Load4 => {
-                            i32::from_le_bytes([mem[i], mem[i + 1], mem[i + 2], mem[i + 3]]) as i64
+                    regs[op.a as usize] = if let Some(co) = &coherence {
+                        let mut b = [0u8; 8];
+                        let cost = co.bus.borrow_mut().read(co.core, a, &mut b[..len as usize]);
+                        Machine::charge_access(&mut ctr, cost);
+                        match op.code {
+                            Op::Load1 => b[0] as i64,
+                            Op::Load2 => u16::from_le_bytes([b[0], b[1]]) as i64,
+                            Op::Load4 => i32::from_le_bytes([b[0], b[1], b[2], b[3]]) as i64,
+                            _ => i64::from_le_bytes(b),
                         }
-                        _ => i64::from_le_bytes(mem[i..i + 8].try_into().expect("8 bytes")),
+                    } else {
+                        let i = (a - mem_base) as usize;
+                        match op.code {
+                            Op::Load1 => mem[i] as i64,
+                            Op::Load2 => u16::from_le_bytes([mem[i], mem[i + 1]]) as i64,
+                            Op::Load4 => {
+                                i32::from_le_bytes([mem[i], mem[i + 1], mem[i + 2], mem[i + 3]])
+                                    as i64
+                            }
+                            _ => i64::from_le_bytes(mem[i..i + 8].try_into().expect("8 bytes")),
+                        }
                     };
                 }
                 Op::Store1 | Op::Store2 | Op::Store4 | Op::Store8 => {
@@ -575,13 +594,19 @@ impl Machine {
                             at: pc,
                         });
                     }
-                    let i = (a - mem_base) as usize;
                     let v = regs[op.b as usize];
-                    match op.code {
-                        Op::Store1 => mem[i] = v as u8,
-                        Op::Store2 => mem[i..i + 2].copy_from_slice(&(v as u16).to_le_bytes()),
-                        Op::Store4 => mem[i..i + 4].copy_from_slice(&(v as u32).to_le_bytes()),
-                        _ => mem[i..i + 8].copy_from_slice(&v.to_le_bytes()),
+                    if let Some(co) = &coherence {
+                        let b = v.to_le_bytes();
+                        let cost = co.bus.borrow_mut().write(co.core, a, &b[..len as usize]);
+                        Machine::charge_access(&mut ctr, cost);
+                    } else {
+                        let i = (a - mem_base) as usize;
+                        match op.code {
+                            Op::Store1 => mem[i] = v as u8,
+                            Op::Store2 => mem[i..i + 2].copy_from_slice(&(v as u16).to_le_bytes()),
+                            Op::Store4 => mem[i..i + 4].copy_from_slice(&(v as u32).to_le_bytes()),
+                            _ => mem[i..i + 8].copy_from_slice(&v.to_le_bytes()),
+                        }
                     }
                 }
                 Op::FrameAddr => {

@@ -26,12 +26,16 @@ pub mod costs;
 pub mod cpu;
 pub mod dev;
 pub(crate) mod exec;
+pub mod mc;
+pub mod mesi;
 pub mod profile;
 
 pub use cache::{ICache, ICacheParams};
 pub use costs::CostModel;
 pub use cpu::{ExecMode, Fault, Machine, PerfCounters, RunLimits};
 pub use dev::{Console, NetDev};
+pub use mc::MultiMachine;
+pub use mesi::{AccessCost, Bus, BusStats, DCacheParams, LineState};
 pub use profile::{CallEdge, FuncCount, Profile};
 
 /// Names of all runtime intrinsics the machine provides, for use as

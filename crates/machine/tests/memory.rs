@@ -4,7 +4,7 @@
 use cobj::ir::{BinOp, Instr, Width};
 use cobj::object::{DataDef, FuncDef, ObjectFile, Symbol};
 use cobj::{link, LinkInput, LinkOptions};
-use machine::{Fault, Machine};
+use machine::{CostModel, ExecMode, Fault, Machine, RunLimits};
 
 fn image(obj: ObjectFile) -> cobj::Image {
     link(
@@ -137,6 +137,76 @@ fn out_of_range_host_access_faults() {
     let m = Machine::new(image(o)).unwrap();
     assert!(matches!(m.read_mem(0, 8), Err(Fault::MemOutOfBounds { .. })));
     assert!(matches!(m.read_mem(u64::MAX - 4, 8), Err(Fault::MemOutOfBounds { .. })));
+}
+
+/// An image exporting `f1`/`f2`/`f4`/`f8`: each loads its width at the
+/// address passed in and returns the (widened) value.
+fn peek_image() -> cobj::Image {
+    let mut o = ObjectFile::new("t.o");
+    for (name, w) in [("f1", Width::W1), ("f2", Width::W2), ("f4", Width::W4), ("f8", Width::W8)] {
+        let f = o.add_symbol(Symbol::func(name));
+        o.funcs.push(FuncDef {
+            sym: f,
+            params: 1,
+            nregs: 2,
+            frame_size: 0,
+            body: vec![
+                Instr::Load { dst: 1, addr: 0, offset: 0, width: w },
+                Instr::Ret { value: Some(1) },
+            ],
+        });
+    }
+    image(o)
+}
+
+const PEEK_LIMITS: RunLimits =
+    RunLimits { max_steps: 10_000, max_call_depth: 16, heap_size: 1 << 16, stack_size: 8192 };
+
+fn peek_machine(mode: ExecMode) -> (Machine, u64) {
+    let img = peek_image();
+    // `mem_index` accepts [data_base, heap_base + heap + stack): the top
+    // of the stack region is the exclusive bound every access is checked
+    // against.
+    let mem_top = img.heap_base + PEEK_LIMITS.heap_size + PEEK_LIMITS.stack_size;
+    let mut m = Machine::with_config(img, CostModel::default(), PEEK_LIMITS).unwrap();
+    m.set_exec_mode(mode);
+    (m, mem_top)
+}
+
+#[test]
+fn mem_index_bounds_at_memory_top_for_every_width() {
+    for mode in [ExecMode::Fast, ExecMode::Reference] {
+        let (mut m, mem_top) = peek_machine(mode);
+        for (name, w) in [("f1", 1u64), ("f2", 2), ("f4", 4), ("f8", 8)] {
+            // the very last in-bounds access of this width succeeds...
+            let last = (mem_top - w) as i64;
+            assert!(m.call(name, &[last]).is_ok(), "{mode:?} {name} at mem_top-{w}");
+            // ...and one byte further faults, for every width
+            let over = (mem_top - w + 1) as i64;
+            assert!(
+                matches!(m.call(name, &[over]), Err(Fault::MemOutOfBounds { .. })),
+                "{mode:?} {name} at mem_top-{w}+1 must fault"
+            );
+        }
+        // `addr + len` must saturate, not wrap: a load at -1 (u64::MAX)
+        // faults instead of wrapping around to a low in-bounds index.
+        assert!(matches!(m.call("f8", &[-1]), Err(Fault::MemOutOfBounds { .. })));
+    }
+}
+
+#[test]
+fn widening_at_the_memory_boundary() {
+    // All-ones bytes right below mem_top: narrow loads at the boundary
+    // must zero-extend (W1/W2), W4 must sign-extend, W8 is lossless —
+    // identically in both interpreter loops.
+    for mode in [ExecMode::Fast, ExecMode::Reference] {
+        let (mut m, mem_top) = peek_machine(mode);
+        m.write_mem(mem_top - 8, &[0xff; 8]).unwrap();
+        assert_eq!(m.call("f1", &[(mem_top - 1) as i64]).unwrap(), 0xff, "{mode:?}");
+        assert_eq!(m.call("f2", &[(mem_top - 2) as i64]).unwrap(), 0xffff, "{mode:?}");
+        assert_eq!(m.call("f4", &[(mem_top - 4) as i64]).unwrap(), -1, "{mode:?}");
+        assert_eq!(m.call("f8", &[(mem_top - 8) as i64]).unwrap(), -1, "{mode:?}");
+    }
 }
 
 #[test]

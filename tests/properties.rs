@@ -1,4 +1,4 @@
-//! Property-based tests over the core invariants (DESIGN.md §8).
+//! Property-based tests over the core invariants (DESIGN.md §9).
 
 use proptest::prelude::*;
 
