@@ -1,0 +1,113 @@
+//! Concurrent composition-server table: N `knitc serve` clients
+//! edit→rebuild the ~98-unit deep-lock kernel over a real local socket.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table_serve [-- --clients N]
+//!     [--edits N] [--smoke] [--json <path>]
+//! ```
+//!
+//! Reports edit-phase rebuild throughput (all clients together), p50/p99
+//! rebuild round-trip latency, and the cross-client compile-dedupe rate of
+//! the followers' cold builds against the shared cache. Exits nonzero if
+//! any gate fails: wire images must be byte-identical to a direct
+//! in-process build, and with ≥2 clients the dedupe rate must be positive.
+//! `--smoke` is the small CI configuration.
+
+use std::process::ExitCode;
+
+use bench::serve::{table_serve, ServeOptions};
+
+struct Args {
+    opts: ServeOptions,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1);
+    let mut opts = ServeOptions::default();
+    let mut json = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            other if other.starts_with("--json=") => {
+                json = Some(other["--json=".len()..].to_string());
+            }
+            "--clients" => {
+                opts.clients = args
+                    .next()
+                    .expect("--clients needs a count")
+                    .parse()
+                    .expect("--clients takes a number");
+            }
+            "--edits" => {
+                opts.edits = args
+                    .next()
+                    .expect("--edits needs a count")
+                    .parse()
+                    .expect("--edits takes a number");
+            }
+            "--smoke" => opts = ServeOptions::smoke(),
+            other => {
+                panic!(
+                    "unknown argument `{other}` (expected --clients N, --edits N, --smoke, --json <path>)"
+                )
+            }
+        }
+    }
+    Args { opts, json }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    println!("table_serve: concurrent clients against one composition server");
+    println!(
+        "  ({} clients x {} edit/rebuild rounds, deep-lock kernel)\n",
+        args.opts.clients, args.opts.edits
+    );
+
+    let report = table_serve(&args.opts);
+
+    println!(
+        "  {:>7} | {:>5} | {:>11} | {:>9} {:>9} | {:>9} | gates",
+        "clients", "units", "rebuilds/s", "p50 us", "p99 us", "dedupe"
+    );
+    println!(
+        "  {:>7} | {:>5} | {:>11.1} | {:>9} {:>9} | {:>8.0}% | {}",
+        report.options.clients,
+        report.units,
+        report.throughput_builds_per_sec,
+        report.p50_rebuild_us,
+        report.p99_rebuild_us,
+        report.dedupe_rate * 100.0,
+        if report.byte_identical { "byte-identical" } else { "IMAGE DIVERGED" },
+    );
+
+    if let Some(path) = &args.json {
+        let out = format!(
+            "{{\n  \"version\": 1,\n  \"clients\": {},\n  \"edits_per_client\": {},\n  \"units\": {},\n  \"edit_builds\": {},\n  \"throughput_builds_per_sec\": {:.2},\n  \"p50_rebuild_us\": {},\n  \"p99_rebuild_us\": {},\n  \"dedupe_hits\": {},\n  \"dedupe_misses\": {},\n  \"dedupe_rate\": {:.4},\n  \"byte_identical\": {}\n}}\n",
+            report.options.clients,
+            report.options.edits,
+            report.units,
+            report.edit_builds,
+            report.throughput_builds_per_sec,
+            report.p50_rebuild_us,
+            report.p99_rebuild_us,
+            report.dedupe_hits,
+            report.dedupe_misses,
+            report.dedupe_rate,
+            report.byte_identical,
+        );
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("table_serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n  wrote {path}");
+    }
+
+    let failures = report.failures();
+    if !failures.is_empty() {
+        eprintln!("table_serve: SERVER GATE FAILURE: {failures:?}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

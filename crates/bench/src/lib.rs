@@ -6,12 +6,18 @@
 //! paper-vs-measured results.
 
 pub mod mc;
+pub mod serve;
 pub mod simperf;
 
 use clack::click::{build_click_router, ClickOpts};
 use clack::packets::{self, WorkloadOptions};
 use clack::{build_clack_router, build_hand_router, ip_router, router_build_inputs, RouterHarness};
-use knit::{build, build_with_cache, BuildCache, BuildOptions, Program, SourceTree};
+// `build_with_cache` is deprecated in favour of sessions; this harness
+// keeps measuring it deliberately — the serial/parallel/warm rows time the
+// one-shot path the paper's build-time table describes.
+#[allow(deprecated)]
+use knit::build_with_cache;
+use knit::{build, BuildCache, BuildOptions, Program, SourceTree};
 use machine::Machine;
 
 /// A Table 1 / Table 2 packet workload of `count` forwardable IP frames,
@@ -448,7 +454,19 @@ pub struct ConstraintStats {
 /// components. Shared by [`constraint_stats`] and [`analyze_time`] so the
 /// checker and the analyzer are measured on the same workload.
 pub fn deep_lock_kernel_inputs() -> (Program, SourceTree, BuildOptions) {
-    let (mut p, mut t) = oskit::setup();
+    let (units, t, opts) = deep_lock_kernel_texts();
+    let mut p = Program::new();
+    for (file, text) in &units {
+        p.load_str(file, text).expect("deep-lock unit files parse");
+    }
+    (p, t, opts)
+}
+
+/// The deep-lock kernel of [`deep_lock_kernel_inputs`] as raw text: the
+/// unit files as `(file, text)` pairs plus the source tree — the form a
+/// composition-server client ships over the wire (`table_serve`).
+pub fn deep_lock_kernel_texts() -> (Vec<(String, String)>, SourceTree, BuildOptions) {
+    let mut t = oskit::sources();
     // Generate a deep stack of interposing filter units over the Lock
     // interface — each one a real component with code.
     let layers = 94;
@@ -505,9 +523,11 @@ unit DeepLockKernel = {
         "        m : LockMain [ stdout = out.stdout, lock = f{}.lock ];\n        main = m.main;\n    }};\n}}\n",
         layers - 1
     ));
-    p.load_str("filters.unit", &units).expect("generated filter units parse");
+    let mut unit_files: Vec<(String, String)> =
+        oskit::unit_sources().iter().map(|(f, s)| (f.to_string(), s.to_string())).collect();
+    unit_files.push(("filters.unit".to_string(), units));
 
-    (p, t, oskit::kernel_options("DeepLockKernel"))
+    (unit_files, t, oskit::kernel_options("DeepLockKernel"))
 }
 
 /// Build the deep-lock kernel of [`deep_lock_kernel_inputs`] and gather
@@ -613,6 +633,7 @@ pub struct BuildModeRow {
 /// edited rebuild equals a cold build of the edited tree; the speedup of
 /// the parallel row over the serial row is bounded by the machine's core
 /// count (on one core the two rows measure the same work).
+#[allow(deprecated)] // measures the one-shot `build_with_cache` path on purpose
 pub fn build_time_modes() -> Vec<BuildModeRow> {
     let (p, t, opts) = router_build_inputs(&ip_router(), false).expect("router inputs");
     let compile_ms = |r: &knit::BuildReport| {

@@ -1,0 +1,274 @@
+//! Concurrent composition-server benchmark (`table_serve`): N clients
+//! connected to one `knitc serve` engine over a real local socket, all
+//! building the ~98-unit deep-lock kernel, then doing edit→rebuild rounds
+//! concurrently.
+//!
+//! Three things are measured, three things are gated:
+//!
+//! * **cross-client compile dedupe** — client 0 builds cold, the others
+//!   build the identical kernel afterwards and must be served entirely
+//!   from the shared [`knit::BuildCache`] (gate: dedupe rate > 0 with ≥2
+//!   clients; in fact it is 100% of their unit compiles);
+//! * **rebuild latency** — each client then edits *its own* filter source
+//!   and rebuilds, concurrently with every other client; p50/p99 of the
+//!   request round-trip and aggregate throughput are reported;
+//! * **byte-identity** — the wire image of client 0's cold build must
+//!   equal a direct in-process [`knit::BuildSession`] build of the same
+//!   inputs, byte for byte (gate).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use knit::proto::{self, Request, Response, SessionOptions};
+use knit::server::{Conn, Engine, Server};
+
+use crate::deep_lock_kernel_texts;
+
+/// Knobs for [`table_serve`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Concurrent clients (each with its own session). At least 2.
+    pub clients: usize,
+    /// Edit→rebuild rounds per client after the cold builds.
+    pub edits: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { clients: 4, edits: 8 }
+    }
+}
+
+impl ServeOptions {
+    /// The small CI configuration.
+    pub fn smoke() -> ServeOptions {
+        ServeOptions { clients: 2, edits: 2 }
+    }
+}
+
+/// Results of one [`table_serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The options the run used.
+    pub options: ServeOptions,
+    /// Units compiled by client 0's cold build (the kernel's size).
+    pub units: usize,
+    /// Total rebuilds across the edit phase.
+    pub edit_builds: usize,
+    /// Edit-phase rebuilds per second, all clients together.
+    pub throughput_builds_per_sec: f64,
+    /// Median edit→rebuild round-trip (µs).
+    pub p50_rebuild_us: u64,
+    /// 99th-percentile edit→rebuild round-trip (µs).
+    pub p99_rebuild_us: u64,
+    /// Compile-cache hits summed over clients 1.. cold builds.
+    pub dedupe_hits: u64,
+    /// Compile-cache misses summed over clients 1.. cold builds.
+    pub dedupe_misses: u64,
+    /// Hits / (hits + misses) over the followers' cold builds.
+    pub dedupe_rate: f64,
+    /// Client 0's wire image was byte-identical to a direct session build.
+    pub byte_identical: bool,
+}
+
+impl ServeReport {
+    /// The CI gates, as human-readable failure strings (empty = pass).
+    pub fn failures(&self) -> Vec<String> {
+        let mut f = Vec::new();
+        if !self.byte_identical {
+            f.push("wire image differs from a direct in-process build".to_string());
+        }
+        if self.options.clients >= 2 && self.dedupe_rate <= 0.0 {
+            f.push(format!(
+                "no cross-client compile dedupe ({} hits / {} misses)",
+                self.dedupe_hits, self.dedupe_misses
+            ));
+        }
+        if self.edit_builds > 0 && self.p99_rebuild_us == 0 {
+            f.push("p99 rebuild latency measured as zero".to_string());
+        }
+        f
+    }
+}
+
+fn call(conn: &mut Conn, req: &Request) -> Response {
+    match conn.call(req).expect("server connection") {
+        Response::Error { diagnostics } => {
+            panic!("server error: {}", diagnostics[0].human())
+        }
+        resp => resp,
+    }
+}
+
+/// Ship the whole deep-lock kernel into `session` over `conn`.
+fn seed(conn: &mut Conn, session: &str) {
+    let (units, tree, _) = deep_lock_kernel_texts();
+    let mut options = SessionOptions::new("DeepLockKernel");
+    options.jobs = Some(1); // measure the server, not the compile pool
+    call(conn, &Request::Open { session: session.into(), options });
+    for (file, text) in units {
+        call(conn, &Request::LoadUnits { session: session.into(), file, text });
+    }
+    for (path, text) in tree.iter() {
+        call(
+            conn,
+            &Request::UpdateSource {
+                session: session.into(),
+                path: path.to_string(),
+                text: text.to_string(),
+            },
+        );
+    }
+}
+
+fn build(
+    conn: &mut Conn,
+    session: &str,
+    want_image: bool,
+) -> (proto::BuildOutcome, Option<String>) {
+    match call(conn, &Request::Build { session: session.into(), want_image }) {
+        Response::Built { outcome, image } => (outcome, image),
+        other => panic!("unexpected build response {other:?}"),
+    }
+}
+
+/// Run the benchmark: spin up a server, fan out clients, measure.
+pub fn table_serve(opts: &ServeOptions) -> ServeReport {
+    assert!(opts.clients >= 2, "table_serve needs at least 2 clients");
+    let server = Server::bind(Engine::new(), "auto").expect("bind local socket");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    // Phase 1 — client 0 builds cold and pins byte-identity against a
+    // direct in-process session over the very same inputs.
+    let mut first = Conn::connect(&addr).expect("connect");
+    seed(&mut first, "client0");
+    let (cold, image) = build(&mut first, "client0", true);
+    let wire_image = proto::decode_image(&image.expect("image requested")).expect("wire image");
+    let byte_identical = {
+        let (units, tree, opts) = deep_lock_kernel_texts();
+        let mut direct_opts = opts;
+        direct_opts.jobs = 1;
+        let direct = knit::SessionHandle::new(direct_opts);
+        for (file, text) in units {
+            direct.load_units(&file, &text).expect("units parse");
+        }
+        for (path, text) in tree.iter() {
+            direct.update_source(path, text);
+        }
+        direct.build().expect("direct build").image == wire_image
+    };
+
+    // Phase 2 — the other clients build the identical kernel concurrently;
+    // every unit compile must dedupe against client 0's.
+    let followers: Vec<_> = (1..opts.clients)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let session = format!("client{i}");
+                let mut conn = Conn::connect(&addr).expect("connect");
+                seed(&mut conn, &session);
+                let (outcome, _) = build(&mut conn, &session, false);
+                (outcome.cache_hits, outcome.cache_misses)
+            })
+        })
+        .collect();
+    let mut dedupe_hits = 0u64;
+    let mut dedupe_misses = 0u64;
+    for t in followers {
+        let (h, m) = t.join().expect("follower client");
+        dedupe_hits += h as u64;
+        dedupe_misses += m as u64;
+    }
+    let dedupe_rate = if dedupe_hits + dedupe_misses > 0 {
+        dedupe_hits as f64 / (dedupe_hits + dedupe_misses) as f64
+    } else {
+        0.0
+    };
+
+    // Phase 3 — concurrent edit→rebuild rounds, one distinct filter file
+    // per client so invalidations stay disjoint. All clients start
+    // together behind a barrier; throughput is wall-clock over the whole
+    // phase, latency is per-request.
+    // clients + this thread, so the wall clock starts with the fan-out
+    let barrier = Arc::new(Barrier::new(opts.clients + 1));
+    let editors: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let addr = addr.clone();
+            let barrier = Arc::clone(&barrier);
+            let edits = opts.edits;
+            std::thread::spawn(move || {
+                let session = format!("client{i}");
+                let mut conn = Conn::connect(&addr).expect("connect");
+                let mut latencies = Vec::with_capacity(edits);
+                barrier.wait();
+                for round in 0..edits {
+                    call(&mut conn, &Request::UpdateSource {
+                        session: session.clone(),
+                        path: format!("filter{i}.c"),
+                        text: format!(
+                            "int inner_acquire();\nint inner_release();\nstatic int uses;\n\
+                             int lock_acquire() {{ uses += {round} + 2; return inner_acquire(); }}\n\
+                             int lock_release() {{ return inner_release(); }}\n"
+                        ),
+                    });
+                    let start = Instant::now();
+                    let (outcome, _) = build(&mut conn, &session, false);
+                    latencies.push(start.elapsed().as_micros() as u64);
+                    assert_eq!(outcome.units_compiled, 1, "a one-file edit recompiles one unit");
+                }
+                latencies
+            })
+        })
+        .collect();
+    barrier.wait();
+    let phase_start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in editors {
+        latencies.extend(t.join().expect("editor client"));
+    }
+    let phase_secs = phase_start.elapsed().as_secs_f64();
+
+    let mut conn = first;
+    call(&mut conn, &Request::Shutdown);
+    handle.join().expect("clean shutdown");
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    ServeReport {
+        options: opts.clone(),
+        units: cold.units_compiled + cold.units_reused,
+        edit_builds: latencies.len(),
+        throughput_builds_per_sec: if phase_secs > 0.0 {
+            latencies.len() as f64 / phase_secs
+        } else {
+            0.0
+        },
+        p50_rebuild_us: pct(0.50),
+        p99_rebuild_us: pct(0.99),
+        dedupe_hits,
+        dedupe_misses,
+        dedupe_rate,
+        byte_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_passes_every_gate() {
+        let report = table_serve(&ServeOptions::smoke());
+        assert_eq!(report.failures(), Vec::<String>::new());
+        assert!(report.byte_identical);
+        assert_eq!(report.dedupe_misses, 0, "followers must compile nothing");
+        assert!(report.units >= 98, "the deep-lock kernel is ~98 units, got {}", report.units);
+    }
+}

@@ -73,9 +73,9 @@ pub fn program() -> Program {
 
 /// The full build inputs for the modular Clack router: program, source
 /// tree, and default options. Callers that tune parallelism
-/// (`BuildOptions::jobs`) or build through a shared `knit::BuildCache`
-/// (the `bench` harnesses do both) take these and call
-/// `knit::build_with_cache` themselves.
+/// (`BuildOptions::jobs`) or want warm rebuilds take these and feed them
+/// into a `knit::SessionHandle` (or a composition-server session)
+/// themselves.
 pub fn router_build_inputs(
     graph: &Graph,
     flatten: bool,

@@ -10,23 +10,30 @@
 //! knitc --root WebServer --src ./demo --run demo/webserver.unit
 //! knitc --root WebServer --src ./demo --no-flatten --no-check ...
 //! knitc --root WebServer --src ./demo --watch demo/webserver.unit
+//! knitc serve                      # the composition server
+//! knitc --connect unix:/tmp/knit.sock --root WebServer ...
 //! ```
 //!
 //! Every `.c`/`.h` file under `--src` (recursively) becomes available to
 //! `files { … }` clauses under its path relative to the source directory.
-//! Builds run through an incremental [`BuildSession`]; `--watch` polls the
-//! input files and rebuilds exactly the invalidated work on every save.
+//!
+//! **Every subcommand is a protocol client.** Each invocation reduces the
+//! command line to [`proto::Request`]s and renders the
+//! [`proto::Response`]s; the requests are answered either by an in-process
+//! [`Engine`] (the default) or by a running `knitc serve` daemon
+//! (`--connect <addr>`) — same requests, same handler code, byte-identical
+//! images. `--watch` polls only the paths the session's dependency ledger
+//! says the build actually read, and debounces editor save-storms into one
+//! rebuild.
 
-use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
-use knit::{
-    build_with_cache, BuildOptions, BuildReport, BuildSession, KnitError, LintConfig, LintLevel,
-    SourceTree,
-};
+use knit::proto::{self, BuildOutcome, LintOptions, Request, Response, SessionOptions};
+use knit::server::{Conn, Engine, Server};
+use knit::{Diagnostic, LintLevel, SourceTree};
 use machine::Profile;
 
 #[derive(Clone, Copy, PartialEq)]
@@ -54,6 +61,8 @@ struct Args {
     pgo_suggest: bool,
     profile_gen: Option<PathBuf>,
     profile_use: Option<PathBuf>,
+    connect: Option<String>,
+    session: Option<String>,
 }
 
 fn usage() -> ! {
@@ -61,12 +70,14 @@ fn usage() -> ! {
         "usage: knitc --root <Unit> [--src <dir>]... [--run] [--entry <member>]\n\
          \x20             [--no-flatten] [--no-check] [--jobs <N>] [--cache]\n\
          \x20             [--watch] [--error-format <human|json>]\n\
+         \x20             [--connect <addr>] [--session <name>]\n\
          \x20             [-v] <file.unit>...\n\
          \x20      knitc lint --root <Unit> [--src <dir>]... [--allow <lint>]\n\
          \x20             [--warn <lint>] [--deny <lint>|warnings]\n\
          \x20             [--error-format <human|json>] <file.unit>...\n\
          \x20      knitc pgo-suggest --root <Unit> [--src <dir>]...\n\
          \x20             [--profile-use <file>] <file.unit>...\n\
+         \x20      knitc serve [--socket <unix:path|tcp:port|auto>] [--once]\n\
          \x20      knitc explain <code>\n\
          \n\
          builds the root unit from the given .unit files, with C sources\n\
@@ -77,11 +88,19 @@ fn usage() -> ! {
          \x20            the produced image is identical for every N)\n\
          --cache     rebuild once through a warm compile cache and report\n\
          \x20            the hit rate (demonstrates incremental rebuilds)\n\
-         --watch     keep running: poll the .unit and source files and\n\
-         \x20            incrementally rebuild whenever one changes\n\
+         --watch     keep running: poll the .unit files and exactly the\n\
+         \x20            sources the last build read (the dependency ledger)\n\
+         \x20            and incrementally rebuild whenever one changes\n\
          --error-format <human|json>\n\
          \x20            render build errors as human-readable diagnostics\n\
          \x20            (default) or as one JSON object per line\n\
+         --connect <addr>\n\
+         \x20            send all requests to a running `knitc serve` at\n\
+         \x20            unix:<path> or tcp:<host>:<port> instead of\n\
+         \x20            building in-process (images are byte-identical)\n\
+         --session <name>\n\
+         \x20            the server-side session to use (default: the root\n\
+         \x20            unit's name)\n\
          --profile-gen <file>\n\
          \x20            run the built image with call-edge profiling on and\n\
          \x20            write the collected profile as JSON (implies --run)\n\
@@ -96,6 +115,12 @@ fn usage() -> ! {
          `knitc pgo-suggest` ranks hot cross-instance call edges and\n\
          suggests flatten groups; with --profile-use it reads the given\n\
          profile, otherwise it builds, runs instrumented, and profiles\n\
+         \n\
+         `knitc serve` runs the composition server: a daemon owning many\n\
+         named build sessions, deduping compiles across clients through a\n\
+         shared cache; --once runs a self-test build through a loopback\n\
+         connection, verifies byte-identity against a direct session, and\n\
+         exits (for CI)\n\
          \n\
          `knitc explain <code>` describes a diagnostic code (K0001…, K1001…)"
     );
@@ -122,6 +147,8 @@ fn parse_args(argv: Vec<String>) -> Args {
         pgo_suggest: false,
         profile_gen: None,
         profile_use: None,
+        connect: None,
+        session: None,
     };
     let set_format = |args: &mut Args, v: &str| match v {
         "human" => args.error_format = ErrorFormat::Human,
@@ -192,6 +219,8 @@ fn parse_args(argv: Vec<String>) -> Args {
             other if other.starts_with("--profile-use=") => {
                 args.profile_use = Some(PathBuf::from(&other["--profile-use=".len()..]));
             }
+            "--connect" => args.connect = Some(it.next().unwrap_or_else(|| usage())),
+            "--session" => args.session = Some(it.next().unwrap_or_else(|| usage())),
             "--cache" => args.cache = true,
             "--run" => args.run = true,
             "--watch" => args.watch = true,
@@ -210,6 +239,159 @@ fn parse_args(argv: Vec<String>) -> Args {
         usage();
     }
     args
+}
+
+// ---------------------------------------------------------------------------
+// the transport: one call path, in-process or over the socket
+// ---------------------------------------------------------------------------
+
+/// Where requests go: an in-process [`Engine`] (the default) or a [`Conn`]
+/// to a running `knitc serve`. Every subcommand talks *only* through
+/// [`Transport::call`], so both paths exercise identical handler code.
+enum Transport {
+    Local(Engine),
+    Remote(Conn),
+}
+
+impl Transport {
+    fn open(args: &Args) -> Result<Transport, ExitCode> {
+        match &args.connect {
+            None => Ok(Transport::Local(Engine::new())),
+            Some(addr) => match Conn::connect(addr) {
+                Ok(conn) => Ok(Transport::Remote(conn)),
+                Err(e) => {
+                    eprintln!("knitc: cannot connect to {addr}: {e}");
+                    Err(ExitCode::FAILURE)
+                }
+            },
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ExitCode> {
+        match self {
+            Transport::Local(engine) => Ok(engine.handle(req)),
+            Transport::Remote(conn) => conn.call(req).map_err(|e| {
+                eprintln!("knitc: server connection lost: {e}");
+                ExitCode::FAILURE
+            }),
+        }
+    }
+}
+
+/// Print a failed response's diagnostics (the same shapes as
+/// `--error-format=json`) and fail. Non-error responses are protocol bugs.
+fn expect_ok(resp: Response, format: ErrorFormat) -> Result<Response, ExitCode> {
+    match resp {
+        Response::Error { diagnostics } => {
+            print_diags(&diagnostics, format);
+            Err(ExitCode::FAILURE)
+        }
+        other => Ok(other),
+    }
+}
+
+fn print_diags(diags: &[Diagnostic], format: ErrorFormat) {
+    for d in diags {
+        match format {
+            ErrorFormat::Human => eprintln!("knitc: {}", d.human()),
+            ErrorFormat::Json => eprintln!("{}", d.json()),
+        }
+    }
+}
+
+fn print_report(root: &str, outcome: &BuildOutcome, verbose: bool) {
+    println!(
+        "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text ({} jobs)",
+        root,
+        outcome.instances,
+        outcome.units_compiled + outcome.units_reused,
+        outcome.objects,
+        outcome.text_size,
+        outcome.jobs
+    );
+    if verbose {
+        println!("initializer schedule:");
+        for s in &outcome.schedule {
+            println!("  {s}");
+        }
+        if let Some((constraints, vars, annotated)) = outcome.constraints {
+            println!(
+                "constraints: {constraints} checked over {vars} variables ({annotated} annotated units)"
+            );
+        }
+        println!("exports:");
+        for (port, sym) in &outcome.exports {
+            println!("  {port} -> {sym}");
+        }
+        println!("phases:");
+        for (name, us) in &outcome.phases {
+            println!("  {name:12} {:>9.3} ms", *us as f64 / 1e3);
+        }
+        println!("unit compiles ({} hit / {} miss):", outcome.cache_hits, outcome.cache_misses);
+        for (unit, us, reused) in &outcome.unit_compiles {
+            println!(
+                "  {:24} {:>9.3} ms  {}",
+                unit,
+                *us as f64 / 1e3,
+                if *reused { "cached" } else { "compiled" }
+            );
+        }
+    }
+}
+
+/// Run the image on the simulated machine, forwarding console output to
+/// stdout and the serial port to stderr. With `profiling`, call-edge
+/// recording is enabled and the collected [`Profile`] is returned.
+fn run_image(image: &cobj::Image, profiling: bool) -> Result<(i64, Option<Profile>), ExitCode> {
+    let mut m = match machine::Machine::new(image.clone()) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("knitc: machine: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    m.set_profiling(profiling);
+    match m.run_entry() {
+        Ok(code) => {
+            if !m.console.output.is_empty() {
+                print!("{}", m.console.output);
+            }
+            if !m.serial.output.is_empty() {
+                eprint!("{}", m.serial.output);
+            }
+            println!("knitc: program exited with code {code}");
+            Ok((code, profiling.then(|| m.profile())))
+        }
+        Err(e) => {
+            eprintln!("knitc: runtime fault: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Decode a wire image from a `built` response, or fail loudly — the
+/// commands that need to run or compare images always request one.
+fn expect_image(image: Option<String>) -> Result<cobj::Image, ExitCode> {
+    let hex = image.ok_or_else(|| {
+        eprintln!("knitc: internal error: server omitted the requested image");
+        ExitCode::FAILURE
+    })?;
+    proto::decode_image(&hex).map_err(|e| {
+        eprintln!("knitc: internal error: bad wire image: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// Read and parse a `--profile-use` JSON file.
+fn load_profile(path: &Path) -> Result<Profile, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("knitc: cannot read profile {}: {e}", path.display());
+        ExitCode::FAILURE
+    })?;
+    Profile::from_json(&text).map_err(|e| {
+        eprintln!("knitc: bad profile {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
 }
 
 /// Recursively load `.c`/`.h` files under `dir` into `tree` (keyed by path
@@ -236,197 +418,140 @@ fn load_sources(
     Ok(())
 }
 
-/// Print a build error through the structured diagnostics API.
-fn report_error(e: &KnitError, format: ErrorFormat) {
-    for d in e.diagnostics() {
-        match format {
-            ErrorFormat::Human => eprintln!("knitc: {}", d.human()),
-            ErrorFormat::Json => eprintln!("{}", d.json()),
-        }
-    }
-}
+// ---------------------------------------------------------------------------
+// subcommands (thin protocol clients)
+// ---------------------------------------------------------------------------
 
-fn print_report(root: &str, report: &BuildReport, verbose: bool) {
-    println!(
-        "knitc: built `{}`: {} instances from {} units, {} objects, {} bytes of text ({} jobs)",
-        root,
-        report.stats.instances,
-        report.stats.units_compiled + report.stats.units_reused,
-        report.stats.objects,
-        report.stats.text_size,
-        report.jobs
-    );
-    if verbose {
-        println!("initializer schedule:");
-        for s in &report.schedule {
-            println!("  {s}");
-        }
-        if let Some(c) = &report.constraints {
-            println!(
-                "constraints: {} checked over {} variables ({} annotated units)",
-                c.constraints, c.vars, c.annotated_units
-            );
-        }
-        println!("exports:");
-        for (port, sym) in &report.exports {
-            println!("  {port} -> {sym}");
-        }
-        println!("phases:");
-        for (name, d) in &report.phases {
-            println!("  {name:12} {:>9.3} ms", d.as_secs_f64() * 1e3);
-        }
-        println!(
-            "unit compiles ({} hit / {} miss):",
-            report.stats.cache_hits, report.stats.cache_misses
-        );
-        for u in &report.unit_compiles {
-            println!(
-                "  {:24} {:>9.3} ms  {}",
-                u.unit,
-                u.duration.as_secs_f64() * 1e3,
-                if u.cache_hit { "cached" } else { "compiled" }
-            );
-        }
-    }
-}
-
-/// Run the image on the simulated machine, forwarding console output to
-/// stdout and the serial port to stderr. With `profiling`, call-edge
-/// recording is enabled and the collected [`Profile`] is returned.
-fn run_image(report: &BuildReport, profiling: bool) -> Result<(i64, Option<Profile>), ExitCode> {
-    let mut m = match machine::Machine::new(report.image.clone()) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("knitc: machine: {e}");
-            return Err(ExitCode::FAILURE);
-        }
-    };
-    m.set_profiling(profiling);
-    match m.run_entry() {
-        Ok(code) => {
-            if !m.console.output.is_empty() {
-                print!("{}", m.console.output);
-            }
-            if !m.serial.output.is_empty() {
-                eprint!("{}", m.serial.output);
-            }
-            println!("knitc: program exited with code {code}");
-            Ok((code, profiling.then(|| m.profile())))
-        }
-        Err(e) => {
-            eprintln!("knitc: runtime fault: {e}");
-            Err(ExitCode::FAILURE)
-        }
-    }
-}
-
-/// Read and parse a `--profile-use` JSON file.
-fn load_profile(path: &Path) -> Result<Profile, ExitCode> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        eprintln!("knitc: cannot read profile {}: {e}", path.display());
-        ExitCode::FAILURE
-    })?;
-    Profile::from_json(&text).map_err(|e| {
-        eprintln!("knitc: bad profile {}: {e}", path.display());
-        ExitCode::FAILURE
-    })
-}
-
-/// `knitc pgo-suggest`: build, obtain a profile (from `--profile-use` or by
-/// running the image instrumented), and print the flatten advisor's report.
-fn pgo_suggest_cmd(session: &mut BuildSession, args: &Args) -> ExitCode {
-    let report = match session.build() {
-        Ok(r) => r,
-        Err(e) => {
-            report_error(&e, args.error_format);
-            return ExitCode::FAILURE;
-        }
-    };
-    let profile = match &args.profile_use {
-        Some(path) => match load_profile(path) {
-            Ok(p) => p,
-            Err(code) => return code,
-        },
-        None => match run_image(&report, true) {
-            Ok((_, p)) => p.expect("profiling was requested"),
-            Err(code) => return code,
-        },
-    };
-    print!("{}", knit::pgo::suggest(&report, &profile).render());
-    ExitCode::SUCCESS
-}
-
-/// `knitc explain <code>`: describe one diagnostic code from the explain
-/// registry (errors and lints alike).
+/// `knitc explain <code>` — routed through the same protocol as everything
+/// else (an in-process engine; there is no session to address).
 fn explain_cmd(code: &str) -> ExitCode {
-    match knit::diag::explain(code) {
-        Some(e) => {
-            if let Some(l) = knit::LINTS.iter().find(|l| l.code == e.code) {
-                let level = match l.default_level {
-                    LintLevel::Allow => "allow",
-                    LintLevel::Warn => "warn",
-                    LintLevel::Deny => "deny",
-                };
-                println!("{}: {} (lint, default {})", e.code, l.name, level);
-            } else {
-                println!("{}: error", e.code);
+    let engine = Engine::new();
+    match engine.handle(&Request::Explain { code: code.to_string() }) {
+        Response::Explained { code, summary, example, lint } => {
+            match lint {
+                Some((name, level)) => {
+                    let level = match level {
+                        LintLevel::Allow => "allow",
+                        LintLevel::Warn => "warn",
+                        LintLevel::Deny => "deny",
+                    };
+                    println!("{code}: {name} (lint, default {level})");
+                }
+                None => println!("{code}: error"),
             }
-            println!("  {}", e.summary);
+            println!("  {summary}");
             println!("  example:");
-            for line in e.example.lines() {
+            for line in example.lines() {
                 println!("    {line}");
             }
             ExitCode::SUCCESS
         }
-        None => {
+        _ => {
             eprintln!(
                 "knitc: unknown diagnostic code `{code}` \
-                 (errors are K0001–K0015, lints K1001–K1005)"
+                 (errors are K0001–K0017, lints K1001–K1005)"
             );
             ExitCode::FAILURE
         }
     }
 }
 
-/// `knitc lint`: run the analyzer instead of building, print every
-/// diagnostic, and fail on error-severity findings.
-fn lint_cmd(session: &mut BuildSession, args: &Args) -> ExitCode {
-    let mut config = LintConfig::new();
-    config.deny_warnings(args.deny_warnings);
-    for (name, level) in &args.lint_overrides {
-        if let Err(e) = config.set(name, *level) {
-            report_error(&e, args.error_format);
+/// `knitc lint`: request the analyzer's diagnostics, print them, and fail
+/// on error-severity findings.
+fn lint_cmd(transport: &mut Transport, session: &str, args: &Args) -> ExitCode {
+    let req = Request::Lint {
+        session: session.to_string(),
+        config: LintOptions {
+            overrides: args.lint_overrides.clone(),
+            deny_warnings: args.deny_warnings,
+        },
+    };
+    let resp = match transport.call(&req) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let (units_analyzed, warnings, errors, diagnostics) = match resp {
+        Response::Linted { units_analyzed, warnings, errors, diagnostics } => {
+            (units_analyzed, warnings, errors, diagnostics)
+        }
+        Response::Error { diagnostics } => {
+            print_diags(&diagnostics, args.error_format);
             return ExitCode::FAILURE;
         }
-    }
-    let report = match session.analyze(&config) {
-        Ok(r) => r,
-        Err(e) => {
-            report_error(&e, args.error_format);
+        other => {
+            eprintln!("knitc: internal error: unexpected lint response {other:?}");
             return ExitCode::FAILURE;
         }
     };
-    for d in &report.diagnostics {
-        match args.error_format {
-            ErrorFormat::Human => eprintln!("knitc: {}", d.human()),
-            ErrorFormat::Json => eprintln!("{}", d.json()),
-        }
-    }
+    print_diags(&diagnostics, args.error_format);
     if args.error_format == ErrorFormat::Human {
         println!(
             "knitc: lint `{}`: {} units analyzed, {} warning{}, {} error{}",
             args.root.as_deref().expect("validated"),
-            report.units_analyzed,
-            report.warnings(),
-            if report.warnings() == 1 { "" } else { "s" },
-            report.errors(),
-            if report.errors() == 1 { "" } else { "s" },
+            units_analyzed,
+            warnings,
+            if warnings == 1 { "" } else { "s" },
+            errors,
+            if errors == 1 { "" } else { "s" },
         );
     }
-    if report.has_errors() {
+    if errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `knitc pgo-suggest`: build, obtain a profile (from `--profile-use` or by
+/// running the image instrumented), and print the flatten advisor's report.
+fn pgo_suggest_cmd(transport: &mut Transport, session: &str, args: &Args) -> ExitCode {
+    let need_run = args.profile_use.is_none();
+    let resp = match transport
+        .call(&Request::Build { session: session.to_string(), want_image: need_run })
+    {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let image = match expect_ok(resp, args.error_format) {
+        Ok(Response::Built { image, .. }) => image,
+        Ok(other) => {
+            eprintln!("knitc: internal error: unexpected build response {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(code) => return code,
+    };
+    let profile = match &args.profile_use {
+        Some(path) => match load_profile(path) {
+            Ok(p) => p,
+            Err(code) => return code,
+        },
+        None => {
+            let image = match expect_image(image) {
+                Ok(i) => i,
+                Err(code) => return code,
+            };
+            match run_image(&image, true) {
+                Ok((_, p)) => p.expect("profiling was requested"),
+                Err(code) => return code,
+            }
+        }
+    };
+    let resp = match transport
+        .call(&Request::PgoSuggest { session: session.to_string(), profile: profile.to_json() })
+    {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    match expect_ok(resp, args.error_format) {
+        Ok(Response::Suggested { text }) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("knitc: internal error: unexpected pgo response {other:?}");
+            ExitCode::FAILURE
+        }
+        Err(code) => code,
     }
 }
 
@@ -434,72 +559,314 @@ fn mtime(path: &Path) -> Option<SystemTime> {
     std::fs::metadata(path).and_then(|m| m.modified()).ok()
 }
 
-/// Poll the `.unit` files and source files every 300 ms, feed edits into
-/// the session, and incrementally rebuild. Runs until interrupted.
-fn watch_loop(mut session: BuildSession, args: &Args, sources: Vec<(PathBuf, String)>) -> ExitCode {
-    let root = args.root.clone().expect("validated");
-    let mut mtimes: BTreeMap<PathBuf, Option<SystemTime>> = BTreeMap::new();
-    for f in args.unit_files.iter().chain(sources.iter().map(|(p, _)| p)) {
-        mtimes.insert(f.clone(), mtime(f));
+/// One file the watch loop polls: a `.unit` file (`rel == None`) or a C
+/// source/header keyed into the source tree at `rel`.
+struct WatchEntry {
+    path: PathBuf,
+    rel: Option<String>,
+    mtime: Option<SystemTime>,
+}
+
+/// Compute the current watch set from the last build's dependency ledger:
+/// all `.unit` files, plus — for each ledger path — every candidate
+/// location under the `--src` roots. Ledger *misses* are watched too, so
+/// creating a previously-missing header triggers a rebuild.
+fn watch_set(args: &Args, watched: &[String]) -> Vec<WatchEntry> {
+    let mut entries: Vec<WatchEntry> = Vec::new();
+    for f in &args.unit_files {
+        entries.push(WatchEntry { path: f.clone(), rel: None, mtime: mtime(f) });
     }
-    eprintln!("knitc: watching {} files for `{}` (Ctrl-C to stop)", mtimes.len(), root);
+    let mut seen = BTreeSet::new();
+    for rel in watched {
+        for dir in &args.src_dirs {
+            let path = dir.join(rel);
+            if seen.insert(path.clone()) {
+                entries.push(WatchEntry { mtime: mtime(&path), path, rel: Some(rel.clone()) });
+            }
+        }
+    }
+    entries
+}
+
+/// Scan for changed files, feeding edits into the session over the
+/// transport. Returns whether anything changed (or `Err` on a dead
+/// connection).
+fn scan_edits(
+    transport: &mut Transport,
+    session: &str,
+    args: &Args,
+    entries: &mut [WatchEntry],
+) -> Result<bool, ExitCode> {
+    let mut changed = false;
+    for e in entries.iter_mut() {
+        let now = mtime(&e.path);
+        if e.mtime == now {
+            continue;
+        }
+        e.mtime = now;
+        let text = match std::fs::read_to_string(&e.path) {
+            Ok(t) => t,
+            Err(err) => {
+                if e.path.exists() {
+                    eprintln!("knitc: cannot read {}: {err}", e.path.display());
+                }
+                continue;
+            }
+        };
+        let req = match &e.rel {
+            None => Request::UpdateUnit {
+                session: session.to_string(),
+                file: e.path.to_string_lossy().into_owned(),
+                text,
+            },
+            Some(rel) => {
+                Request::UpdateSource { session: session.to_string(), path: rel.clone(), text }
+            }
+        };
+        match transport.call(&req)? {
+            Response::Ok => changed = true,
+            Response::Error { diagnostics } => {
+                // A broken .unit edit: program unchanged (redefine is
+                // transactional); report and keep watching.
+                print_diags(&diagnostics, args.error_format);
+            }
+            other => {
+                eprintln!("knitc: internal error: unexpected edit response {other:?}");
+            }
+        }
+    }
+    Ok(changed)
+}
+
+/// Poll the `.unit` files and the ledger-derived source set, feed edits
+/// into the session, and incrementally rebuild. Edit bursts (editor save
+/// storms) are debounced: scanning continues at a short interval until a
+/// scan comes back quiet, then one rebuild covers the whole burst. Runs
+/// until interrupted.
+fn watch_loop(
+    transport: &mut Transport,
+    session: &str,
+    args: &Args,
+    initial_watched: &[String],
+) -> ExitCode {
+    const POLL: Duration = Duration::from_millis(300);
+    const DEBOUNCE: Duration = Duration::from_millis(50);
+    let root = args.root.clone().expect("validated");
+    let mut entries = watch_set(args, initial_watched);
+    eprintln!("knitc: watching {} files for `{}` (Ctrl-C to stop)", entries.len(), root);
     loop {
-        std::thread::sleep(Duration::from_millis(300));
-        let mut changed = false;
-        for f in &args.unit_files {
-            let now = mtime(f);
-            if mtimes.get(f) == Some(&now) {
-                continue;
-            }
-            mtimes.insert(f.clone(), now);
-            match std::fs::read_to_string(f) {
-                Ok(text) => {
-                    if let Err(e) = session.update_unit(&f.to_string_lossy(), &text) {
-                        report_error(&e, args.error_format);
-                        continue; // program unchanged (redefine is transactional)
-                    }
-                    changed = true;
-                }
-                Err(e) => eprintln!("knitc: cannot read {}: {e}", f.display()),
-            }
-        }
-        for (path, rel) in &sources {
-            let now = mtime(path);
-            if mtimes.get(path) == Some(&now) {
-                continue;
-            }
-            mtimes.insert(path.clone(), now);
-            match std::fs::read_to_string(path) {
-                Ok(text) => {
-                    session.update_source(rel, &text);
-                    changed = true;
-                }
-                Err(e) => eprintln!("knitc: cannot read {}: {e}", path.display()),
-            }
-        }
+        std::thread::sleep(POLL);
+        let mut changed = match scan_edits(transport, session, args, &mut entries) {
+            Ok(c) => c,
+            Err(code) => return code,
+        };
         if !changed {
             continue;
         }
-        match session.build() {
-            Ok(report) => {
+        // Debounce: keep scanning until the burst settles, then rebuild
+        // once for the whole batch.
+        while changed {
+            std::thread::sleep(DEBOUNCE);
+            changed = match scan_edits(transport, session, args, &mut entries) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+        }
+        let resp = match transport
+            .call(&Request::Build { session: session.to_string(), want_image: args.run })
+        {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        match resp {
+            Response::Built { outcome, image } => {
                 println!(
                     "knitc: rebuilt `{}`: {} recompiled, {} reused, {} bytes of text",
-                    root,
-                    report.stats.units_compiled,
-                    report.stats.units_reused,
-                    report.stats.text_size
+                    root, outcome.units_compiled, outcome.units_reused, outcome.text_size
                 );
                 if args.verbose {
-                    print_report(&root, &report, true);
+                    print_report(&root, &outcome, true);
                 }
                 if args.run {
-                    let _ = run_image(&report, false);
+                    match expect_image(image) {
+                        Ok(image) => {
+                            let _ = run_image(&image, false);
+                        }
+                        Err(code) => return code,
+                    }
                 }
+                // Re-derive the watch set from this build's ledger: new
+                // includes start being polled, dropped ones stop.
+                entries = watch_set(args, &outcome.watched);
             }
-            Err(e) => report_error(&e, args.error_format),
+            Response::Error { diagnostics } => print_diags(&diagnostics, args.error_format),
+            other => {
+                eprintln!("knitc: internal error: unexpected build response {other:?}");
+            }
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// knitc serve
+// ---------------------------------------------------------------------------
+
+/// The tiny built-in program `knitc serve --once` self-tests with.
+const SELFTEST_UNIT: &str = r#"
+    bundletype Main = { main }
+    unit SelfTest = { exports [ main : Main ]; files { "selftest.c" }; }
+"#;
+const SELFTEST_C: &str = "int main() { return 42; }";
+
+/// `knitc serve --once`: bind, build a built-in program through a real
+/// loopback connection, verify the wire image is byte-identical to a
+/// direct in-process session, check watch events arrive in order, shut
+/// down. Exit code reports the verdict — CI needs no background-process
+/// management.
+fn serve_once(server: Server) -> ExitCode {
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+    let verdict = (|| -> Result<(), String> {
+        let mut conn = Conn::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+        let mut options = SessionOptions::new("SelfTest");
+        options.jobs = Some(1);
+        let call = |conn: &mut Conn, req: &Request| -> Result<Response, String> {
+            match conn.call(req).map_err(|e| format!("call: {e}"))? {
+                Response::Error { diagnostics } => Err(format!(
+                    "server error: {}",
+                    diagnostics.first().map(|d| d.human()).unwrap_or_default()
+                )),
+                resp => Ok(resp),
+            }
+        };
+        call(&mut conn, &Request::Open { session: "selftest".into(), options: options.clone() })?;
+        call(
+            &mut conn,
+            &Request::LoadUnits {
+                session: "selftest".into(),
+                file: "selftest.unit".into(),
+                text: SELFTEST_UNIT.into(),
+            },
+        )?;
+        call(
+            &mut conn,
+            &Request::UpdateSource {
+                session: "selftest".into(),
+                path: "selftest.c".into(),
+                text: SELFTEST_C.into(),
+            },
+        )?;
+        call(&mut conn, &Request::Watch { session: "selftest".into() })?;
+        let built =
+            call(&mut conn, &Request::Build { session: "selftest".into(), want_image: true })?;
+        let Response::Built { outcome, image } = built else {
+            return Err(format!("unexpected build response {built:?}"));
+        };
+        let wire_image = proto::decode_image(&image.ok_or("server omitted image")?)?;
+
+        // The safety net: the same request stream through a direct
+        // session must produce the byte-identical image.
+        let engine = Engine::new();
+        let (direct, _) = engine.open_session("direct", &options).map_err(|r| format!("{r:?}"))?;
+        direct.load_units("selftest.unit", SELFTEST_UNIT).map_err(|e| e.to_string())?;
+        direct.update_source("selftest.c", SELFTEST_C);
+        let direct_report = direct.build().map_err(|e| e.to_string())?;
+        if direct_report.image != wire_image {
+            return Err("server image differs from direct session image".into());
+        }
+        if proto::image_hash(&direct_report.image) != outcome.image_hash {
+            return Err("image hash on the wire differs from the local hash".into());
+        }
+
+        // Watch events: an edit + rebuild must stream seq 2 (seq 1 was
+        // the cold build above, emitted after our subscription).
+        call(
+            &mut conn,
+            &Request::UpdateSource {
+                session: "selftest".into(),
+                path: "selftest.c".into(),
+                text: "int main() { return 7; }".into(),
+            },
+        )?;
+        call(&mut conn, &Request::Build { session: "selftest".into(), want_image: false })?;
+        let mut seqs = Vec::new();
+        while let Some(e) = conn.poll_event() {
+            seqs.push(e.seq);
+        }
+        if seqs != vec![1, 2] {
+            return Err(format!("expected watch events [1, 2], got {seqs:?}"));
+        }
+        match call(&mut conn, &Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(format!("unexpected shutdown response {other:?}")),
+        }
+    })();
+    let joined = handle.join();
+    match (verdict, joined) {
+        (Ok(()), Ok(())) => {
+            println!(
+                "knitc: serve self-test passed (image byte-identical, watch events in order, clean shutdown)"
+            );
+            ExitCode::SUCCESS
+        }
+        (Err(e), _) => {
+            eprintln!("knitc: serve self-test failed: {e}");
+            ExitCode::FAILURE
+        }
+        (_, Err(e)) => {
+            eprintln!("knitc: serve self-test failed: server did not shut down cleanly: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `knitc serve [--socket <spec>] [--once]`.
+fn serve_cmd(argv: &[String]) -> ExitCode {
+    let mut socket = "auto".to_string();
+    let mut once = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => match it.next() {
+                Some(s) => socket = s.clone(),
+                None => usage(),
+            },
+            other if other.starts_with("--socket=") => {
+                socket = other["--socket=".len()..].to_string();
+            }
+            "--once" => once = true,
+            "-h" | "--help" => usage(),
+            other => {
+                eprintln!("knitc: serve: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    let server = match Server::bind(Engine::new(), &socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("knitc: cannot bind {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if once {
+        return serve_once(server);
+    }
+    println!("knitc: serving on {} (protocol v{})", server.addr(), proto::VERSION);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("knitc: server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------------
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -509,26 +876,50 @@ fn main() -> ExitCode {
             _ => usage(),
         };
     }
-    let args = parse_args(argv);
-
-    let mut opts =
-        BuildOptions::new(args.root.clone().expect("validated"), machine::runtime_symbols());
-    opts.entry = args.entry.clone();
-    opts.flatten = args.flatten;
-    opts.check_constraints = args.check;
-    if let Some(jobs) = args.jobs {
-        opts.jobs = jobs;
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_cmd(&argv[1..]);
     }
+    let args = parse_args(argv);
+    let root = args.root.clone().expect("validated");
+    let session = args.session.clone().unwrap_or_else(|| root.clone());
+
+    // Reduce the command line to session options. The layout profile is
+    // validated client-side (for the conventional error message) and
+    // shipped as its canonical JSON.
+    let mut options = SessionOptions::new(root.clone());
+    options.entry = args.entry.clone();
+    options.flatten = args.flatten;
+    options.check_constraints = args.check;
+    options.jobs = args.jobs;
     if !args.pgo_suggest {
         if let Some(path) = &args.profile_use {
             match load_profile(path) {
-                Ok(p) => opts.profile = Some(Arc::new(p.layout_profile())),
+                Ok(p) => options.profile = Some(p.to_json()),
                 Err(code) => return code,
             }
         }
     }
 
-    let mut session = BuildSession::new(opts);
+    let mut transport = match Transport::open(&args) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+
+    // Open (or reconfigure) the session, then feed it the .unit files and
+    // sources. A fresh session gets `load_units` (duplicate declarations
+    // across files are K0002 errors, as in a one-shot build); an existing
+    // server-side session gets `update_unit` (transactional redefine).
+    let created = match transport
+        .call(&Request::Open { session: session.clone(), options: options.clone() })
+        .and_then(|r| expect_ok(r, args.error_format))
+    {
+        Ok(Response::Opened { created }) => created,
+        Ok(other) => {
+            eprintln!("knitc: internal error: unexpected open response {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(code) => return code,
+    };
     for f in &args.unit_files {
         let text = match std::fs::read_to_string(f) {
             Ok(t) => t,
@@ -537,70 +928,130 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        if let Err(e) = session.load_units(&f.to_string_lossy(), &text) {
-            report_error(&e, args.error_format);
-            return ExitCode::FAILURE;
+        let file = f.to_string_lossy().into_owned();
+        let req = if created {
+            Request::LoadUnits { session: session.clone(), file, text }
+        } else {
+            Request::UpdateUnit { session: session.clone(), file, text }
+        };
+        match transport.call(&req).and_then(|r| expect_ok(r, args.error_format)) {
+            Ok(_) => {}
+            Err(code) => return code,
         }
     }
-
-    let mut sources: Vec<(PathBuf, String)> = Vec::new();
     for dir in &args.src_dirs {
         let mut tree = SourceTree::new();
-        if let Err(e) = load_sources(&mut tree, dir, dir, &mut sources) {
+        if let Err(e) = load_sources(&mut tree, dir, dir, &mut Vec::new()) {
             eprintln!("knitc: reading sources under {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
         for (path, text) in tree.iter() {
-            session.update_source(path, text);
+            let req = Request::UpdateSource {
+                session: session.clone(),
+                path: path.to_string(),
+                text: text.to_string(),
+            };
+            match transport.call(&req).and_then(|r| expect_ok(r, args.error_format)) {
+                Ok(_) => {}
+                Err(code) => return code,
+            }
         }
     }
 
     if args.lint {
-        return lint_cmd(&mut session, &args);
+        return lint_cmd(&mut transport, &session, &args);
     }
     if args.pgo_suggest {
-        return pgo_suggest_cmd(&mut session, &args);
+        return pgo_suggest_cmd(&mut transport, &session, &args);
     }
 
-    let cold = match session.build() {
-        Ok(r) => r,
-        Err(e) => {
-            report_error(&e, args.error_format);
+    // The build itself. The image rides back over the wire only when
+    // something client-side needs its bytes.
+    let want_image = args.run || args.profile_gen.is_some();
+    let (cold, cold_image) = match transport
+        .call(&Request::Build { session: session.clone(), want_image })
+        .and_then(|r| expect_ok(r, args.error_format))
+    {
+        Ok(Response::Built { outcome, image }) => (outcome, image),
+        Ok(other) => {
+            eprintln!("knitc: internal error: unexpected build response {other:?}");
             return ExitCode::FAILURE;
         }
+        Err(code) => return code,
     };
-    let report = if args.cache {
-        // Rebuild through the now-warm compile cache (a fresh one-shot
-        // build, deliberately bypassing the session's memo): every unit
-        // whose content is unchanged (here: all of them) skips the C
-        // compiler.
-        let warm = match build_with_cache(
-            session.program(),
-            session.tree(),
-            session.options(),
-            session.cache(),
-        ) {
-            Ok(r) => r,
-            Err(e) => {
-                report_error(&e, args.error_format);
+
+    let outcome = if args.cache {
+        // Rebuild in a *second* session sharing the server's compile
+        // cache: every unit whose content is unchanged (here: all of
+        // them) is served from the cache, deduped across sessions —
+        // the same mechanism that dedupes across concurrent clients.
+        let warm_session = format!("{session}#warm");
+        let ok = transport
+            .call(&Request::Open { session: warm_session.clone(), options: options.clone() })
+            .and_then(|r| expect_ok(r, args.error_format))
+            .and_then(|_| {
+                for f in &args.unit_files {
+                    let text = std::fs::read_to_string(f).map_err(|e| {
+                        eprintln!("knitc: cannot read {}: {e}", f.display());
+                        ExitCode::FAILURE
+                    })?;
+                    let r = transport.call(&Request::UpdateUnit {
+                        session: warm_session.clone(),
+                        file: f.to_string_lossy().into_owned(),
+                        text,
+                    })?;
+                    expect_ok(r, args.error_format)?;
+                }
+                Ok(())
+            });
+        if let Err(code) = ok {
+            return code;
+        }
+        for dir in &args.src_dirs {
+            let mut tree = SourceTree::new();
+            let mut ignored = Vec::new();
+            if load_sources(&mut tree, dir, dir, &mut ignored).is_err() {
+                continue;
+            }
+            for (path, text) in tree.iter() {
+                let r = transport.call(&Request::UpdateSource {
+                    session: warm_session.clone(),
+                    path: path.to_string(),
+                    text: text.to_string(),
+                });
+                match r.and_then(|r| expect_ok(r, args.error_format)) {
+                    Ok(_) => {}
+                    Err(code) => return code,
+                }
+            }
+        }
+        let warm = match transport
+            .call(&Request::Build { session: warm_session.clone(), want_image: false })
+            .and_then(|r| expect_ok(r, args.error_format))
+        {
+            Ok(Response::Built { outcome, .. }) => outcome,
+            Ok(other) => {
+                eprintln!("knitc: internal error: unexpected build response {other:?}");
                 return ExitCode::FAILURE;
             }
+            Err(code) => return code,
         };
-        let compile_ms = |r: &BuildReport| {
-            r.phases
+        let _ = transport.call(&Request::Close { session: warm_session });
+        let compile_ms = |o: &BuildOutcome| {
+            o.phases
                 .iter()
-                .find(|(n, _)| *n == "compile")
-                .map(|(_, d)| d.as_secs_f64() * 1e3)
+                .find(|(n, _)| n == "compile")
+                .map(|(_, us)| *us as f64 / 1e3)
                 .unwrap_or(0.0)
         };
         println!(
             "knitc: warm rebuild: {} cache hits, {} recompiles; compile phase {:.3} ms (cold: {:.3} ms)",
-            warm.stats.cache_hits,
-            warm.stats.cache_misses,
+            warm.cache_hits,
+            warm.cache_misses,
             compile_ms(&warm),
             compile_ms(&cold)
         );
-        if warm.image != cold.image {
+        if warm.image_hash != cold.image_hash {
             eprintln!("knitc: internal error: warm rebuild produced a different image");
             return ExitCode::FAILURE;
         }
@@ -609,10 +1060,14 @@ fn main() -> ExitCode {
         cold
     };
 
-    print_report(args.root.as_deref().expect("validated"), &report, args.verbose);
+    print_report(&root, &outcome, args.verbose);
 
     if let Some(path) = &args.profile_gen {
-        match run_image(&report, true) {
+        let image = match expect_image(cold_image) {
+            Ok(i) => i,
+            Err(code) => return code,
+        };
+        match run_image(&image, true) {
             Ok((code, profile)) => {
                 let profile = profile.expect("profiling was requested");
                 if let Err(e) = std::fs::write(path, profile.to_json()) {
@@ -632,7 +1087,11 @@ fn main() -> ExitCode {
             Err(code) => return code,
         }
     } else if args.run {
-        match run_image(&report, false) {
+        let image = match expect_image(cold_image) {
+            Ok(i) => i,
+            Err(code) => return code,
+        };
+        match run_image(&image, false) {
             Ok((code, _)) => {
                 if code != 0 {
                     return ExitCode::from((code & 0xff) as u8);
@@ -643,7 +1102,7 @@ fn main() -> ExitCode {
     }
 
     if args.watch {
-        return watch_loop(session, &args, sources);
+        return watch_loop(&mut transport, &session, &args, &outcome.watched);
     }
     ExitCode::SUCCESS
 }

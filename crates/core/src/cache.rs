@@ -4,8 +4,10 @@
 //! that >95% of a Knit build is spent in the C compiler and linker. The
 //! harnesses in this repository — `table1`, `table2`, `build_time`,
 //! `micro_overhead`, repeated `knitc` invocations — rebuild heavily
-//! overlapping unit sets, so [`BuildCache`] lets
-//! [`build_with_cache`](crate::driver::build_with_cache) skip `cmini`
+//! overlapping unit sets, so [`BuildCache`] lets every build path —
+//! [`BuildSession`](crate::session::BuildSession), the composition
+//! server's [`Engine`](crate::server::Engine), and the deprecated one-shot
+//! [`build_with_cache`](crate::driver::build_with_cache) — skip `cmini`
 //! entirely for any unit whose *content* was compiled before.
 //!
 //! A cache key is a stable 64-bit FNV-1a hash of everything that can affect
@@ -69,34 +71,39 @@ impl StableHasher {
     }
 }
 
-/// A reusable, thread-safe compile cache, handed to
-/// [`build_with_cache`](crate::driver::build_with_cache) and owned by every
-/// [`BuildSession`](crate::session::BuildSession).
+/// A reusable, thread-safe compile cache, owned by every
+/// [`BuildSession`](crate::session::BuildSession) and shared across all
+/// sessions of a composition-server [`Engine`](crate::server::Engine).
 ///
 /// Cloning a `BuildCache` is cheap and the clone **shares storage** with
-/// the original (it is an `Arc` handle), so several sessions — or a session
-/// and a one-shot `build_with_cache` call — can warm each other.
+/// the original (it is an `Arc` handle), so several sessions can warm each
+/// other — that sharing is exactly the cross-client compile dedupe the
+/// server advertises.
 ///
 /// [`build`](crate::driver::build) creates a throwaway cache per call (a
-/// cold build); keep one `BuildCache` across builds to make rebuilds warm:
+/// cold build); sessions opened from one `Engine` share one cache, so a
+/// unit any client compiled is a hit for every other client:
 ///
 /// ```
-/// use knit::{build_with_cache, BuildCache, BuildOptions, Program, SourceTree};
+/// use knit::{Engine, SessionOptions};
 ///
-/// let mut p = Program::new();
-/// p.load_str("m.unit", r#"
+/// const UNIT: &str = r#"
 ///     bundletype Main = { main }
 ///     unit App = { exports [ main : Main ]; files { "app.c" }; }
-/// "#).unwrap();
-/// let mut t = SourceTree::new();
-/// t.add("app.c", "int main() { return 40 + 2; }");
-/// let opts = BuildOptions::new("App", Vec::new());
+/// "#;
+/// let engine = Engine::new();
+/// let opts = SessionOptions::new("App");
+/// let (a, _) = engine.open_session("alice", &opts).unwrap();
+/// a.load_units("m.unit", UNIT).unwrap();
+/// a.update_source("app.c", "int main() { return 40 + 2; }");
+/// let cold = a.build().unwrap();
 ///
-/// let cache = BuildCache::new();
-/// let cold = build_with_cache(&p, &t, &opts, &cache).unwrap();
-/// let warm = build_with_cache(&p, &t, &opts, &cache).unwrap();
+/// let (b, _) = engine.open_session("bob", &opts).unwrap();
+/// b.load_units("m.unit", UNIT).unwrap();
+/// b.update_source("app.c", "int main() { return 40 + 2; }");
+/// let warm = b.build().unwrap();
 /// assert_eq!(cold.stats.cache_misses, 1);
-/// assert_eq!(warm.stats.cache_misses, 0);
+/// assert_eq!(warm.stats.cache_misses, 0); // deduped across sessions
 /// assert_eq!(cold.image, warm.image);
 /// ```
 #[derive(Debug, Clone, Default)]

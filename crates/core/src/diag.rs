@@ -201,6 +201,16 @@ pub const ERROR_EXPLAINS: &[Explain] = &[
         summary: "a files { … } entry names a path missing from the source tree",
         example: "files { \"nope.c\" };",
     },
+    Explain {
+        code: "K0016",
+        summary: "a composition-server connection opened with a mismatched protocol version",
+        example: "{\"req\":\"hello\",\"version\":0}  // server speaks proto::VERSION",
+    },
+    Explain {
+        code: "K0017",
+        summary: "a composition-server request was malformed or of an unknown kind",
+        example: "{\"req\":\"frobnicate\"}",
+    },
 ];
 
 /// Look up the explain entry for `code`, searching the error table and the
@@ -215,6 +225,17 @@ pub fn explain(code: &str) -> Option<Explain> {
         summary: l.summary,
         example: l.example,
     })
+}
+
+/// Map a runtime diagnostic code back to its canonical `&'static str` —
+/// needed when decoding wire diagnostics, since [`Diagnostic::code`] is a
+/// static string. Returns `None` for codes in neither the error table nor
+/// the lint registry.
+pub fn static_code(code: &str) -> Option<&'static str> {
+    if let Some(e) = ERROR_EXPLAINS.iter().find(|e| e.code == code) {
+        return Some(e.code);
+    }
+    crate::analyze::LINTS.iter().find(|l| l.code == code).map(|l| l.code)
 }
 
 /// Render the full diagnostic-code table as markdown — the generator for

@@ -260,6 +260,9 @@ pub fn build(
     tree: &SourceTree,
     opts: &BuildOptions,
 ) -> Result<BuildReport, KnitError> {
+    // One-shot by design: a cold cache every time is the point here, so
+    // the deprecated shared-cache path is the right implementation.
+    #[allow(deprecated)]
     build_with_cache(program, tree, opts, &BuildCache::new())
 }
 
@@ -267,6 +270,37 @@ pub fn build(
 /// (preprocessed sources + flags + renames, see [`BuildCache`]) is already
 /// cached skip `cmini` entirely. Reuse one cache across builds to make
 /// rebuilds warm.
+///
+/// # Migration
+///
+/// Deprecated in favour of [`SessionHandle`](crate::SessionHandle), the
+/// thread-safe session facade that also backs the composition server
+/// ([`Server::open_session`](crate::server::Server)). A session keeps the
+/// dependency ledger and per-phase memo between builds, so a rebuild after
+/// a small edit redoes only the affected phases — this function re-runs
+/// everything except the compile cache. Port code like this:
+///
+/// ```
+/// use knit::{BuildOptions, SessionHandle};
+///
+/// let handle = SessionHandle::new(BuildOptions::root("App").jobs(1).build());
+/// handle.load_units("app.unit", r#"
+///     bundletype Main = { main }
+///     unit App = { exports [ main : Main ]; files { "app.c" }; }
+/// "#).unwrap();
+/// handle.update_source("app.c", "int main() { return 7; }");
+/// let cold = handle.build().unwrap();
+/// let warm = handle.build().unwrap(); // full reuse, no work
+/// assert_eq!(cold.image, warm.image);
+/// ```
+///
+/// To share a compile cache across sessions (what the `cache` argument
+/// gave you), open sessions from one [`Engine`](crate::server::Engine).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `SessionHandle` (or `Engine::open_session`) — sessions keep \
+            the dependency ledger between builds and are thread-safe"
+)]
 pub fn build_with_cache(
     program: &Program,
     tree: &SourceTree,

@@ -51,22 +51,27 @@ pub mod elaborate;
 pub mod error;
 pub mod model;
 pub mod pgo;
+pub mod proto;
 pub mod sched;
+pub mod server;
 pub mod session;
 pub mod vfs;
 
 pub use analyze::{lint, lint_by_name, AnalysisReport, Lint, LintConfig, LintLevel, LINTS};
 pub use cache::BuildCache;
 pub use diag::{Diagnostic, Severity};
+#[allow(deprecated)]
+pub use driver::build_with_cache;
 pub use driver::{
-    build, build_with_cache, default_jobs, BuildOptions, BuildOptionsBuilder, BuildReport,
-    BuildStats, UnitCompile,
+    build, default_jobs, BuildOptions, BuildOptionsBuilder, BuildReport, BuildStats, UnitCompile,
 };
 pub use elaborate::{Elaboration, Wire};
 pub use error::KnitError;
 pub use model::Program;
 pub use pgo::{FlattenSuggestion, HotEdge, PgoReport};
-pub use session::{BuildSession, PhaseCount, Session, SessionStats};
+pub use proto::{Request, Response, SessionOptions};
+pub use server::{Conn, Engine, Server, ServerHandle};
+pub use session::{BuildSession, PhaseCount, Session, SessionHandle, SessionStats};
 pub use vfs::SourceTree;
 
 /// One import for the common API surface:
@@ -87,12 +92,14 @@ pub mod prelude {
     pub use crate::analyze::{lint, AnalysisReport, LintConfig, LintLevel};
     pub use crate::cache::BuildCache;
     pub use crate::diag::{Diagnostic, Severity};
-    pub use crate::driver::{
-        build, build_with_cache, BuildOptions, BuildOptionsBuilder, BuildReport, BuildStats,
-    };
+    #[allow(deprecated)]
+    pub use crate::driver::build_with_cache;
+    pub use crate::driver::{build, BuildOptions, BuildOptionsBuilder, BuildReport, BuildStats};
     pub use crate::error::KnitError;
     pub use crate::model::Program;
     pub use crate::pgo::{FlattenSuggestion, HotEdge, PgoReport};
-    pub use crate::session::{BuildSession, PhaseCount, Session, SessionStats};
+    pub use crate::proto::{Request, Response, SessionOptions};
+    pub use crate::server::{Conn, Engine, Server};
+    pub use crate::session::{BuildSession, PhaseCount, Session, SessionHandle, SessionStats};
     pub use crate::vfs::SourceTree;
 }

@@ -1161,4 +1161,128 @@ impl BuildSession {
         }
         result
     }
+
+    /// Every source-tree path the last build's compiles consulted — the
+    /// union of the per-unit dependency ledgers, *including misses* (a
+    /// header probed but absent is still watched, so creating it triggers
+    /// a rebuild). This is what a file watcher should poll instead of the
+    /// whole source tree; `knitc --watch` does exactly that.
+    pub fn watched_paths(&self) -> Vec<String> {
+        let mut all = BTreeSet::new();
+        for memo in self.memo.units.values() {
+            all.extend(memo.reads.iter().cloned());
+        }
+        all.into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the thread-safe session facade
+// ---------------------------------------------------------------------------
+
+/// A cloneable, thread-safe handle to a [`BuildSession`] — the blessed
+/// entry point for everything that outlives one function call: the
+/// `knitc serve` daemon hands these out
+/// ([`Server::open_session`](crate::server::Engine::open_session)), and
+/// standalone tools hold one instead of a bare session when more than one
+/// thread is involved.
+///
+/// Clones share the same underlying session (state edits through one are
+/// visible through all). All methods serialize on the session's own lock,
+/// so two handles to *different* sessions build in parallel while two
+/// handles to the *same* session queue up — and a shared [`BuildCache`]
+/// (see [`BuildSession::with_cache`]) dedupes identical unit compiles
+/// across sessions either way.
+///
+/// Lock order (for code holding more than one lock): server session
+/// registry → session handle → `BuildCache` shard (a leaf; never held
+/// across a callback).
+///
+/// ```
+/// use knit::{BuildOptions, SessionHandle};
+///
+/// let h = SessionHandle::new(BuildOptions::root("App").jobs(1).build());
+/// h.load_units("app.unit", r#"
+///     bundletype Main = { main }
+///     unit App = { exports [ main : Main ]; files { "app.c" }; }
+/// "#).unwrap();
+/// h.update_source("app.c", "int main() { return 7; }");
+/// let clone = h.clone();
+/// let report = std::thread::spawn(move || clone.build().unwrap()).join().unwrap();
+/// assert_eq!(report.stats.units_compiled, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    inner: Arc<std::sync::Mutex<BuildSession>>,
+}
+
+impl SessionHandle {
+    /// A handle to a fresh empty session building with `opts`.
+    pub fn new(opts: BuildOptions) -> SessionHandle {
+        SessionHandle::from_session(BuildSession::new(opts))
+    }
+
+    /// Wrap an existing session (e.g. one pre-loaded with units).
+    pub fn from_session(session: BuildSession) -> SessionHandle {
+        SessionHandle { inner: Arc::new(std::sync::Mutex::new(session)) }
+    }
+
+    /// Run `f` with the locked session. The one primitive everything else
+    /// is sugar for; use it for multi-step edits that must be atomic with
+    /// respect to other handles (e.g. edit two sources, then build,
+    /// without another client's build landing in between).
+    pub fn with<R>(&self, f: impl FnOnce(&mut BuildSession) -> R) -> R {
+        // A panic mid-build poisons the lock but leaves the session
+        // consistent: the memo only ever holds completed artifacts, and
+        // `dirty` is restored on the error paths. Keep serving.
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// [`BuildSession::load_units`] under the lock.
+    pub fn load_units(&self, file: &str, src: &str) -> Result<(), KnitError> {
+        self.with(|s| s.load_units(file, src))
+    }
+
+    /// [`BuildSession::update_unit`] under the lock.
+    pub fn update_unit(&self, file: &str, src: &str) -> Result<(), KnitError> {
+        self.with(|s| s.update_unit(file, src))
+    }
+
+    /// [`BuildSession::update_source`] under the lock.
+    pub fn update_source(&self, path: &str, text: &str) {
+        self.with(|s| s.update_source(path, text))
+    }
+
+    /// [`BuildSession::set_options`] under the lock.
+    pub fn set_options(&self, opts: BuildOptions) {
+        self.with(|s| s.set_options(opts))
+    }
+
+    /// [`BuildSession::set_profile`] under the lock.
+    pub fn set_profile(&self, profile: Option<Arc<cobj::LayoutProfile>>) {
+        self.with(|s| s.set_profile(profile))
+    }
+
+    /// [`BuildSession::build`] under the lock — held for the whole build,
+    /// so concurrent builds of the *same* session serialize (and the
+    /// second one usually returns the memoized report).
+    pub fn build(&self) -> Result<BuildReport, KnitError> {
+        self.with(|s| s.build())
+    }
+
+    /// [`BuildSession::analyze`] under the lock.
+    pub fn analyze(&self, config: &LintConfig) -> Result<AnalysisReport, KnitError> {
+        self.with(|s| s.analyze(config))
+    }
+
+    /// [`BuildSession::stats`], cloned out from under the lock.
+    pub fn stats(&self) -> SessionStats {
+        self.with(|s| s.stats().clone())
+    }
+
+    /// [`BuildSession::watched_paths`] under the lock.
+    pub fn watched_paths(&self) -> Vec<String> {
+        self.with(|s| s.watched_paths())
+    }
 }

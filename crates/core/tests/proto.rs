@@ -1,0 +1,240 @@
+//! Golden wire-format tests for the composition-server protocol
+//! (`knit::proto`). Every verb's canonical JSON bytes are pinned here —
+//! a byte-level change to any of these lines is a protocol break and must
+//! bump [`knit::proto::VERSION`].
+
+use knit::proto::{self, BuildEvent, BuildOutcome, LintOptions, Request, Response, SessionOptions};
+use knit::{BuildOptions, Diagnostic, LintLevel, SessionHandle, Severity};
+
+/// Serialize, pin the exact bytes, and confirm the bytes parse back to the
+/// same request.
+fn pin_request(req: Request, golden: &str) {
+    assert_eq!(req.to_json(), golden, "wire bytes changed for {req:?}");
+    assert_eq!(Request::from_json(golden).expect("golden parses"), req);
+}
+
+fn pin_response(resp: Response, golden: &str) {
+    assert_eq!(resp.to_json(), golden, "wire bytes changed for {resp:?}");
+    assert_eq!(Response::from_json(golden).expect("golden parses"), resp);
+}
+
+#[test]
+fn request_wire_bytes_are_pinned() {
+    pin_request(Request::Hello { version: 1 }, r#"{"req":"hello","version":1}"#);
+    pin_request(
+        Request::Open { session: "web".into(), options: SessionOptions::new("WebServer") },
+        r#"{"req":"open","session":"web","options":{"root":"WebServer","entry":null,"check_constraints":true,"flatten":true,"jobs":null,"default_flags":[],"runtime_symbols":[],"profile":null}}"#,
+    );
+    let mut options = SessionOptions::new("App");
+    options.entry = Some("boot".into());
+    options.check_constraints = false;
+    options.flatten = false;
+    options.jobs = Some(4);
+    options.default_flags = vec!["-O1".into()];
+    options.runtime_symbols = vec!["printk".into()];
+    options.profile = Some(r#"{"version":1}"#.into());
+    pin_request(
+        Request::Open { session: "s".into(), options },
+        r#"{"req":"open","session":"s","options":{"root":"App","entry":"boot","check_constraints":false,"flatten":false,"jobs":4,"default_flags":["-O1"],"runtime_symbols":["printk"],"profile":"{\"version\":1}"}}"#,
+    );
+    pin_request(
+        Request::LoadUnits {
+            session: "s".into(),
+            file: "a.unit".into(),
+            text: "unit A = {}".into(),
+        },
+        r#"{"req":"load_units","session":"s","file":"a.unit","text":"unit A = {}"}"#,
+    );
+    pin_request(
+        Request::UpdateUnit { session: "s".into(), file: "a.unit".into(), text: "x\ny".into() },
+        r#"{"req":"update_unit","session":"s","file":"a.unit","text":"x\ny"}"#,
+    );
+    pin_request(
+        Request::UpdateSource { session: "s".into(), path: "app.c".into(), text: "int x;".into() },
+        r#"{"req":"update_source","session":"s","path":"app.c","text":"int x;"}"#,
+    );
+    pin_request(
+        Request::Build { session: "s".into(), want_image: true },
+        r#"{"req":"build","session":"s","want_image":true}"#,
+    );
+    pin_request(
+        Request::Lint {
+            session: "s".into(),
+            config: LintOptions {
+                overrides: vec![("dead-unit".into(), LintLevel::Deny)],
+                deny_warnings: true,
+            },
+        },
+        r#"{"req":"lint","session":"s","config":{"overrides":[["dead-unit","deny"]],"deny_warnings":true}}"#,
+    );
+    pin_request(Request::Explain { code: "K0016".into() }, r#"{"req":"explain","code":"K0016"}"#);
+    pin_request(
+        Request::PgoSuggest { session: "s".into(), profile: "{}".into() },
+        r#"{"req":"pgo_suggest","session":"s","profile":"{}"}"#,
+    );
+    pin_request(Request::Watch { session: "s".into() }, r#"{"req":"watch","session":"s"}"#);
+    pin_request(Request::Close { session: "s".into() }, r#"{"req":"close","session":"s"}"#);
+    pin_request(Request::Ping, r#"{"req":"ping"}"#);
+    pin_request(Request::Shutdown, r#"{"req":"shutdown"}"#);
+}
+
+#[test]
+fn response_wire_bytes_are_pinned() {
+    pin_response(Response::Hello { version: 1 }, r#"{"resp":"hello","version":1}"#);
+    pin_response(Response::Ok, r#"{"resp":"ok"}"#);
+    pin_response(Response::Opened { created: true }, r#"{"resp":"opened","created":true}"#);
+    pin_response(Response::Opened { created: false }, r#"{"resp":"opened","created":false}"#);
+    pin_response(
+        Response::Linted {
+            units_analyzed: 4,
+            warnings: 1,
+            errors: 0,
+            diagnostics: vec![Diagnostic {
+                code: "K1001",
+                severity: Severity::Warning,
+                message: "unit `Dead` is never instantiated".into(),
+                span: Some(("a.unit".into(), 3, 5)),
+                notes: vec!["remove it".into()],
+            }],
+        },
+        r#"{"resp":"linted","units_analyzed":4,"warnings":1,"errors":0,"diagnostics":[{"code":"K1001","severity":"warning","message":"unit `Dead` is never instantiated","span":{"file":"a.unit","line":3,"col":5},"notes":["remove it"]}]}"#,
+    );
+    pin_response(
+        Response::Explained {
+            code: "K1004".into(),
+            summary: "an initializer uses an import before it".into(),
+            example: "init f depends on g".into(),
+            lint: Some(("init-order-use".into(), LintLevel::Warn)),
+        },
+        r#"{"resp":"explained","code":"K1004","summary":"an initializer uses an import before it","example":"init f depends on g","lint":{"name":"init-order-use","default_level":"warn"}}"#,
+    );
+    pin_response(
+        Response::Suggested { text: "suggestion #1\n".into() },
+        r#"{"resp":"suggested","text":"suggestion #1\n"}"#,
+    );
+    pin_response(
+        Response::Subscribed { session: "web".into() },
+        r#"{"resp":"subscribed","session":"web"}"#,
+    );
+    pin_response(
+        Response::Event(BuildEvent {
+            session: "web".into(),
+            seq: 7,
+            ok: true,
+            units_compiled: 1,
+            units_reused: 5,
+            text_size: 718,
+            image_hash: u64::MAX,
+        }),
+        r#"{"resp":"event","session":"web","seq":7,"ok":true,"units_compiled":1,"units_reused":5,"text_size":718,"image_hash":18446744073709551615}"#,
+    );
+    pin_response(Response::Pong, r#"{"resp":"pong"}"#);
+    pin_response(Response::Bye, r#"{"resp":"bye"}"#);
+}
+
+/// The handshake rejections are part of the wire contract: old clients
+/// must be able to parse them forever.
+#[test]
+fn handshake_rejections_are_pinned() {
+    pin_response(
+        Response::version_mismatch(999),
+        r#"{"resp":"error","diagnostics":[{"code":"K0016","severity":"error","message":"protocol version mismatch: client speaks v999, server speaks v1","span":null,"notes":["upgrade so both ends speak protocol v1"]}]}"#,
+    );
+    pin_response(
+        Response::malformed("request must be a JSON object"),
+        r#"{"resp":"error","diagnostics":[{"code":"K0017","severity":"error","message":"malformed protocol request: request must be a JSON object","span":null,"notes":["see docs/protocol.md for the wire format"]}]}"#,
+    );
+}
+
+/// A `built` response round-trips a fully-populated outcome, including
+/// exact u64 extremes in the hash and micros fields.
+#[test]
+fn built_outcome_wire_bytes_are_pinned() {
+    let outcome = BuildOutcome {
+        root: "App".into(),
+        instances: 2,
+        units_compiled: 1,
+        units_reused: 1,
+        objects: 3,
+        flatten_groups: 0,
+        text_size: 99,
+        cache_hits: 1,
+        cache_misses: 1,
+        jobs: 2,
+        image_hash: u64::MAX,
+        phases: vec![("compile".into(), 1234)],
+        schedule: vec!["init app".into()],
+        constraints: Some((3, 2, 1)),
+        exports: vec![("m".into(), "main_m_i0".into())],
+        unit_compiles: vec![("App".into(), 1000, false)],
+        watched: vec!["app.c".into()],
+    };
+    let resp = Response::Built { outcome, image: None };
+    pin_response(
+        resp,
+        r#"{"resp":"built","outcome":{"root":"App","instances":2,"units_compiled":1,"units_reused":1,"objects":3,"flatten_groups":0,"text_size":99,"cache_hits":1,"cache_misses":1,"jobs":2,"image_hash":18446744073709551615,"phases":[["compile",1234]],"schedule":["init app"],"constraints":{"constraints":3,"vars":2,"annotated_units":1},"exports":[["m","main_m_i0"]],"unit_compiles":[["App",1000,false]],"watched":["app.c"]},"image":null}"#,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// the image codec
+// ---------------------------------------------------------------------------
+
+fn tiny_image() -> cobj::Image {
+    let handle = SessionHandle::new(BuildOptions::root("App").jobs(1).build());
+    handle
+        .load_units(
+            "app.unit",
+            r#"
+            bundletype Main = { main }
+            unit App = { exports [ main : Main ]; files { "app.c" }; }
+            "#,
+        )
+        .unwrap();
+    handle.update_source("app.c", "int main() { return 42; }");
+    handle.build().unwrap().image
+}
+
+/// The wire image decodes back to a `==` image (and `PartialEq` on
+/// `Image` compares every byte — this is the byte-identity safety net).
+#[test]
+fn image_codec_round_trips_byte_identically() {
+    let image = tiny_image();
+    let wire = proto::encode_image(&image);
+    let decoded = proto::decode_image(&wire).expect("decodes");
+    assert_eq!(decoded, image);
+    assert_eq!(proto::image_hash(&decoded), proto::image_hash(&image));
+}
+
+#[test]
+fn image_codec_rejects_corruption() {
+    let image = tiny_image();
+    let mut bytes = proto::encode_image_bytes(&image);
+    assert!(proto::decode_image_bytes(&bytes[..bytes.len() - 1]).is_err(), "truncation");
+    bytes.push(0);
+    assert!(proto::decode_image_bytes(&bytes).is_err(), "trailing garbage");
+    assert!(proto::decode_image_bytes(b"not an image").is_err(), "bad magic");
+    assert!(proto::decode_image("zz").is_err(), "bad hex");
+}
+
+// ---------------------------------------------------------------------------
+// docs/protocol.md is generated from the wire types and must stay in sync
+// ---------------------------------------------------------------------------
+
+#[test]
+fn protocol_doc_is_in_sync_with_the_wire_types() {
+    let want = proto::protocol_markdown();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/protocol.md");
+    if std::env::var_os("UPDATE_PROTOCOL_MD").is_some() {
+        std::fs::write(path, &want).unwrap();
+    }
+    let got = std::fs::read_to_string(path).expect(
+        "docs/protocol.md missing; regenerate with \
+         UPDATE_PROTOCOL_MD=1 cargo test -p knit --test proto",
+    );
+    assert_eq!(
+        got, want,
+        "docs/protocol.md is stale; regenerate with \
+         UPDATE_PROTOCOL_MD=1 cargo test -p knit --test proto"
+    );
+}

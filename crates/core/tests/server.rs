@@ -1,0 +1,280 @@
+//! Concurrent-client integration tests for the composition server
+//! (`knit::server`): many clients over a real local socket, byte-identity
+//! against direct sessions, cross-session compile dedupe, gap-free watch
+//! events, and a shutdown that drains in-flight work.
+
+use std::io::{BufRead, BufReader, Write};
+
+use knit::proto::{self, Request, Response, SessionOptions};
+use knit::server::{Conn, Engine, Server};
+
+/// A three-unit program whose `value.c` is parameterized per client —
+/// `App` and `Top` have identical content in every variant, so their
+/// compiles dedupe across sessions while `Value` stays distinct.
+const UNITS: &str = r#"
+bundletype Main = { main }
+bundletype Val = { value }
+unit Value = {
+    exports [ v : Val ];
+    files { "value.c" };
+}
+unit App = {
+    imports [ v : Val ];
+    exports [ m : Main ];
+    depends { exports needs imports; };
+    files { "app.c" };
+}
+unit Top = {
+    exports [ m : Main ];
+    link {
+        val : Value;
+        app : App [ v = val.v ];
+        m = app.m;
+    };
+}
+"#;
+
+const APP_C: &str = "int value();\nint main() { return value(); }\n";
+
+fn value_c(n: i32) -> String {
+    format!("int value() {{ return {n}; }}\n")
+}
+
+fn options() -> SessionOptions {
+    let mut o = SessionOptions::new("Top");
+    o.jobs = Some(1);
+    o
+}
+
+/// `call` + unwrap both transport and protocol errors.
+fn ok(conn: &mut Conn, req: &Request) -> Response {
+    match conn.call(req).expect("transport") {
+        Response::Error { diagnostics } => {
+            panic!("server error: {}", diagnostics[0].human())
+        }
+        resp => resp,
+    }
+}
+
+/// Feed a session its full input set over `conn`.
+fn seed_session(conn: &mut Conn, session: &str, value: i32) {
+    let s = session.to_string();
+    ok(conn, &Request::Open { session: s.clone(), options: options() });
+    ok(conn, &Request::LoadUnits { session: s.clone(), file: "t.unit".into(), text: UNITS.into() });
+    ok(
+        conn,
+        &Request::UpdateSource { session: s.clone(), path: "app.c".into(), text: APP_C.into() },
+    );
+    ok(conn, &Request::UpdateSource { session: s, path: "value.c".into(), text: value_c(value) });
+}
+
+fn build_image(conn: &mut Conn, session: &str) -> (proto::BuildOutcome, cobj::Image) {
+    match ok(conn, &Request::Build { session: session.into(), want_image: true }) {
+        Response::Built { outcome, image } => {
+            let image = proto::decode_image(&image.expect("image requested")).expect("decodes");
+            assert_eq!(proto::image_hash(&image), outcome.image_hash, "hash matches bytes");
+            (outcome, image)
+        }
+        other => panic!("unexpected build response {other:?}"),
+    }
+}
+
+/// What the server must match: the same inputs through a direct
+/// (in-process, lock-guarded) session.
+fn direct_image(value: i32) -> cobj::Image {
+    let engine = Engine::new();
+    let (handle, created) = engine.open_session("direct", &options()).expect("opens");
+    assert!(created);
+    handle.load_units("t.unit", UNITS).expect("units parse");
+    handle.update_source("app.c", APP_C);
+    handle.update_source("value.c", &value_c(value));
+    handle.build().expect("builds").image
+}
+
+/// Four clients on four sessions, concurrently: every wire image is
+/// byte-identical to a direct build of the same inputs, and a fifth
+/// session with repeated content compiles nothing — the shared cache
+/// dedupes across sessions.
+#[test]
+fn concurrent_clients_build_byte_identical_images() {
+    let server = Server::bind(Engine::new(), "auto").expect("binds");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connects");
+                let session = format!("s{i}");
+                let value = 10 + i;
+                seed_session(&mut conn, &session, value);
+                let (outcome, image) = build_image(&mut conn, &session);
+                assert_eq!(outcome.units_compiled + outcome.units_reused, 2);
+                (value, image)
+            })
+        })
+        .collect();
+    for t in threads {
+        let (value, image) = t.join().expect("client thread");
+        assert_eq!(image, direct_image(value), "server image differs for value {value}");
+    }
+
+    // Same content as s0, fresh session: every unit hits the shared cache.
+    let mut conn = Conn::connect(&addr).expect("connects");
+    seed_session(&mut conn, "repeat", 10);
+    let (outcome, image) = build_image(&mut conn, "repeat");
+    assert_eq!(outcome.cache_misses, 0, "all compiles deduped across sessions");
+    assert!(outcome.cache_hits > 0);
+    assert_eq!(image, direct_image(10));
+
+    ok(&mut conn, &Request::Shutdown);
+    handle.join().expect("clean shutdown");
+}
+
+/// Four clients hammer the *same* session (sessions are addressed by
+/// name, not by connection). Every interleaving must serialize on the
+/// session lock: all builds succeed, and once the dust settles a final
+/// deterministic edit rebuilds to the byte-exact direct image.
+#[test]
+fn overlapping_edits_on_a_shared_session_stay_consistent() {
+    let server = Server::bind(Engine::new(), "auto").expect("binds");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    let mut conn = Conn::connect(&addr).expect("connects");
+    seed_session(&mut conn, "shared", 0);
+
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr).expect("connects");
+                for round in 0..4 {
+                    ok(
+                        &mut conn,
+                        &Request::UpdateSource {
+                            session: "shared".into(),
+                            path: "value.c".into(),
+                            text: value_c(100 * i + round),
+                        },
+                    );
+                    // Must always be a successful build of *some*
+                    // client's edit — never a torn source tree.
+                    let (outcome, _) = build_image(&mut conn, "shared");
+                    assert_eq!(outcome.root, "Top");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    ok(
+        &mut conn,
+        &Request::UpdateSource {
+            session: "shared".into(),
+            path: "value.c".into(),
+            text: value_c(77),
+        },
+    );
+    let (_, image) = build_image(&mut conn, "shared");
+    assert_eq!(image, direct_image(77));
+
+    ok(&mut conn, &Request::Shutdown);
+    handle.join().expect("clean shutdown");
+}
+
+/// A subscriber sees every build event exactly once, in order, with a
+/// gap-free per-session sequence — no lost or reordered notifications.
+#[test]
+fn watch_events_stream_gap_free() {
+    let server = Server::bind(Engine::new(), "auto").expect("binds");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    let mut builder = Conn::connect(&addr).expect("connects");
+    seed_session(&mut builder, "watched", 1);
+
+    let mut subscriber = Conn::connect(&addr).expect("connects");
+    match ok(&mut subscriber, &Request::Watch { session: "watched".into() }) {
+        Response::Subscribed { session } => assert_eq!(session, "watched"),
+        other => panic!("unexpected watch response {other:?}"),
+    }
+
+    let mut hashes = Vec::new();
+    for n in 0..5 {
+        ok(
+            &mut builder,
+            &Request::UpdateSource {
+                session: "watched".into(),
+                path: "value.c".into(),
+                text: value_c(n),
+            },
+        );
+        let (outcome, _) = build_image(&mut builder, "watched");
+        hashes.push(outcome.image_hash);
+    }
+
+    for (i, hash) in hashes.iter().enumerate() {
+        let event = subscriber.recv_event().expect("event arrives");
+        assert_eq!(event.session, "watched");
+        assert_eq!(event.seq, i as u64 + 1, "sequence must be gap-free");
+        assert!(event.ok);
+        assert_eq!(event.image_hash, *hash, "event {i} carries its build's hash");
+    }
+
+    ok(&mut builder, &Request::Shutdown);
+    handle.join().expect("clean shutdown");
+}
+
+/// A client may pipeline `shutdown` right behind real work on one
+/// connection: the server answers everything already submitted — in
+/// order, completely — before going down. (Deterministic because one
+/// connection's requests are processed sequentially.)
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = Server::bind(Engine::new(), "tcp:0").expect("binds");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+
+    let tcp = addr.strip_prefix("tcp:").expect("tcp spec");
+    let mut stream = std::net::TcpStream::connect(tcp).expect("connects");
+    let mut burst = String::new();
+    for req in [
+        Request::Hello { version: proto::VERSION },
+        Request::Open { session: "drain".into(), options: options() },
+        Request::LoadUnits { session: "drain".into(), file: "t.unit".into(), text: UNITS.into() },
+        Request::UpdateSource { session: "drain".into(), path: "app.c".into(), text: APP_C.into() },
+        Request::UpdateSource { session: "drain".into(), path: "value.c".into(), text: value_c(5) },
+        Request::Build { session: "drain".into(), want_image: false },
+        Request::Shutdown,
+    ] {
+        burst.push_str(&req.to_json());
+        burst.push('\n');
+    }
+    stream.write_all(burst.as_bytes()).expect("writes");
+    stream.flush().expect("flushes");
+
+    let mut reader = BufReader::new(stream);
+    let mut next = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("reads");
+        Response::from_json(line.trim_end()).expect("parses")
+    };
+    assert_eq!(next(), Response::Hello { version: proto::VERSION });
+    assert_eq!(next(), Response::Opened { created: true });
+    assert_eq!(next(), Response::Ok);
+    assert_eq!(next(), Response::Ok);
+    assert_eq!(next(), Response::Ok);
+    match next() {
+        Response::Built { outcome, image } => {
+            assert_eq!(outcome.units_compiled, 2);
+            assert!(image.is_none());
+        }
+        other => panic!("expected the drained build, got {other:?}"),
+    }
+    assert_eq!(next(), Response::Bye);
+    handle.join().expect("clean shutdown");
+}

@@ -202,8 +202,10 @@ impl Profile {
     }
 }
 
-/// Append `s` to `out` as a JSON string literal.
-pub(crate) fn json_string(out: &mut String, s: &str) {
+/// Append `s` to `out` as a JSON string literal. Public because `knit`'s
+/// protocol codec shares this exact escaping (the two codecs must agree on
+/// the bytes a string serializes to).
+pub fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -98,16 +98,24 @@ pub fn sources() -> SourceTree {
     t
 }
 
+/// The kit's unit declarations as raw `(file, text)` pairs — for callers
+/// that ship them somewhere else (e.g. over the composition-server
+/// protocol) instead of loading them locally.
+pub fn unit_sources() -> [(&'static str, &'static str); 4] {
+    [
+        ("base.unit", include_str!("../corpus/units/base.unit")),
+        ("components.unit", include_str!("../corpus/units/components.unit")),
+        ("kernels.unit", include_str!("../corpus/units/kernels.unit")),
+        ("bench.unit", include_str!("../corpus/units/bench.unit")),
+    ]
+}
+
 /// The kit's unit declarations, loaded into a fresh [`Program`].
 pub fn program() -> Program {
     let mut p = Program::new();
-    p.load_str("base.unit", include_str!("../corpus/units/base.unit")).expect("base.unit parses");
-    p.load_str("components.unit", include_str!("../corpus/units/components.unit"))
-        .expect("components.unit parses");
-    p.load_str("kernels.unit", include_str!("../corpus/units/kernels.unit"))
-        .expect("kernels.unit parses");
-    p.load_str("bench.unit", include_str!("../corpus/units/bench.unit"))
-        .expect("bench.unit parses");
+    for (file, text) in unit_sources() {
+        p.load_str(file, text).unwrap_or_else(|e| panic!("{file} parses: {e}"));
+    }
     p
 }
 
