@@ -100,6 +100,14 @@ fn main() {
         a.cold_ms, a.incremental_ms, a.reanalyzed
     );
 
+    println!("\nrace detector (K1006-K1009) on the 4-core sharded router\n");
+    let ra = bench::race_analyze_time();
+    println!("  units analyzed: {}   diagnostics: {}", ra.units, ra.diagnostics);
+    println!(
+        "  cold analysis: {:.3} ms   one-edit re-analysis: {:.3} ms ({} unit resummarized)",
+        ra.cold_ms, ra.incremental_ms, ra.reanalyzed
+    );
+
     if let Some(path) = json_path() {
         let mut out = String::from("{\n  \"version\": 1,\n  \"phases\": [\n");
         for (i, (name, pct)) in phases.iter().enumerate() {
@@ -123,8 +131,12 @@ fn main() {
             ));
         }
         out.push_str(&format!(
-            "  ],\n  \"analyze\": {{\"units\": {}, \"diagnostics\": {}, \"cold_ms\": {:.3}, \"incremental_ms\": {:.3}, \"reanalyzed\": {}}}\n}}\n",
+            "  ],\n  \"analyze\": {{\"units\": {}, \"diagnostics\": {}, \"cold_ms\": {:.3}, \"incremental_ms\": {:.3}, \"reanalyzed\": {}}},\n",
             a.units, a.diagnostics, a.cold_ms, a.incremental_ms, a.reanalyzed
+        ));
+        out.push_str(&format!(
+            "  \"race_analyze\": {{\"units\": {}, \"diagnostics\": {}, \"cold_ms\": {:.3}, \"incremental_ms\": {:.3}, \"reanalyzed\": {}}}\n}}\n",
+            ra.units, ra.diagnostics, ra.cold_ms, ra.incremental_ms, ra.reanalyzed
         ));
         if let Err(e) = std::fs::write(&path, out) {
             eprintln!("build_time: cannot write {path}: {e}");

@@ -757,6 +757,47 @@ pub fn analyze_time() -> AnalyzeTimeRow {
     }
 }
 
+/// Time the concurrency lints (K1006–K1009, DESIGN.md §11) on the 4-core
+/// sharded router — the interprocedural lockset fixpoint runs inside
+/// `analyze`, so this is the same memoized pipeline as [`analyze_time`]
+/// but on the multi-core composition whose shared statics actually
+/// exercise it. Asserts the smoke contract: the intact router is
+/// concurrency-lint-clean and a one-file edit resummarizes one unit.
+pub fn race_analyze_time() -> AnalyzeTimeRow {
+    let (p, t, opts) = clack::mc_router_build_inputs(4, false).expect("mc inputs");
+    let edited = format!("{}\n/* bench poke */\n", t.get("counter.c").expect("counter.c"));
+    let config = knit::LintConfig::new();
+    let mut session = knit::BuildSession::from_parts(p, t, opts);
+
+    let start = std::time::Instant::now();
+    let cold = session.analyze(&config).expect("router analyzes");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    let runs_cold = session.stats().analyze.runs;
+    let conc = |r: &knit::AnalysisReport| {
+        r.diagnostics
+            .iter()
+            .filter(|d| ["K1006", "K1007", "K1008", "K1009"].contains(&d.code))
+            .count()
+    };
+    assert_eq!(conc(&cold), 0, "the intact sharded router must be race-lint-clean");
+
+    session.update_source("counter.c", &edited);
+    let start = std::time::Instant::now();
+    let incr = session.analyze(&config).expect("router re-analyzes");
+    let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reanalyzed = session.stats().analyze.runs - runs_cold;
+    assert_eq!(reanalyzed, 1, "one edit must resummarize exactly one unit");
+    assert_eq!(conc(&incr), 0, "a comment edit must not change the race verdicts");
+
+    AnalyzeTimeRow {
+        units: cold.units_analyzed,
+        diagnostics: cold.diagnostics.len(),
+        cold_ms,
+        incremental_ms,
+        reanalyzed,
+    }
+}
+
 /// Per-phase build times for a configuration.
 pub fn build_time_breakdown() -> Vec<(String, f64)> {
     let report = build_clack_router(&ip_router(), false).expect("router builds");

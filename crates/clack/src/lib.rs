@@ -35,7 +35,7 @@ use knit::{build, BuildOptions, BuildReport, KnitError, Program, SourceTree};
 
 pub use graph::{ip_router, ElemType, Graph};
 pub use harness::{RouterHarness, RouterMeasurement};
-pub use mc::{build_mc_router, McMeasurement, MultiRouterHarness};
+pub use mc::{build_mc_router, mc_router_build_inputs, McMeasurement, MultiRouterHarness};
 
 /// The Clack element sources as a source tree.
 pub fn sources() -> SourceTree {

@@ -31,11 +31,18 @@
 //! * **K1005 `flatten-hazard`** — constructs the flattening inliner (§6)
 //!   bails on inside a `flatten` group: varargs, address-taken functions,
 //!   self-recursion, and same-named statics across the unit's files.
+//! * **K1006–K1009** — the concurrency lints of the cross-unit lockset
+//!   race analysis (the `race` submodule): unguarded shared writes, inconsistent
+//!   locks, lock leaks, and lock-free read-modify-writes of shared
+//!   statics, for compositions whose root exports two or more
+//!   concurrently-drivable ports.
 //!
 //! [`BuildSession::analyze`](crate::session::BuildSession::analyze)
 //! memoizes per-unit summaries by declaration fingerprint and source
 //! reads, so an incremental session re-analyzes exactly the units an edit
 //! touched. The one-shot entry point is [`lint`].
+
+pub(crate) mod race;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -120,6 +127,34 @@ pub const LINTS: &[Lint] = &[
         summary: "a flattened unit uses constructs the cross-unit inliner bails on",
         example: "int chatter(int n, ...) { ... }  // varargs are never inlined (§6)",
     },
+    Lint {
+        code: "K1006",
+        name: "unguarded-shared-write",
+        default_level: LintLevel::Warn,
+        summary: "a static reachable from two or more root export closures is written with no lock held",
+        example: "sq_copy(ring[slot], p->data, n);  // called from router0 and router1, no `lock = 1` first",
+    },
+    Lint {
+        code: "K1007",
+        name: "inconsistent-lock",
+        default_level: LintLevel::Warn,
+        summary: "the same shared static is guarded by different locks on different paths",
+        example: "while (lock_a) { } lock_a = 1; n++;  // but pop() guards `n` with lock_b",
+    },
+    Lint {
+        code: "K1008",
+        name: "lock-leak",
+        default_level: LintLevel::Warn,
+        summary: "a function can return while still holding a spin lock it acquired",
+        example: "lock = 1; if (fault) return -1;  // the early return skips `lock = 0`",
+    },
+    Lint {
+        code: "K1009",
+        name: "atomicity-hint",
+        default_level: LintLevel::Warn,
+        summary: "a read-modify-write of a shared static happens outside any lock region",
+        example: "contended++;  // racing increments from two cores lose updates",
+    },
 ];
 
 /// Normalize a lint name: pragmas use `_` (the `.unit` lexer has no `-`
@@ -202,6 +237,8 @@ pub(crate) struct UnitSummary {
     /// Source-tree paths read while summarizing (files plus includes);
     /// the session evicts the summary when any of them changes.
     pub(crate) reads: BTreeSet<String>,
+    /// Lock-skeleton facts for the race lints (K1006–K1009).
+    pub(crate) race: race::RaceSummary,
 }
 
 /// Parse (but do not compile) every file of `unit_name` and summarize it.
@@ -222,6 +259,7 @@ pub(crate) fn summarize_unit(
     let recorder = RecordingTree::new(tree);
     let mut summary = UnitSummary::default();
     let mut statics_seen: BTreeSet<String> = BTreeSet::new();
+    let mut parsed: Vec<cmini::ast::TranslationUnit> = Vec::new();
     for file in &body.files {
         recorder.note(file);
         if let Some(obj) = tree.get_object(file) {
@@ -254,7 +292,9 @@ pub(crate) fn summarize_unit(
             }
         }
         merge_uses(&mut summary.uses, &uses);
+        parsed.push(tu);
     }
+    summary.race = race::race_summary(&parsed);
     summary.reads = recorder.reads.into_inner();
     Ok(summary)
 }
@@ -581,6 +621,9 @@ fn run_lints(
             }
         }
     }
+
+    // --- K1006–K1009: the cross-unit lockset race analysis ---
+    race::run_race_lints(program, el, summaries, config, &mut diags);
 
     diags
 }

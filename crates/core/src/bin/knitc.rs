@@ -449,7 +449,7 @@ fn explain_cmd(code: &str) -> ExitCode {
         _ => {
             eprintln!(
                 "knitc: unknown diagnostic code `{code}` \
-                 (errors are K0001–K0017, lints K1001–K1005)"
+                 (errors are K0001–K0017, lints K1001–K1009)"
             );
             ExitCode::FAILURE
         }

@@ -34,6 +34,39 @@ fn expected_json_lines() -> Vec<String> {
     JSON_TEMPLATE.iter().map(|t| t.replace("{file}", LINTS_UNIT)).collect()
 }
 
+const RACES_UNIT: &str = "../../examples/lints/races.unit";
+
+/// The four diagnostics of the intentionally racy `examples/lints/races.unit`
+/// composition — one per concurrency lint — in canonical order.
+const RACE_JSON_TEMPLATE: [&str; 4] = [
+    r#"{"code":"K1006","severity":"warning","message":"unit `RaceLog`: shared static `events` is written with no lock held in `log_event`","span":{"file":"{file}","line":21,"col":1},"notes":["instances { RaceDemo/log }, reachable from root exports { w0, w1 }","guard every access with one spin lock (`while (L) { } L = 1; ... L = 0;`)"]}"#,
+    r#"{"code":"K1007","severity":"warning","message":"unit `RaceLog`: shared static `depth` is guarded by different locks on different paths (first write in `log_pop`)","span":{"file":"{file}","line":21,"col":1},"notes":["instances { RaceDemo/log }, reachable from root exports { w0, w1 }","observed write locksets: { RaceDemo/log.lock_a } vs { RaceDemo/log.lock_b }"]}"#,
+    r#"{"code":"K1008","severity":"warning","message":"unit `RaceLog`: function `log_begin` can return while still holding lock `lock_a`","span":{"file":"{file}","line":21,"col":1},"notes":["release it (`lock_a = 0`) on every path to return, or `#[allow(lock_leak)]` the unit if it is a lock provider"]}"#,
+    r#"{"code":"K1009","severity":"warning","message":"unit `RaceLog`: read-modify-write of shared static `hits` outside any lock region in `log_event`","span":{"file":"{file}","line":21,"col":1},"notes":["instances { RaceDemo/log }, reachable from root exports { w0, w1 }","racing `hits++` loses updates; guard it, or `#[allow(atomicity_hint)]` if approximate counts are acceptable"]}"#,
+];
+
+fn expected_race_json_lines() -> Vec<String> {
+    RACE_JSON_TEMPLATE.iter().map(|t| t.replace("{file}", RACES_UNIT)).collect()
+}
+
+#[test]
+fn json_race_run_is_golden() {
+    let out = knitc(&[
+        "lint",
+        "--error-format=json",
+        "--root",
+        "RaceDemo",
+        "--src",
+        LINTS_SRC,
+        RACES_UNIT,
+    ]);
+    assert!(out.status.success(), "warnings alone must not fail the run");
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "", "JSON mode prints no summary");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let lines: Vec<&str> = stderr.lines().collect();
+    assert_eq!(lines, expected_race_json_lines(), "pinned race-lint JSON output drifted");
+}
+
 #[test]
 fn json_warning_run_is_golden() {
     let out = knitc(&[

@@ -278,3 +278,96 @@ fn shutdown_drains_in_flight_requests() {
     assert_eq!(next(), Response::Bye);
     handle.join().expect("clean shutdown");
 }
+
+/// `knitc lint --connect` semantics: the same racy example produces a
+/// byte-identical diagnostic stream over a real socket and through a
+/// direct in-process session, and the per-session analyze memo survives
+/// the server round-trip — a repeat lint reuses every unit summary, and
+/// a one-file edit re-summarizes exactly the unit that reads it.
+#[test]
+fn lint_over_the_wire_is_byte_identical_and_memoized() {
+    let dir = "../../examples/lints";
+    let unit = std::fs::read_to_string(format!("{dir}/races.unit")).expect("races.unit");
+    let log = std::fs::read_to_string(format!("{dir}/race_log.c")).expect("race_log.c");
+    let worker = std::fs::read_to_string(format!("{dir}/race_worker.c")).expect("race_worker.c");
+    let mut options = SessionOptions::new("RaceDemo");
+    options.jobs = Some(1);
+
+    // the reference: a direct in-process session over the same inputs
+    let direct = Engine::new();
+    let (h, _) = direct.open_session("direct", &options).expect("opens");
+    h.load_units("examples/lints/races.unit", &unit).expect("units parse");
+    h.update_source("race_log.c", &log);
+    h.update_source("race_worker.c", &worker);
+    let local = h.analyze(&knit::LintConfig::new()).expect("analyzes");
+    let render = |ds: &[knit::Diagnostic]| ds.iter().map(|d| d.json()).collect::<Vec<_>>();
+
+    // Engine is Arc-shared: keep a clone so the server-side session's
+    // stats stay observable after the wire requests.
+    let engine = Engine::new();
+    let server = Server::bind(engine.clone(), "auto").expect("binds");
+    let addr = server.addr().to_string();
+    let handle = server.spawn();
+    let mut conn = Conn::connect(&addr).expect("connects");
+    let sid = || "race".to_string();
+    ok(&mut conn, &Request::Open { session: sid(), options: options.clone() });
+    ok(
+        &mut conn,
+        &Request::LoadUnits {
+            session: sid(),
+            file: "examples/lints/races.unit".into(),
+            text: unit.clone(),
+        },
+    );
+    ok(&mut conn, &Request::UpdateSource { session: sid(), path: "race_log.c".into(), text: log });
+    ok(
+        &mut conn,
+        &Request::UpdateSource {
+            session: sid(),
+            path: "race_worker.c".into(),
+            text: worker.clone(),
+        },
+    );
+    let lint = |conn: &mut Conn| match ok(
+        conn,
+        &Request::Lint { session: sid(), config: proto::LintOptions::default() },
+    ) {
+        Response::Linted { units_analyzed, warnings, errors, diagnostics } => {
+            assert_eq!((units_analyzed, warnings, errors), (2, 4, 0));
+            diagnostics
+        }
+        other => panic!("unexpected lint response {other:?}"),
+    };
+
+    let wire = lint(&mut conn);
+    assert_eq!(render(&wire), render(&local.diagnostics), "wire lint differs from local");
+    assert_eq!(render(&lint(&mut conn)), render(&wire), "repeat lint must be stable");
+
+    let (h, created) = engine.open_session("race", &options).expect("reopens");
+    assert!(!created, "must observe the server's session, not a fresh one");
+    let stats = h.stats();
+    assert_eq!(
+        (stats.analyze.runs, stats.analyze.reuses),
+        (2, 2),
+        "first lint summarizes both units, the repeat reuses both"
+    );
+
+    ok(
+        &mut conn,
+        &Request::UpdateSource {
+            session: sid(),
+            path: "race_worker.c".into(),
+            text: format!("{worker}\n"),
+        },
+    );
+    lint(&mut conn);
+    let stats = h.stats();
+    assert_eq!(
+        (stats.analyze.runs, stats.analyze.reuses),
+        (3, 3),
+        "a worker edit re-summarizes exactly RaceWorker"
+    );
+
+    ok(&mut conn, &Request::Shutdown);
+    handle.join().expect("clean shutdown");
+}

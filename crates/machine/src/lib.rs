@@ -35,7 +35,7 @@ pub use costs::CostModel;
 pub use cpu::{ExecMode, Fault, Machine, PerfCounters, RunLimits};
 pub use dev::{Console, NetDev};
 pub use mc::MultiMachine;
-pub use mesi::{AccessCost, Bus, BusStats, DCacheParams, LineState};
+pub use mesi::{AccessCost, Bus, BusStats, DCacheParams, LineState, RaceEvent};
 pub use profile::{CallEdge, FuncCount, Profile};
 
 /// Names of all runtime intrinsics the machine provides, for use as

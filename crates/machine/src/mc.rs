@@ -23,7 +23,7 @@ use std::rc::Rc;
 use cobj::image::Image;
 
 use crate::cpu::{Coherence, Fault, Machine};
-use crate::mesi::{Bus, BusStats};
+use crate::mesi::{Bus, BusStats, RaceEvent};
 use crate::{CostModel, ExecMode, NetDev, PerfCounters, RunLimits};
 
 /// N coherent cores over one image and one shared guest memory.
@@ -152,6 +152,24 @@ impl MultiMachine {
     /// Bus-level transaction counts.
     pub fn bus_stats(&self) -> BusStats {
         self.bus.borrow().stats()
+    }
+
+    /// Arm the dynamic lockset race oracle over the watched address range
+    /// with the given lock words (see [`Bus::race_check_enable`]). Charges
+    /// no cycles; Fast/Reference bit-identity is unaffected.
+    pub fn race_check_enable(&mut self, watch_base: u64, watch_len: usize, locks: &[(u64, u64)]) {
+        self.bus.borrow_mut().race_check_enable(watch_base, watch_len, locks);
+    }
+
+    /// Exclude address ranges from the armed oracle (see
+    /// [`Bus::race_exempt`]).
+    pub fn race_exempt(&mut self, ranges: &[(u64, u64)]) {
+        self.bus.borrow_mut().race_exempt(ranges);
+    }
+
+    /// Lockset violations the armed oracle has recorded so far.
+    pub fn race_events(&self) -> Vec<RaceEvent> {
+        self.bus.borrow().race_events()
     }
 
     /// Check the MESI protocol invariants across all cores.

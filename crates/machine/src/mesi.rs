@@ -25,6 +25,157 @@
 
 use std::collections::VecDeque;
 
+/// Eraser lockset state of one watched byte (Savage et al., SOSP '97).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShadowState {
+    /// Never accessed since the checker was armed.
+    Virgin,
+    /// Accessed by exactly one core so far (initialization pattern).
+    Exclusive,
+    /// Read by multiple cores, never written after the second arrived.
+    Shared,
+    /// Written with multiple cores involved; lockset violations report.
+    SharedModified,
+}
+
+/// Shadow word for one watched byte: Eraser state machine plus the
+/// candidate lockset (bitmask over the registered lock words).
+#[derive(Debug, Clone, Copy)]
+struct ShadowCell {
+    state: ShadowState,
+    /// Owning core while `Exclusive`.
+    owner: u8,
+    /// Candidate lockset; starts at "all locks" when the second core
+    /// arrives and is intersected with the accessor's held set after.
+    lockset: u32,
+    /// Index into the lock-word table if this byte *is* a lock word
+    /// (lock words are the synchronization itself, never checked).
+    lock_idx: u8,
+    /// Excluded from checking — the dynamic mirror of a static
+    /// `#[allow(atomicity_hint)]` on a deliberately approximate counter.
+    exempt: bool,
+    /// A violation was already reported for this byte.
+    reported: bool,
+}
+
+const NOT_A_LOCK: u8 = u8::MAX;
+
+/// One dynamic lockset violation: a byte in `SharedModified` state was
+/// accessed while its candidate lockset was empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceEvent {
+    /// Guest address of the first violating byte.
+    pub addr: u64,
+    /// Core performing the violating access.
+    pub core: usize,
+    /// Whether the violating access was a store.
+    pub write: bool,
+}
+
+/// The dynamic race oracle: shadows every coherent guest load/store with
+/// the accessing core's currently-held lock-word set and runs the Eraser
+/// state machine per watched byte. Piggybacks on the bus (all coherent
+/// traffic already funnels through [`Bus::read`]/[`Bus::write`]); charges
+/// no cycles, so enabling it perturbs neither timing nor Fast/Reference
+/// bit-identity. DMA traffic is host-side and exempt.
+#[derive(Debug)]
+struct RaceCheck {
+    /// Watched range `[base, base + cells.len())` — the static data
+    /// segment; stacks and code are per-core or read-only.
+    base: u64,
+    cells: Vec<ShadowCell>,
+    /// Registered lock words as `(addr, len)`; at most 32.
+    locks: Vec<(u64, u64)>,
+    /// Per-core held-lock bitmask, updated by stores to lock words
+    /// (nonzero store = acquire, zero store = release — the spin idiom).
+    held: Vec<u32>,
+    events: Vec<RaceEvent>,
+}
+
+impl RaceCheck {
+    fn new(base: u64, len: usize, locks: &[(u64, u64)], ncores: usize) -> RaceCheck {
+        assert!(locks.len() <= 32, "the race oracle tracks at most 32 lock words");
+        let mut cells = vec![
+            ShadowCell {
+                state: ShadowState::Virgin,
+                owner: 0,
+                lockset: u32::MAX,
+                lock_idx: NOT_A_LOCK,
+                exempt: false,
+                reported: false,
+            };
+            len
+        ];
+        for (i, &(laddr, llen)) in locks.iter().enumerate() {
+            for b in laddr..laddr + llen {
+                if b >= base && b < base + len as u64 {
+                    cells[(b - base) as usize].lock_idx = i as u8;
+                }
+            }
+        }
+        RaceCheck { base, cells, locks: locks.to_vec(), held: vec![0; ncores], events: Vec::new() }
+    }
+
+    /// Update `core`'s held set if this store hits a lock word: any
+    /// nonzero byte stored is an acquire, an all-zero store a release.
+    fn note_store(&mut self, core: usize, addr: u64, bytes: &[u8]) {
+        for (i, &(laddr, llen)) in self.locks.iter().enumerate() {
+            let end = addr + bytes.len() as u64;
+            if addr < laddr + llen && laddr < end {
+                if bytes.iter().any(|&b| b != 0) {
+                    self.held[core] |= 1 << i;
+                } else {
+                    self.held[core] &= !(1 << i);
+                }
+            }
+        }
+    }
+
+    /// Run the Eraser transition for every watched byte of the access.
+    fn access(&mut self, core: usize, addr: u64, len: usize, write: bool) {
+        let held = self.held[core];
+        let end = (addr + len as u64).min(self.base + self.cells.len() as u64);
+        let start = addr.max(self.base);
+        let mut event_pushed = false;
+        for a in start..end {
+            let cell = &mut self.cells[(a - self.base) as usize];
+            if cell.lock_idx != NOT_A_LOCK || cell.exempt {
+                continue;
+            }
+            match cell.state {
+                ShadowState::Virgin => {
+                    cell.state = ShadowState::Exclusive;
+                    cell.owner = core as u8;
+                }
+                ShadowState::Exclusive if cell.owner == core as u8 => {}
+                ShadowState::Exclusive => {
+                    // Second core arrived: refinement starts here.
+                    cell.lockset = held;
+                    cell.state =
+                        if write { ShadowState::SharedModified } else { ShadowState::Shared };
+                }
+                ShadowState::Shared => {
+                    cell.lockset &= held;
+                    if write {
+                        cell.state = ShadowState::SharedModified;
+                    }
+                }
+                ShadowState::SharedModified => {
+                    cell.lockset &= held;
+                }
+            }
+            if cell.state == ShadowState::SharedModified && cell.lockset == 0 && !cell.reported {
+                cell.reported = true;
+                // One event per violating access, not per violating byte.
+                if !event_pushed {
+                    event_pushed = true;
+                    self.events.push(RaceEvent { addr: a, core, write });
+                }
+            }
+        }
+    }
+}
+
 /// Geometry and penalties of the per-core data caches and the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DCacheParams {
@@ -157,6 +308,8 @@ pub struct Bus {
     /// Delayed write-backs: (global line number, line data).
     pending_wb: VecDeque<(u64, Vec<u8>)>,
     stats: BusStats,
+    /// Optional dynamic race oracle (see [`Bus::race_check_enable`]).
+    race: Option<RaceCheck>,
 }
 
 impl Bus {
@@ -177,7 +330,36 @@ impl Bus {
             mem_base,
             pending_wb: VecDeque::new(),
             stats: BusStats::default(),
+            race: None,
         }
+    }
+
+    /// Arm the dynamic lockset oracle over `[watch_base, watch_base +
+    /// watch_len)` (the static data segment) with the given lock words.
+    /// Every subsequent coherent load/store runs the Eraser state machine;
+    /// no cycles are charged, so execution timing is unchanged.
+    pub fn race_check_enable(&mut self, watch_base: u64, watch_len: usize, locks: &[(u64, u64)]) {
+        let ncores = self.caches.len();
+        self.race = Some(RaceCheck::new(watch_base, watch_len, locks, ncores));
+    }
+
+    /// Exclude address ranges from an armed oracle — the dynamic mirror
+    /// of `#[allow(atomicity_hint)]` on deliberately approximate counters.
+    /// No-op when the oracle is not enabled.
+    pub fn race_exempt(&mut self, ranges: &[(u64, u64)]) {
+        if let Some(rc) = &mut self.race {
+            for &(addr, len) in ranges {
+                let end = (addr + len).min(rc.base + rc.cells.len() as u64);
+                for a in addr.max(rc.base)..end {
+                    rc.cells[(a - rc.base) as usize].exempt = true;
+                }
+            }
+        }
+    }
+
+    /// Lockset violations recorded so far (at most one per byte address).
+    pub fn race_events(&self) -> Vec<RaceEvent> {
+        self.race.as_ref().map(|r| r.events.clone()).unwrap_or_default()
     }
 
     /// Number of cores on the bus.
@@ -367,6 +549,9 @@ impl Bus {
     /// copy the bytes out of `core`'s cache. The caller has already
     /// bounds-checked `[addr, addr + out.len())`.
     pub fn read(&mut self, core: usize, addr: u64, out: &mut [u8]) -> AccessCost {
+        if let Some(rc) = self.race.as_mut() {
+            rc.access(core, addr, out.len(), false);
+        }
         let mut cost = AccessCost::default();
         let (first, last) = self.line_range(addr, out.len());
         for lineno in first..=last {
@@ -380,6 +565,10 @@ impl Bus {
     /// write the bytes into `core`'s cache (memory is updated at
     /// write-back time).
     pub fn write(&mut self, core: usize, addr: u64, bytes: &[u8]) -> AccessCost {
+        if let Some(rc) = self.race.as_mut() {
+            rc.access(core, addr, bytes.len(), true);
+            rc.note_store(core, addr, bytes);
+        }
         let mut cost = AccessCost::default();
         let (first, last) = self.line_range(addr, bytes.len());
         for lineno in first..=last {
@@ -687,6 +876,72 @@ mod tests {
         b.read(1, 0x1000, &mut buf2);
         assert_eq!(buf2, [8; 4]);
         b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn race_check_flags_unlocked_shared_write() {
+        let mut b = small_bus(2);
+        // Lock word at 0x1200, watched data covers the whole kilobyte.
+        b.race_check_enable(0x1000, 1024, &[(0x1200, 8)]);
+        // Core 0 initializes the counter: Virgin -> Exclusive, no report.
+        b.write(0, 0x1100, &[1; 8]);
+        assert!(b.race_events().is_empty());
+        // Core 1 writes it with no lock held: SharedModified, empty set.
+        b.write(1, 0x1100, &[2; 8]);
+        let ev = b.race_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0], RaceEvent { addr: 0x1100, core: 1, write: true });
+        // Further accesses to the same bytes do not re-report.
+        b.write(0, 0x1100, &[3; 8]);
+        assert_eq!(b.race_events().len(), 1);
+    }
+
+    #[test]
+    fn race_check_accepts_consistent_locking() {
+        let mut b = small_bus(2);
+        b.race_check_enable(0x1000, 1024, &[(0x1200, 8)]);
+        let one = 1u64.to_le_bytes();
+        let zero = 0u64.to_le_bytes();
+        for core in [0usize, 1, 0, 1] {
+            b.write(core, 0x1200, &one); // acquire
+            let mut v = [0u8; 8];
+            b.read(core, 0x1100, &mut v);
+            b.write(core, 0x1100, &[5; 8]);
+            b.write(core, 0x1200, &zero); // release
+        }
+        assert!(b.race_events().is_empty());
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn race_check_read_sharing_is_silent_but_mixed_lock_write_reports() {
+        let mut b = small_bus(2);
+        b.race_check_enable(0x1000, 1024, &[(0x1200, 8), (0x1208, 8)]);
+        // Read-only sharing never reports, even with no locks held.
+        b.write(0, 0x1080, &[9; 8]);
+        let mut v = [0u8; 8];
+        b.read(1, 0x1080, &mut v);
+        b.read(0, 0x1080, &mut v);
+        assert!(b.race_events().is_empty());
+        // Two cores writing the same word under *different* locks: the
+        // candidate lockset intersects to empty and reports.
+        let one = 1u64.to_le_bytes();
+        let zero = 0u64.to_le_bytes();
+        b.write(0, 0x1200, &one);
+        b.write(0, 0x1100, &[1; 8]);
+        b.write(0, 0x1200, &zero);
+        b.write(1, 0x1208, &one);
+        b.write(1, 0x1100, &[2; 8]);
+        b.write(1, 0x1208, &zero);
+        // Refinement starts at the second core, so the third access is
+        // where {lock A} ∩ {lock B} collapses to ∅.
+        assert!(b.race_events().is_empty());
+        b.write(0, 0x1200, &one);
+        b.write(0, 0x1100, &[3; 8]);
+        b.write(0, 0x1200, &zero);
+        let ev = b.race_events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].core, 0);
     }
 
     #[test]

@@ -1,0 +1,39 @@
+/* A shared event log with every lock-discipline mistake the analyzer
+ * knows about, one per static. Two spin locks exist; the statics below
+ * are guarded badly on purpose. */
+
+static int lock_a;
+static int lock_b;
+
+static int events; /* K1006: written with no lock held */
+static int depth;  /* K1007: lock_a on one path, lock_b on the other */
+static int hits;   /* K1009: unguarded read-modify-write */
+
+void log_event(int v)
+{
+    events = v;
+    hits++;
+}
+
+void log_push(int v)
+{
+    while (lock_a) { }
+    lock_a = 1;
+    depth = depth + v;
+    lock_a = 0;
+}
+
+void log_pop(int v)
+{
+    while (lock_b) { }
+    lock_b = 1;
+    depth = depth - v;
+    lock_b = 0;
+}
+
+int log_begin(void)
+{
+    while (lock_a) { }
+    lock_a = 1;
+    return depth; /* oops: no lock_a = 0 on the way out */
+}

@@ -1,0 +1,16 @@
+/* One core's worker: hammers the shared log through every entry point.
+ * log_begin comes last so the leaked lock_a does not (accidentally)
+ * guard the earlier calls in this function's lockset. */
+
+void log_event(int v);
+void log_push(int v);
+void log_pop(int v);
+int log_begin(void);
+
+int work(int n)
+{
+    log_event(n);
+    log_push(n);
+    log_pop(n);
+    return log_begin();
+}

@@ -1,0 +1,304 @@
+//! Differential verification of the cross-unit race detector
+//! (`knit::analyze`, lints K1006–K1009) against the dynamic lockset
+//! oracle in `machine` (DESIGN.md §11).
+//!
+//! A seeded generator emits random 2–4-core compositions — one shared
+//! unit full of spin-lock-guarded statics, one worker unit instantiated
+//! per core, a root exporting one `Work` port per core — whose baseline
+//! lock discipline is correct by construction. Each baseline is then
+//! re-generated with one seeded lock-discipline mutation:
+//!
+//! * `DropAcquire`  — delete a `lk = 1;`              → K1006
+//! * `DropRelease`  — delete a `lk = 0;`              → K1008
+//! * `SwapLock`     — guard a body with the other lock → K1007
+//! * `EscapeRegion` — write a shared static after release → K1006
+//! * `UnguardedRmw` — add a bare `ctr++` entry point   → K1009
+//!
+//! The static side must flag **every** mutant (zero false negatives,
+//! ≥100 mutants), and every statically-clean baseline must run race-free
+//! under the dynamic oracle at its generated core count. One targeted
+//! case closes the loop in the other direction: a `DropAcquire` mutant
+//! actually executed on two cores trips the oracle.
+//!
+//! Failures print the generated seed; replay one case with
+//! `SIMPERF_SEED=<n> cargo test --test races`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use knit_repro::clack::{self, packets};
+use knit_repro::knit::{build, lint, BuildOptions, LintConfig, Program, SourceTree};
+use knit_repro::machine::{self, MultiMachine};
+
+mod common;
+use common::{override_seed, repro};
+
+const CONC_LINTS: [&str; 4] = ["K1006", "K1007", "K1008", "K1009"];
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mutation {
+    DropAcquire,
+    DropRelease,
+    SwapLock,
+    EscapeRegion,
+    UnguardedRmw,
+}
+
+const MUTATIONS: [(Mutation, &str); 5] = [
+    (Mutation::DropAcquire, "K1006"),
+    (Mutation::DropRelease, "K1008"),
+    (Mutation::SwapLock, "K1007"),
+    (Mutation::EscapeRegion, "K1006"),
+    (Mutation::UnguardedRmw, "K1009"),
+];
+
+struct Fuzz {
+    program: Program,
+    tree: SourceTree,
+    opts: BuildOptions,
+    ncores: usize,
+}
+
+/// Generate the seed's composition, optionally with one mutation folded
+/// in. The program *structure* (core count, functions, statics, which
+/// function touches what) depends only on `seed`, so a mutant differs
+/// from its baseline by exactly the mutation.
+///
+/// Discipline by construction: two spin locks `lk0`/`lk1`; static `s{i}`
+/// is owned by lock `lk{i%2}`; function `api{f}` holds lock `lk{f%2}`
+/// for its whole body and touches only statics it owns, always including
+/// `s{f%2}` — so `s0` is written by every even function, which is what
+/// `SwapLock` (applied to `api2`) needs to manufacture an inconsistency.
+fn gen_fuzz(seed: u64, mutation: Option<Mutation>) -> Fuzz {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ncores = rng.random_range(2usize..5);
+    let nfuncs = rng.random_range(3usize..5);
+    let nstatics = rng.random_range(2usize..5);
+    let with_array = rng.random_range(0u32..2) == 1;
+
+    let mut shared = String::new();
+    // Lock words are non-`static` so they stay link-visible (mangled
+    // `lk{n}_p<inst>`) and the oracle can register them by name.
+    shared.push_str("int lk0;\nint lk1;\n");
+    for i in 0..nstatics {
+        shared.push_str(&format!("static int s{i};\n"));
+    }
+    if with_array {
+        shared.push_str("static int buf[4];\n");
+    }
+    if mutation == Some(Mutation::UnguardedRmw) {
+        shared.push_str("static int poke_ctr;\n");
+    }
+    for f in 0..nfuncs {
+        let lock = f % 2;
+        let swapped = if mutation == Some(Mutation::SwapLock) && f == 2 { 1 - lock } else { lock };
+        shared.push_str(&format!("\nvoid api{f}(int v)\n{{\n"));
+        shared.push_str(&format!("    while (lk{swapped}) {{ }}\n"));
+        if !(mutation == Some(Mutation::DropAcquire) && f == 0) {
+            shared.push_str(&format!("    lk{swapped} = 1;\n"));
+        }
+        shared.push_str(&format!("    s{lock} = s{lock} + v;\n"));
+        for i in 0..nstatics {
+            if i % 2 == lock && i != lock && rng.random_range(0u32..2) == 1 {
+                match rng.random_range(0u32..3) {
+                    0 => shared.push_str(&format!("    s{i}++;\n")),
+                    1 => shared.push_str(&format!("    s{i} = v;\n")),
+                    _ => shared.push_str(&format!("    if (v > 3) {{ s{i} = s{i} - 1; }}\n")),
+                }
+            }
+        }
+        if with_array && lock == 0 {
+            shared.push_str("    buf[v & 3] = v;\n");
+        }
+        if !(mutation == Some(Mutation::DropRelease) && f == 0) {
+            shared.push_str(&format!("    lk{swapped} = 0;\n"));
+        }
+        if mutation == Some(Mutation::EscapeRegion) && f == 1 {
+            shared.push_str("    s0 = v;\n");
+        }
+        shared.push_str("}\n");
+    }
+    if mutation == Some(Mutation::UnguardedRmw) {
+        shared.push_str("\nvoid poke(void)\n{\n    poke_ctr++;\n}\n");
+    }
+
+    let mut api: Vec<String> = (0..nfuncs).map(|f| format!("api{f}")).collect();
+    if mutation == Some(Mutation::UnguardedRmw) {
+        api.push("poke".into());
+    }
+
+    let mut worker = String::new();
+    for f in &api {
+        if f == "poke" {
+            worker.push_str("void poke(void);\n");
+        } else {
+            worker.push_str(&format!("void {f}(int v);\n"));
+        }
+    }
+    worker.push_str("\nint work(int n)\n{\n    int i;\n    for (i = 0; i < 2; i++) {\n");
+    for f in &api {
+        if f == "poke" {
+            worker.push_str("        poke();\n");
+        } else {
+            worker.push_str(&format!("        {f}(n + i);\n"));
+        }
+    }
+    worker.push_str("    }\n    return 0;\n}\n");
+
+    let mut unit = String::new();
+    unit.push_str(&format!("bundletype Api = {{ {} }}\n", api.join(", ")));
+    unit.push_str("bundletype Work = { work }\n");
+    unit.push_str("unit Shared = { exports [ api : Api ]; files { \"shared.c\" }; }\n");
+    unit.push_str(
+        "unit Worker = {\n    imports [ api : Api ];\n    exports [ w : Work ];\n    \
+         depends { exports needs imports; };\n    files { \"worker.c\" };\n}\n",
+    );
+    unit.push_str("unit Fuzz = {\n    exports [ ");
+    unit.push_str(&(0..ncores).map(|c| format!("w{c} : Work")).collect::<Vec<_>>().join(", "));
+    unit.push_str(" ];\n    link {\n        s : Shared;\n");
+    for c in 0..ncores {
+        unit.push_str(&format!("        c{c} : Worker [ api = s.api ];\n"));
+    }
+    for c in 0..ncores {
+        unit.push_str(&format!("        w{c} = c{c}.w;\n"));
+    }
+    unit.push_str("    };\n}\n");
+
+    let mut program = Program::new();
+    program.load_str("fuzz.unit", &unit).expect("generated unit file parses");
+    let mut tree = SourceTree::new();
+    tree.add("shared.c", shared);
+    tree.add("worker.c", worker);
+    let mut opts = BuildOptions::new("Fuzz", machine::runtime_symbols());
+    opts.entry = None;
+    Fuzz { program, tree, opts, ncores }
+}
+
+/// The concurrency-lint codes the composition trips, in canonical order.
+fn conc_codes(fz: &Fuzz) -> Vec<String> {
+    let report = lint(&fz.program, &fz.tree, &fz.opts, &LintConfig::new()).expect("lints");
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| CONC_LINTS.contains(&d.code))
+        .map(|d| d.code.to_string())
+        .collect()
+}
+
+/// Run the composition's workers round-robin on its generated core count
+/// with the dynamic lockset oracle armed over the data segment; returns
+/// the number of race events the oracle recorded.
+fn oracle_events(fz: &Fuzz) -> usize {
+    let report = build(&fz.program, &fz.tree, &fz.opts).expect("baseline builds");
+    let image = &report.image;
+    let mut mm = MultiMachine::new(image.clone(), fz.ncores).expect("machine");
+    if image.func_by_name("__knit_init").is_some() {
+        mm.call_on(0, "__knit_init", &[]).expect("init");
+    }
+    let locks: Vec<(u64, u64)> = image
+        .symbols
+        .keys()
+        .filter(|k| k.starts_with("lk0_p") || k.starts_with("lk1_p"))
+        .map(|k| (image.data_by_name(k).expect("lock word in data"), 8))
+        .collect();
+    assert!(!locks.is_empty(), "generated locks must reach the image");
+    mm.race_check_enable(image.data_base, image.data.len(), &locks);
+    let entries: Vec<String> = (0..fz.ncores)
+        .map(|c| report.exports.get(&format!("w{c}.work")).expect("root export").clone())
+        .collect();
+    for round in 0..4i64 {
+        for (c, entry) in entries.iter().enumerate() {
+            mm.call_on(c, entry, &[round * 7 + c as i64]).expect("work runs");
+        }
+    }
+    mm.race_events().len()
+}
+
+/// ≥100 seeded lock-discipline mutations, zero static false negatives:
+/// every mutant trips its expected lint.
+#[test]
+fn every_seeded_mutation_is_flagged_statically() {
+    let mut mutants = 0;
+    for case in 0..21u64 {
+        let seed = override_seed(0xDACE_0000 + case);
+        for (mutation, expected) in MUTATIONS {
+            let codes = conc_codes(&gen_fuzz(seed, Some(mutation)));
+            assert!(
+                codes.iter().any(|c| c == expected),
+                "{mutation:?} mutant must trip {expected}, got {codes:?}; {}",
+                repro(seed)
+            );
+            mutants += 1;
+        }
+    }
+    assert!(mutants >= 100, "mutation sweep shrank to {mutants} mutants");
+}
+
+/// The statically-clean baselines really are clean — and race-free under
+/// the dynamic oracle at their generated core count.
+#[test]
+fn clean_baselines_are_quiet_statically_and_dynamically() {
+    for case in 0..10u64 {
+        let seed = override_seed(0xDACE_0000 + case);
+        let fz = gen_fuzz(seed, None);
+        let codes = conc_codes(&fz);
+        assert!(codes.is_empty(), "baseline must lint clean, got {codes:?}; {}", repro(seed));
+        let events = oracle_events(&fz);
+        assert_eq!(events, 0, "clean baseline raced dynamically; {}", repro(seed));
+    }
+}
+
+/// The differential closes in the other direction too: a deleted acquire
+/// is not just a lint, it is an actual race the oracle observes once two
+/// cores execute the unguarded writes.
+#[test]
+fn dropped_acquire_races_under_the_oracle() {
+    let seed = override_seed(0xDACE_0101);
+    let fz = gen_fuzz(seed, Some(Mutation::DropAcquire));
+    assert!(conc_codes(&fz).iter().any(|c| c == "K1006"), "{}", repro(seed));
+    let events = oracle_events(&fz);
+    assert!(events > 0, "two cores wrote with no lock held, oracle must report; {}", repro(seed));
+}
+
+/// Dynamic-oracle smoke on the real sharded Clack router: the intact
+/// 4-core router — pinned lint-clean in `tests/lints.rs` — processes the
+/// canonical workload with the oracle armed over its whole data segment
+/// and reports nothing.
+#[test]
+fn sharded_router_is_race_free_under_the_oracle() {
+    let ncores = 4;
+    let report = clack::build_mc_router(ncores, false).expect("sharded router builds");
+    let image = report.image.clone();
+    let locks: Vec<(u64, u64)> = image
+        .symbols
+        .keys()
+        .filter(|k| k.starts_with("lock_p"))
+        .map(|k| (image.data_by_name(k).expect("lock word in data"), 8))
+        .collect();
+    assert!(!locks.is_empty(), "SharedQueue lock words must reach the image");
+    // The Discard `dropped` counters are deliberately approximate — the
+    // units carry `#[allow(atomicity_hint)]` — so they get the matching
+    // dynamic exemption.
+    let exempt: Vec<(u64, u64)> = image
+        .symbols
+        .keys()
+        .filter(|k| k.starts_with("dropped_p"))
+        .map(|k| (image.data_by_name(k).expect("counter in data"), 8))
+        .collect();
+    assert!(!exempt.is_empty(), "Discard drop counters must reach the image");
+    let mut h = clack::MultiRouterHarness::new(&report, ncores).unwrap();
+    h.machine().race_check_enable(image.data_base, image.data.len(), &locks);
+    h.machine().race_exempt(&exempt);
+    for (_, pkt) in packets::workload(&packets::WorkloadOptions {
+        count: 64,
+        pct_non_ip: 10,
+        pct_ttl_expired: 5,
+        pct_no_route: 5,
+        ..Default::default()
+    }) {
+        h.inject(pkt);
+    }
+    h.run_until_idle();
+    let events = h.machine().race_events();
+    assert!(events.is_empty(), "router raced: {events:?}");
+}
